@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+Scale is configurable through environment variables so the full
+paper-scale run (500 consumers x 50 vectors) is one command away:
+
+* ``FDETA_BENCH_CONSUMERS`` (default 30)
+* ``FDETA_BENCH_VECTORS`` (default 12)
+* ``FDETA_BENCH_SEED`` (default 2016)
+
+Each benchmark writes its reproduced table/figure data under
+``benchmarks/_artifacts/`` so the numbers are inspectable after a run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.data.synthetic import SyntheticCERConfig, generate_cer_like_dataset
+from repro.evaluation.config import EvaluationConfig
+from repro.evaluation.experiment import run_evaluation
+
+BENCH_CONSUMERS = int(os.environ.get("FDETA_BENCH_CONSUMERS", "30"))
+BENCH_VECTORS = int(os.environ.get("FDETA_BENCH_VECTORS", "12"))
+BENCH_SEED = int(os.environ.get("FDETA_BENCH_SEED", "2016"))
+
+ARTIFACTS = Path(__file__).parent / "_artifacts"
+
+
+def write_artifact(name: str, text: str) -> Path:
+    """Persist a reproduced table/figure for post-run inspection."""
+    ARTIFACTS.mkdir(exist_ok=True)
+    path = ARTIFACTS / name
+    path.write_text(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """The benchmark population (CER-like, paper-shaped 74-week record)."""
+    return generate_cer_like_dataset(
+        SyntheticCERConfig(
+            n_consumers=BENCH_CONSUMERS, n_weeks=74, seed=BENCH_SEED
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return EvaluationConfig(n_vectors=BENCH_VECTORS, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_results(bench_dataset, bench_config):
+    """The full Section VIII evaluation, shared by the table benches."""
+    return run_evaluation(bench_dataset, bench_config)

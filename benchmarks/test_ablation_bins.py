@@ -1,0 +1,63 @@
+"""Ablation X2: sensitivity of the KLD detector to the histogram bin
+count B (the study Section VIII-D defers to "extensions of this paper").
+
+The paper's qualitative claim to check: "Fewer bins produce more false
+negatives and fewer false positives."  We sweep B and assert the
+detection rate (1 - FN rate) at coarse B is no higher than at the
+operating point B=10, while the paper's B=10 point detects the majority
+of Integrated ARIMA attacks.
+"""
+
+from repro.evaluation.ablation import bin_count_sweep, divergence_sweep
+from benchmarks.conftest import write_artifact
+
+BIN_COUNTS = (4, 6, 10, 20, 40)
+
+
+def _render(points) -> str:
+    lines = [f"{'bins':>6}{'detection':>12}{'false_pos':>12}"]
+    for point in points:
+        lines.append(
+            f"{point.parameter:>6.0f}{point.detection_rate:>12.2%}"
+            f"{point.false_positive_rate:>12.2%}"
+        )
+    return "\n".join(lines)
+
+
+def test_bin_count_ablation(benchmark, bench_dataset, bench_config):
+    consumers = bench_dataset.consumers()[: min(12, bench_dataset.n_consumers)]
+    points = benchmark(
+        bin_count_sweep,
+        bench_dataset,
+        consumers,
+        BIN_COUNTS,
+        0.05,
+        bench_config,
+    )
+    text = _render(points)
+    write_artifact("ablation_bins.txt", text)
+    print("\nAblation: KLD bin count B (Integrated ARIMA attack, alpha=5%)")
+    print(text)
+
+    by_bins = {int(p.parameter): p for p in points}
+    # The operating point detects the majority of attacks.
+    assert by_bins[10].detection_rate >= 0.5
+    # Coarser histograms cannot out-detect the operating point by much
+    # ("fewer bins produce more false negatives").
+    assert by_bins[4].detection_rate <= by_bins[10].detection_rate + 0.10
+
+
+def test_divergence_choice_ablation(benchmark, bench_dataset, bench_config):
+    """KL vs Jensen-Shannon as the week statistic."""
+    consumers = bench_dataset.consumers()[: min(8, bench_dataset.n_consumers)]
+    results = benchmark(
+        divergence_sweep, bench_dataset, consumers, 0.05, 10, bench_config
+    )
+    text = "\n".join(
+        f"{name:>4}: detection {point.detection_rate:.2%}, "
+        f"false positives {point.false_positive_rate:.2%}"
+        for name, point in results.items()
+    )
+    write_artifact("ablation_divergence.txt", text)
+    print("\nAblation: divergence choice\n" + text)
+    assert results["kl"].detection_rate >= 0.5

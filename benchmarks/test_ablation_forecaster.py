@@ -1,0 +1,95 @@
+"""Ablation X8: how much of the ARIMA detector's weakness is the model?
+
+The paper's band-hugging attacks exploit the *width* of the low-order
+ARIMA band.  Swapping the forecaster for seasonal Holt-Winters — same
+decision rule, tighter band — separates "band checks are inherently
+weak" from "the evaluated ARIMA model is weak".  Asserted shape: the
+seasonal band catches the band-pinned ARIMA attack that the ARIMA band
+tolerates by construction, while both remain blind to the truncated-
+normal Integrated attack *tuned to the narrower band* (distribution
+attacks need the KLD layer regardless of forecaster).
+"""
+
+import numpy as np
+
+from repro.attacks.injection import ARIMAAttack, InjectionContext, IntegratedARIMAAttack
+from repro.detectors.arima_detector import ARIMADetector
+from repro.detectors.holtwinters_detector import HoltWintersDetector
+from repro.evaluation.experiment import BAND_VIOLATION_ALLOWANCE, _consumer_rng
+from benchmarks.conftest import write_artifact
+
+
+def run_comparison(dataset, config, consumers):
+    rows = {
+        "arima_band_width": [],
+        "hw_band_width": [],
+        "arima_catches_arima_attack": 0,
+        "hw_catches_arima_attack": 0,
+        "hw_catches_hw_tuned_attack": 0,
+    }
+    for cid in consumers:
+        train = dataset.train_matrix(cid)
+        week = dataset.test_matrix(cid)[config.attack_week_index]
+        rng = _consumer_rng(config, cid)
+        arima = ARIMADetector(
+            max_violations=BAND_VIOLATION_ALLOWANCE
+        ).fit(train)
+        hw = HoltWintersDetector(
+            max_violations=BAND_VIOLATION_ALLOWANCE
+        ).fit(train)
+        a_lo, a_hi = arima.confidence_band()
+        h_lo, h_hi = hw.confidence_band()
+        rows["arima_band_width"].append(float((a_hi - a_lo).mean()))
+        rows["hw_band_width"].append(float((h_hi - h_lo).mean()))
+        context = InjectionContext(
+            train_matrix=train,
+            actual_week=week,
+            band_lower=a_lo,
+            band_upper=a_hi,
+        )
+        attack = ARIMAAttack(direction="over").inject(context, rng)
+        rows["arima_catches_arima_attack"] += int(arima.flags(attack.reported))
+        rows["hw_catches_arima_attack"] += int(hw.flags(attack.reported))
+        # An attacker who replicates the *HW* band instead.
+        hw_context = InjectionContext(
+            train_matrix=train,
+            actual_week=week,
+            band_lower=h_lo,
+            band_upper=h_hi,
+        )
+        tuned = IntegratedARIMAAttack(direction="over").inject(hw_context, rng)
+        rows["hw_catches_hw_tuned_attack"] += int(hw.flags(tuned.reported))
+    return rows
+
+
+def test_forecaster_ablation(benchmark, bench_dataset, bench_config):
+    consumers = bench_dataset.consumers()[: min(12, bench_dataset.n_consumers)]
+    rows = benchmark(run_comparison, bench_dataset, bench_config, consumers)
+    n = len(consumers)
+    arima_width = float(np.mean(rows["arima_band_width"]))
+    hw_width = float(np.mean(rows["hw_band_width"]))
+    text = (
+        f"mean ARIMA band width:            {arima_width:.3f} kW\n"
+        f"mean Holt-Winters band width:     {hw_width:.3f} kW\n"
+        f"ARIMA detector vs ARIMA attack:   "
+        f"{rows['arima_catches_arima_attack']}/{n}\n"
+        f"HW detector vs ARIMA attack:      "
+        f"{rows['hw_catches_arima_attack']}/{n}\n"
+        f"HW detector vs HW-tuned attack:   "
+        f"{rows['hw_catches_hw_tuned_attack']}/{n}\n"
+    )
+    write_artifact("ablation_forecaster.txt", text)
+    print("\nAblation: band forecaster choice (ARIMA vs Holt-Winters)")
+    print(text)
+
+    # The seasonal band is tighter on average — though its real power is
+    # *following the diurnal shape*: the flat ARMA band leaves night-time
+    # headroom the seasonal band does not.
+    assert hw_width < arima_width
+    # ...so it catches the wide-band-pinned attack the ARIMA band
+    # tolerates by construction...
+    assert rows["arima_catches_arima_attack"] == 0
+    assert rows["hw_catches_arima_attack"] >= 0.7 * n
+    # ...but an attacker who replicates the *tighter* band still slips
+    # through the band rule: distribution attacks need the KLD layer.
+    assert rows["hw_catches_hw_tuned_attack"] <= 0.3 * n

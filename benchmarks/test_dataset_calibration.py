@@ -1,0 +1,61 @@
+"""Dataset calibration: does the synthetic substrate exhibit the
+statistical properties the paper measured on the real CER data?
+
+Checks asserted (DESIGN.md "Substitutions"):
+
+* Section VIII-B3: "94.4% of consumers had higher consumption during the
+  peak period on over 90% of the days in the training set" — we require
+  a strong majority;
+* Section VII-D: weekly consumption patterns repeat (pattern strength);
+* Section VIII-A type mix: 404/36/60 residential/SME/unclassified per
+  500 consumers;
+* heavy-tailed consumer sizes (a few large consumers dominate, which
+  drives the paper's Metric-2 analysis of who steals the most).
+"""
+
+import numpy as np
+
+from repro.data.consumers import ConsumerType
+from repro.data.statistics import summarise_population
+from repro.data.synthetic import SyntheticCERConfig, generate_cer_like_dataset
+from repro.pricing.schemes import TimeOfUsePricing
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+from benchmarks.conftest import write_artifact
+
+
+def test_dataset_calibration(benchmark, bench_dataset):
+    summary = benchmark(summarise_population, bench_dataset)
+    sizes = sorted(
+        (bench_dataset.train_series(cid).mean() for cid in bench_dataset.consumers()),
+        reverse=True,
+    )
+    text = (
+        f"consumers:                 {summary.n_consumers}\n"
+        f"peak-heavy fraction:       {summary.peak_heavy_fraction:.1%} "
+        f"(paper: 94.4%)\n"
+        f"median pattern strength:   {summary.median_pattern_strength:.2f}\n"
+        f"largest / median consumer: {sizes[0] / np.median(sizes):.1f}x\n"
+    )
+    write_artifact("dataset_calibration.txt", text)
+    print("\nDataset calibration vs the paper's measured properties")
+    print(text)
+
+    # Peak-heaviness: strong majority (paper: 94.4%).
+    assert summary.peak_heavy_fraction >= 0.75
+    # Weekly periodicity strong enough to justify the 336-slot week.
+    assert summary.median_pattern_strength >= 0.5
+    # Heavy tail: the largest consumer dwarfs the median.
+    assert sizes[0] > 3 * np.median(sizes)
+
+
+def test_type_mix_matches_cer(benchmark):
+    def build():
+        return generate_cer_like_dataset(
+            SyntheticCERConfig(n_consumers=500, n_weeks=2, train_weeks=1)
+        )
+
+    dataset = benchmark(build)
+    counts = dataset.type_counts()
+    assert counts[ConsumerType.RESIDENTIAL] == 404
+    assert counts[ConsumerType.SME] == 36
+    assert counts[ConsumerType.UNCLASSIFIED] == 60

@@ -1,0 +1,59 @@
+"""Extension X6: multiple simultaneous attackers (the paper's closing
+future-work item: "account for the presence of multiple attackers").
+
+K colluding attackers each run a balanced Class-1B theft against a
+distinct victim.  Asserted shape: the aggregate balance check stays
+silent for every K (collusion scales the blindness, not the visibility),
+stolen energy grows with K, and the KLD layer flags most victims while
+the attackers themselves look normal (their reported weeks are
+untouched) — which is exactly the triage Proposition 2 prescribes.
+"""
+
+from repro.evaluation.multi_attacker import run_multi_attacker_study
+from benchmarks.conftest import write_artifact
+
+ATTACKER_COUNTS = (1, 2, 4)
+
+
+def run_sweep(dataset):
+    outcomes = []
+    for k in ATTACKER_COUNTS:
+        outcomes.append(
+            run_multi_attacker_study(
+                dataset, n_attackers=k, steal_fraction=1.5, seed=k
+            )
+        )
+    return outcomes
+
+
+def test_multi_attacker_sweep(benchmark, bench_dataset):
+    subset = bench_dataset.subset(
+        bench_dataset.consumers()[: min(12, bench_dataset.n_consumers)]
+    )
+    outcomes = benchmark(run_sweep, subset)
+    lines = [
+        f"{'K':>3}{'balance_silent':>16}{'victims_flagged':>17}"
+        f"{'attackers_flagged':>19}{'stolen_kwh':>12}"
+    ]
+    for outcome in outcomes:
+        lines.append(
+            f"{outcome.n_attackers:>3}"
+            f"{str(outcome.balance_check_silent):>16}"
+            f"{outcome.victims_flagged:>17}"
+            f"{outcome.attackers_flagged:>19}"
+            f"{outcome.total_stolen_kwh:>12,.0f}"
+        )
+    text = "\n".join(lines)
+    write_artifact("extension_multi_attacker.txt", text)
+    print("\nExtension: K simultaneous balanced 1B attackers")
+    print(text)
+
+    # Collusion never trips the aggregate balance check.
+    assert all(outcome.balance_check_silent for outcome in outcomes)
+    # Theft scales with the number of attackers.
+    stolen = [outcome.total_stolen_kwh for outcome in outcomes]
+    assert stolen == sorted(stolen)
+    # The KLD layer flags victims, not attackers, at the largest K.
+    final = outcomes[-1]
+    assert final.victims_flagged >= final.n_attackers * 0.5
+    assert final.attackers_flagged <= final.victims_flagged

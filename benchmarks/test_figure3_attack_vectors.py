@@ -1,0 +1,55 @@
+"""Reproduces Fig. 3: the three attack-vector illustrations for one
+consumer (the paper uses Consumer 1330; we use the largest consumer of
+the synthetic population, which plays the same role).
+
+Fig. 3(a) — Attack Class 1B: the neighbour's consumption over-reported;
+Fig. 3(b) — Attack Classes 2A/2B: the attacker's consumption
+under-reported; Fig. 3(c) — Attack Classes 3A/3B: the highest peak
+readings swapped into the off-peak window.
+"""
+
+import numpy as np
+
+from repro.evaluation.figures import figure3_data
+from benchmarks.conftest import write_artifact
+
+
+def _render_series(data, n_slots=48) -> str:
+    """First day of each series as aligned columns (kW per half-hour)."""
+    keys = (
+        "actual",
+        "attack_1b",
+        "attack_2a2b",
+        "attack_3a3b",
+        "band_lower",
+        "band_upper",
+    )
+    header = "slot " + "".join(f"{k:>13}" for k in keys)
+    lines = [header]
+    for slot in range(n_slots):
+        cells = "".join(f"{data[k][slot]:>13.3f}" for k in keys)
+        lines.append(f"{slot:>4} {cells}")
+    return "\n".join(lines)
+
+
+def test_figure3_reproduction(benchmark, bench_dataset, bench_config):
+    subject = bench_dataset.consumers_by_size()[0]
+    data = benchmark(figure3_data, bench_dataset, subject, bench_config)
+    write_artifact("figure3.txt", _render_series(data))
+    print(f"\nFig. 3 subject: consumer {subject} (largest by training mean)")
+    print(_render_series(data, n_slots=12))
+
+    # (a) the 1B vector over-reports the subject's week...
+    assert data["attack_1b"].mean() > data["actual"].mean()
+    # ...while hugging the replicated confidence band.
+    assert np.all(data["attack_1b"] <= data["band_upper"] + 1e-9)
+
+    # (b) the 2A/2B vector under-reports.
+    assert data["attack_2a2b"].mean() < data["actual"].mean()
+    assert np.all(data["attack_2a2b"] >= 0.0)
+
+    # (c) the swap preserves the reading multiset exactly.
+    assert np.allclose(np.sort(data["attack_3a3b"]), np.sort(data["actual"]))
+    # And the injected (poisoning) vectors differ from the actual week.
+    assert not np.allclose(data["attack_1b"], data["actual"])
+    assert not np.allclose(data["attack_2a2b"], data["actual"])

@@ -1,0 +1,76 @@
+"""Ablation X4: investigation cost on the grid topology (Section V-C).
+
+The paper argues tree-structured search cuts the O(N) exhaustive
+inspection to O(log N) on balanced trees, degrading to O(N) on the
+degenerate linear topology.  This bench measures the serviceman search's
+portable-meter check count across population sizes and both shapes.
+"""
+
+import numpy as np
+
+from repro.grid.builder import build_linear_topology, build_random_topology
+from repro.grid.investigation import (
+    exhaustive_inspection_cost,
+    serviceman_search,
+)
+from repro.grid.snapshot import DemandSnapshot
+from benchmarks.conftest import write_artifact
+
+SIZES = (16, 64, 256, 1024)
+
+
+def _theft_snapshot(topo, thief):
+    actual = {c: 3.0 for c in topo.consumers()}
+    snap = DemandSnapshot(topology=topo, actual=actual)
+    return snap.with_reported({thief: 1.0})
+
+
+def _measure(sizes):
+    rows = []
+    for n in sizes:
+        topo = build_random_topology(n_consumers=n, branching=4, seed=n)
+        thief = topo.consumers()[n // 2]
+        result = serviceman_search(topo, _theft_snapshot(topo, thief))
+        assert thief in result.suspect_consumers
+        rows.append(
+            (
+                n,
+                result.checks_performed,
+                exhaustive_inspection_cost(topo),
+            )
+        )
+    return rows
+
+
+def test_search_cost_scaling(benchmark):
+    rows = benchmark(_measure, SIZES)
+    lines = [f"{'consumers':>10}{'tree_checks':>13}{'exhaustive':>12}"]
+    for n, checks, exhaustive in rows:
+        lines.append(f"{n:>10}{checks:>13}{exhaustive:>12}")
+    text = "\n".join(lines)
+    write_artifact("investigation_scaling.txt", text)
+    print("\nInvestigation cost: tree search vs exhaustive inspection")
+    print(text)
+
+    # Sub-linear scaling: quadrupling N must not quadruple the checks.
+    checks = {n: c for n, c, _ in rows}
+    assert checks[1024] < checks[16] * (1024 / 16) / 4
+    # And the tree search always beats exhaustive inspection at scale.
+    for n, c, exhaustive in rows:
+        if n >= 64:
+            assert c < exhaustive
+
+
+def test_linear_topology_degenerates(benchmark):
+    """The worst case the paper warns about: a path topology."""
+
+    def measure_linear():
+        topo = build_linear_topology(128)
+        thief = "c127"
+        result = serviceman_search(topo, _theft_snapshot(topo, thief))
+        assert thief in result.suspect_consumers
+        return result.checks_performed
+
+    checks = benchmark(measure_linear)
+    # O(N): the serviceman walks essentially the whole path.
+    assert checks >= 128

@@ -1,0 +1,79 @@
+"""Reproduces Table I: the attack classification matrix.
+
+Besides rendering the matrix, this bench *constructively* verifies each
+cell by classifying structural attack descriptors through the taxonomy
+engine, so the table is derived, not transcribed.
+"""
+
+from repro.attacks.classes import TABLE_I, AttackClass
+from repro.attacks.taxonomy import (
+    AttackDescriptor,
+    classify_attack,
+    render_table_i,
+)
+from benchmarks.conftest import write_artifact
+
+#: The paper's Table I, cell for cell (Y/N per row).
+PAPER_TABLE_I = {
+    "1A": "NYYYN",
+    "2A": "NYYYN",
+    "3A": "NNYYN",
+    "1B": "YYYYN",
+    "2B": "YYYYN",
+    "3B": "YNYYN",
+    "4B": "YNNYY",
+}
+
+DESCRIPTORS = {
+    AttackClass.CLASS_1A: AttackDescriptor(increases_consumption=True),
+    AttackClass.CLASS_2A: AttackDescriptor(under_reports_own_readings=True),
+    AttackClass.CLASS_3A: AttackDescriptor(shifts_reported_load=True),
+    AttackClass.CLASS_1B: AttackDescriptor(
+        increases_consumption=True, over_reports_neighbour=True
+    ),
+    AttackClass.CLASS_2B: AttackDescriptor(
+        under_reports_own_readings=True, over_reports_neighbour=True
+    ),
+    AttackClass.CLASS_3B: AttackDescriptor(
+        shifts_reported_load=True, over_reports_neighbour=True
+    ),
+    AttackClass.CLASS_4B: AttackDescriptor(
+        compromises_price_signal=True, over_reports_neighbour=True
+    ),
+}
+
+
+def _row_string(row) -> str:
+    return "".join(
+        "Y" if flag else "N"
+        for flag in (
+            row.despite_balance_check,
+            row.flat_rate,
+            row.tou,
+            row.rtp,
+            row.requires_adr,
+        )
+    )
+
+
+def test_table1_reproduction(benchmark):
+    text = benchmark(render_table_i)
+    write_artifact("table1.txt", text)
+    # Exact cell-for-cell match with the paper.
+    for row in TABLE_I:
+        assert _row_string(row) == PAPER_TABLE_I[row.attack_class.value], (
+            f"Table I mismatch for class {row.attack_class.value}"
+        )
+    print("\n" + text)
+
+
+def test_table1_constructive_classification(benchmark):
+    def classify_all():
+        return {
+            expected: classify_attack(descriptor)
+            for expected, descriptor in DESCRIPTORS.items()
+        }
+
+    outcomes = benchmark(classify_all)
+    for expected, actual in outcomes.items():
+        assert actual is expected

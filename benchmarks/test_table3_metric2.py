@@ -1,0 +1,79 @@
+"""Reproduces Table III: Metric 2, the worst-case weekly theft (kWh) and
+profit ($) an attacker retains while circumventing each detector —
+together with the paper's Section VIII-F1 headline reductions.
+
+Shape assertions:
+
+* stolen energy for Attack Class 1B is staged
+  ARIMA detector >> Integrated ARIMA detector >> KLD detectors
+  (paper: 362,261 -> 79,325 -> 4,129-5,374 kWh; ~78% then ~94.8%
+  reductions);
+* Attack Classes 2A/2B steal an order of magnitude less than 1B;
+* Attack Classes 3A/3B steal zero energy and yield only a small profit.
+"""
+
+from repro.evaluation.config import (
+    COLUMN_1B,
+    COLUMN_2A2B,
+    COLUMN_3A3B,
+    DETECTOR_ARIMA,
+    DETECTOR_INTEGRATED,
+    DETECTOR_KLD_10,
+    DETECTOR_KLD_5,
+)
+from repro.evaluation.tables import (
+    improvement_statistics,
+    render_table3,
+    table3,
+)
+from benchmarks.conftest import write_artifact
+
+
+def test_table3_reproduction(benchmark, bench_results):
+    rows = benchmark(table3, bench_results)
+    text = render_table3(rows)
+    stats = improvement_statistics(rows)
+    summary = (
+        f"{text}\n\n"
+        f"Integrated-over-ARIMA 1B theft reduction: "
+        f"{stats.integrated_over_arima:.1f}% (paper: ~78%)\n"
+        f"KLD-over-Integrated 1B theft reduction:   "
+        f"{stats.kld_over_integrated:.1f}% (paper: ~94.8%)\n"
+    )
+    write_artifact("table3.txt", summary)
+    print("\nTable III - Metric 2 (worst-case weekly gains)")
+    print(summary)
+
+    values = {row.detector: row.values for row in rows}
+    arima_1b = values[DETECTOR_ARIMA][COLUMN_1B].stolen_kwh
+    integrated_1b = values[DETECTOR_INTEGRATED][COLUMN_1B].stolen_kwh
+    kld_1b = min(
+        values[DETECTOR_KLD_5][COLUMN_1B].stolen_kwh,
+        values[DETECTOR_KLD_10][COLUMN_1B].stolen_kwh,
+    )
+    # Staged reductions: who wins, in the right order, by large factors.
+    assert arima_1b > integrated_1b > kld_1b
+    assert stats.integrated_over_arima > 50.0
+    assert stats.kld_over_integrated > 50.0
+
+    # 2A/2B sits well below 1B.  The paper's order-of-magnitude gap
+    # comes from 1B *summing* over 500 victims while 2A/2B takes a
+    # single-consumer maximum, so the factor grows with population size;
+    # at bench scale we assert the ordering plus a strong factor for the
+    # widest-band (ARIMA) row.
+    assert (
+        values[DETECTOR_ARIMA][COLUMN_1B].stolen_kwh
+        > 3 * values[DETECTOR_ARIMA][COLUMN_2A2B].stolen_kwh
+    )
+    assert (
+        values[DETECTOR_INTEGRATED][COLUMN_1B].stolen_kwh
+        > values[DETECTOR_INTEGRATED][COLUMN_2A2B].stolen_kwh
+    )
+
+    # 3A/3B: zero energy stolen; profits tiny relative to 1B.
+    for detector, columns in values.items():
+        assert columns[COLUMN_3A3B].stolen_kwh == 0.0
+    assert (
+        values[DETECTOR_ARIMA][COLUMN_3A3B].profit_usd
+        < 0.1 * values[DETECTOR_ARIMA][COLUMN_1B].profit_usd
+    )

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Adversarial planning and the economics of theft.
+
+Uses the attack planner to answer the defender's question — *which
+attack class would an optimal Mallory pick against my current defenses,
+and how much would it cost me?* — and the billing engine to show who
+actually pays under the two recovery models of Section VI-A (the utility
+absorbs the loss, or it is socialised as service fees).
+
+Run:  python examples/attack_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ARIMADetector,
+    IntegratedARIMADetector,
+    SyntheticCERConfig,
+    TimeOfUsePricing,
+    generate_cer_like_dataset,
+)
+from repro.attacks import DefensePosture, plan_attack
+from repro.pricing import bill_cycle
+
+
+def show_plans(title, plans):
+    print(f"\n{title}")
+    for plan in plans:
+        gain = (
+            "unbounded"
+            if plan.expected_weekly_gain_usd == float("inf")
+            else f"${plan.expected_weekly_gain_usd:,.0f}/week"
+        )
+        print(f"  {plan.attack_class.value}: {gain:<16} ({plan.rationale})")
+
+
+def main() -> None:
+    dataset = generate_cer_like_dataset(
+        SyntheticCERConfig(n_consumers=10, n_weeks=74, seed=9)
+    )
+    mallory = dataset.consumers_by_size()[0]
+    train = dataset.train_matrix(mallory)
+    week = dataset.test_matrix(mallory)[0]
+    tariff = TimeOfUsePricing()
+    print(f"Mallory is consumer {mallory} "
+          f"(mean {train.mean():.2f} kW)")
+
+    # Escalating defense postures.
+    show_plans(
+        "posture 0: no defenses at all",
+        plan_attack(week, tariff, DefensePosture(balance_check=False)),
+    )
+    show_plans(
+        "posture 1: trusted root balance meter only",
+        plan_attack(week, tariff, DefensePosture(balance_check=True)),
+    )
+    arima = ARIMADetector(max_violations=16).fit(train)
+    lower, upper = arima.confidence_band()
+    show_plans(
+        "posture 2: + ARIMA band detector",
+        plan_attack(
+            week,
+            tariff,
+            DefensePosture(band_lower=lower, band_upper=upper),
+        ),
+    )
+    integrated = IntegratedARIMADetector(arima=arima).fit(train)
+    show_plans(
+        "posture 3: + Integrated moment checks",
+        plan_attack(
+            week,
+            tariff,
+            DefensePosture(
+                band_lower=lower,
+                band_upper=upper,
+                max_weekly_mean=integrated.mean_range[1],
+            ),
+        ),
+    )
+
+    # Who pays?  Run one attacked billing cycle both ways.
+    victims = [c for c in dataset.consumers() if c != mallory][:4]
+    steal_kw = 1.5
+    actual = {cid: dataset.test_matrix(cid)[0].copy() for cid in victims}
+    actual[mallory] = week + steal_kw
+    reported = {cid: series.copy() for cid, series in actual.items()}
+    reported[mallory] = week.copy()  # under-reports her raised usage
+
+    absorbed = bill_cycle(reported, actual, tariff)
+    socialised = bill_cycle(reported, actual, tariff, socialise_losses=True)
+    print(f"\nMallory steals {absorbed.unaccounted_kwh:,.0f} kWh this week.")
+    print("utility-absorbs model: every bill unchanged; the utility eats "
+          f"${absorbed.unaccounted_kwh * 0.2:,.0f}")
+    fees = {
+        cid: inv.service_fee for cid, inv in socialised.invoices.items()
+    }
+    print("socialised model: service fees land on everyone -")
+    for cid, fee in sorted(fees.items()):
+        who = "Mallory herself" if cid == mallory else "an honest neighbour"
+        print(f"  {cid}: +${fee:,.2f} ({who})")
+
+
+if __name__ == "__main__":
+    main()

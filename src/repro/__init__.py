@@ -1,0 +1,95 @@
+"""F-DETA: a framework for detecting electricity theft attacks in smart grids.
+
+A production-quality reproduction of Badrinath Krishna et al., DSN 2016.
+The package is organised as:
+
+* :mod:`repro.core` — the KLD detector and the F-DETA pipeline;
+* :mod:`repro.detectors` — related-work baselines (ARIMA, Integrated
+  ARIMA, minimum-average);
+* :mod:`repro.attacks` — the seven-class taxonomy and the false-data
+  injection suite;
+* :mod:`repro.grid`, :mod:`repro.metering`, :mod:`repro.pricing`,
+  :mod:`repro.data`, :mod:`repro.stats`, :mod:`repro.timeseries` —
+  the substrates everything is built on;
+* :mod:`repro.evaluation` — the Section VIII experiment harness.
+
+Quickstart::
+
+    from repro import (
+        KLDDetector, SyntheticCERConfig, generate_cer_like_dataset,
+    )
+
+    dataset = generate_cer_like_dataset(SyntheticCERConfig(n_consumers=20))
+    cid = dataset.consumers()[0]
+    detector = KLDDetector(significance=0.05).fit(dataset.train_matrix(cid))
+    result = detector.score_week(dataset.test_matrix(cid)[0])
+    print(result.flagged, result.score, result.threshold)
+"""
+
+from repro.attacks import (
+    ARIMAAttack,
+    AttackClass,
+    AttackVector,
+    InjectionContext,
+    IntegratedARIMAAttack,
+    OptimalSwapAttack,
+)
+from repro.core import (
+    FDetaFramework,
+    KLDDetector,
+    PriceConditionedKLDDetector,
+)
+from repro.data import (
+    SmartMeterDataset,
+    SyntheticCERConfig,
+    generate_cer_like_dataset,
+)
+from repro.detectors import (
+    ARIMADetector,
+    DetectionResult,
+    IntegratedARIMADetector,
+    MinimumAverageDetector,
+)
+from repro.evaluation import (
+    EvaluationConfig,
+    run_evaluation,
+    table2,
+    table3,
+)
+from repro.grid import BalanceAuditor, RadialTopology, build_random_topology
+from repro.pricing import (
+    FlatRatePricing,
+    RealTimePricing,
+    TimeOfUsePricing,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARIMAAttack",
+    "ARIMADetector",
+    "AttackClass",
+    "AttackVector",
+    "BalanceAuditor",
+    "DetectionResult",
+    "EvaluationConfig",
+    "FDetaFramework",
+    "FlatRatePricing",
+    "InjectionContext",
+    "IntegratedARIMAAttack",
+    "IntegratedARIMADetector",
+    "KLDDetector",
+    "MinimumAverageDetector",
+    "OptimalSwapAttack",
+    "PriceConditionedKLDDetector",
+    "RadialTopology",
+    "RealTimePricing",
+    "SmartMeterDataset",
+    "SyntheticCERConfig",
+    "TimeOfUsePricing",
+    "build_random_topology",
+    "generate_cer_like_dataset",
+    "run_evaluation",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,136 @@
+"""Analytic bounds on how much electricity each detector concedes.
+
+Section VI-A2 bounds Attack Class 2A under the minimum-average detector:
+with threshold ``tau``, the attacker's reported readings cannot average
+below ``tau``, so the theft is capped by her consumption above ``tau``.
+This module generalises that style of reasoning to the other detectors;
+the test suite checks that every *empirical* attack vector respects its
+detector's analytic cap, and the ablation benches use the bounds as
+sanity rails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pricing.billing import DEFAULT_DT_HOURS
+
+
+def _validate_week(week: np.ndarray) -> np.ndarray:
+    arr = np.asarray(week, dtype=float).ravel()
+    if arr.size == 0:
+        raise ConfigurationError("week must be non-empty")
+    if np.any(arr < 0):
+        raise ConfigurationError("demands must be >= 0")
+    return arr
+
+
+def max_theft_under_min_average(
+    actual_week: np.ndarray,
+    tau: float,
+    dt_hours: float = DEFAULT_DT_HOURS,
+) -> float:
+    """Cap on 2A theft under a minimum-average detector (Section VI-A2).
+
+    The attacker cannot report average consumption below ``tau``, so the
+    most she can hide is ``sum(actual) - tau * n`` (0 if she already
+    consumes below ``tau``).
+    """
+    arr = _validate_week(actual_week)
+    if tau < 0:
+        raise ConfigurationError(f"tau must be >= 0, got {tau}")
+    hidden_kw = max(0.0, float(arr.sum()) - tau * arr.size)
+    return hidden_kw * dt_hours
+
+
+def max_theft_under_band(
+    actual_week: np.ndarray,
+    band_lower: np.ndarray,
+    dt_hours: float = DEFAULT_DT_HOURS,
+) -> float:
+    """Cap on 2A/2B theft under a confidence-band detector.
+
+    Reported readings cannot drop below ``max(0, band_lower)`` without
+    detection, so the per-slot theft is capped at
+    ``actual - max(0, lower)``.
+    """
+    arr = _validate_week(actual_week)
+    lower = np.maximum(np.asarray(band_lower, dtype=float).ravel(), 0.0)
+    if lower.size != arr.size:
+        raise ConfigurationError("band must match the week length")
+    hidden_kw = float(np.maximum(arr - lower, 0.0).sum())
+    return hidden_kw * dt_hours
+
+
+def max_over_report_under_band(
+    actual_week: np.ndarray,
+    band_upper: np.ndarray,
+    dt_hours: float = DEFAULT_DT_HOURS,
+) -> float:
+    """Cap on 1B theft (from one victim) under a band detector.
+
+    The victim's readings cannot exceed ``band_upper``; the over-report
+    is capped at ``upper - actual`` per slot (0 where actual already
+    exceeds the band).
+    """
+    arr = _validate_week(actual_week)
+    upper = np.asarray(band_upper, dtype=float).ravel()
+    if upper.size != arr.size:
+        raise ConfigurationError("band must match the week length")
+    stolen_kw = float(np.maximum(upper - arr, 0.0).sum())
+    return stolen_kw * dt_hours
+
+
+def max_over_report_under_moment_checks(
+    actual_week: np.ndarray,
+    max_training_weekly_mean: float,
+    dt_hours: float = DEFAULT_DT_HOURS,
+    slack: float = 0.0,
+) -> float:
+    """Cap on 1B theft under the Integrated detector's mean check.
+
+    The injected week's mean cannot exceed the maximum training weekly
+    mean (times ``1 + slack``), so the theft is capped by the gap
+    between that mean and the victim's actual consumption.
+    """
+    arr = _validate_week(actual_week)
+    if max_training_weekly_mean < 0:
+        raise ConfigurationError("mean bound must be >= 0")
+    if slack < 0:
+        raise ConfigurationError("slack must be >= 0")
+    ceiling = max_training_weekly_mean * (1.0 + slack)
+    stolen_kw = max(0.0, ceiling * arr.size - float(arr.sum()))
+    return stolen_kw * dt_hours
+
+
+def max_swap_profit(
+    actual_week: np.ndarray,
+    peak_mask: np.ndarray,
+    peak_rate: float,
+    offpeak_rate: float,
+    dt_hours: float = DEFAULT_DT_HOURS,
+) -> float:
+    """Cap on 3A/3B profit from within-week reordering.
+
+    The best any reordering can do is bill the largest readings entirely
+    at the off-peak rate: sort the week, assign the top readings to the
+    off-peak slots, and price the difference against the actual
+    placement.  (The Optimal Swap attack additionally restricts swaps to
+    within a day, so it can only do worse.)
+    """
+    arr = _validate_week(actual_week)
+    mask = np.asarray(peak_mask, dtype=bool).ravel()
+    if mask.size != arr.size:
+        raise ConfigurationError("mask must match the week length")
+    if peak_rate < offpeak_rate:
+        raise ConfigurationError("peak rate must be >= off-peak rate")
+    n_offpeak = int((~mask).sum())
+    order = np.sort(arr)[::-1]
+    # Ideal: the n_offpeak largest readings billed off-peak, rest peak.
+    ideal = (
+        order[:n_offpeak].sum() * offpeak_rate
+        + order[n_offpeak:].sum() * peak_rate
+    )
+    actual_bill = arr[mask].sum() * peak_rate + arr[~mask].sum() * offpeak_rate
+    return max(0.0, float(actual_bill - ideal)) * dt_hours

@@ -1,0 +1,26 @@
+"""False-data injection attacks (Section VIII-B)."""
+
+from repro.attacks.injection.base import (
+    AttackInjector,
+    AttackVector,
+    InjectionContext,
+)
+from repro.attacks.injection.naive import ScalingAttack, ZeroReportAttack
+from repro.attacks.injection.arima_attack import ARIMAAttack
+from repro.attacks.injection.integrated_arima import IntegratedARIMAAttack
+from repro.attacks.injection.optimal_swap import OptimalSwapAttack
+from repro.attacks.injection.adr_attack import ADRPriceAttack
+from repro.attacks.injection.combination import CombinationAttack
+
+__all__ = [
+    "ADRPriceAttack",
+    "ARIMAAttack",
+    "CombinationAttack",
+    "AttackInjector",
+    "AttackVector",
+    "InjectionContext",
+    "IntegratedARIMAAttack",
+    "OptimalSwapAttack",
+    "ScalingAttack",
+    "ZeroReportAttack",
+]

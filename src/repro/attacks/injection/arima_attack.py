@@ -1,0 +1,72 @@
+"""The ARIMA attack: hug the replicated confidence band (Section VIII-B).
+
+Mallory passively monitors the compromised meter, rebuilds the utility's
+ARIMA model, and pins the injected readings to the band boundary — the
+upper bound when over-reporting a neighbour (Class 1B), the lower bound
+(or zero, whichever is greater) when under-reporting herself (2A/2B).
+The ARIMA detector, by construction, never flags it; the Integrated
+ARIMA detector catches it through the moment checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.classes import AttackClass
+from repro.attacks.injection.base import (
+    AttackInjector,
+    AttackVector,
+    InjectionContext,
+)
+from repro.errors import InjectionError
+
+
+class ARIMAAttack(AttackInjector):
+    """Deterministic band-boundary injection.
+
+    Parameters
+    ----------
+    direction:
+        ``"over"`` to realise Class 1B against a neighbour's meter,
+        ``"under"`` to realise Classes 2A/2B on the attacker's own meter.
+    margin:
+        Fraction of the band width to stay inside the boundary, guarding
+        against the utility's band differing by numerical noise from the
+        attacker's replica.
+    """
+
+    def __init__(self, direction: str = "over", margin: float = 0.01) -> None:
+        if direction not in {"over", "under"}:
+            raise InjectionError(
+                f"direction must be 'over' or 'under', got {direction!r}"
+            )
+        if not 0.0 <= margin < 0.5:
+            raise InjectionError(f"margin must be in [0, 0.5), got {margin}")
+        self.direction = direction
+        self.margin = float(margin)
+        if direction == "over":
+            self.attack_class = AttackClass.CLASS_1B
+            self.name = "ARIMA attack (over-report, 1B)"
+        else:
+            self.attack_class = AttackClass.CLASS_2A
+            self.name = "ARIMA attack (under-report, 2A/2B)"
+
+    def inject(
+        self, context: InjectionContext, rng: np.random.Generator
+    ) -> AttackVector:
+        width = context.band_upper - context.band_lower
+        if self.direction == "over":
+            reported = context.band_upper - self.margin * width
+            reported = np.maximum(reported, 0.0)
+            description = "readings pinned to the upper ARIMA band"
+        else:
+            # "Set to the lower confidence threshold (or zero, whichever is
+            # greater)" — Section VIII-B2.
+            reported = np.maximum(context.band_lower + self.margin * width, 0.0)
+            description = "readings pinned to max(0, lower ARIMA band)"
+        return AttackVector(
+            attack_class=self.attack_class,
+            reported=reported,
+            actual=context.actual_week.copy(),
+            description=description,
+        )

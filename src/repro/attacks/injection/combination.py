@@ -1,0 +1,70 @@
+"""Combination attacks.
+
+Section VI hypothesises that "electricity theft attacks in practice may
+be a combination of one or more of these seven attack classes", and
+Section VIII-F3 suggests Mallory "may inject an attack that combines
+Attack Class 3B with Attack Classes 1B and/or 2B".  This injector
+composes primitive injectors sequentially: each stage receives the
+previous stage's reported week as its *actual* week, so, e.g., an
+under-report followed by an optimal swap both under-bills Mallory and
+re-prices what remains.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.attacks.injection.base import (
+    AttackInjector,
+    AttackVector,
+    InjectionContext,
+)
+from repro.errors import InjectionError
+
+
+class CombinationAttack(AttackInjector):
+    """Sequential composition of primitive attack injectors.
+
+    The resulting vector's ``actual`` is the original week; ``reported``
+    is the output of the final stage.  The attack class is taken from
+    the *first* stage (the dominant primitive) — gains should be
+    computed per the semantics of that class.
+    """
+
+    def __init__(self, stages: Sequence[AttackInjector]) -> None:
+        if len(stages) < 2:
+            raise InjectionError(
+                "a combination needs at least two stages; use the "
+                "primitive injector directly otherwise"
+            )
+        self.stages = tuple(stages)
+        self.attack_class = self.stages[0].attack_class
+        self.name = "Combination attack (" + " + ".join(
+            stage.name for stage in self.stages
+        ) + ")"
+
+    def inject(
+        self, context: InjectionContext, rng: np.random.Generator
+    ) -> AttackVector:
+        current = context
+        descriptions: list[str] = []
+        reported = context.actual_week
+        for stage in self.stages:
+            vector = stage.inject(current, rng)
+            descriptions.append(f"[{stage.name}] {vector.description}")
+            reported = vector.reported
+            current = InjectionContext(
+                train_matrix=current.train_matrix,
+                actual_week=reported,
+                band_lower=current.band_lower,
+                band_upper=current.band_upper,
+                start_slot=current.start_slot,
+            )
+        return AttackVector(
+            attack_class=self.attack_class,
+            reported=reported,
+            actual=context.actual_week.copy(),
+            description="; then ".join(descriptions),
+        )

@@ -1,0 +1,92 @@
+"""The Integrated ARIMA attack (Section VIII-B1/B2).
+
+Identified in [2]: draw the injected readings from a truncated normal so
+that (a) every reading stays within the replicated ARIMA confidence band
+and (b) the weekly mean and variance stay within the ranges observed over
+the training weeks — circumventing both the ARIMA detector and the
+Integrated ARIMA detector.  For Class 1B the truncated normal is centred
+on the *maximum* training weekly mean (over-reporting a neighbour as high
+as the moment checks allow); for Classes 2A/2B on the *minimum* training
+weekly mean.
+
+Individually the injected readings look plausible; only the distribution
+of a full week betrays the attack, which is what the KLD detector keys on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.classes import AttackClass
+from repro.attacks.injection.base import (
+    AttackInjector,
+    AttackVector,
+    InjectionContext,
+)
+from repro.errors import InjectionError
+from repro.stats.truncated_normal import sample_truncated_normal
+
+
+class IntegratedARIMAAttack(AttackInjector):
+    """Stochastic truncated-normal injection hugging the moment limits.
+
+    Parameters
+    ----------
+    direction:
+        ``"over"`` for Class 1B (neighbour's meter), ``"under"`` for
+        Classes 2A/2B (the attacker's own meter).
+    sigma_scale:
+        The injection's standard deviation as a multiple of the average
+        per-week standard deviation in training; 1.0 keeps the weekly
+        variance near the middle of the allowed range.
+    """
+
+    def __init__(self, direction: str = "over", sigma_scale: float = 1.0) -> None:
+        if direction not in {"over", "under"}:
+            raise InjectionError(
+                f"direction must be 'over' or 'under', got {direction!r}"
+            )
+        if sigma_scale <= 0:
+            raise InjectionError(f"sigma_scale must be positive, got {sigma_scale}")
+        self.direction = direction
+        self.sigma_scale = float(sigma_scale)
+        if direction == "over":
+            self.attack_class = AttackClass.CLASS_1B
+            self.name = "Integrated ARIMA attack (over-report, 1B)"
+        else:
+            self.attack_class = AttackClass.CLASS_2A
+            self.name = "Integrated ARIMA attack (under-report, 2A/2B)"
+
+    def inject(
+        self, context: InjectionContext, rng: np.random.Generator
+    ) -> AttackVector:
+        means = context.weekly_means
+        variances = context.weekly_variances
+        target = float(means.max() if self.direction == "over" else means.min())
+        sigma = self.sigma_scale * float(np.sqrt(variances.mean()))
+        sigma = max(sigma, 1e-6)
+        lower = np.maximum(context.band_lower, 0.0)
+        upper = np.maximum(context.band_upper, lower + 1e-9)
+        # Truncation shifts the realised mean away from mu; iterate a
+        # fixed point so the injected week's mean lands on the target
+        # (the attack sets the vector mean equal to the training extreme,
+        # Section VIII-B).  The correction saturates when the band cannot
+        # reach the target — exactly the failure mode that lets the
+        # Integrated detector catch low-consumption attackers.
+        mu = target
+        reported = sample_truncated_normal(mu, sigma, lower, upper, rng)
+        for _ in range(3):
+            drift = target - float(reported.mean())
+            if abs(drift) < 1e-4:
+                break
+            mu += drift
+            reported = sample_truncated_normal(mu, sigma, lower, upper, rng)
+        return AttackVector(
+            attack_class=self.attack_class,
+            reported=reported,
+            actual=context.actual_week.copy(),
+            description=(
+                f"truncated normal (mu={mu:.3f} kW, sigma={sigma:.3f} kW) "
+                "clipped to the replicated ARIMA band"
+            ),
+        )

@@ -1,0 +1,64 @@
+"""Naive injections: easy-to-detect baselines.
+
+The paper notes Mallory *could* maximise theft by reporting all zeros, but
+that such attacks are trivially detected (Section VIII-B).  These
+injectors exist to demonstrate that claim in tests and examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.classes import AttackClass
+from repro.attacks.injection.base import (
+    AttackInjector,
+    AttackVector,
+    InjectionContext,
+)
+from repro.errors import InjectionError
+
+
+class ZeroReportAttack(AttackInjector):
+    """Report zero consumption every period (maximal, obvious 2A/2B)."""
+
+    name = "Zero-report attack"
+    attack_class = AttackClass.CLASS_2A
+
+    def inject(
+        self, context: InjectionContext, rng: np.random.Generator
+    ) -> AttackVector:
+        return AttackVector(
+            attack_class=self.attack_class,
+            reported=np.zeros_like(context.actual_week),
+            actual=context.actual_week.copy(),
+            description="all readings zeroed",
+        )
+
+
+class ScalingAttack(AttackInjector):
+    """Scale every reading by a constant factor.
+
+    ``factor < 1`` under-reports (2A/2B); ``factor > 1`` over-reports a
+    neighbour (1B).
+    """
+
+    def __init__(self, factor: float) -> None:
+        if factor < 0:
+            raise InjectionError(f"factor must be >= 0, got {factor}")
+        if factor == 1.0:
+            raise InjectionError("factor 1.0 is not an attack")
+        self.factor = float(factor)
+        self.attack_class = (
+            AttackClass.CLASS_2A if factor < 1.0 else AttackClass.CLASS_1B
+        )
+        self.name = f"Scaling attack (x{factor:g})"
+
+    def inject(
+        self, context: InjectionContext, rng: np.random.Generator
+    ) -> AttackVector:
+        return AttackVector(
+            attack_class=self.attack_class,
+            reported=context.actual_week * self.factor,
+            actual=context.actual_week.copy(),
+            description=f"all readings scaled by {self.factor:g}",
+        )

@@ -1,0 +1,117 @@
+"""Propositions 1 and 2 as executable checks.
+
+Proposition 1: a successful theft (eq 1) implies the attacker
+under-reports at some time t.  Proposition 2: a successful theft that also
+passes the balance check (eq 8) implies some neighbour is over-reported at
+some time t.  The checks here both *verify* the propositions on concrete
+data and *return the witnesses* (the time periods involved), which the
+F-DETA pipeline uses to tell attackers from victims.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pricing.billing import attacker_profit
+from repro.pricing.schemes import PricingScheme
+
+_TOL = 1e-9
+
+
+def _pair(actual: np.ndarray, reported: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(actual, dtype=float).ravel()
+    r = np.asarray(reported, dtype=float).ravel()
+    if a.size != r.size or a.size == 0:
+        raise ConfigurationError("actual and reported must be equal-length, non-empty")
+    return a, r
+
+
+def proposition1_witnesses(
+    actual: np.ndarray, reported: np.ndarray
+) -> np.ndarray:
+    """Time periods where the attacker under-reports: D'(t) < D(t)."""
+    a, r = _pair(actual, reported)
+    return np.flatnonzero(r < a - _TOL)
+
+
+def verify_proposition1(
+    actual: np.ndarray,
+    reported: np.ndarray,
+    prices: np.ndarray | PricingScheme,
+) -> bool:
+    """Check Proposition 1 on concrete data.
+
+    Returns True when the implication holds: either the theft condition
+    (eq 1) fails, or at least one under-reporting witness exists.
+    """
+    profit = attacker_profit(actual, reported, prices)
+    if profit <= 0:
+        return True
+    return proposition1_witnesses(actual, reported).size > 0
+
+
+def proposition2_witnesses(
+    neighbours_actual: Mapping[str, np.ndarray],
+    neighbours_reported: Mapping[str, np.ndarray],
+) -> dict[str, np.ndarray]:
+    """Per-neighbour time periods where readings are over-reported."""
+    if set(neighbours_actual) != set(neighbours_reported):
+        raise ConfigurationError("actual and reported neighbour sets differ")
+    witnesses: dict[str, np.ndarray] = {}
+    for nid in neighbours_actual:
+        a, r = _pair(neighbours_actual[nid], neighbours_reported[nid])
+        idx = np.flatnonzero(r > a + _TOL)
+        if idx.size:
+            witnesses[nid] = idx
+    return witnesses
+
+
+def balance_check_holds(
+    attacker_actual: np.ndarray,
+    attacker_reported: np.ndarray,
+    neighbours_actual: Mapping[str, np.ndarray],
+    neighbours_reported: Mapping[str, np.ndarray],
+    tolerance: float = 1e-6,
+) -> bool:
+    """Eq (8): per-period aggregate of actual equals aggregate of reported."""
+    a, r = _pair(attacker_actual, attacker_reported)
+    total_actual = a.copy()
+    total_reported = r.copy()
+    for nid in neighbours_actual:
+        na, nr = _pair(neighbours_actual[nid], neighbours_reported[nid])
+        if na.size != a.size:
+            raise ConfigurationError(
+                f"neighbour {nid!r} series length mismatch"
+            )
+        total_actual += na
+        total_reported += nr
+    return bool(np.all(np.abs(total_actual - total_reported) <= tolerance))
+
+
+def verify_proposition2(
+    attacker_actual: np.ndarray,
+    attacker_reported: np.ndarray,
+    neighbours_actual: Mapping[str, np.ndarray],
+    neighbours_reported: Mapping[str, np.ndarray],
+    prices: np.ndarray | PricingScheme,
+    tolerance: float = 1e-6,
+) -> bool:
+    """Check Proposition 2 on concrete data.
+
+    When both the theft condition (eq 1) and the balance check (eq 8)
+    hold, some neighbour must be over-reported at some time.
+    """
+    profit = attacker_profit(attacker_actual, attacker_reported, prices)
+    balanced = balance_check_holds(
+        attacker_actual,
+        attacker_reported,
+        neighbours_actual,
+        neighbours_reported,
+        tolerance=tolerance,
+    )
+    if profit <= 0 or not balanced:
+        return True
+    return bool(proposition2_witnesses(neighbours_actual, neighbours_reported))

@@ -1,0 +1,107 @@
+"""Classification of attack strategies into the seven classes.
+
+Given a structural description of what an attack strategy does — whether
+consumption rises, readings drop, load is (reportedly) shifted, neighbours
+are over-reported, price signals are forged — :func:`classify_attack`
+derives the paper's class label, and :func:`render_table_i` prints Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.classes import TABLE_I, AttackClass
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AttackDescriptor:
+    """Structural features of an attack strategy.
+
+    Attributes
+    ----------
+    increases_consumption:
+        The attacker consumes more than her typical behaviour (1A/1B).
+    under_reports_own_readings:
+        The attacker's reported readings drop below her actual typical
+        consumption (2A/2B).
+    shifts_reported_load:
+        Reported consumption is moved between price periods without
+        changing weekly totals (3A/3B).
+    over_reports_neighbour:
+        At least one neighbour's readings are inflated (the 'B' step).
+    compromises_price_signal:
+        A neighbour's ADR interface sees a forged price (4B).
+    """
+
+    increases_consumption: bool = False
+    under_reports_own_readings: bool = False
+    shifts_reported_load: bool = False
+    over_reports_neighbour: bool = False
+    compromises_price_signal: bool = False
+
+
+def classify_attack(descriptor: AttackDescriptor) -> AttackClass:
+    """Map a structural descriptor to its attack class.
+
+    Combination strategies (e.g. 1B + 3B) are out of scope here — the
+    paper hypothesises real attacks combine classes, but classification is
+    defined per primitive strategy.  Ambiguous descriptors raise
+    :class:`ConfigurationError`.
+    """
+    d = descriptor
+    primitives = sum(
+        [
+            d.increases_consumption,
+            d.under_reports_own_readings,
+            d.shifts_reported_load,
+            d.compromises_price_signal,
+        ]
+    )
+    if primitives == 0:
+        raise ConfigurationError(
+            "descriptor matches no theft primitive; not an electricity "
+            "theft attack (Proposition 1 requires under-reporting)"
+        )
+    if primitives > 1:
+        raise ConfigurationError(
+            "descriptor combines multiple primitives; classify each "
+            "component separately"
+        )
+    if d.compromises_price_signal:
+        if not d.over_reports_neighbour:
+            raise ConfigurationError(
+                "a price-signal attack steals from neighbours and must "
+                "over-report them to balance (Class 4B)"
+            )
+        return AttackClass.CLASS_4B
+    if d.increases_consumption:
+        return (
+            AttackClass.CLASS_1B if d.over_reports_neighbour else AttackClass.CLASS_1A
+        )
+    if d.under_reports_own_readings:
+        return (
+            AttackClass.CLASS_2B if d.over_reports_neighbour else AttackClass.CLASS_2A
+        )
+    return AttackClass.CLASS_3B if d.over_reports_neighbour else AttackClass.CLASS_3A
+
+
+def render_table_i() -> str:
+    """Table I as fixed-width text, matching the paper's layout."""
+    def yn(flag: bool) -> str:
+        return "Y" if flag else "N"
+
+    header = ["Attack Class"] + [row.attack_class.value for row in TABLE_I]
+    rows = [
+        ("Possible despite Balance Check", lambda r: yn(r.despite_balance_check)),
+        ("Possible with Flat Rate Pricing", lambda r: yn(r.flat_rate)),
+        ("Possible with TOU Pricing", lambda r: yn(r.tou)),
+        ("Possible with RTP", lambda r: yn(r.rtp)),
+        ("Requires ADR", lambda r: yn(r.requires_adr)),
+    ]
+    label_width = max(len(label) for label, _ in rows) + 2
+    lines = [header[0].ljust(label_width) + "  ".join(header[1:])]
+    for label, getter in rows:
+        cells = "   ".join(getter(row) for row in TABLE_I)
+        lines.append(label.ljust(label_width) + cells)
+    return "\n".join(lines)

@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro`` or the ``fdeta`` script.
+
+Subcommands:
+
+* ``generate`` — write a synthetic CER-like dataset to a CER-format file;
+* ``table1`` — print the attack-classification matrix (Table I);
+* ``evaluate`` — run the Section VIII evaluation and print Tables II/III;
+* ``ablation`` — run the histogram-bin-count sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.attacks.taxonomy import render_table_i
+from repro.data.loader import load_cer_file, save_cer_file
+from repro.data.synthetic import SyntheticCERConfig, generate_cer_like_dataset
+from repro.evaluation.ablation import bin_count_sweep
+from repro.evaluation.config import EvaluationConfig
+from repro.evaluation.experiment import run_evaluation
+from repro.evaluation.tables import (
+    improvement_statistics,
+    render_table2,
+    render_table3,
+    table2,
+    table3,
+)
+
+
+def _add_dataset_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--consumers", type=int, default=60, help="synthetic population size"
+    )
+    parser.add_argument("--weeks", type=int, default=74, help="weeks of data")
+    parser.add_argument("--seed", type=int, default=2016, help="generator seed")
+    parser.add_argument(
+        "--input", type=str, default=None, help="CER-format file to load instead"
+    )
+
+
+def _dataset_from_args(args: argparse.Namespace):
+    if args.input:
+        return load_cer_file(args.input)
+    return generate_cer_like_dataset(
+        SyntheticCERConfig(
+            n_consumers=args.consumers, n_weeks=args.weeks, seed=args.seed
+        )
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = generate_cer_like_dataset(
+        SyntheticCERConfig(
+            n_consumers=args.consumers, n_weeks=args.weeks, seed=args.seed
+        )
+    )
+    save_cer_file(dataset, args.output)
+    print(
+        f"wrote {dataset.n_consumers} consumers x {dataset.n_weeks} weeks "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(render_table_i())
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = _dataset_from_args(args)
+    config = EvaluationConfig(n_vectors=args.vectors, seed=args.eval_seed)
+    started = time.time()
+    done = {"count": 0}
+
+    def progress(cid: str) -> None:
+        done["count"] += 1
+        if args.verbose:
+            elapsed = time.time() - started
+            print(
+                f"  [{done['count']}/{dataset.n_consumers}] {cid} "
+                f"({elapsed:.1f}s elapsed)",
+                file=sys.stderr,
+            )
+
+    if args.parallel and args.parallel > 1:
+        from repro.evaluation.parallel import run_evaluation_parallel
+
+        results = run_evaluation_parallel(
+            dataset, config, max_workers=args.parallel
+        )
+    else:
+        results = run_evaluation(dataset, config, progress=progress)
+    rows2 = table2(results)
+    rows3 = table3(results)
+    print("Table II - Metric 1: % of consumers with successful detection")
+    print(render_table2(rows2))
+    print()
+    print("Table III - Metric 2: worst-case weekly gains despite detection")
+    print(render_table3(rows3))
+    stats = improvement_statistics(rows3)
+    print()
+    print(
+        f"Integrated ARIMA detector reduces 1B theft vs ARIMA detector by "
+        f"{stats.integrated_over_arima:.1f}%"
+    )
+    print(
+        f"KLD detector reduces 1B theft vs Integrated ARIMA detector by "
+        f"{stats.kld_over_integrated:.1f}% (best: {stats.best_kld_detector})"
+    )
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.grid.builder import build_random_topology
+    from repro.grid.render import render_tree
+    from repro.grid.serialization import load_topology, save_topology
+
+    if args.load:
+        topology = load_topology(args.load)
+    else:
+        topology = build_random_topology(
+            n_consumers=args.consumers,
+            branching=args.branching,
+            seed=args.seed,
+        )
+    if args.save:
+        save_topology(topology, args.save)
+        print(f"wrote topology to {args.save}")
+    print(render_tree(topology, unicode_markers=not args.ascii))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.data.statistics import (
+        render_population_summary,
+        summarise_population,
+    )
+
+    dataset = _dataset_from_args(args)
+    print(render_population_summary(summarise_population(dataset)))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.evaluation.report import render_markdown_report
+
+    dataset = _dataset_from_args(args)
+    config = EvaluationConfig(n_vectors=args.vectors, seed=args.eval_seed)
+    results = run_evaluation(dataset, config)
+    text = render_markdown_report(results)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    dataset = _dataset_from_args(args)
+    consumers = dataset.consumers()[: args.sample]
+    points = bin_count_sweep(dataset, consumers)
+    print(f"{'bins':>6}{'detection':>12}{'false pos.':>12}")
+    for point in points:
+        print(
+            f"{point.parameter:>6.0f}{point.detection_rate:>11.1%}"
+            f"{point.false_positive_rate:>11.1%}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fdeta",
+        description="F-DETA electricity-theft detection (DSN 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic CER-format dataset")
+    gen.add_argument("output", type=str, help="output file path")
+    gen.add_argument("--consumers", type=int, default=500)
+    gen.add_argument("--weeks", type=int, default=74)
+    gen.add_argument("--seed", type=int, default=2016)
+    gen.set_defaults(func=_cmd_generate)
+
+    t1 = sub.add_parser("table1", help="print the attack classification matrix")
+    t1.set_defaults(func=_cmd_table1)
+
+    ev = sub.add_parser("evaluate", help="run the Section VIII evaluation")
+    _add_dataset_options(ev)
+    ev.add_argument("--vectors", type=int, default=50, help="attack trajectories")
+    ev.add_argument("--eval-seed", type=int, default=7)
+    ev.add_argument(
+        "--parallel", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    ev.add_argument("--verbose", action="store_true")
+    ev.set_defaults(func=_cmd_evaluate)
+
+    topo = sub.add_parser("topology", help="generate/inspect a grid topology")
+    topo.add_argument("--consumers", type=int, default=16)
+    topo.add_argument("--branching", type=int, default=4)
+    topo.add_argument("--seed", type=int, default=0)
+    topo.add_argument("--load", type=str, default=None, help="topology JSON")
+    topo.add_argument("--save", type=str, default=None, help="write JSON here")
+    topo.add_argument("--ascii", action="store_true", help="plain markers")
+    topo.set_defaults(func=_cmd_topology)
+
+    stats = sub.add_parser("stats", help="print dataset summary statistics")
+    _add_dataset_options(stats)
+    stats.set_defaults(func=_cmd_stats)
+
+    rep = sub.add_parser("report", help="write a markdown evaluation report")
+    _add_dataset_options(rep)
+    rep.add_argument("--vectors", type=int, default=50)
+    rep.add_argument("--eval-seed", type=int, default=7)
+    rep.add_argument("--output", type=str, default=None)
+    rep.set_defaults(func=_cmd_report)
+
+    ab = sub.add_parser("ablation", help="histogram bin-count sweep")
+    _add_dataset_options(ab)
+    ab.add_argument("--sample", type=int, default=20, help="consumers to use")
+    ab.set_defaults(func=_cmd_ablation)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""The paper's primary contribution: the KLD detector and F-DETA framework.
+
+:class:`KLDDetector` implements the multiple-reading anomaly detector of
+Section VII-D (eq 12); :class:`PriceConditionedKLDDetector` the extension
+of Section VIII-F3 that splits the distribution by electricity price to
+catch load-swap attacks; :class:`FDetaFramework` the five-step detection
+pipeline of Section VII.
+"""
+
+from repro.core.kld import KLDDetector
+from repro.core.conditional import PriceConditionedKLDDetector
+from repro.core.ensemble import LayeredDetector
+from repro.core.online import (
+    MonitoringReport,
+    TheftAlert,
+    TheftMonitoringService,
+)
+from repro.core.framework import (
+    AnomalyNature,
+    ConsumerAssessment,
+    ExternalEvidence,
+    FDetaFramework,
+)
+
+__all__ = [
+    "AnomalyNature",
+    "ConsumerAssessment",
+    "ExternalEvidence",
+    "FDetaFramework",
+    "KLDDetector",
+    "LayeredDetector",
+    "MonitoringReport",
+    "TheftAlert",
+    "TheftMonitoringService",
+    "PriceConditionedKLDDetector",
+]

@@ -1,0 +1,67 @@
+"""Layered detection: composing detectors as the paper prescribes.
+
+Section VII: "The KL divergence method *complements* those detection
+methods proposed in the literature"; Section VIII-F1: "By adding the KLD
+detector as an additional layer of detection...".  A
+:class:`LayeredDetector` runs its member detectors in order and flags a
+week when any member flags it; the per-member results stay available for
+the F-DETA pipeline's triage.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.detectors.base import DetectionResult, WeeklyDetector
+from repro.errors import ConfigurationError
+
+
+class LayeredDetector(WeeklyDetector):
+    """OR-composition of weekly detectors.
+
+    The ensemble's ``score`` is the maximum member score normalised by
+    that member's threshold (>= 1 means some member fired); ``detail``
+    names the members that fired.
+    """
+
+    name = "Layered detector"
+
+    def __init__(self, members: Sequence[WeeklyDetector]) -> None:
+        super().__init__()
+        if not members:
+            raise ConfigurationError("layered detector needs >= 1 member")
+        self.members = tuple(members)
+        self.name = "Layered detector (" + " + ".join(
+            member.name for member in self.members
+        ) + ")"
+
+    def _fit(self, train_matrix: np.ndarray) -> None:
+        for member in self.members:
+            if not member._fitted:  # noqa: SLF001 - cooperating classes
+                member.fit(train_matrix)
+
+    def member_results(self, week: np.ndarray) -> dict[str, DetectionResult]:
+        """Per-member results for triage (keyed by member name)."""
+        return {member.name: member.score_week(week) for member in self.members}
+
+    def _score_week(self, week: np.ndarray) -> DetectionResult:
+        results = self.member_results(week)
+        fired = [name for name, res in results.items() if res.flagged]
+        # Normalised severity: how far past its own threshold each
+        # member sits (threshold 0 members contribute their raw flag).
+        def severity(res: DetectionResult) -> float:
+            if res.threshold > 0:
+                return res.score / res.threshold
+            return 2.0 if res.flagged else 0.0
+
+        worst = max(results.values(), key=severity)
+        return DetectionResult(
+            flagged=bool(fired),
+            score=severity(worst),
+            threshold=1.0,
+            detail=(
+                "fired: " + ", ".join(fired) if fired else "no member fired"
+            ),
+        )

@@ -1,0 +1,258 @@
+"""Online theft-monitoring service: F-DETA as a running system.
+
+The paper frames detection as "a centralized online algorithm that would
+run at an electric utility's control center" (Section VII-A).  This
+module provides that operational wrapper: a service that ingests polling
+cycles from the AMI, maintains per-consumer reading histories, trains
+per-consumer detectors once enough history has accumulated, re-assesses
+every completed week, periodically retrains, and fuses the balance-check
+signal with the data-driven assessments into actionable alerts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.framework import AnomalyNature, ConsumerAssessment, FDetaFramework
+from repro.detectors.base import WeeklyDetector
+from repro.errors import ConfigurationError, DataError
+from repro.grid.balance import BalanceAuditor
+from repro.grid.snapshot import DemandSnapshot
+from repro.metering.store import ReadingStore
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+@dataclass(frozen=True)
+class TheftAlert:
+    """An actionable alert raised by the monitoring service."""
+
+    week_index: int
+    consumer_id: str
+    nature: AnomalyNature
+    score: float
+    threshold: float
+    balance_check_failed: bool
+
+    @property
+    def severity(self) -> float:
+        """Score in threshold units (>= 1 means over the line)."""
+        if self.threshold <= 0:
+            return float(self.score)
+        return float(self.score / self.threshold)
+
+
+@dataclass
+class MonitoringReport:
+    """Summary of one completed week of monitoring."""
+
+    week_index: int
+    alerts: list[TheftAlert] = field(default_factory=list)
+    balance_failures: tuple[str, ...] = ()
+
+    @property
+    def quiet(self) -> bool:
+        return not self.alerts and not self.balance_failures
+
+
+class TheftMonitoringService:
+    """Stateful control-centre service.
+
+    Parameters
+    ----------
+    detector_factory:
+        Builds one fresh detector per consumer at (re)training time.
+    min_training_weeks:
+        Weeks of history required before detectors first train.
+    retrain_every_weeks:
+        Cadence of retraining on the full accumulated history.
+        Weeks that raised alerts are *excluded* from retraining data so
+        an ongoing attack cannot poison its own detector.
+    auditor:
+        Optional balance auditor; when provided, the last snapshot of
+        each week is audited and the result fused into the alerts.
+    """
+
+    def __init__(
+        self,
+        detector_factory: Callable[[], WeeklyDetector],
+        min_training_weeks: int = 8,
+        retrain_every_weeks: int = 4,
+        auditor: BalanceAuditor | None = None,
+    ) -> None:
+        if min_training_weeks < 2:
+            raise ConfigurationError(
+                f"min_training_weeks must be >= 2, got {min_training_weeks}"
+            )
+        if retrain_every_weeks < 1:
+            raise ConfigurationError(
+                f"retrain_every_weeks must be >= 1, got {retrain_every_weeks}"
+            )
+        self.detector_factory = detector_factory
+        self.min_training_weeks = int(min_training_weeks)
+        self.retrain_every_weeks = int(retrain_every_weeks)
+        self.auditor = auditor
+        self.store = ReadingStore()
+        self._framework: FDetaFramework | None = None
+        self._slot_count = 0
+        self._weeks_completed = 0
+        self._weeks_at_last_training = 0
+        self._quarantined_weeks: dict[str, set[int]] = {}
+        self._last_snapshot: DemandSnapshot | None = None
+        self._population: frozenset[str] | None = None
+        self.reports: list[MonitoringReport] = []
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    @property
+    def is_trained(self) -> bool:
+        return self._framework is not None
+
+    @property
+    def weeks_completed(self) -> int:
+        return self._weeks_completed
+
+    def ingest_cycle(
+        self,
+        reported: Mapping[str, float],
+        snapshot: DemandSnapshot | None = None,
+    ) -> MonitoringReport | None:
+        """Feed one polling cycle of reported readings.
+
+        Returns a :class:`MonitoringReport` when this cycle completes a
+        week, ``None`` otherwise.
+        """
+        if not reported:
+            raise DataError("polling cycle carried no readings")
+        # The population is fixed by the first cycle: a cycle missing a
+        # consumer would silently desynchronise that consumer's series
+        # (every later reading shifted one slot), so it is rejected —
+        # the AMI layer must repair gaps (see repro.data.preprocessing)
+        # before handing cycles to the service.
+        cycle_population = frozenset(reported)
+        if self._population is None:
+            self._population = cycle_population
+        elif cycle_population != self._population:
+            missing = sorted(self._population - cycle_population)
+            extra = sorted(cycle_population - self._population)
+            raise DataError(
+                "polling cycle population mismatch: "
+                f"missing {missing}, unexpected {extra}"
+            )
+        for cid, value in reported.items():
+            self.store.append(cid, float(value))
+        self._slot_count += 1
+        self._last_snapshot = snapshot
+        if self._slot_count % SLOTS_PER_WEEK != 0:
+            return None
+        self._weeks_completed += 1
+        return self._complete_week()
+
+    # ------------------------------------------------------------------
+    # Week boundary processing
+    # ------------------------------------------------------------------
+
+    def _training_matrix(self, consumer_id: str) -> np.ndarray:
+        matrix = self.store.week_matrix(consumer_id)
+        quarantined = self._quarantined_weeks.get(consumer_id, set())
+        keep = [i for i in range(matrix.shape[0]) if i not in quarantined]
+        return matrix[keep]
+
+    def _train(self) -> None:
+        matrices = {}
+        for cid in self.store.consumers():
+            matrix = self._training_matrix(cid)
+            if matrix.shape[0] < 2:
+                raise DataError(
+                    f"{cid!r} has too few clean weeks to train on"
+                )
+            matrices[cid] = matrix
+        framework = FDetaFramework(detector_factory=self.detector_factory)
+        framework.train(matrices)
+        self._framework = framework
+        self._weeks_at_last_training = self._weeks_completed
+
+    def _complete_week(self) -> MonitoringReport:
+        week_index = self._weeks_completed - 1
+        report = MonitoringReport(week_index=week_index)
+        if self.auditor is not None and self._last_snapshot is not None:
+            audit = self.auditor.audit(self._last_snapshot)
+            report = MonitoringReport(
+                week_index=week_index,
+                balance_failures=audit.failing_nodes(),
+            )
+        if self._framework is None:
+            if self._weeks_completed >= self.min_training_weeks:
+                self._train()
+            self.reports.append(report)
+            return report
+        # Assess the just-completed week for every consumer.
+        assessments: dict[str, ConsumerAssessment] = {}
+        for cid in self.store.consumers():
+            week = self.store.week_matrix(cid)[week_index]
+            assessments[cid] = self._framework.assess_week(
+                cid, week, week_index=week_index
+            )
+        balance_failed = bool(report.balance_failures)
+        for cid, assessment in assessments.items():
+            if not assessment.result.flagged:
+                continue
+            report.alerts.append(
+                TheftAlert(
+                    week_index=week_index,
+                    consumer_id=cid,
+                    nature=assessment.nature,
+                    score=assessment.result.score,
+                    threshold=assessment.result.threshold,
+                    balance_check_failed=balance_failed,
+                )
+            )
+            self._quarantined_weeks.setdefault(cid, set()).add(week_index)
+        # Periodic retraining on non-quarantined history.
+        due = (
+            self._weeks_completed - self._weeks_at_last_training
+            >= self.retrain_every_weeks
+        )
+        if due:
+            self._train()
+        self.reports.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def alerts_for(self, consumer_id: str) -> tuple[TheftAlert, ...]:
+        """Every alert ever raised against one consumer."""
+        return tuple(
+            alert
+            for report in self.reports
+            for alert in report.alerts
+            if alert.consumer_id == consumer_id
+        )
+
+    def suspected_victims(self) -> tuple[str, ...]:
+        """Consumers currently carrying victim-style alerts."""
+        return tuple(
+            dict.fromkeys(
+                alert.consumer_id
+                for report in self.reports
+                for alert in report.alerts
+                if alert.nature is AnomalyNature.SUSPECTED_VICTIM
+            )
+        )
+
+    def suspected_attackers(self) -> tuple[str, ...]:
+        """Consumers currently carrying attacker-style alerts."""
+        return tuple(
+            dict.fromkeys(
+                alert.consumer_id
+                for report in self.reports
+                for alert in report.alerts
+                if alert.nature is AnomalyNature.SUSPECTED_ATTACKER
+            )
+        )

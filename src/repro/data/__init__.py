@@ -1,0 +1,53 @@
+"""Dataset substrate.
+
+The paper evaluates on the Irish CER smart-meter trial dataset (500
+consumers, 74 weeks, half-hour resolution), which is licensed and not
+redistributable.  This subpackage provides:
+
+* :mod:`repro.data.synthetic` — a generator of CER-like consumption data
+  calibrated to the statistical properties the paper's detectors rely on
+  (see DESIGN.md, "Substitutions");
+* :mod:`repro.data.dataset` — the in-memory dataset container with the
+  paper's 60-week training / 14-week test split;
+* :mod:`repro.data.loader` — reader/writer for the CER file format, so
+  licence holders can run the same experiments on the real data.
+"""
+
+from repro.data.consumers import ConsumerProfile, ConsumerType
+from repro.data.dataset import SmartMeterDataset
+from repro.data.synthetic import SyntheticCERConfig, generate_cer_like_dataset
+from repro.data.loader import load_cer_file, save_cer_file
+from repro.data.preprocessing import (
+    PreprocessingSummary,
+    clip_spikes,
+    detect_stuck_meter,
+    interpolate_gaps,
+    preprocess_series,
+)
+from repro.data.statistics import (
+    ConsumerSummary,
+    PopulationSummary,
+    summarise_consumer,
+    summarise_population,
+    weekly_pattern_strength,
+)
+
+__all__ = [
+    "ConsumerSummary",
+    "PopulationSummary",
+    "PreprocessingSummary",
+    "clip_spikes",
+    "detect_stuck_meter",
+    "interpolate_gaps",
+    "preprocess_series",
+    "summarise_consumer",
+    "summarise_population",
+    "weekly_pattern_strength",
+    "ConsumerProfile",
+    "ConsumerType",
+    "SmartMeterDataset",
+    "SyntheticCERConfig",
+    "generate_cer_like_dataset",
+    "load_cer_file",
+    "save_cer_file",
+]

@@ -1,0 +1,121 @@
+"""Reader/writer for the CER smart-meter file format.
+
+The Irish CER trial distributes readings as whitespace-separated lines::
+
+    <meter_id> <timecode> <kwh>
+
+where ``timecode`` is a 5-digit integer: the first three digits count days
+since 1 January 2009 and the last two give the half-hour slot of the day
+(01..48).  Readings are energy per half-hour (kWh); we convert to average
+demand in kW (multiply by 2) on load, matching the paper's ``D`` units.
+
+Licence holders can export the real trial files through this module and
+run every experiment in this repository on them unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import SmartMeterDataset
+from repro.errors import DataError
+from repro.timeseries.seasonal import SLOTS_PER_DAY, SLOTS_PER_WEEK
+
+#: kWh per half-hour -> average kW within the half-hour.
+_KWH_TO_KW = 2.0
+
+
+def _parse_timecode(code: str) -> tuple[int, int]:
+    """Split a CER 5-digit timecode into (day_index, slot_index).
+
+    ``day_index`` is zero-based; ``slot_index`` is 0..47.
+    """
+    if len(code) != 5 or not code.isdigit():
+        raise DataError(f"malformed CER timecode: {code!r}")
+    day = int(code[:3])
+    slot = int(code[3:])
+    if not 1 <= slot <= SLOTS_PER_DAY:
+        raise DataError(f"CER slot out of range in timecode {code!r}")
+    return day, slot - 1
+
+
+def _format_timecode(day_index: int, slot_index: int) -> str:
+    if not 0 <= day_index <= 999:
+        raise DataError(f"day index out of CER range: {day_index}")
+    if not 0 <= slot_index < SLOTS_PER_DAY:
+        raise DataError(f"slot index out of range: {slot_index}")
+    return f"{day_index:03d}{slot_index + 1:02d}"
+
+
+def load_cer_file(
+    path: str | Path,
+    train_weeks: int | None = None,
+) -> SmartMeterDataset:
+    """Load a CER-format file into a :class:`SmartMeterDataset`.
+
+    Consumers whose record does not span the modal day range, or that have
+    gaps, are dropped (mirroring the usual CER preprocessing).  Series are
+    truncated to a whole number of weeks.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"no such file: {path}")
+    per_consumer: dict[str, dict[int, float]] = defaultdict(dict)
+    with path.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise DataError(f"{path}:{lineno}: expected 3 fields, got {len(parts)}")
+            meter_id, code, kwh_text = parts
+            day, slot = _parse_timecode(code)
+            try:
+                kwh = float(kwh_text)
+            except ValueError:
+                raise DataError(f"{path}:{lineno}: bad reading {kwh_text!r}") from None
+            if kwh < 0:
+                raise DataError(f"{path}:{lineno}: negative reading")
+            per_consumer[meter_id][day * SLOTS_PER_DAY + slot] = kwh * _KWH_TO_KW
+    if not per_consumer:
+        raise DataError(f"{path}: no readings found")
+    readings: dict[str, np.ndarray] = {}
+    # Keep consumers with a gap-free record; align to the common span.
+    min_len = None
+    dense: dict[str, np.ndarray] = {}
+    for cid, slot_map in per_consumer.items():
+        indices = sorted(slot_map)
+        lo, hi = indices[0], indices[-1]
+        if hi - lo + 1 != len(indices):
+            continue  # gaps: drop, as CER preprocessing does
+        dense[cid] = np.array([slot_map[i] for i in indices])
+        min_len = len(indices) if min_len is None else min(min_len, len(indices))
+    if not dense or min_len is None:
+        raise DataError(f"{path}: no gap-free consumer records")
+    n_weeks = min_len // SLOTS_PER_WEEK
+    if n_weeks < 2:
+        raise DataError(
+            f"{path}: records cover only {min_len} slots; need >= 2 weeks"
+        )
+    for cid, series in dense.items():
+        readings[cid] = series[: n_weeks * SLOTS_PER_WEEK]
+    if train_weeks is None:
+        train_weeks = max(1, min(60, n_weeks - 1))
+    return SmartMeterDataset(readings=readings, train_weeks=train_weeks)
+
+
+def save_cer_file(dataset: SmartMeterDataset, path: str | Path) -> None:
+    """Write a dataset in CER format (kWh per half-hour)."""
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write("# CER-format export: meter_id timecode kwh\n")
+        for cid in dataset.consumers():
+            series = dataset.series(cid)
+            for index, kw in enumerate(series):
+                day, slot = divmod(index, SLOTS_PER_DAY)
+                code = _format_timecode(day, slot)
+                handle.write(f"{cid} {code} {kw / _KWH_TO_KW:.6f}\n")

@@ -1,0 +1,123 @@
+"""Descriptive statistics over a smart-meter dataset.
+
+Supports the exploratory pass an analyst makes before detection work:
+per-consumer load summaries, population aggregates, the peak-heaviness
+check the paper uses to justify its TOU assumption (Section VIII-B3),
+and weekly-pattern strength (the justification for the 336-slot week in
+Section VII-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import SmartMeterDataset
+from repro.errors import DataError
+from repro.pricing.schemes import TimeOfUsePricing
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+@dataclass(frozen=True)
+class ConsumerSummary:
+    """Load summary for one consumer (training portion)."""
+
+    consumer_id: str
+    mean_kw: float
+    peak_kw: float
+    load_factor: float
+    weekly_pattern_strength: float
+    peak_window_share: float
+
+
+@dataclass(frozen=True)
+class PopulationSummary:
+    """Aggregates over all consumers."""
+
+    n_consumers: int
+    total_mean_kw: float
+    largest_consumer: str
+    peak_heavy_fraction: float
+    median_pattern_strength: float
+
+
+def weekly_pattern_strength(train_matrix: np.ndarray) -> float:
+    """Mean correlation of each week with the average weekly profile.
+
+    Near 1 means the consumer repeats the same weekly shape — the
+    property the KLD detector's week standardisation rests on.
+    """
+    matrix = np.asarray(train_matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] < 2:
+        raise DataError("need a (weeks, slots) matrix with >= 2 weeks")
+    profile = matrix.mean(axis=0)
+    if np.allclose(profile.std(), 0.0):
+        return 0.0
+    correlations = []
+    for week in matrix:
+        if np.allclose(week.std(), 0.0):
+            continue
+        correlations.append(float(np.corrcoef(week, profile)[0, 1]))
+    return float(np.mean(correlations)) if correlations else 0.0
+
+
+def summarise_consumer(
+    dataset: SmartMeterDataset,
+    consumer_id: str,
+    pricing: TimeOfUsePricing | None = None,
+) -> ConsumerSummary:
+    """Training-set load summary for one consumer."""
+    tariff = pricing if pricing is not None else TimeOfUsePricing()
+    train = dataset.train_matrix(consumer_id)
+    series = train.ravel()
+    mean_kw = float(series.mean())
+    peak_kw = float(series.max())
+    load_factor = mean_kw / peak_kw if peak_kw > 0 else 0.0
+    mask = tariff.peak_mask(SLOTS_PER_WEEK)
+    peak_energy = float(train[:, mask].sum())
+    total_energy = float(train.sum())
+    share = peak_energy / total_energy if total_energy > 0 else 0.0
+    return ConsumerSummary(
+        consumer_id=consumer_id,
+        mean_kw=mean_kw,
+        peak_kw=peak_kw,
+        load_factor=load_factor,
+        weekly_pattern_strength=weekly_pattern_strength(train),
+        peak_window_share=share,
+    )
+
+
+def summarise_population(
+    dataset: SmartMeterDataset, pricing: TimeOfUsePricing | None = None
+) -> PopulationSummary:
+    """Population aggregates used to sanity-check a dataset."""
+    tariff = pricing if pricing is not None else TimeOfUsePricing()
+    summaries = [
+        summarise_consumer(dataset, cid, tariff) for cid in dataset.consumers()
+    ]
+    mask = tariff.peak_mask(SLOTS_PER_WEEK)
+    return PopulationSummary(
+        n_consumers=dataset.n_consumers,
+        total_mean_kw=float(sum(s.mean_kw for s in summaries)),
+        largest_consumer=max(summaries, key=lambda s: s.mean_kw).consumer_id,
+        peak_heavy_fraction=dataset.peak_heaviness(mask),
+        median_pattern_strength=float(
+            np.median([s.weekly_pattern_strength for s in summaries])
+        ),
+    )
+
+
+def render_population_summary(summary: PopulationSummary) -> str:
+    """Human-readable rendering for the CLI."""
+    return "\n".join(
+        [
+            f"consumers:                    {summary.n_consumers}",
+            f"aggregate mean demand:        {summary.total_mean_kw:,.1f} kW",
+            f"largest consumer:             {summary.largest_consumer}",
+            f"peak-heavy consumers (>90% of days): "
+            f"{summary.peak_heavy_fraction:.1%}",
+            f"median weekly pattern strength: "
+            f"{summary.median_pattern_strength:.2f}",
+        ]
+    )

@@ -1,0 +1,111 @@
+"""The ARIMA detector: a first-level confidence-band range check.
+
+Following [2] (Badrinath Krishna et al., CRITIS 2015), the utility fits an
+ARIMA model to a consumer's reported history and flags a week when
+readings escape the model's forecast confidence band.  An attacker who can
+replicate the model (she sees the same data) crafts her injection to hug
+the band and is never caught — which is exactly the behaviour Table II
+reports and :class:`repro.attacks.injection.ARIMAAttack` exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import DetectionResult, WeeklyDetector
+from repro.errors import ConfigurationError, ModelError
+from repro.timeseries.arima import ARIMA
+from repro.timeseries.forecast import Forecast
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+class ARIMADetector(WeeklyDetector):
+    """Flags a week when too many readings leave the ARIMA forecast band.
+
+    Parameters
+    ----------
+    order:
+        ARIMA order fit to the training history.
+    z:
+        Band half-width in forecast standard errors (1.96 -> 95% band).
+    fit_window:
+        Number of most-recent training readings the model is fit on.
+        Half-hourly consumption is long-memory; a few weeks of history is
+        what an online utility detector would refit on.
+    max_violations:
+        Readings allowed outside the band before the week is flagged.
+        The paper's range check flags on any excursion (0).
+    refine:
+        Whether to run CSS refinement (slower, slightly tighter bands).
+    """
+
+    name = "ARIMA detector"
+
+    def __init__(
+        self,
+        order: tuple[int, int, int] = (2, 0, 1),
+        z: float = 2.5758293035489004,
+        fit_window: int = 4 * SLOTS_PER_WEEK,
+        max_violations: int = 0,
+        refine: bool = False,
+    ) -> None:
+        super().__init__()
+        if z <= 0:
+            raise ConfigurationError(f"z must be positive, got {z}")
+        if fit_window < 2 * SLOTS_PER_WEEK:
+            raise ConfigurationError(
+                f"fit_window must cover >= 2 weeks, got {fit_window}"
+            )
+        if max_violations < 0:
+            raise ConfigurationError(
+                f"max_violations must be >= 0, got {max_violations}"
+            )
+        self.order = order
+        self.z = float(z)
+        self.fit_window = int(fit_window)
+        self.max_violations = int(max_violations)
+        self.refine = bool(refine)
+        self._model: ARIMA | None = None
+        self._forecast: Forecast | None = None
+
+    def _fit(self, train_matrix: np.ndarray) -> None:
+        series = train_matrix.ravel()
+        window = series[-self.fit_window :]
+        try:
+            self._model = ARIMA(order=self.order, refine=self.refine).fit(window)
+        except ModelError:
+            # Degenerate history (e.g. constant); fall back to a pure AR(1).
+            self._model = ARIMA(order=(1, 0, 0), refine=False).fit(window)
+        self._forecast = self._model.forecast(SLOTS_PER_WEEK, z=self.z)
+
+    # ------------------------------------------------------------------
+    # Band access (used by band-replicating attackers and by the
+    # Integrated detector)
+    # ------------------------------------------------------------------
+
+    def confidence_band(self) -> tuple[np.ndarray, np.ndarray]:
+        """(lower, upper) band for the upcoming week; lower clipped at 0."""
+        if self._forecast is None:
+            raise ModelError("detector has not been fit")
+        lower = np.maximum(self._forecast.lower, 0.0)
+        return lower, self._forecast.upper.copy()
+
+    @property
+    def forecast(self) -> Forecast:
+        if self._forecast is None:
+            raise ModelError("detector has not been fit")
+        return self._forecast
+
+    def _score_week(self, week: np.ndarray) -> DetectionResult:
+        lower, upper = self.confidence_band()
+        violations = int(np.sum((week < lower) | (week > upper)))
+        flagged = violations > self.max_violations
+        return DetectionResult(
+            flagged=flagged,
+            score=float(violations),
+            threshold=float(self.max_violations),
+            detail=(
+                f"{violations}/{week.size} readings outside the "
+                f"z={self.z:.2f} ARIMA band"
+            ),
+        )

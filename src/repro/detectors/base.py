@@ -1,0 +1,89 @@
+"""Common interface for per-consumer weekly anomaly detectors."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataError, NotFittedError
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of scoring one week of readings.
+
+    ``score`` and ``threshold`` are detector-specific (fraction of
+    band violations, divergence value, ...); ``flagged`` is the binary
+    anomaly decision; ``detail`` is a human-readable explanation.
+    """
+
+    flagged: bool
+    score: float
+    threshold: float
+    detail: str = ""
+
+
+class WeeklyDetector(ABC):
+    """A detector trained per consumer on a ``(weeks, 336)`` matrix.
+
+    Subclasses implement :meth:`_fit` and :meth:`_score_week`; the base
+    class handles input validation and the fitted-state contract.
+    """
+
+    #: Short name used in result tables.
+    name: str = "detector"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Template methods
+    # ------------------------------------------------------------------
+
+    def fit(self, train_matrix: np.ndarray) -> "WeeklyDetector":
+        """Train on historical weeks; returns ``self``."""
+        matrix = np.asarray(train_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != SLOTS_PER_WEEK:
+            raise DataError(
+                f"training matrix must be (weeks, {SLOTS_PER_WEEK}), "
+                f"got {matrix.shape}"
+            )
+        if matrix.shape[0] < 2:
+            raise DataError("need at least 2 training weeks")
+        if np.any(matrix < 0) or np.any(~np.isfinite(matrix)):
+            raise DataError("training readings must be finite and >= 0")
+        self._fit(matrix)
+        self._fitted = True
+        return self
+
+    def score_week(self, week: np.ndarray) -> DetectionResult:
+        """Score a candidate week of 336 reported readings."""
+        if not self._fitted:
+            raise NotFittedError(f"{self.name} has not been fit")
+        arr = np.asarray(week, dtype=float).ravel()
+        if arr.size != SLOTS_PER_WEEK:
+            raise DataError(
+                f"week must have {SLOTS_PER_WEEK} readings, got {arr.size}"
+            )
+        if np.any(arr < 0) or np.any(~np.isfinite(arr)):
+            raise DataError("week readings must be finite and >= 0")
+        return self._score_week(arr)
+
+    def flags(self, week: np.ndarray) -> bool:
+        """Convenience: whether the week is flagged anomalous."""
+        return self.score_week(week).flagged
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def _fit(self, train_matrix: np.ndarray) -> None:
+        """Train on a validated ``(weeks, 336)`` matrix."""
+
+    @abstractmethod
+    def _score_week(self, week: np.ndarray) -> DetectionResult:
+        """Score a validated 336-slot week."""

@@ -1,0 +1,70 @@
+"""Seasonal band detector built on Holt-Winters forecasting.
+
+An extension baseline: identical decision rule to the ARIMA detector
+(count band excursions) but with a *seasonal* forecast, whose band is
+dramatically tighter around the diurnal/weekly shape.  The ablation
+suite uses it to separate "band checks are weak" from "the paper's
+ARIMA model is weak".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import DetectionResult, WeeklyDetector
+from repro.errors import ConfigurationError, ModelError
+from repro.timeseries.forecast import Forecast
+from repro.timeseries.holtwinters import HoltWinters, HoltWintersParams
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+class HoltWintersDetector(WeeklyDetector):
+    """Flags a week when too many readings escape the seasonal band."""
+
+    name = "Holt-Winters detector"
+
+    def __init__(
+        self,
+        period: int = SLOTS_PER_WEEK,
+        z: float = 2.5758293035489004,
+        max_violations: int = 16,
+        params: HoltWintersParams | None = None,
+    ) -> None:
+        super().__init__()
+        if z <= 0:
+            raise ConfigurationError(f"z must be positive, got {z}")
+        if max_violations < 0:
+            raise ConfigurationError(
+                f"max_violations must be >= 0, got {max_violations}"
+            )
+        self.period = period
+        self.z = float(z)
+        self.max_violations = int(max_violations)
+        self.params = params
+        self._model: HoltWinters | None = None
+        self._forecast: Forecast | None = None
+
+    def _fit(self, train_matrix: np.ndarray) -> None:
+        self._model = HoltWinters(period=self.period, params=self.params).fit(
+            train_matrix.ravel()
+        )
+        self._forecast = self._model.forecast(SLOTS_PER_WEEK, z=self.z)
+
+    def confidence_band(self) -> tuple[np.ndarray, np.ndarray]:
+        """(lower, upper) band for the upcoming week; lower clipped at 0."""
+        if self._forecast is None:
+            raise ModelError("detector has not been fit")
+        return np.maximum(self._forecast.lower, 0.0), self._forecast.upper.copy()
+
+    def _score_week(self, week: np.ndarray) -> DetectionResult:
+        lower, upper = self.confidence_band()
+        violations = int(np.sum((week < lower) | (week > upper)))
+        return DetectionResult(
+            flagged=violations > self.max_violations,
+            score=float(violations),
+            threshold=float(self.max_violations),
+            detail=(
+                f"{violations}/{week.size} readings outside the seasonal "
+                f"z={self.z:.2f} band"
+            ),
+        )

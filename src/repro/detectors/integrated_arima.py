@@ -1,0 +1,112 @@
+"""The Integrated ARIMA detector: band check plus mean/variance guards.
+
+[2] hardened the ARIMA detector against band-hugging injections by also
+checking that the mean and variance of a set of readings stay within the
+range observed across training weeks.  The Integrated ARIMA *attack*
+(Section VIII-B1) circumvents even this by drawing its injection from a
+truncated normal whose moments are tuned to the training extremes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.arima_detector import ARIMADetector
+from repro.detectors.base import DetectionResult, WeeklyDetector
+from repro.errors import ConfigurationError
+
+
+class IntegratedARIMADetector(WeeklyDetector):
+    """ARIMA band check + weekly mean and variance range checks.
+
+    Parameters
+    ----------
+    arima:
+        The inner band detector (a default one is built if omitted).
+    slack:
+        Fractional slack applied outward to the training mean/variance
+        ranges before a week is considered out of range.  A small slack
+        keeps natural weeks from tripping the moment checks.
+    """
+
+    name = "Integrated ARIMA detector"
+
+    def __init__(
+        self, arima: ARIMADetector | None = None, slack: float = 0.05
+    ) -> None:
+        super().__init__()
+        if slack < 0:
+            raise ConfigurationError(f"slack must be >= 0, got {slack}")
+        self.arima = arima if arima is not None else ARIMADetector()
+        self.slack = float(slack)
+        self._mean_range: tuple[float, float] | None = None
+        self._var_range: tuple[float, float] | None = None
+
+    def _fit(self, train_matrix: np.ndarray) -> None:
+        if not self.arima._fitted:  # noqa: SLF001 - cooperating classes
+            self.arima.fit(train_matrix)
+        weekly_means = train_matrix.mean(axis=1)
+        weekly_vars = train_matrix.var(axis=1)
+        self._mean_range = (
+            float(weekly_means.min()) * (1.0 - self.slack),
+            float(weekly_means.max()) * (1.0 + self.slack),
+        )
+        self._var_range = (
+            float(weekly_vars.min()) * (1.0 - self.slack),
+            float(weekly_vars.max()) * (1.0 + self.slack),
+        )
+
+    @property
+    def mean_range(self) -> tuple[float, float]:
+        """Allowed weekly-mean interval (after slack)."""
+        if self._mean_range is None:
+            raise ConfigurationError("detector has not been fit")
+        return self._mean_range
+
+    @property
+    def var_range(self) -> tuple[float, float]:
+        """Allowed weekly-variance interval (after slack)."""
+        if self._var_range is None:
+            raise ConfigurationError("detector has not been fit")
+        return self._var_range
+
+    def _score_week(self, week: np.ndarray) -> DetectionResult:
+        band_result = self.arima.score_week(week)
+        mean_lo, mean_hi = self.mean_range
+        var_lo, var_hi = self.var_range
+        week_mean = float(week.mean())
+        week_var = float(week.var())
+        mean_ok = mean_lo <= week_mean <= mean_hi
+        var_ok = var_lo <= week_var <= var_hi
+        flagged = band_result.flagged or not mean_ok or not var_ok
+        reasons = []
+        if band_result.flagged:
+            reasons.append("band")
+        if not mean_ok:
+            reasons.append(
+                f"mean {week_mean:.3f} outside [{mean_lo:.3f}, {mean_hi:.3f}]"
+            )
+        if not var_ok:
+            reasons.append(
+                f"var {week_var:.3f} outside [{var_lo:.3f}, {var_hi:.3f}]"
+            )
+        # Score: how far the moments sit outside their ranges, in range units.
+        def excess(value: float, lo: float, hi: float) -> float:
+            span = max(hi - lo, 1e-12)
+            if value < lo:
+                return (lo - value) / span
+            if value > hi:
+                return (value - hi) / span
+            return 0.0
+
+        score = max(
+            band_result.score / max(week.size, 1),
+            excess(week_mean, mean_lo, mean_hi),
+            excess(week_var, var_lo, var_hi),
+        )
+        return DetectionResult(
+            flagged=flagged,
+            score=score,
+            threshold=0.0,
+            detail="; ".join(reasons) if reasons else "within band and moment ranges",
+        )

@@ -1,0 +1,134 @@
+"""PCA-based integrity-attack detector (Badrinath Krishna et al., QEST
+2015 — reference [3] of the paper).
+
+The companion work to the KLD detector: weekly reading vectors are
+projected onto the principal subspace learned from the training weeks,
+and a week whose *residual* (the energy outside the subspace) is
+anomalously large is flagged.  The paper borrows [3]'s
+seeded-week time-to-detection methodology (Section VII-D), so the
+detector itself belongs in the baseline suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import DetectionResult, WeeklyDetector
+from repro.errors import ConfigurationError, NotFittedError
+from repro.stats.percentile import EmpiricalDistribution
+
+
+class PCADetector(WeeklyDetector):
+    """Principal-subspace residual detector over weekly vectors.
+
+    Parameters
+    ----------
+    n_components:
+        Dimension of the retained principal subspace.  ``None`` selects
+        the smallest dimension explaining ``explained_variance`` of the
+        training variance.
+    explained_variance:
+        Target cumulative explained-variance ratio when
+        ``n_components`` is ``None``.
+    significance:
+        Upper-tail level on the training residual distribution.
+    """
+
+    name = "PCA detector"
+
+    def __init__(
+        self,
+        n_components: int | None = None,
+        explained_variance: float = 0.9,
+        significance: float = 0.05,
+    ) -> None:
+        super().__init__()
+        if n_components is not None and n_components < 1:
+            raise ConfigurationError(
+                f"n_components must be >= 1, got {n_components}"
+            )
+        if not 0.0 < explained_variance <= 1.0:
+            raise ConfigurationError(
+                f"explained_variance must be in (0, 1], got {explained_variance}"
+            )
+        if not 0.0 < significance < 1.0:
+            raise ConfigurationError(
+                f"significance must be in (0, 1), got {significance}"
+            )
+        self.n_components = n_components
+        self.explained_variance = float(explained_variance)
+        self.significance = float(significance)
+        self._mean: np.ndarray | None = None
+        self._components: np.ndarray | None = None
+        self._residuals: EmpiricalDistribution | None = None
+        self._threshold: float | None = None
+
+    def _fit(self, train_matrix: np.ndarray) -> None:
+        mean = train_matrix.mean(axis=0)
+        centred = train_matrix - mean
+        # SVD of the centred week matrix; rows are weeks.
+        _, singular_values, vt = np.linalg.svd(centred, full_matrices=False)
+        variances = singular_values**2
+        total = variances.sum()
+        if self.n_components is not None:
+            k = min(self.n_components, vt.shape[0])
+        elif total <= 0:
+            k = 1
+        else:
+            ratios = np.cumsum(variances) / total
+            k = int(np.searchsorted(ratios, self.explained_variance) + 1)
+            k = min(max(k, 1), vt.shape[0])
+        # Keep at least one direction out of the subspace so residuals
+        # are non-trivial on the training data itself.
+        k = min(k, max(vt.shape[0] - 1, 1))
+        components = vt[:k]
+        residual_norms = np.array(
+            [self._residual_norm(week, mean, components) for week in train_matrix]
+        )
+        self._mean = mean
+        self._components = components
+        self._residuals = EmpiricalDistribution(residual_norms)
+        self._threshold = self._residuals.upper_tail_threshold(self.significance)
+
+    @staticmethod
+    def _residual_norm(
+        week: np.ndarray, mean: np.ndarray, components: np.ndarray
+    ) -> float:
+        centred = week - mean
+        projection = components.T @ (components @ centred)
+        return float(np.linalg.norm(centred - projection))
+
+    @property
+    def components(self) -> np.ndarray:
+        """The retained principal directions, shape ``(k, 336)``."""
+        if self._components is None:
+            raise NotFittedError("PCA detector has not been fit")
+        return self._components.copy()
+
+    @property
+    def threshold(self) -> float:
+        if self._threshold is None:
+            raise NotFittedError("PCA detector has not been fit")
+        return self._threshold
+
+    def residual_of(self, week: np.ndarray) -> float:
+        """Residual norm of a week outside the principal subspace."""
+        if self._mean is None or self._components is None:
+            raise NotFittedError("PCA detector has not been fit")
+        return self._residual_norm(
+            np.asarray(week, dtype=float), self._mean, self._components
+        )
+
+    def _score_week(self, week: np.ndarray) -> DetectionResult:
+        residual = self.residual_of(week)
+        threshold = self.threshold
+        return DetectionResult(
+            flagged=residual > threshold,
+            score=residual,
+            threshold=threshold,
+            detail=(
+                f"PCA residual {residual:.3f} vs "
+                f"{100 * (1 - self.significance):.0f}th percentile "
+                f"threshold {threshold:.3f}"
+            ),
+        )

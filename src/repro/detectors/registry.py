@@ -1,0 +1,87 @@
+"""Detector registry: name-driven construction.
+
+Lets configuration files, the CLI, and experiment scripts refer to
+detectors by short names instead of importing classes — the glue a
+utility's deployment configuration would use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.detectors.arima_detector import ARIMADetector
+from repro.detectors.base import WeeklyDetector
+from repro.detectors.cusum import CusumDetector
+from repro.detectors.holtwinters_detector import HoltWintersDetector
+from repro.detectors.integrated_arima import IntegratedARIMADetector
+from repro.detectors.pca import PCADetector
+from repro.detectors.threshold import MinimumAverageDetector
+from repro.errors import ConfigurationError
+
+DetectorFactory = Callable[..., WeeklyDetector]
+
+_REGISTRY: dict[str, DetectorFactory] = {}
+
+
+def register_detector(name: str, factory: DetectorFactory) -> None:
+    """Register a factory under a short name (lowercase, unique)."""
+    key = name.strip().lower()
+    if not key:
+        raise ConfigurationError("detector name must be non-empty")
+    if key in _REGISTRY:
+        raise ConfigurationError(f"detector {key!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def available_detectors() -> tuple[str, ...]:
+    """Registered names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_detector(name: str, **kwargs) -> WeeklyDetector:
+    """Build a fresh, unfit detector by name.
+
+    Keyword arguments are forwarded to the factory, so
+    ``create_detector("kld", significance=0.10)`` works.
+    """
+    key = name.strip().lower()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown detector {name!r}; available: "
+            + ", ".join(available_detectors())
+        ) from None
+    return factory(**kwargs)
+
+
+def _make_kld(**kwargs) -> WeeklyDetector:
+    # Imported at call time: repro.core imports repro.detectors.base, so
+    # a module-load-time import here would be circular.
+    from repro.core.kld import KLDDetector
+
+    return KLDDetector(**kwargs)
+
+
+def _make_conditional_kld(pricing=None, **kwargs) -> WeeklyDetector:
+    from repro.core.conditional import PriceConditionedKLDDetector
+    from repro.pricing.schemes import TimeOfUsePricing
+
+    return PriceConditionedKLDDetector(
+        pricing=pricing if pricing is not None else TimeOfUsePricing(),
+        **kwargs,
+    )
+
+
+def _register_builtins() -> None:
+    register_detector("arima", ARIMADetector)
+    register_detector("integrated_arima", IntegratedARIMADetector)
+    register_detector("min_average", MinimumAverageDetector)
+    register_detector("pca", PCADetector)
+    register_detector("cusum", CusumDetector)
+    register_detector("holt_winters", HoltWintersDetector)
+    register_detector("kld", _make_kld)
+    register_detector("conditional_kld", _make_conditional_kld)
+
+
+_register_builtins()

@@ -1,0 +1,56 @@
+"""Minimum-average threshold detector (Mashima & Cardenas, RAID 2012).
+
+Section VI-A2 discusses this detector when bounding Attack Class 2A: a
+threshold ``tau`` is set to the minimum of daily consumption averages over
+the training period, and a week whose daily averages dip below ``tau`` is
+flagged.  It bounds how much an under-reporting attacker can steal (her
+reported readings cannot average below ``tau`` without detection).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import DetectionResult, WeeklyDetector
+from repro.errors import ConfigurationError
+from repro.timeseries.seasonal import SLOTS_PER_DAY
+
+
+class MinimumAverageDetector(WeeklyDetector):
+    """Flags a week containing a day whose average falls below ``tau``.
+
+    ``tau`` is learned as ``margin *`` (minimum daily average over the
+    training set); ``margin < 1`` loosens the check to reduce false
+    positives on naturally quiet days.
+    """
+
+    name = "Minimum-average detector"
+
+    def __init__(self, margin: float = 0.9) -> None:
+        super().__init__()
+        if not 0.0 < margin <= 1.0:
+            raise ConfigurationError(f"margin must be in (0, 1], got {margin}")
+        self.margin = float(margin)
+        self._tau: float | None = None
+
+    @property
+    def tau(self) -> float:
+        """The learned threshold (kW)."""
+        if self._tau is None:
+            raise ConfigurationError("detector has not been fit")
+        return self._tau
+
+    def _fit(self, train_matrix: np.ndarray) -> None:
+        daily = train_matrix.reshape(-1, SLOTS_PER_DAY).mean(axis=1)
+        self._tau = self.margin * float(daily.min())
+
+    def _score_week(self, week: np.ndarray) -> DetectionResult:
+        daily = week.reshape(-1, SLOTS_PER_DAY).mean(axis=1)
+        lowest = float(daily.min())
+        flagged = lowest < self.tau
+        return DetectionResult(
+            flagged=flagged,
+            score=lowest,
+            threshold=self.tau,
+            detail=f"lowest daily average {lowest:.3f} kW vs tau {self.tau:.3f} kW",
+        )

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the F-DETA reproduction.
+
+All library-specific exceptions derive from :class:`FDetaError` so that
+callers can catch everything raised intentionally by this package with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class FDetaError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(FDetaError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class TopologyError(FDetaError):
+    """An operation on the distribution grid topology was invalid."""
+
+
+class MeteringError(FDetaError):
+    """A metering operation failed (unknown meter, bad reading, ...)."""
+
+
+class PricingError(FDetaError):
+    """A pricing scheme was queried outside its domain."""
+
+
+class DataError(FDetaError):
+    """A dataset is malformed, too short, or otherwise unusable."""
+
+
+class ModelError(FDetaError):
+    """A statistical model could not be fit or used for prediction."""
+
+
+class NotFittedError(ModelError):
+    """A model or detector was used before being fit/trained."""
+
+
+class InjectionError(FDetaError):
+    """An attack injection could not be constructed."""

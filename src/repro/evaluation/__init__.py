@@ -1,0 +1,78 @@
+"""Evaluation harness reproducing the paper's Section VIII.
+
+The runner injects the paper's attack realisations against every consumer
+of a dataset, scores each detector on every attack vector plus the normal
+(unattacked) week, and aggregates Metric 1 (percentage of consumers for
+whom the attack was detected without false positives) and Metric 2
+(worst-case electricity stolen / profit while circumventing the detector).
+"""
+
+from repro.evaluation.config import EvaluationConfig
+from repro.evaluation.experiment import (
+    ConsumerEvaluation,
+    EvaluationResults,
+    evaluate_consumer,
+    run_evaluation,
+)
+from repro.evaluation.metrics import GainRecord, metric1, metric2
+from repro.evaluation.tables import (
+    improvement_statistics,
+    render_table2,
+    render_table3,
+    table2,
+    table3,
+)
+from repro.evaluation.figures import figure3_data, figure4_data
+from repro.evaluation.time_to_detection import (
+    DetectionLatency,
+    LatencySummary,
+    streaming_detection,
+    summarise_latencies,
+)
+from repro.evaluation.multi_attacker import (
+    MultiAttackerOutcome,
+    run_multi_attacker_study,
+)
+from repro.evaluation.report import render_markdown_report
+from repro.evaluation.parallel import run_evaluation_parallel
+from repro.evaluation.fp_protocols import FalsePositiveStudy, false_positive_study
+from repro.evaluation.triage import TriageOutcome, TriageStudy, run_triage_study
+from repro.evaluation.tradeoff import (
+    OperatingPoint,
+    best_operating_point,
+    significance_sweep,
+)
+
+__all__ = [
+    "DetectionLatency",
+    "LatencySummary",
+    "MultiAttackerOutcome",
+    "FalsePositiveStudy",
+    "OperatingPoint",
+    "best_operating_point",
+    "false_positive_study",
+    "run_evaluation_parallel",
+    "TriageOutcome",
+    "TriageStudy",
+    "run_triage_study",
+    "render_markdown_report",
+    "significance_sweep",
+    "run_multi_attacker_study",
+    "streaming_detection",
+    "summarise_latencies",
+    "ConsumerEvaluation",
+    "EvaluationConfig",
+    "EvaluationResults",
+    "GainRecord",
+    "evaluate_consumer",
+    "figure3_data",
+    "figure4_data",
+    "improvement_statistics",
+    "metric1",
+    "metric2",
+    "render_table2",
+    "render_table3",
+    "run_evaluation",
+    "table2",
+    "table3",
+]

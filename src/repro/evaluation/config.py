@@ -1,0 +1,80 @@
+"""Configuration for the Section VIII evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.pricing.schemes import TimeOfUsePricing
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+#: Detector keys used throughout the evaluation.
+DETECTOR_ARIMA = "arima"
+DETECTOR_INTEGRATED = "integrated"
+DETECTOR_KLD_5 = "kld_5"
+DETECTOR_KLD_10 = "kld_10"
+ALL_DETECTORS = (
+    DETECTOR_ARIMA,
+    DETECTOR_INTEGRATED,
+    DETECTOR_KLD_5,
+    DETECTOR_KLD_10,
+)
+
+#: Attack-realisation keys.
+ATTACK_ARIMA_OVER = "arima_over"  # ARIMA attack as Class 1B
+ATTACK_ARIMA_UNDER = "arima_under"  # ARIMA attack as Classes 2A/2B
+ATTACK_INTEGRATED_OVER = "integrated_over"  # Integrated ARIMA attack, 1B
+ATTACK_INTEGRATED_UNDER = "integrated_under"  # Integrated ARIMA attack, 2A/2B
+ATTACK_SWAP = "swap"  # Optimal Swap attack, 3A/3B
+ALL_ATTACKS = (
+    ATTACK_ARIMA_OVER,
+    ATTACK_ARIMA_UNDER,
+    ATTACK_INTEGRATED_OVER,
+    ATTACK_INTEGRATED_UNDER,
+    ATTACK_SWAP,
+)
+
+#: Attack-class columns of Tables II and III.
+COLUMN_1B = "1B"
+COLUMN_2A2B = "2A/2B"
+COLUMN_3A3B = "3A/3B"
+ALL_COLUMNS = (COLUMN_1B, COLUMN_2A2B, COLUMN_3A3B)
+
+
+@dataclass(frozen=True)
+class EvaluationConfig:
+    """Parameters of the evaluation run.
+
+    Defaults mirror the paper: 50 truncated-normal attack trajectories,
+    10 histogram bins, significance levels 5% and 10%, the Electric
+    Ireland Nightsaver TOU tariff, and false positives evaluated on the
+    unattacked version of the attacked test week.
+    """
+
+    n_vectors: int = 50
+    attack_week_index: int = 0
+    seed: int = 7
+    bins: int = 10
+    significances: tuple[float, float] = (0.05, 0.10)
+    pricing: TimeOfUsePricing = field(default_factory=TimeOfUsePricing)
+    arima_order: tuple[int, int, int] = (2, 0, 1)
+    arima_fit_window: int = 4 * SLOTS_PER_WEEK
+    arima_z: float = 2.5758293035489004
+    moment_slack: float = 0.05
+    start_slot: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_vectors < 1:
+            raise ConfigurationError(
+                f"n_vectors must be >= 1, got {self.n_vectors}"
+            )
+        if self.attack_week_index < 0:
+            raise ConfigurationError(
+                f"attack_week_index must be >= 0, got {self.attack_week_index}"
+            )
+        if len(self.significances) != 2 or not all(
+            0.0 < s < 1.0 for s in self.significances
+        ):
+            raise ConfigurationError(
+                "significances must be two levels in (0, 1)"
+            )

@@ -1,0 +1,268 @@
+"""The per-consumer evaluation runner (Section VIII).
+
+For every consumer, the runner:
+
+1. fits the utility-side detectors on the 60-week training matrix;
+2. replicates the attacker-side ARIMA confidence band (the attacker
+   monitors the compromised meter, so she sees the same data);
+3. injects the paper's attack realisations against one test week;
+4. scores every detector on every attack vector *and* on the normal
+   (unattacked) week to account for false positives;
+5. records the worst-case gain Mallory retains against each detector.
+
+A detector *succeeds* for a consumer when it flags every attack vector
+and does not flag the normal week; otherwise Mallory's gain is maximised
+over the vectors that evaded it (or over all vectors when the failure was
+a false positive), per the paper's harsh false-positive penalty.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.attacks.injection import (
+    ARIMAAttack,
+    AttackVector,
+    InjectionContext,
+    IntegratedARIMAAttack,
+    OptimalSwapAttack,
+)
+from repro.core.conditional import PriceConditionedKLDDetector
+from repro.core.kld import KLDDetector
+from repro.data.dataset import SmartMeterDataset
+from repro.detectors.arima_detector import ARIMADetector
+from repro.detectors.base import WeeklyDetector
+from repro.detectors.integrated_arima import IntegratedARIMADetector
+from repro.errors import ConfigurationError, DataError
+from repro.evaluation.config import (
+    ALL_ATTACKS,
+    ALL_DETECTORS,
+    ATTACK_ARIMA_OVER,
+    ATTACK_ARIMA_UNDER,
+    ATTACK_INTEGRATED_OVER,
+    ATTACK_INTEGRATED_UNDER,
+    ATTACK_SWAP,
+    DETECTOR_ARIMA,
+    DETECTOR_INTEGRATED,
+    DETECTOR_KLD_10,
+    DETECTOR_KLD_5,
+    EvaluationConfig,
+)
+from repro.evaluation.metrics import ZERO_GAIN, GainRecord
+
+#: Tolerated band excursions per week for the ARIMA range check; see
+#: EvaluationConfig docs — normal consumption is heavy-tailed, so a strict
+#: zero-excursion rule would flag every week of *normal* data.
+BAND_VIOLATION_ALLOWANCE = 16
+
+
+@dataclass(frozen=True)
+class ConsumerEvaluation:
+    """All per-consumer outcomes of one evaluation run.
+
+    ``detected_all[(detector, attack)]`` — the detector flagged every
+    vector of that attack realisation; ``false_positive[detector_used]``
+    — the detector flagged the consumer's normal week;
+    ``worst_gain[(detector, attack)]`` — Mallory's retained gain.
+    """
+
+    consumer_id: str
+    false_positive: Mapping[str, bool]
+    detected_all: Mapping[tuple[str, str], bool]
+    worst_gain: Mapping[tuple[str, str], GainRecord]
+
+    def success(self, detector: str, attack: str) -> bool:
+        """Detector succeeded: all vectors flagged, no false positive."""
+        fp_key = _fp_key(detector, attack)
+        return self.detected_all[(detector, attack)] and not self.false_positive[
+            fp_key
+        ]
+
+
+def _fp_key(detector: str, attack: str) -> str:
+    """The detector instance whose false positive applies.
+
+    For the load-swap column the KLD detectors run in price-conditioned
+    mode, so their false-positive behaviour is the conditional detector's.
+    """
+    if attack == ATTACK_SWAP and detector in (DETECTOR_KLD_5, DETECTOR_KLD_10):
+        return f"conditional_{detector}"
+    return detector
+
+
+@dataclass
+class EvaluationResults:
+    """Evaluation outcomes across a consumer population."""
+
+    config: EvaluationConfig
+    consumers: dict[str, ConsumerEvaluation] = field(default_factory=dict)
+
+    def successes(self, detector: str, attack: str) -> list[bool]:
+        return [
+            evaluation.success(detector, attack)
+            for evaluation in self.consumers.values()
+        ]
+
+    def gains(self, detector: str, attack: str) -> dict[str, GainRecord]:
+        return {
+            cid: evaluation.worst_gain[(detector, attack)]
+            for cid, evaluation in self.consumers.items()
+        }
+
+    @property
+    def n_consumers(self) -> int:
+        return len(self.consumers)
+
+
+def _consumer_rng(config: EvaluationConfig, consumer_id: str) -> np.random.Generator:
+    """Deterministic per-consumer RNG independent of evaluation order."""
+    return np.random.default_rng(
+        [config.seed, zlib.crc32(consumer_id.encode("utf-8"))]
+    )
+
+
+def _build_detectors(
+    train_matrix: np.ndarray, config: EvaluationConfig
+) -> dict[str, WeeklyDetector]:
+    """Fit every detector instance used in the evaluation."""
+    arima = ARIMADetector(
+        order=config.arima_order,
+        z=config.arima_z,
+        fit_window=config.arima_fit_window,
+        max_violations=BAND_VIOLATION_ALLOWANCE,
+    ).fit(train_matrix)
+    integrated = IntegratedARIMADetector(
+        arima=arima, slack=config.moment_slack
+    ).fit(train_matrix)
+    sig_lo, sig_hi = sorted(config.significances)
+    detectors: dict[str, WeeklyDetector] = {
+        DETECTOR_ARIMA: arima,
+        DETECTOR_INTEGRATED: integrated,
+        DETECTOR_KLD_5: KLDDetector(bins=config.bins, significance=sig_lo).fit(
+            train_matrix
+        ),
+        DETECTOR_KLD_10: KLDDetector(bins=config.bins, significance=sig_hi).fit(
+            train_matrix
+        ),
+        f"conditional_{DETECTOR_KLD_5}": PriceConditionedKLDDetector(
+            pricing=config.pricing, bins=config.bins, significance=sig_lo
+        ).fit(train_matrix),
+        f"conditional_{DETECTOR_KLD_10}": PriceConditionedKLDDetector(
+            pricing=config.pricing, bins=config.bins, significance=sig_hi
+        ).fit(train_matrix),
+    }
+    return detectors
+
+
+def _build_attack_vectors(
+    context: InjectionContext,
+    config: EvaluationConfig,
+    rng: np.random.Generator,
+) -> dict[str, list[AttackVector]]:
+    """Craft every attack realisation's vectors for one consumer."""
+    return {
+        ATTACK_ARIMA_OVER: [ARIMAAttack(direction="over").inject(context, rng)],
+        ATTACK_ARIMA_UNDER: [ARIMAAttack(direction="under").inject(context, rng)],
+        ATTACK_INTEGRATED_OVER: IntegratedARIMAAttack(
+            direction="over"
+        ).inject_many(context, rng, config.n_vectors),
+        ATTACK_INTEGRATED_UNDER: IntegratedARIMAAttack(
+            direction="under"
+        ).inject_many(context, rng, config.n_vectors),
+        ATTACK_SWAP: [
+            OptimalSwapAttack(pricing=config.pricing).inject(context, rng)
+        ],
+    }
+
+
+def evaluate_consumer(
+    consumer_id: str,
+    train_matrix: np.ndarray,
+    actual_week: np.ndarray,
+    config: EvaluationConfig | None = None,
+) -> ConsumerEvaluation:
+    """Run the full per-consumer evaluation."""
+    cfg = config if config is not None else EvaluationConfig()
+    rng = _consumer_rng(cfg, consumer_id)
+    detectors = _build_detectors(np.asarray(train_matrix, dtype=float), cfg)
+    arima: ARIMADetector = detectors[DETECTOR_ARIMA]  # type: ignore[assignment]
+    lower, upper = arima.confidence_band()
+    context = InjectionContext(
+        train_matrix=train_matrix,
+        actual_week=actual_week,
+        band_lower=lower,
+        band_upper=upper,
+        start_slot=cfg.start_slot,
+    )
+    attack_vectors = _build_attack_vectors(context, cfg, rng)
+    false_positive = {
+        key: detector.flags(context.actual_week)
+        for key, detector in detectors.items()
+    }
+    detected_all: dict[tuple[str, str], bool] = {}
+    worst_gain: dict[tuple[str, str], GainRecord] = {}
+    for attack_key in ALL_ATTACKS:
+        vectors = attack_vectors[attack_key]
+        for detector_key in ALL_DETECTORS:
+            used = _fp_key(detector_key, attack_key)
+            detector = detectors[used]
+            flags = [detector.flags(v.reported) for v in vectors]
+            all_flagged = all(flags)
+            fp = false_positive[used]
+            detected_all[(detector_key, attack_key)] = all_flagged
+            if all_flagged and not fp:
+                worst_gain[(detector_key, attack_key)] = ZERO_GAIN
+                continue
+            if fp:
+                # False positives are penalised maximally: Mallory's gain
+                # is maximised over every vector (Section VIII-E).
+                candidates = vectors
+            else:
+                candidates = [v for v, f in zip(vectors, flags) if not f]
+            gain = ZERO_GAIN
+            for vector in candidates:
+                gain = gain.max_with(
+                    GainRecord(
+                        stolen_kwh=vector.stolen_kwh(),
+                        profit_usd=vector.profit(
+                            cfg.pricing, start=cfg.start_slot
+                        ),
+                    )
+                )
+            worst_gain[(detector_key, attack_key)] = gain
+    return ConsumerEvaluation(
+        consumer_id=consumer_id,
+        false_positive=false_positive,
+        detected_all=detected_all,
+        worst_gain=worst_gain,
+    )
+
+
+def run_evaluation(
+    dataset: SmartMeterDataset,
+    config: EvaluationConfig | None = None,
+    consumers: tuple[str, ...] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> EvaluationResults:
+    """Evaluate every (or a subset of) consumer(s) in the dataset."""
+    cfg = config if config is not None else EvaluationConfig()
+    ids = dataset.consumers() if consumers is None else consumers
+    if not ids:
+        raise ConfigurationError("no consumers selected for evaluation")
+    if cfg.attack_week_index >= dataset.n_test_weeks:
+        raise DataError(
+            f"attack_week_index {cfg.attack_week_index} out of range; "
+            f"dataset has {dataset.n_test_weeks} test weeks"
+        )
+    results = EvaluationResults(config=cfg)
+    for cid in ids:
+        train = dataset.train_matrix(cid)
+        actual_week = dataset.test_matrix(cid)[cfg.attack_week_index]
+        results.consumers[cid] = evaluate_consumer(cid, train, actual_week, cfg)
+        if progress is not None:
+            progress(cid)
+    return results

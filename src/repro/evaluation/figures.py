@@ -1,0 +1,124 @@
+"""Data series for the paper's Figures 3 and 4.
+
+No plotting dependencies are assumed: each function returns plain arrays
+(dict of numpy arrays) that the benchmark harness prints and that a user
+can feed to any plotting tool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.injection import (
+    ARIMAAttack,
+    InjectionContext,
+    IntegratedARIMAAttack,
+    OptimalSwapAttack,
+)
+from repro.core.kld import KLDDetector
+from repro.data.dataset import SmartMeterDataset
+from repro.detectors.arima_detector import ARIMADetector
+from repro.evaluation.config import EvaluationConfig
+from repro.evaluation.experiment import BAND_VIOLATION_ALLOWANCE, _consumer_rng
+
+
+def _context_for(
+    dataset: SmartMeterDataset, consumer_id: str, config: EvaluationConfig
+) -> tuple[InjectionContext, ARIMADetector]:
+    train = dataset.train_matrix(consumer_id)
+    actual_week = dataset.test_matrix(consumer_id)[config.attack_week_index]
+    arima = ARIMADetector(
+        order=config.arima_order,
+        z=config.arima_z,
+        fit_window=config.arima_fit_window,
+        max_violations=BAND_VIOLATION_ALLOWANCE,
+    ).fit(train)
+    lower, upper = arima.confidence_band()
+    context = InjectionContext(
+        train_matrix=train,
+        actual_week=actual_week,
+        band_lower=lower,
+        band_upper=upper,
+        start_slot=config.start_slot,
+    )
+    return context, arima
+
+
+def figure3_data(
+    dataset: SmartMeterDataset,
+    consumer_id: str,
+    config: EvaluationConfig | None = None,
+) -> dict[str, np.ndarray]:
+    """Fig. 3 series: actual week, ARIMA band, and the three injections.
+
+    Returns the per-slot series for (a) the Integrated ARIMA attack as
+    Class 1B (neighbour over-reported), (b) the same attack as Classes
+    2A/2B (attacker under-reported), and (c) the Optimal Swap attack as
+    Classes 3A/3B.
+    """
+    cfg = config if config is not None else EvaluationConfig()
+    context, _ = _context_for(dataset, consumer_id, cfg)
+    rng = _consumer_rng(cfg, consumer_id)
+    over = IntegratedARIMAAttack(direction="over").inject(context, rng)
+    under = IntegratedARIMAAttack(direction="under").inject(context, rng)
+    swap = OptimalSwapAttack(pricing=cfg.pricing).inject(context, rng)
+    return {
+        "actual": context.actual_week.copy(),
+        "band_lower": context.band_lower.copy(),
+        "band_upper": context.band_upper.copy(),
+        "attack_1b": over.reported,
+        "attack_2a2b": under.reported,
+        "attack_3a3b": swap.reported,
+    }
+
+
+def figure4_data(
+    dataset: SmartMeterDataset,
+    consumer_id: str,
+    config: EvaluationConfig | None = None,
+    significance: float = 0.05,
+) -> dict[str, np.ndarray | float]:
+    """Fig. 4 series: the X, X_1, and attack distributions plus the KLD
+    distribution with its 90th/95th-percentile thresholds."""
+    cfg = config if config is not None else EvaluationConfig()
+    train = dataset.train_matrix(consumer_id)
+    detector = KLDDetector(bins=cfg.bins, significance=significance).fit(train)
+    context, _ = _context_for(dataset, consumer_id, cfg)
+    rng = _consumer_rng(cfg, consumer_id)
+    attack = IntegratedARIMAAttack(direction="over").inject(context, rng)
+    kld_samples = detector.training_divergences.samples
+    return {
+        "bin_edges": detector.histogram.edges.copy(),
+        "x_distribution": detector.reference_distribution,
+        "x1_distribution": detector.week_distribution(train[0]),
+        "attack_distribution": detector.week_distribution(attack.reported),
+        "attack_kld": detector.divergence_of(attack.reported),
+        "kld_samples": kld_samples.copy(),
+        "kld_p90": detector.training_divergences.percentile(90.0),
+        "kld_p95": detector.training_divergences.percentile(95.0),
+    }
+
+
+def figure1_tap_demo(tap_kw: float = 2.0) -> dict[str, float]:
+    """Fig. 1 in numbers: an upstream tap under-reports without meter
+    compromise.  Returns the true demand, the metered demand, and the
+    shortfall the balance check would observe."""
+    import numpy as np
+
+    from repro.metering.errors_model import MeasurementErrorModel
+    from repro.metering.meter import SmartMeter
+
+    rng = np.random.default_rng(0)
+    meter = SmartMeter(
+        meter_id="m-demo",
+        consumer_id="demo",
+        error_model=MeasurementErrorModel.exact(),
+    )
+    meter.install_upstream_tap(tap_kw)
+    true_demand = 5.0
+    reported = meter.report(true_demand, rng)
+    return {
+        "true_demand_kw": true_demand,
+        "reported_kw": reported,
+        "shortfall_kw": true_demand - reported,
+    }

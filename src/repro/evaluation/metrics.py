@@ -1,0 +1,78 @@
+"""Metric 1 and Metric 2 aggregation (Section VIII-C)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.evaluation.config import COLUMN_1B, COLUMN_2A2B, COLUMN_3A3B
+
+
+@dataclass(frozen=True)
+class GainRecord:
+    """Mallory's worst-case gain through one subject meter in one week."""
+
+    stolen_kwh: float = 0.0
+    profit_usd: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.stolen_kwh < 0 or self.profit_usd < 0:
+            raise ConfigurationError("gains must be >= 0")
+
+    def max_with(self, other: "GainRecord") -> "GainRecord":
+        """Component-wise maximum (worst case over attack vectors)."""
+        return GainRecord(
+            stolen_kwh=max(self.stolen_kwh, other.stolen_kwh),
+            profit_usd=max(self.profit_usd, other.profit_usd),
+        )
+
+    def plus(self, other: "GainRecord") -> "GainRecord":
+        """Component-wise sum (aggregate over victimised consumers)."""
+        return GainRecord(
+            stolen_kwh=self.stolen_kwh + other.stolen_kwh,
+            profit_usd=self.profit_usd + other.profit_usd,
+        )
+
+
+ZERO_GAIN = GainRecord()
+
+
+def metric1(successes: Iterable[bool]) -> float:
+    """Percentage of consumers for whom the detector succeeded.
+
+    A detector succeeds for a consumer when it detects *every* attack
+    vector and raises no false positive on the consumer's normal week
+    (Section VIII-E).
+    """
+    flags = list(successes)
+    if not flags:
+        raise ConfigurationError("metric1 needs at least one consumer")
+    return 100.0 * sum(flags) / len(flags)
+
+
+def metric2(
+    per_consumer_gains: Mapping[str, GainRecord], column: str
+) -> GainRecord:
+    """Worst-case weekly gain as defined per attack-class column.
+
+    * 1B: the attacker steals from *all* her neighbours simultaneously,
+      so gains sum across consumers.
+    * 2A/2B: a single attacker under-reports her own meter; the metric is
+      the maximum over consumers.
+    * 3A/3B: no energy is stolen; the metric is the maximum profit over
+      consumers.
+    """
+    if not per_consumer_gains:
+        raise ConfigurationError("metric2 needs at least one consumer")
+    if column == COLUMN_1B:
+        total = ZERO_GAIN
+        for gain in per_consumer_gains.values():
+            total = total.plus(gain)
+        return total
+    if column in (COLUMN_2A2B, COLUMN_3A3B):
+        worst = ZERO_GAIN
+        for gain in per_consumer_gains.values():
+            worst = worst.max_with(gain)
+        return worst
+    raise ConfigurationError(f"unknown metric column: {column!r}")

@@ -1,0 +1,105 @@
+"""Multiple simultaneous attackers (the paper's closing future work).
+
+The conclusion promises "to account for the presence of multiple
+attackers".  This study places K attackers on a shared feeder, each
+running a balanced Class-1B theft against a distinct sibling victim, and
+measures (a) that the feeder's balance check stays silent however many
+attackers collude, and (b) how many of the victims the KLD layer flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kld import KLDDetector
+from repro.data.dataset import SmartMeterDataset
+from repro.errors import ConfigurationError
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+@dataclass(frozen=True)
+class MultiAttackerOutcome:
+    """Result of one multi-attacker scenario."""
+
+    n_attackers: int
+    balance_check_silent: bool
+    victims_flagged: int
+    attackers_flagged: int
+    total_stolen_kwh: float
+
+
+def run_multi_attacker_study(
+    dataset: SmartMeterDataset,
+    n_attackers: int,
+    steal_fraction: float = 0.5,
+    significance: float = 0.05,
+    seed: int = 0,
+) -> MultiAttackerOutcome:
+    """Simulate K attacker/victim pairs drawn from the dataset.
+
+    Attacker ``k`` consumes ``steal_fraction`` times her mean demand on
+    top of her normal load; the surplus is added to victim ``k``'s
+    reported readings, so the aggregate balance holds by construction.
+    Every consumer's KLD detector then scores their (possibly altered)
+    reported week.
+    """
+    if n_attackers < 1:
+        raise ConfigurationError(f"need >= 1 attacker, got {n_attackers}")
+    if not 0.0 < steal_fraction:
+        raise ConfigurationError(
+            f"steal_fraction must be positive, got {steal_fraction}"
+        )
+    consumers = dataset.consumers()
+    if len(consumers) < 2 * n_attackers:
+        raise ConfigurationError(
+            f"{n_attackers} attacker/victim pairs need >= {2 * n_attackers} "
+            f"consumers, dataset has {len(consumers)}"
+        )
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(consumers))
+    attackers = [consumers[i] for i in order[:n_attackers]]
+    victims = [consumers[i] for i in order[n_attackers : 2 * n_attackers]]
+
+    actual = {
+        cid: dataset.test_matrix(cid)[0].copy() for cid in consumers
+    }
+    reported = {cid: week.copy() for cid, week in actual.items()}
+    total_stolen = 0.0
+    for attacker, victim in zip(attackers, victims):
+        steal_kw = steal_fraction * float(
+            dataset.train_series(attacker).mean()
+        )
+        extra = np.full(SLOTS_PER_WEEK, steal_kw)
+        actual[attacker] = actual[attacker] + extra  # consumed, unreported
+        reported[victim] = reported[victim] + extra  # billed to the victim
+        total_stolen += float(extra.sum() * 0.5)
+
+    # (a) the aggregate balance at the shared feeder.
+    aggregate_actual = sum(week.sum() for week in actual.values())
+    aggregate_reported = sum(week.sum() for week in reported.values())
+    balance_silent = bool(
+        np.isclose(aggregate_actual, aggregate_reported, rtol=1e-9)
+    )
+
+    # (b) per-consumer KLD scoring of the reported weeks.
+    victims_flagged = 0
+    attackers_flagged = 0
+    for cid in consumers:
+        detector = KLDDetector(significance=significance).fit(
+            dataset.train_matrix(cid)
+        )
+        flagged = detector.flags(reported[cid])
+        if cid in victims and flagged:
+            victims_flagged += 1
+        if cid in attackers and flagged:
+            attackers_flagged += 1
+
+    return MultiAttackerOutcome(
+        n_attackers=n_attackers,
+        balance_check_silent=balance_silent,
+        victims_flagged=victims_flagged,
+        attackers_flagged=attackers_flagged,
+        total_stolen_kwh=total_stolen,
+    )

@@ -1,0 +1,75 @@
+"""Process-parallel evaluation runner.
+
+The paper's evaluation burned 74 CPU cores for four weeks; ours runs a
+120x20 configuration in seconds, but the full 500-consumer, 50-vector
+sweep still benefits from fanning consumers out across processes.
+Consumers are embarrassingly parallel (each evaluation touches only its
+own training matrix and test week), so results are bit-identical to the
+serial runner — the per-consumer RNG is derived from the consumer id,
+not the execution order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.data.dataset import SmartMeterDataset
+from repro.errors import ConfigurationError, DataError
+from repro.evaluation.config import EvaluationConfig
+from repro.evaluation.experiment import (
+    ConsumerEvaluation,
+    EvaluationResults,
+    evaluate_consumer,
+)
+
+
+def _evaluate_one(
+    args: tuple[str, np.ndarray, np.ndarray, EvaluationConfig],
+) -> ConsumerEvaluation:
+    """Module-level worker (picklable for ProcessPoolExecutor)."""
+    consumer_id, train_matrix, actual_week, config = args
+    return evaluate_consumer(consumer_id, train_matrix, actual_week, config)
+
+
+def run_evaluation_parallel(
+    dataset: SmartMeterDataset,
+    config: EvaluationConfig | None = None,
+    consumers: tuple[str, ...] | None = None,
+    max_workers: int | None = None,
+) -> EvaluationResults:
+    """Parallel counterpart of :func:`repro.evaluation.run_evaluation`.
+
+    Produces results identical to the serial runner for the same config
+    (per-consumer determinism), in consumer order.
+    """
+    cfg = config if config is not None else EvaluationConfig()
+    ids = dataset.consumers() if consumers is None else consumers
+    if not ids:
+        raise ConfigurationError("no consumers selected for evaluation")
+    if cfg.attack_week_index >= dataset.n_test_weeks:
+        raise DataError(
+            f"attack_week_index {cfg.attack_week_index} out of range; "
+            f"dataset has {dataset.n_test_weeks} test weeks"
+        )
+    if max_workers is not None and max_workers < 1:
+        raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+    jobs = [
+        (
+            cid,
+            dataset.train_matrix(cid),
+            dataset.test_matrix(cid)[cfg.attack_week_index],
+            cfg,
+        )
+        for cid in ids
+    ]
+    results = EvaluationResults(config=cfg)
+    if max_workers == 1:
+        evaluations = map(_evaluate_one, jobs)
+    else:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            evaluations = list(pool.map(_evaluate_one, jobs, chunksize=4))
+    for evaluation in evaluations:
+        results.consumers[evaluation.consumer_id] = evaluation
+    return results

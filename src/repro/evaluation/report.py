@@ -1,0 +1,107 @@
+"""Markdown report generation for a full evaluation run.
+
+Bundles Tables II and III, the improvement headlines, and the run
+configuration into a single self-describing document — what an analyst
+at the utility would archive per evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.config import (
+    ALL_COLUMNS,
+    EvaluationConfig,
+)
+from repro.evaluation.experiment import EvaluationResults
+from repro.evaluation.tables import (
+    DETECTOR_LABELS,
+    improvement_statistics,
+    table2,
+    table3,
+)
+
+
+def _markdown_table(header: list[str], rows: list[list[str]]) -> str:
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def _config_section(config: EvaluationConfig, n_consumers: int) -> str:
+    return "\n".join(
+        [
+            "## Run configuration",
+            "",
+            f"* consumers evaluated: {n_consumers}",
+            f"* attack trajectories per stochastic attack: {config.n_vectors}",
+            f"* attacked test week index: {config.attack_week_index}",
+            f"* histogram bins (B): {config.bins}",
+            f"* significance levels: "
+            f"{', '.join(f'{s:.0%}' for s in config.significances)}",
+            f"* TOU tariff: peak {config.pricing.peak_rate} $/kWh, "
+            f"off-peak {config.pricing.offpeak_rate} $/kWh",
+            f"* ARIMA order {config.arima_order}, band z = "
+            f"{config.arima_z:.3f}, fit window {config.arima_fit_window} slots",
+            f"* seed: {config.seed}",
+        ]
+    )
+
+
+def render_markdown_report(results: EvaluationResults) -> str:
+    """Full evaluation report as markdown."""
+    rows2 = table2(results)
+    rows3 = table3(results)
+    stats = improvement_statistics(rows3)
+
+    table2_md = _markdown_table(
+        ["Detector"] + list(ALL_COLUMNS),
+        [
+            [DETECTOR_LABELS[row.detector]]
+            + [f"{row.values[c]:.1f}%" for c in ALL_COLUMNS]
+            for row in rows2
+        ],
+    )
+    table3_md = _markdown_table(
+        ["Detector", "Quantity"] + list(ALL_COLUMNS),
+        sum(
+            (
+                [
+                    [DETECTOR_LABELS[row.detector], "Stolen (kWh)"]
+                    + [f"{row.values[c].stolen_kwh:,.0f}" for c in ALL_COLUMNS],
+                    ["", "Profit ($)"]
+                    + [f"{row.values[c].profit_usd:,.1f}" for c in ALL_COLUMNS],
+                ]
+                for row in rows3
+            ),
+            [],
+        ),
+    )
+
+    sections = [
+        "# F-DETA evaluation report",
+        "",
+        _config_section(results.config, results.n_consumers),
+        "",
+        "## Table II — Metric 1: % of consumers with successful detection",
+        "",
+        table2_md,
+        "",
+        "## Table III — Metric 2: worst-case weekly gains",
+        "",
+        table3_md,
+        "",
+        "## Headlines",
+        "",
+        f"* The Integrated ARIMA detector reduces Class-1B theft by "
+        f"**{stats.integrated_over_arima:.1f}%** relative to the ARIMA "
+        f"detector (paper: ~78%).",
+        f"* The KLD detector reduces it by a further "
+        f"**{stats.kld_over_integrated:.1f}%** relative to the Integrated "
+        f"ARIMA detector (paper: ~94.8%); best setting: "
+        f"{DETECTOR_LABELS[stats.best_kld_detector]}.",
+        "",
+    ]
+    return "\n".join(sections)

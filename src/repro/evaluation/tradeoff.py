@@ -1,0 +1,97 @@
+"""Detection / false-positive trade-off curves (ROC-style analysis).
+
+The paper fixes two operating points (alpha = 5% and 10%) and notes the
+aggressiveness trade-off qualitatively; this module sweeps the
+significance level and records the attack-detection and false-positive
+rates, giving the utility the full operating curve to choose from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.injection import IntegratedARIMAAttack
+from repro.core.kld import KLDDetector
+from repro.data.dataset import SmartMeterDataset
+from repro.errors import ConfigurationError
+from repro.evaluation.config import EvaluationConfig
+from repro.evaluation.experiment import _consumer_rng
+from repro.evaluation.figures import _context_for
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Detector behaviour at one significance level."""
+
+    significance: float
+    detection_rate: float
+    false_positive_rate: float
+
+    @property
+    def youden_j(self) -> float:
+        """Youden's J statistic: detection minus false-positive rate."""
+        return self.detection_rate - self.false_positive_rate
+
+
+def significance_sweep(
+    dataset: SmartMeterDataset,
+    consumers: tuple[str, ...],
+    significances: tuple[float, ...] = (0.01, 0.02, 0.05, 0.10, 0.20, 0.30),
+    direction: str = "over",
+    config: EvaluationConfig | None = None,
+) -> list[OperatingPoint]:
+    """KLD operating curve against the Integrated ARIMA attack.
+
+    For each consumer, one attack vector and the consumer's unattacked
+    week are scored across all significance levels; the divergences are
+    computed once per consumer (the statistic is threshold-free), so the
+    sweep costs barely more than a single evaluation.
+    """
+    if not consumers:
+        raise ConfigurationError("need at least one consumer")
+    if not significances or not all(0.0 < s < 1.0 for s in significances):
+        raise ConfigurationError("significances must lie in (0, 1)")
+    cfg = config if config is not None else EvaluationConfig()
+    attack_scores: list[float] = []
+    normal_scores: list[float] = []
+    thresholds_per_sig: dict[float, list[float]] = {s: [] for s in significances}
+    for cid in consumers:
+        context, _ = _context_for(dataset, cid, cfg)
+        rng = _consumer_rng(cfg, cid)
+        detector = KLDDetector(bins=cfg.bins, significance=0.05).fit(
+            context.train_matrix
+        )
+        vector = IntegratedARIMAAttack(direction=direction).inject(context, rng)
+        attack_scores.append(detector.divergence_of(vector.reported))
+        normal_scores.append(detector.divergence_of(context.actual_week))
+        for sig in significances:
+            thresholds_per_sig[sig].append(
+                detector.training_divergences.upper_tail_threshold(sig)
+            )
+    points = []
+    n = len(consumers)
+    for sig in sorted(significances):
+        thresholds = thresholds_per_sig[sig]
+        detected = sum(
+            score > threshold
+            for score, threshold in zip(attack_scores, thresholds)
+        )
+        false_positives = sum(
+            score > threshold
+            for score, threshold in zip(normal_scores, thresholds)
+        )
+        points.append(
+            OperatingPoint(
+                significance=sig,
+                detection_rate=detected / n,
+                false_positive_rate=false_positives / n,
+            )
+        )
+    return points
+
+
+def best_operating_point(points: list[OperatingPoint]) -> OperatingPoint:
+    """The sweep point maximising Youden's J."""
+    if not points:
+        raise ConfigurationError("need at least one operating point")
+    return max(points, key=lambda p: p.youden_j)

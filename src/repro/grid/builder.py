@@ -1,0 +1,95 @@
+"""Topology builders: the paper's Fig. 2 instance and random radial trees."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.grid.topology import RadialTopology
+
+
+def build_figure2_topology() -> RadialTopology:
+    """The exact topology of Fig. 2: N1-N3 internal, C1-C5 consumers,
+    L1-L3 losses, with N1 as root."""
+    topo = RadialTopology(root_id="N1")
+    topo.add_internal("N2", "N1")
+    topo.add_internal("N3", "N1")
+    topo.add_loss("L1", "N1")
+    topo.add_consumer("C1", "N2")
+    topo.add_consumer("C2", "N2")
+    topo.add_consumer("C3", "N2")
+    topo.add_loss("L2", "N2")
+    topo.add_consumer("C4", "N3")
+    topo.add_consumer("C5", "N3")
+    topo.add_loss("L3", "N3")
+    topo.validate()
+    return topo
+
+
+def build_random_topology(
+    n_consumers: int,
+    branching: int = 4,
+    loss_probability: float = 0.5,
+    seed: int | np.random.Generator = 0,
+) -> RadialTopology:
+    """Generate a random radial tree with ``n_consumers`` consumer leaves.
+
+    Internal nodes are created as needed so that no node has more than
+    ``branching`` consumer/internal children; each internal node gets a
+    loss leaf with probability ``loss_probability``.  The resulting tree is
+    roughly balanced, giving the O(log N) investigation depth discussed in
+    Section VI-A.
+    """
+    if n_consumers < 1:
+        raise ConfigurationError(f"need >= 1 consumer, got {n_consumers}")
+    if branching < 2:
+        raise ConfigurationError(f"branching must be >= 2, got {branching}")
+    if not 0.0 <= loss_probability <= 1.0:
+        raise ConfigurationError(
+            f"loss_probability must be in [0, 1], got {loss_probability}"
+        )
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    topo = RadialTopology(root_id="root")
+    # Build internal levels until there are enough attachment points.
+    frontier = ["root"]
+    next_internal = 0
+    while len(frontier) * branching < n_consumers:
+        new_frontier: list[str] = []
+        for parent in frontier:
+            for _ in range(branching):
+                nid = f"bus{next_internal}"
+                next_internal += 1
+                topo.add_internal(nid, parent)
+                new_frontier.append(nid)
+        frontier = new_frontier
+    # Attach consumers round-robin with a random shuffle for imbalance.
+    order = rng.permutation(len(frontier))
+    for i in range(n_consumers):
+        parent = frontier[int(order[i % len(frontier)])]
+        topo.add_consumer(f"c{i}", parent)
+    # Attach loss leaves.
+    for nid in topo.internal_nodes():
+        if rng.random() < loss_probability:
+            topo.add_loss(f"loss_{nid}", nid)
+    topo.validate()
+    return topo
+
+
+def build_linear_topology(n_consumers: int) -> RadialTopology:
+    """Worst-case linear (path) topology: one consumer per internal node.
+
+    This is the degenerate shape for which Mallory must compromise O(N)
+    balance meters (Section VI-A).
+    """
+    if n_consumers < 1:
+        raise ConfigurationError(f"need >= 1 consumer, got {n_consumers}")
+    topo = RadialTopology(root_id="root")
+    parent = "root"
+    for i in range(n_consumers):
+        topo.add_consumer(f"c{i}", parent)
+        if i < n_consumers - 1:
+            nid = f"bus{i}"
+            topo.add_internal(nid, parent)
+            parent = nid
+    topo.validate()
+    return topo

@@ -1,0 +1,80 @@
+"""Topology serialisation: JSON-compatible dictionaries and files.
+
+Utilities maintain their network models in GIS/asset systems; this gives
+the reproduction a stable interchange format so topologies can be
+round-tripped, versioned, and shared between the CLI and examples.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import TopologyError
+from repro.grid.topology import NodeKind, RadialTopology
+
+_FORMAT_VERSION = 1
+
+
+def topology_to_dict(topology: RadialTopology) -> dict:
+    """A JSON-compatible description of the tree (BFS node order)."""
+    nodes = []
+    for nid in topology.iter_breadth_first():
+        node = topology.node(nid)
+        nodes.append(
+            {
+                "id": nid,
+                "kind": node.kind.value,
+                "parent": topology.parent(nid),
+            }
+        )
+    return {"version": _FORMAT_VERSION, "root": topology.root_id, "nodes": nodes}
+
+
+def topology_from_dict(payload: dict) -> RadialTopology:
+    """Rebuild a topology from :func:`topology_to_dict` output."""
+    try:
+        version = payload["version"]
+        root = payload["root"]
+        nodes = payload["nodes"]
+    except (KeyError, TypeError) as exc:
+        raise TopologyError(f"malformed topology payload: missing {exc}") from exc
+    if version != _FORMAT_VERSION:
+        raise TopologyError(f"unsupported topology format version: {version}")
+    topology = RadialTopology(root_id=root)
+    for entry in nodes:
+        nid = entry.get("id")
+        kind_text = entry.get("kind")
+        parent = entry.get("parent")
+        if nid == root:
+            if kind_text != NodeKind.INTERNAL.value or parent is not None:
+                raise TopologyError("root entry must be a parentless internal node")
+            continue
+        if parent is None:
+            raise TopologyError(f"non-root node {nid!r} lacks a parent")
+        try:
+            kind = NodeKind(kind_text)
+        except ValueError:
+            raise TopologyError(f"unknown node kind: {kind_text!r}") from None
+        topology.add_node(nid, kind, parent)
+    topology.validate()
+    return topology
+
+
+def save_topology(topology: RadialTopology, path: str | Path) -> None:
+    """Write a topology as JSON."""
+    Path(path).write_text(
+        json.dumps(topology_to_dict(topology), indent=2, sort_keys=True)
+    )
+
+
+def load_topology(path: str | Path) -> RadialTopology:
+    """Read a topology written by :func:`save_topology`."""
+    path = Path(path)
+    if not path.exists():
+        raise TopologyError(f"no such topology file: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"{path}: invalid JSON: {exc}") from exc
+    return topology_from_dict(payload)

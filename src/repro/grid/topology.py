@@ -1,0 +1,206 @@
+"""Radial distribution grid topology as an unbalanced n-ary tree."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from repro.errors import TopologyError
+
+
+class NodeKind(Enum):
+    """Role of a node in the distribution tree (Fig. 2 of the paper)."""
+
+    #: Bus / transformer / substation node; may carry a balance meter.
+    INTERNAL = "internal"
+    #: End-consumer leaf with a smart meter.
+    CONSUMER = "consumer"
+    #: Leaf modelling line-impedance and transformer losses.
+    LOSS = "loss"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A single node in the topology."""
+
+    node_id: str
+    kind: NodeKind
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise TopologyError("node_id must be a non-empty string")
+
+
+class RadialTopology:
+    """An unbalanced n-ary tree rooted at the distribution substation.
+
+    Invariants enforced:
+
+    * exactly one root, of kind ``INTERNAL``;
+    * ``CONSUMER`` and ``LOSS`` nodes are always leaves;
+    * every non-root node has exactly one parent (radial = single supply
+      path, Section V).
+    """
+
+    def __init__(self, root_id: str = "root") -> None:
+        self._nodes: dict[str, Node] = {}
+        self._children: dict[str, list[str]] = {}
+        self._parent: dict[str, str] = {}
+        self._root_id = root_id
+        root = Node(root_id, NodeKind.INTERNAL)
+        self._nodes[root_id] = root
+        self._children[root_id] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, node_id: str, kind: NodeKind, parent_id: str) -> Node:
+        """Attach a new node under ``parent_id`` and return it."""
+        if node_id in self._nodes:
+            raise TopologyError(f"duplicate node id: {node_id!r}")
+        parent = self._nodes.get(parent_id)
+        if parent is None:
+            raise TopologyError(f"unknown parent: {parent_id!r}")
+        if parent.kind is not NodeKind.INTERNAL:
+            raise TopologyError(
+                f"cannot attach children to {parent.kind.value} node {parent_id!r}"
+            )
+        node = Node(node_id, kind)
+        self._nodes[node_id] = node
+        self._parent[node_id] = parent_id
+        self._children[parent_id].append(node_id)
+        if kind is NodeKind.INTERNAL:
+            self._children[node_id] = []
+        return node
+
+    def add_internal(self, node_id: str, parent_id: str) -> Node:
+        """Convenience: attach an internal (bus/transformer) node."""
+        return self.add_node(node_id, NodeKind.INTERNAL, parent_id)
+
+    def add_consumer(self, node_id: str, parent_id: str) -> Node:
+        """Convenience: attach a consumer leaf."""
+        return self.add_node(node_id, NodeKind.CONSUMER, parent_id)
+
+    def add_loss(self, node_id: str, parent_id: str) -> Node:
+        """Convenience: attach a loss leaf."""
+        return self.add_node(node_id, NodeKind.LOSS, parent_id)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    @property
+    def root_id(self) -> str:
+        return self._root_id
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node: {node_id!r}") from None
+
+    def parent(self, node_id: str) -> str | None:
+        """Parent id, or ``None`` for the root."""
+        self.node(node_id)
+        return self._parent.get(node_id)
+
+    def children(self, node_id: str) -> tuple[str, ...]:
+        node = self.node(node_id)
+        if node.kind is not NodeKind.INTERNAL:
+            return ()
+        return tuple(self._children[node_id])
+
+    def internal_nodes(self) -> tuple[str, ...]:
+        return tuple(
+            nid for nid, n in self._nodes.items() if n.kind is NodeKind.INTERNAL
+        )
+
+    def consumers(self) -> tuple[str, ...]:
+        return tuple(
+            nid for nid, n in self._nodes.items() if n.kind is NodeKind.CONSUMER
+        )
+
+    def losses(self) -> tuple[str, ...]:
+        return tuple(
+            nid for nid, n in self._nodes.items() if n.kind is NodeKind.LOSS
+        )
+
+    def iter_breadth_first(self, start: str | None = None) -> Iterator[str]:
+        """Breadth-first traversal of node ids from ``start`` (default root)."""
+        start_id = self._root_id if start is None else start
+        self.node(start_id)
+        queue: deque[str] = deque([start_id])
+        while queue:
+            current = queue.popleft()
+            yield current
+            queue.extend(self.children(current))
+
+    def descendants(self, node_id: str) -> tuple[str, ...]:
+        """All strict descendants of ``node_id`` in BFS order."""
+        it = self.iter_breadth_first(node_id)
+        next(it)  # drop the node itself
+        return tuple(it)
+
+    def consumer_descendants(self, node_id: str) -> tuple[str, ...]:
+        """The set ``C`` of eq (4): consumer leaves under ``node_id``."""
+        return tuple(
+            nid
+            for nid in self.descendants(node_id)
+            if self._nodes[nid].kind is NodeKind.CONSUMER
+        )
+
+    def loss_descendants(self, node_id: str) -> tuple[str, ...]:
+        """The set ``L`` of eq (4): loss leaves under ``node_id``."""
+        return tuple(
+            nid
+            for nid in self.descendants(node_id)
+            if self._nodes[nid].kind is NodeKind.LOSS
+        )
+
+    def path_to_root(self, node_id: str) -> tuple[str, ...]:
+        """Node ids from ``node_id`` (inclusive) up to the root (inclusive).
+
+        This is the chain of balance meters Mallory must compromise to hide
+        a balance-check failure (Section VI-A).
+        """
+        self.node(node_id)
+        path = [node_id]
+        current = node_id
+        while current != self._root_id:
+            current = self._parent[current]
+            path.append(current)
+        return tuple(path)
+
+    def depth(self, node_id: str) -> int:
+        """Edge count from the root to ``node_id``."""
+        return len(self.path_to_root(node_id)) - 1
+
+    def siblings(self, node_id: str) -> tuple[str, ...]:
+        """The paper's "neighbors": consumers sharing this node's parent."""
+        parent = self.parent(node_id)
+        if parent is None:
+            return ()
+        return tuple(
+            sib
+            for sib in self.children(parent)
+            if sib != node_id and self._nodes[sib].kind is NodeKind.CONSUMER
+        )
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`TopologyError`."""
+        seen = set(self.iter_breadth_first())
+        if seen != set(self._nodes):
+            unreachable = set(self._nodes) - seen
+            raise TopologyError(f"unreachable nodes: {sorted(unreachable)}")
+        for nid, node in self._nodes.items():
+            if node.kind is not NodeKind.INTERNAL and self._children.get(nid):
+                raise TopologyError(f"leaf node {nid!r} has children")

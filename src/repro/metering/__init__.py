@@ -1,0 +1,25 @@
+"""Advanced Metering Infrastructure (AMI) substrate.
+
+Models the physical metering layer of the paper's Section III/IV: smart
+meters with realistic measurement error, compromise states (tampered
+firmware or man-in-the-middle on the reporting link), upstream line taps
+(Fig. 1), and a utility head-end that collects readings each polling
+period.
+"""
+
+from repro.metering.errors_model import MeasurementErrorModel
+from repro.metering.meter import SmartMeter, TamperSeal
+from repro.metering.store import ReadingStore
+from repro.metering.ami import AMINetwork, UtilityHeadEnd
+from repro.metering.channel import LossyChannel, deliver_series
+
+__all__ = [
+    "AMINetwork",
+    "LossyChannel",
+    "deliver_series",
+    "MeasurementErrorModel",
+    "ReadingStore",
+    "SmartMeter",
+    "TamperSeal",
+    "UtilityHeadEnd",
+]

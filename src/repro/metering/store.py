@@ -1,0 +1,70 @@
+"""Reading storage at the utility control centre."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.errors import DataError, MeteringError
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+class ReadingStore:
+    """Append-only store of reported readings, keyed by consumer.
+
+    Readings are indexed by consecutive polling periods ``t = 0, 1, ...``;
+    each consumer's series must be appended in order (the AMI delivers
+    readings per polling cycle).
+    """
+
+    def __init__(self) -> None:
+        self._series: dict[str, list[float]] = defaultdict(list)
+
+    def append(self, consumer_id: str, reading: float) -> None:
+        """Record one reading for the consumer's next time period."""
+        if reading < 0:
+            raise MeteringError(
+                f"reading for {consumer_id!r} must be >= 0, got {reading}"
+            )
+        self._series[consumer_id].append(float(reading))
+
+    def extend(self, consumer_id: str, readings: np.ndarray) -> None:
+        """Record a batch of consecutive readings."""
+        for value in np.asarray(readings, dtype=float).ravel():
+            self.append(consumer_id, float(value))
+
+    def consumers(self) -> tuple[str, ...]:
+        return tuple(self._series)
+
+    def length(self, consumer_id: str) -> int:
+        return len(self._series.get(consumer_id, ()))
+
+    def series(self, consumer_id: str) -> np.ndarray:
+        """Full reading series for a consumer as a float array."""
+        values = self._series.get(consumer_id)
+        if not values:
+            raise DataError(f"no readings stored for {consumer_id!r}")
+        return np.asarray(values, dtype=float)
+
+    def week_matrix(
+        self, consumer_id: str, slots_per_week: int = SLOTS_PER_WEEK
+    ) -> np.ndarray:
+        """Readings reshaped to ``(weeks, slots_per_week)``.
+
+        Trailing readings that do not complete a week are dropped.
+        """
+        series = self.series(consumer_id)
+        n_weeks = series.size // slots_per_week
+        if n_weeks == 0:
+            raise DataError(
+                f"{consumer_id!r} has only {series.size} readings; "
+                f"need >= {slots_per_week} for one week"
+            )
+        return series[: n_weeks * slots_per_week].reshape(n_weeks, slots_per_week)
+
+    def latest_week(
+        self, consumer_id: str, slots_per_week: int = SLOTS_PER_WEEK
+    ) -> np.ndarray:
+        """The most recent complete week of readings."""
+        return self.week_matrix(consumer_id, slots_per_week)[-1]

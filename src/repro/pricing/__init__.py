@@ -1,0 +1,58 @@
+"""Pricing substrate: schemes, billing, and automated demand response.
+
+Implements the paper's three pricing schemes (Section III) — flat-rate,
+time-of-use, real-time — the billing and attacker-profit equations
+(eqs 1-2, 10, 11), and the Consumer Own Elasticity ADR model used by
+Attack Class 4B.
+"""
+
+from repro.pricing.schemes import (
+    FlatRatePricing,
+    PricingScheme,
+    RealTimePricing,
+    TimeOfUsePricing,
+    ELECTRIC_IRELAND_NIGHTSAVER,
+)
+from repro.pricing.billing import (
+    attacker_profit,
+    bill,
+    is_successful_theft,
+    neighbour_loss,
+    perceived_benefit,
+)
+from repro.pricing.adr import ADRInterface, ElasticConsumer
+from repro.pricing.market import (
+    ClearingResult,
+    Generator,
+    RealTimeMarket,
+    default_market,
+)
+from repro.pricing.invoice import (
+    BillingCycleResult,
+    Invoice,
+    bill_cycle,
+    make_invoice,
+)
+
+__all__ = [
+    "BillingCycleResult",
+    "ClearingResult",
+    "Generator",
+    "Invoice",
+    "RealTimeMarket",
+    "default_market",
+    "bill_cycle",
+    "make_invoice",
+    "ADRInterface",
+    "ELECTRIC_IRELAND_NIGHTSAVER",
+    "ElasticConsumer",
+    "FlatRatePricing",
+    "PricingScheme",
+    "RealTimePricing",
+    "TimeOfUsePricing",
+    "attacker_profit",
+    "bill",
+    "is_successful_theft",
+    "neighbour_loss",
+    "perceived_benefit",
+]

@@ -1,0 +1,66 @@
+"""Divergence measures between discrete probability distributions.
+
+Equation (12) of the paper defines the per-week KL divergence in base 2.
+The helpers here operate on already-normalised probability vectors such as
+those produced by :class:`repro.stats.FixedEdgeHistogram`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Small mass used to smooth empty bins in the reference distribution so the
+#: divergence stays finite.  Empty bins arise when a candidate week contains
+#: values in a bin that the training data never populated.
+_SMOOTHING = 1e-12
+
+
+def _validate_pair(p: np.ndarray, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    p = np.asarray(p, dtype=float).ravel()
+    q = np.asarray(q, dtype=float).ravel()
+    if p.shape != q.shape:
+        raise ConfigurationError(
+            f"distributions must have equal length, got {p.size} and {q.size}"
+        )
+    if p.size == 0:
+        raise ConfigurationError("distributions must be non-empty")
+    if np.any(p < -1e-9) or np.any(q < -1e-9):
+        raise ConfigurationError("distributions must be non-negative")
+    for name, vec in (("p", p), ("q", q)):
+        total = vec.sum()
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ConfigurationError(f"{name} must sum to 1, sums to {total}")
+    return p, q
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray, base: float = 2.0) -> float:
+    """Kullback-Leibler divergence ``D(p || q)`` in the given log base.
+
+    Terms with ``p_j == 0`` contribute zero (the usual convention).  Zero
+    bins in ``q`` are smoothed with a tiny mass so the result is finite;
+    this matches the detector's need for a usable ordering even when an
+    attack pushes mass into bins the training data never saw.
+    """
+    p, q = _validate_pair(p, q)
+    q = np.where(q <= 0, _SMOOTHING, q)
+    mask = p > 0
+    terms = p[mask] * (np.log(p[mask]) - np.log(q[mask]))
+    return float(terms.sum() / np.log(base))
+
+
+def symmetric_kl_divergence(p: np.ndarray, q: np.ndarray, base: float = 2.0) -> float:
+    """Symmetrised KL divergence ``D(p||q) + D(q||p)``."""
+    return kl_divergence(p, q, base=base) + kl_divergence(q, p, base=base)
+
+
+def js_divergence(p: np.ndarray, q: np.ndarray, base: float = 2.0) -> float:
+    """Jensen-Shannon divergence (bounded, symmetric alternative to KL).
+
+    Provided for the ablation study comparing divergence choices; the paper
+    itself uses plain KL divergence.
+    """
+    p, q = _validate_pair(p, q)
+    m = 0.5 * (p + q)
+    return 0.5 * kl_divergence(p, m, base=base) + 0.5 * kl_divergence(q, m, base=base)

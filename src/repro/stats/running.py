@@ -1,0 +1,69 @@
+"""Online mean/variance via Welford's algorithm.
+
+The Integrated ARIMA detector keeps per-consumer running statistics of the
+training readings; a streaming implementation lets the utility head-end
+update them as new weeks arrive without retaining the full history.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class RunningMoments:
+    """Numerically stable running count, mean, and variance."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+
+    def update(self, value: float) -> None:
+        """Incorporate one observation."""
+        if not math.isfinite(value):
+            raise ConfigurationError(f"observation must be finite, got {value}")
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    def update_many(self, values: np.ndarray) -> None:
+        """Incorporate a batch of observations."""
+        for value in np.asarray(values, dtype=float).ravel():
+            self.update(float(value))
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations seen so far."""
+        if self.count == 0:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def sample_variance(self) -> float:
+        """Unbiased sample variance (``n - 1`` denominator)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningMoments") -> "RunningMoments":
+        """Combine two sets of moments (parallel/Chan merge)."""
+        if other.count == 0:
+            return RunningMoments(self.count, self.mean, self._m2)
+        if self.count == 0:
+            return RunningMoments(other.count, other.mean, other._m2)
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        mean = self.mean + delta * other.count / total
+        m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / total
+        return RunningMoments(total, mean, m2)

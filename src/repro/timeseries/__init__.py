@@ -1,0 +1,37 @@
+"""Time-series substrate: ARIMA modelling built from scratch on numpy/scipy.
+
+The baseline detectors evaluated in the paper (Section VII-C) rely on an
+ARIMA model's forecast confidence intervals.  This subpackage provides that
+substrate: differencing, autocorrelation, AR/MA estimation, a full
+ARIMA(p, d, q) model with conditional-sum-of-squares fitting, multi-step
+forecasts with confidence intervals, and AIC-based order selection.
+"""
+
+from repro.timeseries.acf import acf, pacf
+from repro.timeseries.diagnostics import LjungBoxResult, ljung_box
+from repro.timeseries.ar import fit_ar_least_squares, fit_ar_yule_walker
+from repro.timeseries.arima import ARIMA, ARIMAFit
+from repro.timeseries.differencing import difference, undifference
+from repro.timeseries.forecast import Forecast
+from repro.timeseries.holtwinters import HoltWinters, HoltWintersParams
+from repro.timeseries.order import aic, select_order
+from repro.timeseries.seasonal import SeasonalProfile
+
+__all__ = [
+    "ARIMA",
+    "ARIMAFit",
+    "Forecast",
+    "HoltWinters",
+    "HoltWintersParams",
+    "LjungBoxResult",
+    "SeasonalProfile",
+    "ljung_box",
+    "acf",
+    "aic",
+    "difference",
+    "fit_ar_least_squares",
+    "fit_ar_yule_walker",
+    "pacf",
+    "select_order",
+    "undifference",
+]

@@ -1,0 +1,56 @@
+"""Autocorrelation and partial autocorrelation functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ModelError
+
+
+def acf(series: np.ndarray, nlags: int) -> np.ndarray:
+    """Sample autocorrelation for lags ``0..nlags`` (biased estimator).
+
+    The biased (``1/n``) estimator is used because it guarantees a positive
+    semi-definite autocovariance sequence, which Yule-Walker fitting needs.
+    """
+    if nlags < 0:
+        raise ConfigurationError(f"nlags must be >= 0, got {nlags}")
+    arr = np.asarray(series, dtype=float).ravel()
+    n = arr.size
+    if n <= nlags:
+        raise ModelError(f"series of length {n} too short for {nlags} lags")
+    centred = arr - arr.mean()
+    denom = float(centred @ centred)
+    if denom == 0.0:
+        # Constant series: autocorrelation is defined as 1 at lag 0 and 0
+        # elsewhere by convention here.
+        out = np.zeros(nlags + 1)
+        out[0] = 1.0
+        return out
+    out = np.empty(nlags + 1)
+    out[0] = 1.0
+    for lag in range(1, nlags + 1):
+        out[lag] = float(centred[lag:] @ centred[:-lag]) / denom
+    return out
+
+
+def pacf(series: np.ndarray, nlags: int) -> np.ndarray:
+    """Partial autocorrelation for lags ``0..nlags`` via Durbin-Levinson."""
+    rho = acf(series, nlags)
+    out = np.empty(nlags + 1)
+    out[0] = 1.0
+    if nlags == 0:
+        return out
+    # Durbin-Levinson recursion.
+    phi_prev = np.array([rho[1]])
+    out[1] = rho[1]
+    for k in range(2, nlags + 1):
+        num = rho[k] - float(phi_prev @ rho[k - 1 : 0 : -1])
+        den = 1.0 - float(phi_prev @ rho[1:k])
+        phi_kk = num / den if abs(den) > 1e-12 else 0.0
+        phi_new = np.empty(k)
+        phi_new[:-1] = phi_prev - phi_kk * phi_prev[::-1]
+        phi_new[-1] = phi_kk
+        out[k] = phi_kk
+        phi_prev = phi_new
+    return out

@@ -1,0 +1,55 @@
+"""Autoregressive model estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ModelError
+from repro.timeseries.acf import acf
+
+
+def fit_ar_yule_walker(series: np.ndarray, order: int) -> np.ndarray:
+    """Estimate AR(``order``) coefficients from the Yule-Walker equations.
+
+    Returns the coefficient vector ``phi`` of length ``order`` such that
+    ``y_t ≈ phi_1 y_{t-1} + ... + phi_p y_{t-p}`` for the mean-centred
+    series.
+    """
+    if order < 1:
+        raise ConfigurationError(f"AR order must be >= 1, got {order}")
+    rho = acf(series, order)
+    # Toeplitz system R phi = r.
+    big_r = np.empty((order, order))
+    for i in range(order):
+        for j in range(order):
+            big_r[i, j] = rho[abs(i - j)]
+    r = rho[1 : order + 1]
+    try:
+        return np.linalg.solve(big_r, r)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - degenerate input
+        raise ModelError("Yule-Walker system is singular") from exc
+
+
+def fit_ar_least_squares(
+    series: np.ndarray, order: int
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Fit AR(``order``) with intercept by ordinary least squares.
+
+    Returns ``(intercept, phi, residuals)`` where ``residuals`` has length
+    ``len(series) - order`` and aligns with ``series[order:]``.
+    """
+    if order < 1:
+        raise ConfigurationError(f"AR order must be >= 1, got {order}")
+    arr = np.asarray(series, dtype=float).ravel()
+    n = arr.size
+    if n <= 2 * order:
+        raise ModelError(f"series of length {n} too short for AR({order}) OLS fit")
+    rows = n - order
+    design = np.empty((rows, order + 1))
+    design[:, 0] = 1.0
+    for lag in range(1, order + 1):
+        design[:, lag] = arr[order - lag : n - lag]
+    target = arr[order:]
+    coef, *_ = np.linalg.lstsq(design, target, rcond=None)
+    residuals = target - design @ coef
+    return float(coef[0]), coef[1:], residuals

@@ -1,0 +1,63 @@
+"""Integer-order differencing and its inverse."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ModelError
+
+
+def difference(series: np.ndarray, order: int = 1) -> np.ndarray:
+    """Apply the difference operator ``(1 - B)^order`` to ``series``.
+
+    The result has ``len(series) - order`` elements.
+    """
+    if order < 0:
+        raise ConfigurationError(f"difference order must be >= 0, got {order}")
+    arr = np.asarray(series, dtype=float).ravel()
+    if arr.size <= order:
+        raise ModelError(
+            f"series of length {arr.size} too short to difference {order} times"
+        )
+    for _ in range(order):
+        arr = np.diff(arr)
+    return arr
+
+
+def undifference(
+    differenced: np.ndarray, heads: np.ndarray, order: int = 1
+) -> np.ndarray:
+    """Invert :func:`difference`.
+
+    Parameters
+    ----------
+    differenced:
+        The differenced series (e.g. forecasts on the differenced scale).
+    heads:
+        The last ``order`` values of the *original* series, oldest first.
+        For ``order == 1`` this is the single value preceding the first
+        differenced element.
+    order:
+        How many integrations to apply.
+    """
+    if order < 0:
+        raise ConfigurationError(f"difference order must be >= 0, got {order}")
+    arr = np.asarray(differenced, dtype=float).ravel()
+    heads = np.asarray(heads, dtype=float).ravel()
+    if heads.size != order:
+        raise ConfigurationError(
+            f"need exactly {order} head value(s) to undifference, got {heads.size}"
+        )
+    if order == 0:
+        return arr.copy()
+    # Rebuild the chain of partial differences from highest order downward.
+    # level_heads[k] is the value that precedes the series at difference
+    # level k; it is the k-th difference of the original heads.
+    level_heads = [heads.copy()]
+    for _ in range(order):
+        level_heads.append(np.diff(level_heads[-1]))
+    current = arr
+    for level in range(order, 0, -1):
+        seed = level_heads[level - 1][-1]
+        current = seed + np.cumsum(current)
+    return current

@@ -1,0 +1,70 @@
+"""Forecast value object with confidence intervals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """Multi-step point forecast with symmetric confidence bands.
+
+    Attributes
+    ----------
+    mean:
+        Point forecasts, one per horizon step.
+    std:
+        Forecast standard errors, one per horizon step.
+    z:
+        The z-score used for the default interval (e.g. 1.96 for 95%).
+    """
+
+    mean: np.ndarray = field(repr=False)
+    std: np.ndarray = field(repr=False)
+    z: float = 1.959963984540054
+
+    def __post_init__(self) -> None:
+        mean = np.asarray(self.mean, dtype=float).ravel()
+        std = np.asarray(self.std, dtype=float).ravel()
+        if mean.shape != std.shape:
+            raise ConfigurationError("mean and std must have equal length")
+        if np.any(std < 0):
+            raise ConfigurationError("forecast std must be non-negative")
+        if self.z <= 0:
+            raise ConfigurationError(f"z must be positive, got {self.z}")
+        object.__setattr__(self, "mean", mean)
+        object.__setattr__(self, "std", std)
+
+    @property
+    def horizon(self) -> int:
+        return int(self.mean.size)
+
+    @property
+    def lower(self) -> np.ndarray:
+        """Lower confidence bound at the default z."""
+        return self.mean - self.z * self.std
+
+    @property
+    def upper(self) -> np.ndarray:
+        """Upper confidence bound at the default z."""
+        return self.mean + self.z * self.std
+
+    def interval(self, z: float) -> tuple[np.ndarray, np.ndarray]:
+        """Confidence bounds at a caller-supplied z-score."""
+        if z <= 0:
+            raise ConfigurationError(f"z must be positive, got {z}")
+        return self.mean - z * self.std, self.mean + z * self.std
+
+    def contains(self, values: np.ndarray, z: float | None = None) -> np.ndarray:
+        """Boolean mask of which ``values`` fall inside the band."""
+        lo, hi = self.interval(self.z if z is None else z)
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size != self.horizon:
+            raise ConfigurationError(
+                f"expected {self.horizon} values, got {arr.size}"
+            )
+        return (arr >= lo) & (arr <= hi)

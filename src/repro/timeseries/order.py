@@ -1,0 +1,64 @@
+"""Model order selection by information criteria."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.timeseries.arima import ARIMA
+
+
+def aic(loglikelihood: float, n_params: int) -> float:
+    """Akaike information criterion."""
+    return 2.0 * n_params - 2.0 * loglikelihood
+
+
+def select_order(
+    series: np.ndarray,
+    p_values: Sequence[int] = (0, 1, 2, 3),
+    d_values: Sequence[int] = (0, 1),
+    q_values: Sequence[int] = (0, 1, 2),
+    refine: bool = False,
+) -> tuple[int, int, int]:
+    """Grid-search ARIMA orders, returning the AIC-minimising triple.
+
+    ``refine=False`` by default: Hannan-Rissanen estimates are cheap and
+    accurate enough for ranking candidate orders; the winning order can be
+    refit with CSS refinement afterwards.
+    """
+    best: tuple[float, tuple[int, int, int]] | None = None
+    failures: list[str] = []
+    for p in p_values:
+        for d in d_values:
+            for q in q_values:
+                if p == 0 and q == 0 and d == 0:
+                    continue
+                try:
+                    model = ARIMA(order=(p, d, q), refine=refine).fit(series)
+                except ModelError as exc:
+                    failures.append(f"({p},{d},{q}): {exc}")
+                    continue
+                fit = model.params
+                score = aic(fit.loglikelihood, fit.n_params)
+                if best is None or score < best[0]:
+                    best = (score, (p, d, q))
+    if best is None:
+        raise ModelError(
+            "no candidate ARIMA order could be fit; failures: "
+            + "; ".join(failures)
+        )
+    return best[1]
+
+
+def candidate_orders(
+    max_p: int = 3, max_d: int = 1, max_q: int = 2
+) -> Iterable[tuple[int, int, int]]:
+    """Enumerate the candidate grid used by :func:`select_order`."""
+    for p in range(max_p + 1):
+        for d in range(max_d + 1):
+            for q in range(max_q + 1):
+                if p == 0 and q == 0 and d == 0:
+                    continue
+                yield (p, d, q)

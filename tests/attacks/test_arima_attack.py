@@ -1,0 +1,87 @@
+"""Unit tests for the band-pinning ARIMA attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.classes import AttackClass
+from repro.attacks.injection.arima_attack import ARIMAAttack
+from repro.errors import InjectionError
+from repro.pricing.schemes import TimeOfUsePricing
+
+
+class TestOverReport:
+    def test_stays_within_band(self, injection_context, rng):
+        vector = ARIMAAttack(direction="over").inject(injection_context, rng)
+        assert np.all(vector.reported <= injection_context.band_upper + 1e-12)
+        assert np.all(vector.reported >= injection_context.band_lower - 1e-12)
+
+    def test_classified_1b(self, injection_context, rng):
+        vector = ARIMAAttack(direction="over").inject(injection_context, rng)
+        assert vector.attack_class is AttackClass.CLASS_1B
+
+    def test_steals_energy(self, injection_context, rng):
+        vector = ARIMAAttack(direction="over").inject(injection_context, rng)
+        assert vector.stolen_kwh() > 0
+        assert vector.profit(TimeOfUsePricing()) > 0
+
+    def test_deterministic(self, injection_context):
+        a = ARIMAAttack(direction="over").inject(
+            injection_context, np.random.default_rng(0)
+        )
+        b = ARIMAAttack(direction="over").inject(
+            injection_context, np.random.default_rng(99)
+        )
+        assert np.array_equal(a.reported, b.reported)
+
+    def test_margin_moves_inside_band(self, injection_context, rng):
+        tight = ARIMAAttack(direction="over", margin=0.0).inject(
+            injection_context, rng
+        )
+        safe = ARIMAAttack(direction="over", margin=0.1).inject(
+            injection_context, rng
+        )
+        assert safe.reported.sum() < tight.reported.sum()
+
+
+class TestUnderReport:
+    def test_pins_at_lower_band_or_zero(self, injection_context, rng):
+        vector = ARIMAAttack(direction="under", margin=0.0).inject(
+            injection_context, rng
+        )
+        expected = np.maximum(injection_context.band_lower, 0.0)
+        assert np.allclose(vector.reported, expected)
+
+    def test_classified_2a(self, injection_context, rng):
+        vector = ARIMAAttack(direction="under").inject(injection_context, rng)
+        assert vector.attack_class is AttackClass.CLASS_2A
+
+    def test_steals_energy(self, injection_context, rng):
+        vector = ARIMAAttack(direction="under").inject(injection_context, rng)
+        assert vector.stolen_kwh() > 0
+
+    def test_never_negative(self, injection_context, rng):
+        vector = ARIMAAttack(direction="under").inject(injection_context, rng)
+        assert np.all(vector.reported >= 0)
+
+
+class TestValidation:
+    def test_rejects_bad_direction(self):
+        with pytest.raises(InjectionError):
+            ARIMAAttack(direction="sideways")
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(InjectionError):
+            ARIMAAttack(margin=0.9)
+
+    def test_over_steals_more_than_integrated(self, injection_context, rng):
+        """The ARIMA attack is the stronger 1B realisation — the reason
+        Table III's ARIMA-detector row dwarfs the others."""
+        from repro.attacks.injection.integrated_arima import (
+            IntegratedARIMAAttack,
+        )
+
+        arima_vec = ARIMAAttack(direction="over").inject(injection_context, rng)
+        integrated_vec = IntegratedARIMAAttack(direction="over").inject(
+            injection_context, rng
+        )
+        assert arima_vec.stolen_kwh() > integrated_vec.stolen_kwh()

@@ -1,0 +1,133 @@
+"""Tests for analytic theft bounds, cross-checked against empirical
+attack vectors."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.bounds import (
+    max_over_report_under_band,
+    max_over_report_under_moment_checks,
+    max_swap_profit,
+    max_theft_under_band,
+    max_theft_under_min_average,
+)
+from repro.attacks.injection import (
+    ARIMAAttack,
+    IntegratedARIMAAttack,
+    OptimalSwapAttack,
+)
+from repro.errors import ConfigurationError
+from repro.pricing.schemes import TimeOfUsePricing
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+class TestMinAverageBound:
+    def test_section_vi_a2_arithmetic(self):
+        week = np.full(SLOTS_PER_WEEK, 2.0)
+        # tau = 0.5: hideable demand is 1.5 kW x 336 slots x 0.5 h.
+        bound = max_theft_under_min_average(week, tau=0.5)
+        assert bound == pytest.approx(1.5 * SLOTS_PER_WEEK * 0.5)
+
+    def test_tau_zero_gives_full_consumption(self):
+        """Section VI-A2: 'the maximum electricity Mallory can steal is
+        her typical consumption' when tau = 0."""
+        week = np.full(SLOTS_PER_WEEK, 2.0)
+        bound = max_theft_under_min_average(week, tau=0.0)
+        assert bound == pytest.approx(week.sum() * 0.5)
+
+    def test_consumption_below_tau_steals_nothing(self):
+        week = np.full(SLOTS_PER_WEEK, 0.3)
+        assert max_theft_under_min_average(week, tau=0.5) == 0.0
+
+    def test_rejects_negative_tau(self):
+        with pytest.raises(ConfigurationError):
+            max_theft_under_min_average(np.ones(4), tau=-1.0)
+
+
+class TestBandBounds:
+    def test_arima_under_attack_respects_bound(self, injection_context, rng):
+        vector = ARIMAAttack(direction="under", margin=0.0).inject(
+            injection_context, rng
+        )
+        bound = max_theft_under_band(
+            injection_context.actual_week, injection_context.band_lower
+        )
+        assert vector.stolen_kwh() <= bound + 1e-6
+
+    def test_arima_over_attack_respects_bound(self, injection_context, rng):
+        vector = ARIMAAttack(direction="over", margin=0.0).inject(
+            injection_context, rng
+        )
+        bound = max_over_report_under_band(
+            injection_context.actual_week, injection_context.band_upper
+        )
+        assert vector.stolen_kwh() <= bound + 1e-6
+
+    def test_integrated_attack_respects_both_bounds(
+        self, injection_context, rng
+    ):
+        vector = IntegratedARIMAAttack(direction="over").inject(
+            injection_context, rng
+        )
+        band_bound = max_over_report_under_band(
+            injection_context.actual_week, injection_context.band_upper
+        )
+        moment_bound = max_over_report_under_moment_checks(
+            injection_context.actual_week,
+            float(injection_context.weekly_means.max()),
+            slack=0.05,
+        )
+        assert vector.stolen_kwh() <= band_bound + 1e-6
+        assert vector.stolen_kwh() <= moment_bound + 1e-6
+
+    def test_moment_bound_tighter_than_wide_band(self, injection_context):
+        """The Integrated detector's whole point: its mean check caps the
+        theft far below the raw band allowance."""
+        band_bound = max_over_report_under_band(
+            injection_context.actual_week, injection_context.band_upper
+        )
+        moment_bound = max_over_report_under_moment_checks(
+            injection_context.actual_week,
+            float(injection_context.weekly_means.max()),
+            slack=0.05,
+        )
+        assert moment_bound < band_bound
+
+    def test_rejects_mismatched_band(self):
+        with pytest.raises(ConfigurationError):
+            max_theft_under_band(np.ones(10), np.ones(5))
+
+
+class TestSwapProfitBound:
+    def test_optimal_swap_respects_bound(self, injection_context, rng):
+        tariff = TimeOfUsePricing()
+        vector = OptimalSwapAttack(
+            pricing=tariff, respect_band=False
+        ).inject(injection_context, rng)
+        mask = tariff.peak_mask(SLOTS_PER_WEEK)
+        bound = max_swap_profit(
+            injection_context.actual_week,
+            mask,
+            tariff.peak_rate,
+            tariff.offpeak_rate,
+        )
+        assert vector.profit(tariff) <= bound + 1e-9
+
+    def test_flat_profile_yields_zero_bound(self):
+        tariff = TimeOfUsePricing()
+        week = np.full(SLOTS_PER_WEEK, 1.0)
+        mask = tariff.peak_mask(SLOTS_PER_WEEK)
+        assert max_swap_profit(week, mask, 0.21, 0.18) == pytest.approx(0.0)
+
+    def test_bound_arithmetic_single_day(self):
+        # One big peak reading, everything else zero: ideal reordering
+        # moves it off-peak, saving (0.21-0.18)*value*dt.
+        week = np.zeros(SLOTS_PER_WEEK)
+        week[20] = 4.0  # peak slot
+        mask = TimeOfUsePricing().peak_mask(SLOTS_PER_WEEK)
+        bound = max_swap_profit(week, mask, 0.21, 0.18)
+        assert bound == pytest.approx(4.0 * 0.03 * 0.5)
+
+    def test_rejects_inverted_rates(self):
+        with pytest.raises(ConfigurationError):
+            max_swap_profit(np.ones(4), np.array([True, False, True, False]), 0.1, 0.2)

@@ -1,0 +1,82 @@
+"""Tests for combination attacks (Section VI / VIII-F3 hypothesis)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.classes import AttackClass
+from repro.attacks.injection.arima_attack import ARIMAAttack
+from repro.attacks.injection.combination import CombinationAttack
+from repro.attacks.injection.integrated_arima import IntegratedARIMAAttack
+from repro.attacks.injection.naive import ScalingAttack
+from repro.attacks.injection.optimal_swap import OptimalSwapAttack
+from repro.errors import InjectionError
+from repro.pricing.schemes import TimeOfUsePricing
+
+
+class TestCombination:
+    def test_under_report_plus_swap(self, injection_context, rng):
+        """The paper's suggested 2B+3B combination: under-bill and
+        re-price what remains."""
+        combo = CombinationAttack(
+            [
+                ScalingAttack(factor=0.7),
+                OptimalSwapAttack(respect_band=False),
+            ]
+        )
+        vector = combo.inject(injection_context, rng)
+        tariff = TimeOfUsePricing()
+        under_only = ScalingAttack(factor=0.7).inject(injection_context, rng)
+        # The combination strictly beats the single-stage attack.
+        assert vector.profit(tariff) > under_only.profit(tariff)
+
+    def test_actual_week_preserved(self, injection_context, rng):
+        combo = CombinationAttack(
+            [ScalingAttack(factor=0.5), OptimalSwapAttack(respect_band=False)]
+        )
+        vector = combo.inject(injection_context, rng)
+        assert np.array_equal(vector.actual, injection_context.actual_week)
+
+    def test_class_from_first_stage(self, injection_context, rng):
+        combo = CombinationAttack(
+            [
+                IntegratedARIMAAttack(direction="over"),
+                OptimalSwapAttack(respect_band=False),
+            ]
+        )
+        assert combo.attack_class is AttackClass.CLASS_1B
+
+    def test_description_names_stages(self, injection_context, rng):
+        combo = CombinationAttack(
+            [ScalingAttack(factor=0.5), OptimalSwapAttack(respect_band=False)]
+        )
+        vector = combo.inject(injection_context, rng)
+        assert "Scaling attack" in vector.description
+        assert "Optimal Swap" in vector.description
+
+    def test_swap_stage_preserves_multiset_of_previous_stage(
+        self, injection_context, rng
+    ):
+        combo = CombinationAttack(
+            [ScalingAttack(factor=0.6), OptimalSwapAttack(respect_band=False)]
+        )
+        vector = combo.inject(injection_context, rng)
+        assert np.allclose(
+            np.sort(vector.reported),
+            np.sort(injection_context.actual_week * 0.6),
+        )
+
+    def test_rejects_single_stage(self):
+        with pytest.raises(InjectionError):
+            CombinationAttack([ScalingAttack(factor=0.5)])
+
+    def test_arima_band_combo_stays_in_band(self, injection_context, rng):
+        combo = CombinationAttack(
+            [
+                ARIMAAttack(direction="under"),
+                OptimalSwapAttack(respect_band=True),
+            ]
+        )
+        vector = combo.inject(injection_context, rng)
+        assert np.all(
+            vector.reported <= injection_context.band_upper + 1e-9
+        )

@@ -1,0 +1,96 @@
+"""Unit tests for the Integrated ARIMA attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.classes import AttackClass
+from repro.attacks.injection.integrated_arima import IntegratedARIMAAttack
+from repro.errors import InjectionError
+
+
+class TestOverReport:
+    def test_within_band(self, injection_context, rng):
+        vector = IntegratedARIMAAttack(direction="over").inject(
+            injection_context, rng
+        )
+        assert np.all(
+            vector.reported <= injection_context.band_upper + 1e-9
+        )
+        assert np.all(
+            vector.reported >= np.maximum(injection_context.band_lower, 0.0) - 1e-9
+        )
+
+    def test_weekly_mean_within_training_range(self, injection_context, rng):
+        """The attack's moment-evasion property: the injected week's mean
+        must not exceed the maximum training weekly mean (the Integrated
+        detector's upper check)."""
+        means = injection_context.weekly_means
+        for _ in range(10):
+            vector = IntegratedARIMAAttack(direction="over").inject(
+                injection_context, rng
+            )
+            assert vector.reported.mean() <= means.max() * 1.05
+
+    def test_classified_1b(self, injection_context, rng):
+        vector = IntegratedARIMAAttack(direction="over").inject(
+            injection_context, rng
+        )
+        assert vector.attack_class is AttackClass.CLASS_1B
+
+    def test_stochastic_vectors_differ(self, injection_context, rng):
+        attack = IntegratedARIMAAttack(direction="over")
+        vectors = attack.inject_many(injection_context, rng, count=3)
+        assert not np.array_equal(vectors[0].reported, vectors[1].reported)
+        assert not np.array_equal(vectors[1].reported, vectors[2].reported)
+
+    def test_reproducible_with_seed(self, injection_context):
+        attack = IntegratedARIMAAttack(direction="over")
+        a = attack.inject(injection_context, np.random.default_rng(5))
+        b = attack.inject(injection_context, np.random.default_rng(5))
+        assert np.array_equal(a.reported, b.reported)
+
+
+class TestUnderReport:
+    def test_mean_near_minimum_training_mean(self, injection_context, rng):
+        means = injection_context.weekly_means
+        vector = IntegratedARIMAAttack(direction="under").inject(
+            injection_context, rng
+        )
+        # Truncation can shift the realised mean, but it must sit near or
+        # below the smallest training mean, never near the maximum.
+        assert vector.reported.mean() < means.mean()
+
+    def test_steals_energy(self, injection_context, rng):
+        vector = IntegratedARIMAAttack(direction="under").inject(
+            injection_context, rng
+        )
+        assert vector.stolen_kwh() > 0
+
+    def test_under_mean_near_minimum_target(self, injection_context, rng):
+        """With mean matching, the injected week's mean lands on the
+        minimum training weekly mean whenever the band allows it."""
+        means = injection_context.weekly_means
+        vector = IntegratedARIMAAttack(direction="under").inject(
+            injection_context, rng
+        )
+        assert vector.reported.mean() <= means.min() * 1.1
+
+
+class TestValidation:
+    def test_rejects_bad_direction(self):
+        with pytest.raises(InjectionError):
+            IntegratedARIMAAttack(direction="both")
+
+    def test_rejects_bad_sigma_scale(self):
+        with pytest.raises(InjectionError):
+            IntegratedARIMAAttack(sigma_scale=0.0)
+
+    def test_inject_many_count_validated(self, injection_context, rng):
+        with pytest.raises(InjectionError):
+            IntegratedARIMAAttack().inject_many(injection_context, rng, count=0)
+
+    def test_inject_many_length(self, injection_context, rng):
+        vectors = IntegratedARIMAAttack().inject_many(
+            injection_context, rng, count=7
+        )
+        assert len(vectors) == 7

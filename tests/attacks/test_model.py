@@ -1,0 +1,126 @@
+"""Unit tests for Propositions 1 and 2 as executable checks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.model import (
+    balance_check_holds,
+    proposition1_witnesses,
+    proposition2_witnesses,
+    verify_proposition1,
+    verify_proposition2,
+)
+from repro.errors import ConfigurationError
+from repro.pricing.schemes import FlatRatePricing, TimeOfUsePricing
+
+
+class TestProposition1:
+    def test_witnesses_found_under_theft(self):
+        actual = np.array([2.0, 3.0, 2.0])
+        reported = np.array([2.0, 1.0, 2.0])
+        witnesses = proposition1_witnesses(actual, reported)
+        assert witnesses.tolist() == [1]
+
+    def test_holds_for_any_theft(self, rng):
+        """Randomised check: whenever profit > 0, a witness exists."""
+        for _ in range(100):
+            actual = rng.uniform(0, 3, size=20)
+            reported = rng.uniform(0, 3, size=20)
+            assert verify_proposition1(actual, reported, FlatRatePricing(0.2))
+
+    def test_holds_vacuously_without_theft(self):
+        actual = np.array([1.0, 1.0])
+        reported = np.array([2.0, 2.0])  # over-reporting: no theft
+        assert verify_proposition1(actual, reported, FlatRatePricing())
+
+    def test_holds_under_tou(self, rng):
+        tariff = TimeOfUsePricing()
+        for _ in range(50):
+            actual = rng.uniform(0, 3, size=48)
+            reported = rng.uniform(0, 3, size=48)
+            assert verify_proposition1(actual, reported, tariff)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ConfigurationError):
+            proposition1_witnesses(np.ones(2), np.ones(3))
+
+
+class TestBalanceCheck:
+    def test_balanced_attack(self):
+        attacker_actual = np.array([5.0, 5.0])
+        attacker_reported = np.array([2.0, 2.0])
+        neighbours_actual = {"n1": np.array([1.0, 1.0])}
+        neighbours_reported = {"n1": np.array([4.0, 4.0])}
+        assert balance_check_holds(
+            attacker_actual,
+            attacker_reported,
+            neighbours_actual,
+            neighbours_reported,
+        )
+
+    def test_unbalanced_attack(self):
+        assert not balance_check_holds(
+            np.array([5.0]),
+            np.array([2.0]),
+            {"n1": np.array([1.0])},
+            {"n1": np.array([1.0])},
+        )
+
+
+class TestProposition2:
+    def test_witnesses_identify_victim(self):
+        neighbours_actual = {"n1": np.array([1.0, 1.0]), "n2": np.array([2.0, 2.0])}
+        neighbours_reported = {"n1": np.array([1.0, 3.0]), "n2": np.array([2.0, 2.0])}
+        witnesses = proposition2_witnesses(neighbours_actual, neighbours_reported)
+        assert set(witnesses) == {"n1"}
+        assert witnesses["n1"].tolist() == [1]
+
+    def test_holds_for_balanced_theft(self):
+        attacker_actual = np.array([5.0, 6.0])
+        attacker_reported = np.array([2.0, 2.0])
+        neighbours_actual = {"n1": np.array([1.0, 1.0])}
+        neighbours_reported = {"n1": np.array([4.0, 5.0])}
+        assert verify_proposition2(
+            attacker_actual,
+            attacker_reported,
+            neighbours_actual,
+            neighbours_reported,
+            FlatRatePricing(0.2),
+        )
+
+    def test_randomised_balanced_thefts_always_have_witness(self, rng):
+        """Construct balanced thefts and confirm a neighbour is always
+        over-reported, as Proposition 2 demands."""
+        for _ in range(50):
+            attacker_actual = rng.uniform(1, 3, size=10)
+            steal = rng.uniform(0.1, 1.0, size=10)
+            attacker_reported = np.maximum(attacker_actual - steal, 0.0)
+            delta = attacker_actual - attacker_reported
+            neighbours_actual = {"n1": rng.uniform(1, 2, size=10)}
+            neighbours_reported = {"n1": neighbours_actual["n1"] + delta}
+            assert verify_proposition2(
+                attacker_actual,
+                attacker_reported,
+                neighbours_actual,
+                neighbours_reported,
+                FlatRatePricing(0.2),
+            )
+            witnesses = proposition2_witnesses(
+                neighbours_actual, neighbours_reported
+            )
+            assert "n1" in witnesses
+
+    def test_vacuous_when_unbalanced(self):
+        assert verify_proposition2(
+            np.array([5.0]),
+            np.array([2.0]),
+            {"n1": np.array([1.0])},
+            {"n1": np.array([1.0])},  # no over-report, but also unbalanced
+            FlatRatePricing(0.2),
+        )
+
+    def test_rejects_mismatched_neighbour_sets(self):
+        with pytest.raises(ConfigurationError):
+            proposition2_witnesses(
+                {"n1": np.ones(2)}, {"n2": np.ones(2)}
+            )

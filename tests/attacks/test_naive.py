@@ -1,0 +1,53 @@
+"""Unit tests for naive baseline attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.classes import AttackClass
+from repro.attacks.injection.naive import ScalingAttack, ZeroReportAttack
+from repro.errors import InjectionError
+
+
+class TestZeroReport:
+    def test_all_zero(self, injection_context, rng):
+        vector = ZeroReportAttack().inject(injection_context, rng)
+        assert np.all(vector.reported == 0.0)
+
+    def test_maximises_theft(self, injection_context, rng):
+        vector = ZeroReportAttack().inject(injection_context, rng)
+        assert vector.stolen_kwh() == pytest.approx(
+            injection_context.actual_week.sum() * 0.5
+        )
+
+    def test_trivially_detected_by_minimum_average(
+        self, injection_context, rng
+    ):
+        """The paper's point: maximal attacks are easy to catch."""
+        from repro.detectors.threshold import MinimumAverageDetector
+
+        detector = MinimumAverageDetector().fit(injection_context.train_matrix)
+        vector = ZeroReportAttack().inject(injection_context, rng)
+        assert detector.flags(vector.reported)
+
+
+class TestScaling:
+    def test_under_scaling_is_2a(self, injection_context, rng):
+        attack = ScalingAttack(factor=0.5)
+        assert attack.attack_class is AttackClass.CLASS_2A
+        vector = attack.inject(injection_context, rng)
+        assert np.allclose(vector.reported, vector.actual * 0.5)
+        assert vector.stolen_kwh() > 0
+
+    def test_over_scaling_is_1b(self, injection_context, rng):
+        attack = ScalingAttack(factor=1.5)
+        assert attack.attack_class is AttackClass.CLASS_1B
+        vector = attack.inject(injection_context, rng)
+        assert vector.stolen_kwh() > 0
+
+    def test_rejects_identity_factor(self):
+        with pytest.raises(InjectionError):
+            ScalingAttack(factor=1.0)
+
+    def test_rejects_negative_factor(self):
+        with pytest.raises(InjectionError):
+            ScalingAttack(factor=-0.5)

@@ -1,0 +1,110 @@
+"""Unit tests for the Optimal Swap attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.classes import AttackClass
+from repro.attacks.injection.optimal_swap import OptimalSwapAttack
+from repro.errors import InjectionError
+from repro.pricing.schemes import TimeOfUsePricing
+from repro.timeseries.seasonal import SLOTS_PER_DAY
+
+
+class TestDistributionInvariance:
+    """The attack's defining property: only temporal ordering changes."""
+
+    def test_multiset_of_readings_preserved(self, injection_context, rng):
+        vector = OptimalSwapAttack().inject(injection_context, rng)
+        assert np.allclose(
+            np.sort(vector.reported), np.sort(vector.actual)
+        )
+
+    def test_weekly_mean_and_variance_unchanged(self, injection_context, rng):
+        vector = OptimalSwapAttack().inject(injection_context, rng)
+        assert vector.reported.mean() == pytest.approx(vector.actual.mean())
+        assert vector.reported.var() == pytest.approx(vector.actual.var())
+
+    def test_no_energy_stolen(self, injection_context, rng):
+        vector = OptimalSwapAttack().inject(injection_context, rng)
+        assert vector.stolen_kwh() == 0.0
+
+    def test_profit_positive(self, injection_context, rng):
+        vector = OptimalSwapAttack(respect_band=False).inject(
+            injection_context, rng
+        )
+        assert vector.profit(TimeOfUsePricing()) > 0
+
+
+class TestSwapMechanics:
+    def test_daily_totals_preserved(self, injection_context, rng):
+        vector = OptimalSwapAttack().inject(injection_context, rng)
+        for day in range(7):
+            s = slice(day * SLOTS_PER_DAY, (day + 1) * SLOTS_PER_DAY)
+            assert vector.reported[s].sum() == pytest.approx(
+                vector.actual[s].sum()
+            )
+
+    def test_reported_peak_consumption_decreases(self, injection_context, rng):
+        tariff = TimeOfUsePricing()
+        vector = OptimalSwapAttack(
+            pricing=tariff, respect_band=False
+        ).inject(injection_context, rng)
+        mask = tariff.peak_mask(vector.reported.size)
+        assert vector.reported[mask].sum() < vector.actual[mask].sum()
+
+    def test_unprofitable_swaps_skipped(self, rng, injection_context):
+        """If off-peak readings already exceed peak ones, no swap happens."""
+        context = injection_context
+        week = np.concatenate(
+            [
+                np.concatenate([np.full(18, 5.0), np.full(30, 0.1)])
+                for _ in range(7)
+            ]
+        )
+        from repro.attacks.injection.base import InjectionContext
+
+        ctx = InjectionContext(
+            train_matrix=context.train_matrix,
+            actual_week=week,
+            band_lower=np.zeros_like(week),
+            band_upper=np.full_like(week, 100.0),
+        )
+        vector = OptimalSwapAttack(respect_band=False).inject(ctx, rng)
+        assert np.array_equal(vector.reported, week)
+
+    def test_respect_band_limits_swaps(self, injection_context, rng):
+        free = OptimalSwapAttack(respect_band=False).inject(
+            injection_context, rng
+        )
+        limited = OptimalSwapAttack(respect_band=True).inject(
+            injection_context, rng
+        )
+        tariff = TimeOfUsePricing()
+        assert limited.profit(tariff) <= free.profit(tariff) + 1e-9
+
+    def test_classified_3a(self, injection_context, rng):
+        vector = OptimalSwapAttack().inject(injection_context, rng)
+        assert vector.attack_class is AttackClass.CLASS_3A
+
+    def test_rejects_non_tou_pricing(self):
+        from repro.pricing.schemes import FlatRatePricing
+
+        with pytest.raises(InjectionError):
+            OptimalSwapAttack(pricing=FlatRatePricing())
+
+
+class TestDetectability:
+    def test_plain_kld_blind_to_swap(self, injection_context, rng):
+        """Section VIII-F3: the unconditioned KLD detector cannot see a
+        pure reordering."""
+        from repro.core.kld import KLDDetector
+
+        detector = KLDDetector(significance=0.05).fit(
+            injection_context.train_matrix
+        )
+        vector = OptimalSwapAttack(respect_band=False).inject(
+            injection_context, rng
+        )
+        assert detector.divergence_of(vector.reported) == pytest.approx(
+            detector.divergence_of(vector.actual)
+        )

@@ -1,0 +1,88 @@
+"""Unit tests for the attack classification engine."""
+
+import pytest
+
+from repro.attacks.classes import AttackClass
+from repro.attacks.taxonomy import (
+    AttackDescriptor,
+    classify_attack,
+    render_table_i,
+)
+from repro.errors import ConfigurationError
+
+
+class TestClassification:
+    def test_class_1a(self):
+        descriptor = AttackDescriptor(increases_consumption=True)
+        assert classify_attack(descriptor) is AttackClass.CLASS_1A
+
+    def test_class_1b(self):
+        descriptor = AttackDescriptor(
+            increases_consumption=True, over_reports_neighbour=True
+        )
+        assert classify_attack(descriptor) is AttackClass.CLASS_1B
+
+    def test_class_2a(self):
+        descriptor = AttackDescriptor(under_reports_own_readings=True)
+        assert classify_attack(descriptor) is AttackClass.CLASS_2A
+
+    def test_class_2b(self):
+        descriptor = AttackDescriptor(
+            under_reports_own_readings=True, over_reports_neighbour=True
+        )
+        assert classify_attack(descriptor) is AttackClass.CLASS_2B
+
+    def test_class_3a(self):
+        descriptor = AttackDescriptor(shifts_reported_load=True)
+        assert classify_attack(descriptor) is AttackClass.CLASS_3A
+
+    def test_class_3b(self):
+        descriptor = AttackDescriptor(
+            shifts_reported_load=True, over_reports_neighbour=True
+        )
+        assert classify_attack(descriptor) is AttackClass.CLASS_3B
+
+    def test_class_4b(self):
+        descriptor = AttackDescriptor(
+            compromises_price_signal=True, over_reports_neighbour=True
+        )
+        assert classify_attack(descriptor) is AttackClass.CLASS_4B
+
+    def test_price_attack_without_neighbour_is_invalid(self):
+        with pytest.raises(ConfigurationError):
+            classify_attack(AttackDescriptor(compromises_price_signal=True))
+
+    def test_empty_descriptor_not_an_attack(self):
+        with pytest.raises(ConfigurationError):
+            classify_attack(AttackDescriptor())
+
+    def test_combined_primitives_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_attack(
+                AttackDescriptor(
+                    increases_consumption=True,
+                    under_reports_own_readings=True,
+                )
+            )
+
+
+class TestRenderTableI:
+    def test_contains_all_classes(self):
+        text = render_table_i()
+        for label in ("1A", "2A", "3A", "1B", "2B", "3B", "4B"):
+            assert label in text
+
+    def test_contains_all_rows(self):
+        text = render_table_i()
+        assert "Balance Check" in text
+        assert "Flat Rate" in text
+        assert "TOU" in text
+        assert "RTP" in text
+        assert "ADR" in text
+
+    def test_row_values_match_paper(self):
+        lines = render_table_i().splitlines()
+        balance_line = next(l for l in lines if "Balance Check" in l)
+        # Classes are ordered 1A 2A 3A 1B 2B 3B 4B: N N N Y Y Y Y.
+        cells = balance_line.split()[-7:]
+        assert cells == ["N", "N", "N", "Y", "Y", "Y", "Y"]

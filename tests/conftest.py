@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import SmartMeterDataset
+from repro.data.synthetic import SyntheticCERConfig, generate_cer_like_dataset
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> SmartMeterDataset:
+    """A quick 6-consumer, 20-week dataset for unit tests."""
+    return generate_cer_like_dataset(
+        SyntheticCERConfig(n_consumers=6, n_weeks=20, seed=11)
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_dataset() -> SmartMeterDataset:
+    """A paper-shaped dataset: 74 weeks, 60 training, 10 consumers."""
+    return generate_cer_like_dataset(
+        SyntheticCERConfig(n_consumers=10, n_weeks=74, seed=5)
+    )
+
+
+@pytest.fixture(scope="session")
+def train_matrix(paper_dataset: SmartMeterDataset) -> np.ndarray:
+    """One consumer's 60-week training matrix."""
+    cid = paper_dataset.consumers()[0]
+    return paper_dataset.train_matrix(cid)
+
+
+def make_week(
+    rng: np.random.Generator, mean: float = 1.0, sigma: float = 0.3
+) -> np.ndarray:
+    """A synthetic 336-slot week of lognormal readings."""
+    return rng.lognormal(np.log(max(mean, 1e-6)), sigma, size=SLOTS_PER_WEEK)
+
+
+@pytest.fixture(scope="session")
+def injection_context(paper_dataset: SmartMeterDataset):
+    """A realistic attack context: 60 training weeks + a replicated band."""
+    from repro.attacks.injection.base import InjectionContext
+    from repro.detectors.arima_detector import ARIMADetector
+
+    cid = paper_dataset.consumers()[0]
+    train = paper_dataset.train_matrix(cid)
+    actual_week = paper_dataset.test_matrix(cid)[0]
+    arima = ARIMADetector(max_violations=16).fit(train)
+    lower, upper = arima.confidence_band()
+    return InjectionContext(
+        train_matrix=train,
+        actual_week=actual_week,
+        band_lower=lower,
+        band_upper=upper,
+    )

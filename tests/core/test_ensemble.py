@@ -1,0 +1,82 @@
+"""Tests for the layered detector ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import LayeredDetector
+from repro.core.kld import KLDDetector
+from repro.detectors.arima_detector import ARIMADetector
+from repro.detectors.integrated_arima import IntegratedARIMADetector
+from repro.detectors.threshold import MinimumAverageDetector
+from repro.errors import ConfigurationError
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+@pytest.fixture(scope="module")
+def layered(train_matrix):
+    arima = ARIMADetector(max_violations=16)
+    return LayeredDetector(
+        [
+            arima,
+            IntegratedARIMADetector(arima=arima),
+            KLDDetector(significance=0.05),
+        ]
+    ).fit(train_matrix)
+
+
+class TestLayeredDetector:
+    def test_flags_when_any_member_flags(self, layered, train_matrix):
+        """Zero week: the moment checks and KLD both fire."""
+        assert layered.flags(np.zeros(SLOTS_PER_WEEK))
+
+    def test_normal_week_passes_all_layers(self, layered, paper_dataset):
+        cid = paper_dataset.consumers()[0]
+        week = paper_dataset.test_matrix(cid)[0]
+        result = layered.score_week(week)
+        # A clean week usually passes; when it does, no member fired.
+        if not result.flagged:
+            assert result.detail == "no member fired"
+
+    def test_member_results_exposed(self, layered, train_matrix):
+        results = layered.member_results(train_matrix[0])
+        assert len(results) == 3
+        assert any("KLD" in name for name in results)
+
+    def test_detail_names_firing_member(self, layered, train_matrix):
+        result = layered.score_week(train_matrix[0] * 5.0)
+        assert result.flagged
+        assert "fired:" in result.detail
+
+    def test_layering_dominates_each_member(self, layered, train_matrix, rng):
+        """The paper's 'additional layer' argument: the ensemble detects
+        at least whatever its strongest member detects."""
+        from repro.attacks.injection.base import InjectionContext
+        from repro.attacks.injection.integrated_arima import (
+            IntegratedARIMAAttack,
+        )
+
+        arima = layered.members[0]
+        lower, upper = arima.confidence_band()
+        context = InjectionContext(
+            train_matrix=train_matrix,
+            actual_week=train_matrix[-1],
+            band_lower=lower,
+            band_upper=upper,
+        )
+        vector = IntegratedARIMAAttack(direction="over").inject(context, rng)
+        member_flags = [m.flags(vector.reported) for m in layered.members]
+        assert layered.flags(vector.reported) == any(member_flags)
+
+    def test_rejects_empty_member_list(self):
+        with pytest.raises(ConfigurationError):
+            LayeredDetector([])
+
+    def test_prefit_members_not_refit(self, train_matrix):
+        member = MinimumAverageDetector().fit(train_matrix)
+        tau_before = member.tau
+        LayeredDetector([member]).fit(train_matrix)
+        assert member.tau == tau_before
+
+    def test_name_lists_members(self, layered):
+        assert "ARIMA detector" in layered.name
+        assert "KLD" in layered.name

@@ -1,0 +1,197 @@
+"""Tests for the online theft-monitoring service."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import AnomalyNature
+from repro.core.kld import KLDDetector
+from repro.core.online import TheftMonitoringService
+from repro.errors import ConfigurationError, DataError
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+def _make_service(**kwargs):
+    defaults = dict(
+        detector_factory=lambda: KLDDetector(significance=0.05),
+        min_training_weeks=6,
+        retrain_every_weeks=4,
+    )
+    defaults.update(kwargs)
+    return TheftMonitoringService(**defaults)
+
+
+def _feed_week(service, weeks, week_index, transform=None):
+    """Feed one week of per-consumer readings into the service."""
+    report = None
+    for slot in range(SLOTS_PER_WEEK):
+        cycle = {}
+        for cid, series in weeks.items():
+            value = float(series[week_index * SLOTS_PER_WEEK + slot])
+            if transform is not None:
+                value = transform(cid, value)
+            cycle[cid] = value
+        report = service.ingest_cycle(cycle)
+    return report
+
+
+@pytest.fixture(scope="module")
+def consumer_series(paper_dataset):
+    ids = paper_dataset.consumers()[:3]
+    return {cid: paper_dataset.series(cid) for cid in ids}
+
+
+class TestLifecycle:
+    def test_untrained_until_min_weeks(self, consumer_series):
+        service = _make_service()
+        for week in range(5):
+            _feed_week(service, consumer_series, week)
+        assert not service.is_trained
+        _feed_week(service, consumer_series, 5)
+        assert service.is_trained
+        assert service.weeks_completed == 6
+
+    def test_mid_week_cycles_return_none(self, consumer_series):
+        service = _make_service()
+        cycle = {cid: 1.0 for cid in consumer_series}
+        assert service.ingest_cycle(cycle) is None
+
+    def test_reports_accumulate(self, consumer_series):
+        service = _make_service()
+        for week in range(8):
+            _feed_week(service, consumer_series, week)
+        assert len(service.reports) == 8
+
+    def test_rejects_empty_cycle(self):
+        service = _make_service()
+        with pytest.raises(DataError):
+            service.ingest_cycle({})
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            _make_service(min_training_weeks=1)
+        with pytest.raises(ConfigurationError):
+            _make_service(retrain_every_weeks=0)
+
+    def test_rejects_population_drift(self):
+        """A cycle missing a consumer would desynchronise the store;
+        the service must reject it loudly."""
+        service = _make_service()
+        service.ingest_cycle({"a": 1.0, "b": 2.0})
+        with pytest.raises(DataError):
+            service.ingest_cycle({"a": 1.0})
+        with pytest.raises(DataError):
+            service.ingest_cycle({"a": 1.0, "b": 2.0, "ghost": 3.0})
+        # A matching cycle is still accepted afterwards.
+        assert service.ingest_cycle({"a": 1.0, "b": 2.0}) is None
+
+
+class TestAlertAndReportValueObjects:
+    def test_quiet_report(self):
+        from repro.core.online import MonitoringReport
+
+        assert MonitoringReport(week_index=0).quiet
+        assert not MonitoringReport(
+            week_index=0, balance_failures=("N1",)
+        ).quiet
+
+    def test_severity_in_threshold_units(self):
+        from repro.core.framework import AnomalyNature
+        from repro.core.online import TheftAlert
+
+        alert = TheftAlert(
+            week_index=1,
+            consumer_id="c",
+            nature=AnomalyNature.SUSPECTED_VICTIM,
+            score=0.3,
+            threshold=0.1,
+            balance_check_failed=False,
+        )
+        assert alert.severity == pytest.approx(3.0)
+
+    def test_severity_with_zero_threshold(self):
+        from repro.core.framework import AnomalyNature
+        from repro.core.online import TheftAlert
+
+        alert = TheftAlert(
+            week_index=1,
+            consumer_id="c",
+            nature=AnomalyNature.SUSPECTED_ATTACKER,
+            score=5.0,
+            threshold=0.0,
+            balance_check_failed=True,
+        )
+        assert alert.severity == 5.0
+
+
+class TestDetectionInOperation:
+    def test_quiet_on_normal_weeks(self, consumer_series):
+        service = _make_service(min_training_weeks=8)
+        alerts = 0
+        for week in range(12):
+            report = _feed_week(service, consumer_series, week)
+            if report is not None:
+                alerts += len(report.alerts)
+        # Natural anomalies may fire occasionally; sustained quiet
+        # operation is the norm.
+        assert alerts <= 6
+
+    def test_victim_alert_on_over_report(self, consumer_series):
+        service = _make_service(min_training_weeks=8)
+        ids = list(consumer_series)
+        victim = ids[0]
+        for week in range(10):
+            _feed_week(service, consumer_series, week)
+        report = _feed_week(
+            service,
+            consumer_series,
+            10,
+            transform=lambda cid, v: v * 4.0 if cid == victim else v,
+        )
+        assert report is not None
+        flagged = {alert.consumer_id for alert in report.alerts}
+        assert victim in flagged
+        assert victim in service.suspected_victims()
+
+    def test_attacker_alert_on_under_report(self, consumer_series):
+        service = _make_service(min_training_weeks=8)
+        ids = list(consumer_series)
+        mallory = ids[1]
+        for week in range(10):
+            _feed_week(service, consumer_series, week)
+        report = _feed_week(
+            service,
+            consumer_series,
+            10,
+            transform=lambda cid, v: v * 0.05 if cid == mallory else v,
+        )
+        assert report is not None
+        assert mallory in service.suspected_attackers()
+        alert = service.alerts_for(mallory)[0]
+        assert alert.nature is AnomalyNature.SUSPECTED_ATTACKER
+        assert alert.severity > 1.0
+
+    def test_attacked_weeks_quarantined_from_retraining(self, consumer_series):
+        """An ongoing attack must not poison its own detector: the
+        flagged week is excluded from the retraining data."""
+        service = _make_service(min_training_weeks=8, retrain_every_weeks=1)
+        ids = list(consumer_series)
+        victim = ids[0]
+        for week in range(10):
+            _feed_week(service, consumer_series, week)
+        _feed_week(
+            service,
+            consumer_series,
+            10,
+            transform=lambda cid, v: v * 4.0 if cid == victim else v,
+        )
+        quarantined = service._quarantined_weeks.get(victim, set())
+        assert 10 in quarantined
+        # The retrained detector still flags a repeat of the attack.
+        report = _feed_week(
+            service,
+            consumer_series,
+            11,
+            transform=lambda cid, v: v * 4.0 if cid == victim else v,
+        )
+        assert report is not None
+        assert victim in {a.consumer_id for a in report.alerts}

@@ -1,0 +1,80 @@
+"""Unit tests for consumer profiles."""
+
+import numpy as np
+import pytest
+
+from repro.data.consumers import (
+    CER_TYPE_FRACTIONS,
+    ConsumerProfile,
+    ConsumerType,
+    sample_profile,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConsumerProfile:
+    def test_valid_profile(self):
+        profile = ConsumerProfile(
+            consumer_id="1000", kind=ConsumerType.RESIDENTIAL, scale_kw=1.0
+        )
+        assert profile.scale_kw == 1.0
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(ConfigurationError):
+            ConsumerProfile(
+                consumer_id="", kind=ConsumerType.SME, scale_kw=1.0
+            )
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ConfigurationError):
+            ConsumerProfile(
+                consumer_id="x", kind=ConsumerType.SME, scale_kw=0.0
+            )
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ConfigurationError):
+            ConsumerProfile(
+                consumer_id="x",
+                kind=ConsumerType.SME,
+                scale_kw=1.0,
+                vacation_rate=1.5,
+            )
+
+
+class TestSampleProfile:
+    def test_sme_larger_than_residential_on_average(self, rng):
+        res = [
+            sample_profile(f"r{i}", ConsumerType.RESIDENTIAL, rng).scale_kw
+            for i in range(200)
+        ]
+        sme = [
+            sample_profile(f"s{i}", ConsumerType.SME, rng).scale_kw
+            for i in range(200)
+        ]
+        assert np.mean(sme) > 2 * np.mean(res)
+
+    def test_heavy_tail_exists(self, rng):
+        scales = [
+            sample_profile(f"c{i}", ConsumerType.SME, rng).scale_kw
+            for i in range(500)
+        ]
+        assert max(scales) > 5 * np.median(scales)
+
+    def test_deterministic_given_rng_state(self):
+        a = sample_profile("c", ConsumerType.RESIDENTIAL, np.random.default_rng(4))
+        b = sample_profile("c", ConsumerType.RESIDENTIAL, np.random.default_rng(4))
+        assert a == b
+
+
+class TestCERFractions:
+    def test_fractions_sum_to_one(self):
+        assert sum(CER_TYPE_FRACTIONS.values()) == pytest.approx(1.0)
+
+    def test_matches_paper_counts(self):
+        assert CER_TYPE_FRACTIONS[ConsumerType.RESIDENTIAL] == pytest.approx(
+            404 / 500
+        )
+        assert CER_TYPE_FRACTIONS[ConsumerType.SME] == pytest.approx(36 / 500)
+        assert CER_TYPE_FRACTIONS[ConsumerType.UNCLASSIFIED] == pytest.approx(
+            60 / 500
+        )

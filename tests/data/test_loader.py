@@ -1,0 +1,108 @@
+"""Unit tests for the CER-format reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import (
+    _format_timecode,
+    _parse_timecode,
+    load_cer_file,
+    save_cer_file,
+)
+from repro.data.synthetic import SyntheticCERConfig, generate_cer_like_dataset
+from repro.errors import DataError
+
+
+class TestTimecodes:
+    def test_parse(self):
+        assert _parse_timecode("19503") == (195, 2)
+
+    def test_format_roundtrip(self):
+        for day, slot in [(0, 0), (195, 2), (517, 47)]:
+            code = _format_timecode(day, slot)
+            assert _parse_timecode(code) == (day, slot)
+
+    def test_rejects_malformed(self):
+        with pytest.raises(DataError):
+            _parse_timecode("1234")
+        with pytest.raises(DataError):
+            _parse_timecode("abcde")
+        with pytest.raises(DataError):
+            _parse_timecode("00160")  # slot 60 invalid
+
+    def test_rejects_out_of_range_format(self):
+        with pytest.raises(DataError):
+            _format_timecode(1000, 0)
+        with pytest.raises(DataError):
+            _format_timecode(0, 48)
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_readings(self, tmp_path):
+        dataset = generate_cer_like_dataset(
+            SyntheticCERConfig(n_consumers=3, n_weeks=4, seed=8)
+        )
+        path = tmp_path / "cer.txt"
+        save_cer_file(dataset, path)
+        loaded = load_cer_file(path, train_weeks=dataset.train_weeks)
+        assert set(loaded.consumers()) == set(dataset.consumers())
+        for cid in dataset.consumers():
+            assert np.allclose(
+                loaded.series(cid), dataset.series(cid), atol=1e-4
+            )
+
+    def test_load_converts_kwh_to_kw(self, tmp_path):
+        path = tmp_path / "mini.txt"
+        lines = []
+        # Two weeks of constant 0.5 kWh per half-hour = 1 kW.
+        for day in range(14):
+            for slot in range(48):
+                lines.append(f"9001 {day:03d}{slot + 1:02d} 0.5")
+        path.write_text("\n".join(lines))
+        ds = load_cer_file(path, train_weeks=1)
+        assert np.allclose(ds.series("9001"), 1.0)
+
+    def test_gappy_consumer_dropped(self, tmp_path):
+        path = tmp_path / "gap.txt"
+        lines = []
+        for day in range(14):
+            for slot in range(48):
+                lines.append(f"9001 {day:03d}{slot + 1:02d} 0.5")
+                if not (day == 3 and slot == 10):  # 9002 has one gap
+                    lines.append(f"9002 {day:03d}{slot + 1:02d} 0.5")
+        path.write_text("\n".join(lines))
+        ds = load_cer_file(path, train_weeks=1)
+        assert ds.consumers() == ("9001",)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "c.txt"
+        lines = ["# header", ""]
+        for day in range(14):
+            for slot in range(48):
+                lines.append(f"9001 {day:03d}{slot + 1:02d} 0.25")
+        path.write_text("\n".join(lines))
+        ds = load_cer_file(path, train_weeks=1)
+        assert np.allclose(ds.series("9001"), 0.5)
+
+    def test_missing_file(self):
+        with pytest.raises(DataError):
+            load_cer_file("/nonexistent/file.txt")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("9001 00101\n")
+        with pytest.raises(DataError):
+            load_cer_file(path)
+
+    def test_negative_reading_rejected(self, tmp_path):
+        path = tmp_path / "neg.txt"
+        path.write_text("9001 00101 -0.5\n")
+        with pytest.raises(DataError):
+            load_cer_file(path)
+
+    def test_too_short_record_rejected(self, tmp_path):
+        path = tmp_path / "short.txt"
+        lines = [f"9001 000{slot + 1:02d} 0.5" for slot in range(48)]
+        path.write_text("\n".join(lines))
+        with pytest.raises(DataError):
+            load_cer_file(path)

@@ -1,0 +1,117 @@
+"""Tests for raw-data preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.data.preprocessing import (
+    clip_spikes,
+    detect_stuck_meter,
+    interpolate_gaps,
+    preprocess_series,
+)
+from repro.errors import ConfigurationError, DataError
+
+
+class TestInterpolateGaps:
+    def test_fills_short_gap_linearly(self):
+        series = np.array([1.0, np.nan, np.nan, 4.0])
+        out = interpolate_gaps(series, max_gap=3)
+        assert np.allclose(out, [1.0, 2.0, 3.0, 4.0])
+
+    def test_leaves_long_gap(self):
+        series = np.array([1.0, np.nan, np.nan, np.nan, 5.0])
+        out = interpolate_gaps(series, max_gap=2)
+        assert np.isnan(out[1:4]).all()
+
+    def test_leading_gap_backfilled(self):
+        series = np.array([np.nan, np.nan, 3.0, 4.0])
+        out = interpolate_gaps(series, max_gap=2)
+        assert np.allclose(out, [3.0, 3.0, 3.0, 4.0])
+
+    def test_trailing_gap_forward_filled(self):
+        series = np.array([1.0, 2.0, np.nan])
+        out = interpolate_gaps(series, max_gap=2)
+        assert np.allclose(out, [1.0, 2.0, 2.0])
+
+    def test_no_gaps_is_identity(self, rng):
+        series = rng.uniform(0, 2, size=50)
+        assert np.array_equal(interpolate_gaps(series), series)
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(DataError):
+            interpolate_gaps(np.array([np.nan, np.nan]))
+
+    def test_rejects_bad_max_gap(self):
+        with pytest.raises(ConfigurationError):
+            interpolate_gaps(np.array([1.0]), max_gap=0)
+
+
+class TestClipSpikes:
+    def test_clips_extreme_spike(self, rng):
+        series = rng.uniform(0.5, 1.5, size=1000)
+        series[10] = 500.0
+        out = clip_spikes(series, max_multiple_of_p99=3.0)
+        assert out[10] < 10.0
+        assert np.array_equal(out[:10], series[:10])
+
+    def test_normal_data_untouched(self, rng):
+        series = rng.uniform(0.5, 1.5, size=1000)
+        assert np.array_equal(clip_spikes(series), series)
+
+    def test_rejects_bad_multiple(self):
+        with pytest.raises(ConfigurationError):
+            clip_spikes(np.ones(10), max_multiple_of_p99=1.0)
+
+
+class TestStuckMeter:
+    def test_detects_plateau(self, rng):
+        series = rng.uniform(0.5, 1.5, size=500)
+        series[100:160] = 0.777
+        hit = detect_stuck_meter(series, min_run=48)
+        assert hit == (100, 60)
+
+    def test_zero_runs_ignored(self):
+        """Long zero runs are vacancy, not a stuck register."""
+        series = np.concatenate([np.zeros(100), np.ones(10)])
+        assert detect_stuck_meter(series, min_run=48) is None
+
+    def test_short_plateau_ignored(self, rng):
+        series = rng.uniform(0.5, 1.5, size=200)
+        series[10:20] = 0.9
+        assert detect_stuck_meter(series, min_run=48) is None
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            detect_stuck_meter(np.array([]))
+
+
+class TestPipeline:
+    def test_clean_series_passes_through(self, rng):
+        series = rng.uniform(0.5, 1.5, size=1000)
+        out, summary = preprocess_series(series)
+        assert not summary.dropped
+        assert summary.interpolated_slots == 0
+        assert np.array_equal(out, series)
+
+    def test_gap_and_spike_repaired(self, rng):
+        series = rng.uniform(0.5, 1.5, size=1000)
+        series[5] = np.nan
+        series[300] = 900.0
+        out, summary = preprocess_series(series)
+        assert not summary.dropped
+        assert summary.interpolated_slots == 1
+        assert summary.clipped_slots == 1
+        assert np.isfinite(out).all()
+
+    def test_unrecoverable_gap_drops_consumer(self, rng):
+        series = rng.uniform(0.5, 1.5, size=1000)
+        series[100:200] = np.nan
+        _, summary = preprocess_series(series, max_gap=4)
+        assert summary.dropped
+
+    def test_stuck_meter_drops_consumer(self, rng):
+        series = rng.uniform(0.5, 1.5, size=1000)
+        series[500:600] = 1.234
+        _, summary = preprocess_series(series)
+        assert summary.dropped
+        assert summary.stuck_run == (500, 100)

@@ -1,0 +1,72 @@
+"""Tests for dataset descriptive statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data.statistics import (
+    render_population_summary,
+    summarise_consumer,
+    summarise_population,
+    weekly_pattern_strength,
+)
+from repro.errors import DataError
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+class TestWeeklyPatternStrength:
+    def test_identical_weeks_score_one(self):
+        week = np.sin(np.linspace(0, 6 * np.pi, SLOTS_PER_WEEK)) + 2.0
+        matrix = np.tile(week, (5, 1))
+        assert weekly_pattern_strength(matrix) == pytest.approx(1.0)
+
+    def test_random_weeks_score_low(self, rng):
+        matrix = rng.uniform(0, 2, size=(10, SLOTS_PER_WEEK))
+        assert weekly_pattern_strength(matrix) < 0.5
+
+    def test_constant_weeks_score_zero(self):
+        matrix = np.full((4, SLOTS_PER_WEEK), 1.0)
+        assert weekly_pattern_strength(matrix) == 0.0
+
+    def test_synthetic_consumers_strongly_periodic(self, paper_dataset):
+        """The generator must produce the repeating weekly patterns the
+        paper's detector design relies on."""
+        strengths = [
+            weekly_pattern_strength(paper_dataset.train_matrix(cid))
+            for cid in paper_dataset.consumers()
+        ]
+        assert np.median(strengths) > 0.5
+
+    def test_rejects_single_week(self):
+        with pytest.raises(DataError):
+            weekly_pattern_strength(np.ones((1, SLOTS_PER_WEEK)))
+
+
+class TestConsumerSummary:
+    def test_fields_consistent(self, paper_dataset):
+        cid = paper_dataset.consumers()[0]
+        summary = summarise_consumer(paper_dataset, cid)
+        assert summary.consumer_id == cid
+        assert 0 < summary.mean_kw <= summary.peak_kw
+        assert 0 < summary.load_factor <= 1.0
+        assert 0 <= summary.peak_window_share <= 1.0
+
+    def test_peak_window_share_majority(self, paper_dataset):
+        """Consumption concentrates in the 9am-midnight window."""
+        cid = paper_dataset.consumers()[0]
+        summary = summarise_consumer(paper_dataset, cid)
+        assert summary.peak_window_share > 0.5
+
+
+class TestPopulationSummary:
+    def test_aggregates(self, paper_dataset):
+        summary = summarise_population(paper_dataset)
+        assert summary.n_consumers == paper_dataset.n_consumers
+        assert summary.largest_consumer == paper_dataset.consumers_by_size()[0]
+        assert summary.total_mean_kw > 0
+        assert 0 <= summary.peak_heavy_fraction <= 1.0
+
+    def test_render(self, paper_dataset):
+        text = render_population_summary(summarise_population(paper_dataset))
+        assert "consumers:" in text
+        assert "largest consumer:" in text
+        assert "%" in text

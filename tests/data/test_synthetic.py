@@ -1,0 +1,134 @@
+"""Unit tests validating the synthetic CER-like generator against the
+statistical properties the paper's evaluation depends on."""
+
+import numpy as np
+import pytest
+
+from repro.data.consumers import ConsumerProfile, ConsumerType
+from repro.data.synthetic import (
+    SyntheticCERConfig,
+    generate_cer_like_dataset,
+    generate_consumer_series,
+)
+from repro.errors import ConfigurationError
+from repro.pricing.schemes import TimeOfUsePricing
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = SyntheticCERConfig()
+        assert cfg.n_consumers == 500
+        assert cfg.n_weeks == 74
+        assert cfg.effective_train_weeks == 60
+
+    def test_scaled_split(self):
+        cfg = SyntheticCERConfig(n_weeks=37)
+        assert cfg.effective_train_weeks == 30
+
+    def test_explicit_train_weeks(self):
+        cfg = SyntheticCERConfig(n_weeks=20, train_weeks=15)
+        assert cfg.effective_train_weeks == 15
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticCERConfig(n_consumers=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticCERConfig(n_weeks=1)
+        with pytest.raises(ConfigurationError):
+            SyntheticCERConfig(n_weeks=10, train_weeks=10)
+
+
+class TestGenerator:
+    def test_series_length(self, rng):
+        profile = ConsumerProfile(
+            consumer_id="x", kind=ConsumerType.RESIDENTIAL, scale_kw=1.0
+        )
+        series = generate_consumer_series(profile, n_weeks=5, rng=rng)
+        assert series.size == 5 * SLOTS_PER_WEEK
+
+    def test_nonnegative(self, rng):
+        profile = ConsumerProfile(
+            consumer_id="x", kind=ConsumerType.SME, scale_kw=2.0
+        )
+        series = generate_consumer_series(profile, n_weeks=10, rng=rng)
+        assert np.all(series >= 0)
+
+    def test_scale_controls_level(self, rng):
+        small = ConsumerProfile(
+            consumer_id="a", kind=ConsumerType.RESIDENTIAL, scale_kw=0.5
+        )
+        big = ConsumerProfile(
+            consumer_id="b", kind=ConsumerType.RESIDENTIAL, scale_kw=5.0
+        )
+        s = generate_consumer_series(small, 8, np.random.default_rng(1))
+        b = generate_consumer_series(big, 8, np.random.default_rng(1))
+        assert b.mean() == pytest.approx(10 * s.mean(), rel=0.05)
+
+    def test_weekly_pattern_repeats(self, rng):
+        """Weekly autocorrelation must dominate — the KLD detector's
+        336-slot standardisation rests on it (Section VII-D)."""
+        profile = ConsumerProfile(
+            consumer_id="x",
+            kind=ConsumerType.RESIDENTIAL,
+            scale_kw=1.0,
+            noise_sigma=0.15,
+            vacation_rate=0.0,
+            party_rate=0.0,
+        )
+        series = generate_consumer_series(profile, 20, rng)
+        weeks = series.reshape(20, SLOTS_PER_WEEK)
+        mean_profile = weeks.mean(axis=0)
+        correlations = [
+            np.corrcoef(week, mean_profile)[0, 1] for week in weeks
+        ]
+        assert np.mean(correlations) > 0.5
+
+    def test_weekday_weekend_asymmetry(self, rng):
+        profile = ConsumerProfile(
+            consumer_id="x", kind=ConsumerType.SME, scale_kw=4.0,
+            vacation_rate=0.0, party_rate=0.0,
+        )
+        series = generate_consumer_series(profile, 12, rng)
+        weeks = series.reshape(12, 7, 48)
+        weekday_mean = weeks[:, :5].mean()
+        weekend_mean = weeks[:, 5:].mean()
+        assert weekday_mean > 1.5 * weekend_mean  # SMEs closed weekends
+
+
+class TestDatasetProperties:
+    def test_type_mix_matches_cer(self):
+        ds = generate_cer_like_dataset(SyntheticCERConfig(n_consumers=500, n_weeks=2, train_weeks=1))
+        counts = ds.type_counts()
+        assert counts[ConsumerType.RESIDENTIAL] == 404
+        assert counts[ConsumerType.SME] == 36
+        assert counts[ConsumerType.UNCLASSIFIED] == 60
+
+    def test_peak_heaviness_matches_paper(self, small_dataset):
+        """Section VIII-B3: ~94.4% of consumers are peak-heavier on >90%
+        of days.  Assert a strong majority in the synthetic data."""
+        mask = TimeOfUsePricing().peak_mask(SLOTS_PER_WEEK)
+        fraction = small_dataset.peak_heaviness(mask)
+        assert fraction >= 0.8
+
+    def test_consumer_ids_cer_style(self, small_dataset):
+        for cid in small_dataset.consumers():
+            assert cid.isdigit()
+            assert int(cid) >= 1000
+
+    def test_deterministic(self):
+        cfg = SyntheticCERConfig(n_consumers=3, n_weeks=4, seed=42)
+        a = generate_cer_like_dataset(cfg)
+        b = generate_cer_like_dataset(cfg)
+        for cid in a.consumers():
+            assert np.array_equal(a.series(cid), b.series(cid))
+
+    def test_different_seeds_differ(self):
+        a = generate_cer_like_dataset(
+            SyntheticCERConfig(n_consumers=2, n_weeks=4, seed=1)
+        )
+        b = generate_cer_like_dataset(
+            SyntheticCERConfig(n_consumers=2, n_weeks=4, seed=2)
+        )
+        cid = a.consumers()[0]
+        assert not np.array_equal(a.series(cid), b.series(cid))

@@ -1,0 +1,85 @@
+"""Unit tests for the ARIMA band detector."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.arima_detector import ARIMADetector
+from repro.errors import ConfigurationError, ModelError
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+@pytest.fixture(scope="module")
+def fitted(train_matrix):
+    return ARIMADetector(max_violations=16).fit(train_matrix)
+
+
+class TestBand:
+    def test_band_shapes(self, fitted):
+        lower, upper = fitted.confidence_band()
+        assert lower.shape == (SLOTS_PER_WEEK,)
+        assert np.all(lower <= upper)
+
+    def test_lower_clipped_at_zero(self, fitted):
+        lower, _ = fitted.confidence_band()
+        assert np.all(lower >= 0.0)
+
+    def test_band_before_fit_raises(self):
+        with pytest.raises(ModelError):
+            ARIMADetector().confidence_band()
+
+    def test_wider_z_widens_band(self, train_matrix):
+        narrow = ARIMADetector(z=1.0).fit(train_matrix)
+        wide = ARIMADetector(z=3.0).fit(train_matrix)
+        _, narrow_hi = narrow.confidence_band()
+        _, wide_hi = wide.confidence_band()
+        assert np.all(wide_hi >= narrow_hi)
+
+
+class TestScoring:
+    def test_normal_week_not_flagged(self, fitted, paper_dataset):
+        cid = paper_dataset.consumers()[0]
+        week = paper_dataset.test_matrix(cid)[0]
+        result = fitted.score_week(week)
+        assert not result.flagged
+
+    def test_band_hugging_attack_evades(self, fitted):
+        _, upper = fitted.confidence_band()
+        result = fitted.score_week(np.maximum(upper * 0.99, 0.0))
+        assert not result.flagged
+
+    def test_excursions_beyond_allowance_flagged(self, fitted):
+        _, upper = fitted.confidence_band()
+        week = np.maximum(upper, 0.0) + 1.0  # every slot outside
+        result = fitted.score_week(week)
+        assert result.flagged
+        assert result.score == SLOTS_PER_WEEK
+
+    def test_violation_allowance(self, train_matrix):
+        detector = ARIMADetector(max_violations=5).fit(train_matrix)
+        lower, upper = detector.confidence_band()
+        week = (lower + upper) / 2.0  # fully inside the band
+        assert not detector.score_week(week).flagged
+        week[:5] = upper[:5] * 2 + 1.0  # exactly 5 violations
+        assert not detector.score_week(week).flagged
+        week[5] = upper[5] * 2 + 1.0  # sixth violation
+        assert detector.score_week(week).flagged
+
+
+class TestConfiguration:
+    def test_rejects_bad_z(self):
+        with pytest.raises(ConfigurationError):
+            ARIMADetector(z=0.0)
+
+    def test_rejects_short_window(self):
+        with pytest.raises(ConfigurationError):
+            ARIMADetector(fit_window=100)
+
+    def test_rejects_negative_allowance(self):
+        with pytest.raises(ConfigurationError):
+            ARIMADetector(max_violations=-1)
+
+    def test_constant_history_fallback(self):
+        matrix = np.full((4, SLOTS_PER_WEEK), 1.0)
+        detector = ARIMADetector().fit(matrix)
+        lower, upper = detector.confidence_band()
+        assert np.all(np.isfinite(upper))

@@ -1,0 +1,73 @@
+"""Unit tests for the detector base class contract."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.base import DetectionResult, WeeklyDetector
+from repro.errors import DataError, NotFittedError
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+class ConstantDetector(WeeklyDetector):
+    """Minimal detector flagging weeks whose mean exceeds a threshold."""
+
+    name = "constant"
+
+    def _fit(self, train_matrix):
+        self._limit = float(train_matrix.mean()) * 2.0
+
+    def _score_week(self, week):
+        mean = float(week.mean())
+        return DetectionResult(
+            flagged=mean > self._limit, score=mean, threshold=self._limit
+        )
+
+
+@pytest.fixture
+def fitted(rng):
+    matrix = rng.uniform(0.5, 1.5, size=(5, SLOTS_PER_WEEK))
+    return ConstantDetector().fit(matrix)
+
+
+class TestContract:
+    def test_score_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            ConstantDetector().score_week(np.ones(SLOTS_PER_WEEK))
+
+    def test_fit_returns_self(self, rng):
+        detector = ConstantDetector()
+        assert detector.fit(rng.uniform(size=(3, SLOTS_PER_WEEK))) is detector
+
+    def test_flags_convenience(self, fitted):
+        assert fitted.flags(np.full(SLOTS_PER_WEEK, 10.0))
+        assert not fitted.flags(np.full(SLOTS_PER_WEEK, 1.0))
+
+    def test_rejects_wrong_matrix_shape(self):
+        with pytest.raises(DataError):
+            ConstantDetector().fit(np.ones((3, 10)))
+
+    def test_rejects_single_training_week(self):
+        with pytest.raises(DataError):
+            ConstantDetector().fit(np.ones((1, SLOTS_PER_WEEK)))
+
+    def test_rejects_negative_training(self, rng):
+        matrix = rng.uniform(size=(3, SLOTS_PER_WEEK))
+        matrix[0, 0] = -1.0
+        with pytest.raises(DataError):
+            ConstantDetector().fit(matrix)
+
+    def test_rejects_wrong_week_length(self, fitted):
+        with pytest.raises(DataError):
+            fitted.score_week(np.ones(100))
+
+    def test_rejects_nan_week(self, fitted):
+        week = np.ones(SLOTS_PER_WEEK)
+        week[3] = np.nan
+        with pytest.raises(DataError):
+            fitted.score_week(week)
+
+    def test_result_fields(self, fitted):
+        result = fitted.score_week(np.ones(SLOTS_PER_WEEK))
+        assert isinstance(result, DetectionResult)
+        assert result.score == pytest.approx(1.0)
+        assert result.threshold > 0

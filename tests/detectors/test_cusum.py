@@ -1,0 +1,67 @@
+"""Tests for the CUSUM streaming detector."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.cusum import CusumDetector
+from repro.errors import ConfigurationError, NotFittedError
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+@pytest.fixture(scope="module")
+def fitted(train_matrix):
+    return CusumDetector(drift=0.5, threshold=40.0).fit(train_matrix)
+
+
+class TestCusum:
+    def test_normal_week_quiet(self, fitted, paper_dataset):
+        cid = paper_dataset.consumers()[0]
+        week = paper_dataset.test_matrix(cid)[0]
+        state = fitted.run(week)
+        # A normal week may drift but should not blow far past h.
+        assert state.upper < 10 * fitted.threshold
+
+    def test_sustained_over_report_alarms(self, fitted, train_matrix):
+        profile = fitted.profile
+        week = profile.mean + 3.0 * np.maximum(profile.std, 0.05)
+        result = fitted.score_week(np.maximum(week, 0.0))
+        assert result.flagged
+
+    def test_sustained_under_report_alarms(self, fitted):
+        week = np.zeros(SLOTS_PER_WEEK)
+        result = fitted.score_week(week)
+        assert result.flagged
+
+    def test_alarm_slot_recorded(self, fitted):
+        state = fitted.run(np.zeros(SLOTS_PER_WEEK))
+        assert state.first_alarm_slot is not None
+        assert 1 <= state.first_alarm_slot <= SLOTS_PER_WEEK
+
+    def test_earlier_alarm_for_stronger_shift(self, fitted, train_matrix):
+        profile = fitted.profile
+        strong = np.maximum(profile.mean * 4.0, 0.0)
+        weak = np.maximum(profile.mean * 2.0, 0.0)
+        strong_state = fitted.run(strong)
+        weak_state = fitted.run(weak)
+        if strong_state.first_alarm_slot and weak_state.first_alarm_slot:
+            assert (
+                strong_state.first_alarm_slot <= weak_state.first_alarm_slot
+            )
+
+    def test_higher_threshold_fewer_alarms(self, train_matrix):
+        lax = CusumDetector(drift=0.5, threshold=500.0).fit(train_matrix)
+        profile = lax.profile
+        week = np.maximum(profile.mean * 1.5, 0.0)
+        strict = CusumDetector(drift=0.5, threshold=5.0).fit(train_matrix)
+        assert strict.score_week(week).score == lax.score_week(week).score
+        assert strict.flags(week) or not lax.flags(week)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CusumDetector(drift=-0.1)
+        with pytest.raises(ConfigurationError):
+            CusumDetector(threshold=0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            CusumDetector().profile

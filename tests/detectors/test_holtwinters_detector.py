@@ -1,0 +1,67 @@
+"""Tests for the Holt-Winters seasonal band detector."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.arima_detector import ARIMADetector
+from repro.detectors.holtwinters_detector import HoltWintersDetector
+from repro.errors import ConfigurationError, ModelError
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+@pytest.fixture(scope="module")
+def fitted(train_matrix):
+    return HoltWintersDetector().fit(train_matrix)
+
+
+class TestSeasonalBand:
+    def test_band_shapes(self, fitted):
+        lower, upper = fitted.confidence_band()
+        assert lower.shape == (SLOTS_PER_WEEK,)
+        assert np.all(lower <= upper)
+        assert np.all(lower >= 0)
+
+    def test_band_unfitted_raises(self):
+        with pytest.raises(ModelError):
+            HoltWintersDetector().confidence_band()
+
+    def test_band_follows_diurnal_shape(self, fitted, train_matrix):
+        """The seasonal band's centre should correlate with the weekly
+        profile, unlike a flat ARMA band."""
+        lower, upper = fitted.confidence_band()
+        centre = (lower + upper) / 2.0
+        profile = train_matrix.mean(axis=0)
+        assert np.corrcoef(centre, profile)[0, 1] > 0.8
+
+    def test_tighter_than_arima_band(self, train_matrix):
+        hw = HoltWintersDetector().fit(train_matrix)
+        arima = ARIMADetector(max_violations=16).fit(train_matrix)
+        hw_lo, hw_hi = hw.confidence_band()
+        ar_lo, ar_hi = arima.confidence_band()
+        assert (hw_hi - hw_lo).mean() < (ar_hi - ar_lo).mean()
+
+
+class TestDetection:
+    def test_normal_week_mostly_quiet(self, fitted, paper_dataset):
+        cid = paper_dataset.consumers()[0]
+        flagged = sum(
+            fitted.flags(week) for week in paper_dataset.test_matrix(cid)[:5]
+        )
+        assert flagged <= 2
+
+    def test_catches_arima_band_hugging_attack(
+        self, fitted, injection_context, rng
+    ):
+        """The attack pinned to the wide ARIMA band sails far above the
+        tight seasonal band — the ablation's headline point."""
+        from repro.attacks.injection.arima_attack import ARIMAAttack
+
+        vector = ARIMAAttack(direction="over").inject(injection_context, rng)
+        detector = HoltWintersDetector().fit(injection_context.train_matrix)
+        assert detector.flags(vector.reported)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            HoltWintersDetector(z=0.0)
+        with pytest.raises(ConfigurationError):
+            HoltWintersDetector(max_violations=-1)

@@ -1,0 +1,92 @@
+"""Unit tests for the Integrated ARIMA detector."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.arima_detector import ARIMADetector
+from repro.detectors.integrated_arima import IntegratedARIMADetector
+from repro.errors import ConfigurationError
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+@pytest.fixture(scope="module")
+def fitted(train_matrix):
+    return IntegratedARIMADetector(
+        arima=ARIMADetector(max_violations=16)
+    ).fit(train_matrix)
+
+
+class TestMomentChecks:
+    def test_normal_week_passes(self, fitted, paper_dataset):
+        cid = paper_dataset.consumers()[0]
+        assert not fitted.flags(paper_dataset.test_matrix(cid)[0])
+
+    def test_band_hugging_with_inflated_mean_caught(self, fitted, train_matrix):
+        """The plain ARIMA attack (pinned at the upper band) trips the
+        mean check — the very improvement [2] introduced."""
+        _, upper = fitted.arima.confidence_band()
+        attack = np.maximum(upper * 0.99, 0.0)
+        result = fitted.score_week(attack)
+        assert result.flagged
+        assert "mean" in result.detail or "var" in result.detail
+
+    def test_mean_range_from_training(self, fitted, train_matrix):
+        means = train_matrix.mean(axis=1)
+        lo, hi = fitted.mean_range
+        assert lo <= means.min()
+        assert hi >= means.max()
+
+    def test_var_range_from_training(self, fitted, train_matrix):
+        variances = train_matrix.var(axis=1)
+        lo, hi = fitted.var_range
+        assert lo <= variances.min()
+        assert hi >= variances.max()
+
+    def test_low_mean_week_caught(self, fitted):
+        lo, _ = fitted.mean_range
+        week = np.full(SLOTS_PER_WEEK, max(lo * 0.1, 0.0))
+        assert fitted.flags(week)
+
+    def test_slack_loosens_ranges(self, train_matrix):
+        tight = IntegratedARIMADetector(
+            arima=ARIMADetector(max_violations=16), slack=0.0
+        ).fit(train_matrix)
+        loose = IntegratedARIMADetector(
+            arima=ARIMADetector(max_violations=16), slack=0.2
+        ).fit(train_matrix)
+        assert loose.mean_range[0] < tight.mean_range[0]
+        assert loose.mean_range[1] > tight.mean_range[1]
+
+
+class TestIntegration:
+    def test_integrated_attack_evades(self, fitted, train_matrix, rng):
+        """Section VIII-B1: the Integrated ARIMA attack circumvents the
+        Integrated ARIMA detector by construction."""
+        from repro.attacks.injection.base import InjectionContext
+        from repro.attacks.injection.integrated_arima import (
+            IntegratedARIMAAttack,
+        )
+
+        lower, upper = fitted.arima.confidence_band()
+        context = InjectionContext(
+            train_matrix=train_matrix,
+            actual_week=train_matrix[-1],
+            band_lower=lower,
+            band_upper=upper,
+        )
+        vector = IntegratedARIMAAttack(direction="over").inject(context, rng)
+        assert not fitted.flags(vector.reported)
+
+    def test_shares_arima_instance(self, train_matrix):
+        arima = ARIMADetector(max_violations=16).fit(train_matrix)
+        integrated = IntegratedARIMADetector(arima=arima).fit(train_matrix)
+        assert integrated.arima is arima
+
+    def test_rejects_negative_slack(self):
+        with pytest.raises(ConfigurationError):
+            IntegratedARIMADetector(slack=-0.1)
+
+    def test_ranges_before_fit_raise(self):
+        detector = IntegratedARIMADetector()
+        with pytest.raises(ConfigurationError):
+            detector.mean_range

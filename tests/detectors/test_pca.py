@@ -1,0 +1,91 @@
+"""Tests for the PCA residual detector ([3], QEST 2015)."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.pca import PCADetector
+from repro.errors import ConfigurationError, NotFittedError
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+@pytest.fixture(scope="module")
+def fitted(train_matrix):
+    return PCADetector(significance=0.05).fit(train_matrix)
+
+
+class TestSubspace:
+    def test_components_shape(self, fitted):
+        components = fitted.components
+        assert components.ndim == 2
+        assert components.shape[1] == SLOTS_PER_WEEK
+
+    def test_components_orthonormal(self, fitted):
+        c = fitted.components
+        gram = c @ c.T
+        assert np.allclose(gram, np.eye(c.shape[0]), atol=1e-8)
+
+    def test_explicit_component_count(self, train_matrix):
+        detector = PCADetector(n_components=3).fit(train_matrix)
+        assert detector.components.shape[0] == 3
+
+    def test_variance_target_grows_subspace(self, train_matrix):
+        small = PCADetector(explained_variance=0.5).fit(train_matrix)
+        large = PCADetector(explained_variance=0.99).fit(train_matrix)
+        assert large.components.shape[0] >= small.components.shape[0]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            PCADetector().components
+        with pytest.raises(NotFittedError):
+            PCADetector().residual_of(np.ones(SLOTS_PER_WEEK))
+
+
+class TestDetection:
+    def test_training_weeks_mostly_pass(self, fitted, train_matrix):
+        flags = [fitted.flags(week) for week in train_matrix]
+        # Threshold is the 95th percentile of training residuals.
+        assert np.mean(flags) <= 0.10
+
+    def test_shape_breaking_week_flagged(self, fitted, train_matrix):
+        """A week with the right level but the wrong diurnal shape has a
+        large residual outside the learned subspace."""
+        rng = np.random.default_rng(0)
+        week = rng.permutation(train_matrix[0])
+        assert fitted.residual_of(week) > fitted.residual_of(train_matrix[0])
+
+    def test_scaled_week_flagged(self, fitted, train_matrix):
+        assert fitted.flags(train_matrix[0] * 3.0)
+
+    def test_residual_zero_in_subspace(self, fitted, train_matrix):
+        """The training mean plus a principal direction has ~zero
+        residual by construction."""
+        mean = train_matrix.mean(axis=0)
+        direction = fitted.components[0]
+        week = np.maximum(mean + 0.1 * direction, 0.0)
+        # Clipping at 0 may perturb slightly; residual stays tiny.
+        assert fitted.residual_of(week) < fitted.threshold
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            PCADetector(n_components=0)
+        with pytest.raises(ConfigurationError):
+            PCADetector(explained_variance=0.0)
+        with pytest.raises(ConfigurationError):
+            PCADetector(significance=1.0)
+
+    def test_detects_integrated_arima_attack(
+        self, fitted, train_matrix, injection_context, rng
+    ):
+        """[3]'s detector also catches the bell-shaped injection —
+        its shape lies outside the consumption subspace."""
+        from repro.attacks.injection.integrated_arima import (
+            IntegratedARIMAAttack,
+        )
+
+        vector = IntegratedARIMAAttack(direction="over").inject(
+            injection_context, rng
+        )
+        detector = PCADetector(significance=0.05).fit(
+            injection_context.train_matrix
+        )
+        assert detector.flags(vector.reported)

@@ -1,0 +1,71 @@
+"""Tests for the detector registry."""
+
+import pytest
+
+from repro.core.kld import KLDDetector
+from repro.detectors.registry import (
+    available_detectors,
+    create_detector,
+    register_detector,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_detectors()
+        for expected in (
+            "arima",
+            "integrated_arima",
+            "kld",
+            "conditional_kld",
+            "min_average",
+            "pca",
+            "cusum",
+            "holt_winters",
+        ):
+            assert expected in names
+
+    def test_create_kld_with_kwargs(self):
+        detector = create_detector("kld", significance=0.10)
+        assert isinstance(detector, KLDDetector)
+        assert detector.significance == 0.10
+
+    def test_create_is_case_insensitive(self):
+        assert isinstance(create_detector("KLD"), KLDDetector)
+
+    def test_created_detectors_are_fresh(self, train_matrix):
+        a = create_detector("kld")
+        b = create_detector("kld")
+        assert a is not b
+        a.fit(train_matrix)
+        # b remains unfit.
+        from repro.errors import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            b.threshold
+
+    def test_conditional_kld_gets_default_tariff(self, train_matrix):
+        detector = create_detector("conditional_kld", significance=0.05)
+        detector.fit(train_matrix)
+        assert len(detector.price_levels) == 2
+
+    def test_every_builtin_constructs_and_fits(self, train_matrix):
+        for name in available_detectors():
+            detector = create_detector(name)
+            detector.fit(train_matrix)
+            assert detector.score_week(train_matrix[0]) is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            create_detector("nonexistent")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_detector("kld", KLDDetector)
+
+    def test_custom_registration(self, train_matrix):
+        register_detector("custom_kld_test_only", lambda: KLDDetector(bins=6))
+        detector = create_detector("custom_kld_test_only")
+        detector.fit(train_matrix)
+        assert detector.bins == 6

@@ -1,0 +1,49 @@
+"""Unit tests for the minimum-average threshold detector."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.threshold import MinimumAverageDetector
+from repro.errors import ConfigurationError
+from repro.timeseries.seasonal import SLOTS_PER_DAY, SLOTS_PER_WEEK
+
+
+class TestMinimumAverage:
+    def test_tau_learned_from_training(self, train_matrix):
+        detector = MinimumAverageDetector(margin=1.0).fit(train_matrix)
+        daily = train_matrix.reshape(-1, SLOTS_PER_DAY).mean(axis=1)
+        assert detector.tau == pytest.approx(daily.min())
+
+    def test_margin_scales_tau(self, train_matrix):
+        strict = MinimumAverageDetector(margin=1.0).fit(train_matrix)
+        loose = MinimumAverageDetector(margin=0.5).fit(train_matrix)
+        assert loose.tau == pytest.approx(0.5 * strict.tau)
+
+    def test_zero_report_flagged(self, train_matrix):
+        detector = MinimumAverageDetector().fit(train_matrix)
+        assert detector.flags(np.zeros(SLOTS_PER_WEEK))
+
+    def test_training_weeks_pass(self, train_matrix):
+        detector = MinimumAverageDetector(margin=0.9).fit(train_matrix)
+        for week in train_matrix:
+            assert not detector.flags(week)
+
+    def test_bounds_theft_per_section_vi(self, train_matrix):
+        """Section VI-A2: with tau > 0, an under-reporting attacker
+        cannot report average consumption below tau without detection,
+        so the theft is bounded by (typical - tau) per slot."""
+        detector = MinimumAverageDetector(margin=1.0).fit(train_matrix)
+        just_below = np.full(SLOTS_PER_WEEK, detector.tau * 0.99)
+        just_above = np.full(SLOTS_PER_WEEK, detector.tau * 1.01)
+        assert detector.flags(just_below)
+        assert not detector.flags(just_above)
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ConfigurationError):
+            MinimumAverageDetector(margin=0.0)
+        with pytest.raises(ConfigurationError):
+            MinimumAverageDetector(margin=1.5)
+
+    def test_tau_before_fit_raises(self):
+        with pytest.raises(ConfigurationError):
+            MinimumAverageDetector().tau

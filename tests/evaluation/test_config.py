@@ -1,0 +1,46 @@
+"""Unit tests for the evaluation configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.evaluation.config import (
+    ALL_ATTACKS,
+    ALL_COLUMNS,
+    ALL_DETECTORS,
+    EvaluationConfig,
+)
+
+
+class TestEvaluationConfig:
+    def test_paper_defaults(self):
+        cfg = EvaluationConfig()
+        assert cfg.n_vectors == 50
+        assert cfg.bins == 10
+        assert cfg.significances == (0.05, 0.10)
+        assert cfg.pricing.peak_rate == 0.21
+        assert cfg.pricing.offpeak_rate == 0.18
+
+    def test_rejects_zero_vectors(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationConfig(n_vectors=0)
+
+    def test_rejects_negative_week_index(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationConfig(attack_week_index=-1)
+
+    def test_rejects_bad_significances(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationConfig(significances=(0.05,))
+        with pytest.raises(ConfigurationError):
+            EvaluationConfig(significances=(0.0, 0.1))
+
+
+class TestKeyUniverse:
+    def test_four_detectors(self):
+        assert len(ALL_DETECTORS) == 4
+
+    def test_five_attacks(self):
+        assert len(ALL_ATTACKS) == 5
+
+    def test_three_columns(self):
+        assert ALL_COLUMNS == ("1B", "2A/2B", "3A/3B")

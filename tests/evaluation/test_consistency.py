@@ -1,0 +1,48 @@
+"""Cross-module consistency checks on the evaluation constants.
+
+These guard the wiring between the config key universe, the table
+builders, and the experiment runner — the places where adding a detector
+or attack without updating a sibling constant would silently skew the
+reproduced tables.
+"""
+
+from repro.evaluation.config import (
+    ALL_ATTACKS,
+    ALL_COLUMNS,
+    ALL_DETECTORS,
+    ATTACK_SWAP,
+    COLUMN_3A3B,
+)
+from repro.evaluation.tables import (
+    DETECTOR_LABELS,
+    TABLE2_ATTACK_BY_COLUMN,
+    _table3_attack,
+)
+
+
+class TestKeyUniverseConsistency:
+    def test_every_detector_has_a_label(self):
+        assert set(DETECTOR_LABELS) == set(ALL_DETECTORS)
+
+    def test_table2_covers_every_column(self):
+        assert set(TABLE2_ATTACK_BY_COLUMN) == set(ALL_COLUMNS)
+
+    def test_table2_attacks_exist(self):
+        for attack in TABLE2_ATTACK_BY_COLUMN.values():
+            assert attack in ALL_ATTACKS
+
+    def test_table3_attack_mapping_total(self):
+        """Every (detector, column) pair resolves to a real attack key."""
+        for detector in ALL_DETECTORS:
+            for column in ALL_COLUMNS:
+                assert _table3_attack(detector, column) in ALL_ATTACKS
+
+    def test_swap_column_always_uses_swap_attack(self):
+        for detector in ALL_DETECTORS:
+            assert _table3_attack(detector, COLUMN_3A3B) == ATTACK_SWAP
+
+    def test_labels_match_paper_rows(self):
+        labels = list(DETECTOR_LABELS.values())
+        assert "ARIMA detector" in labels
+        assert "Integrated ARIMA detector" in labels
+        assert sum("KLD detector" in label for label in labels) == 2

@@ -1,0 +1,149 @@
+"""Integration-grade tests for the per-consumer evaluation runner."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticCERConfig, generate_cer_like_dataset
+from repro.errors import ConfigurationError, DataError
+from repro.evaluation.config import (
+    ATTACK_ARIMA_OVER,
+    ATTACK_ARIMA_UNDER,
+    ATTACK_INTEGRATED_OVER,
+    ATTACK_INTEGRATED_UNDER,
+    ATTACK_SWAP,
+    DETECTOR_ARIMA,
+    DETECTOR_INTEGRATED,
+    DETECTOR_KLD_10,
+    DETECTOR_KLD_5,
+    EvaluationConfig,
+)
+from repro.evaluation.experiment import (
+    evaluate_consumer,
+    run_evaluation,
+)
+
+
+@pytest.fixture(scope="module")
+def eval_dataset():
+    return generate_cer_like_dataset(
+        SyntheticCERConfig(n_consumers=8, n_weeks=74, seed=21)
+    )
+
+
+@pytest.fixture(scope="module")
+def results(eval_dataset):
+    return run_evaluation(eval_dataset, EvaluationConfig(n_vectors=8))
+
+
+class TestRunEvaluation:
+    def test_covers_all_consumers(self, results, eval_dataset):
+        assert results.n_consumers == eval_dataset.n_consumers
+
+    def test_arima_detector_never_catches_band_hugging(self, results):
+        """Table II row 1: the ARIMA detector detects nothing, because
+        every injected vector lies inside its own band."""
+        for attack in (ATTACK_ARIMA_OVER, ATTACK_INTEGRATED_OVER, ATTACK_SWAP):
+            for evaluation in results.consumers.values():
+                assert not evaluation.detected_all[(DETECTOR_ARIMA, attack)]
+
+    def test_integrated_evaded_by_integrated_attack(self, results):
+        """Table II row 2: near-zero detection of the 1B Integrated
+        ARIMA attack (it is designed to pass the moment checks)."""
+        successes = results.successes(DETECTOR_INTEGRATED, ATTACK_INTEGRATED_OVER)
+        assert sum(successes) <= len(successes) * 0.25
+
+    def test_integrated_catches_arima_attack(self, results):
+        """The Integrated detector's raison d'etre: the plain band-pinned
+        ARIMA attack trips its mean check for most consumers."""
+        detected = [
+            evaluation.detected_all[(DETECTOR_INTEGRATED, ATTACK_ARIMA_OVER)]
+            for evaluation in results.consumers.values()
+        ]
+        assert sum(detected) >= len(detected) * 0.7
+
+    def test_kld_beats_baselines_on_1b(self, results):
+        kld = sum(results.successes(DETECTOR_KLD_5, ATTACK_INTEGRATED_OVER))
+        integrated = sum(
+            results.successes(DETECTOR_INTEGRATED, ATTACK_INTEGRATED_OVER)
+        )
+        assert kld > integrated
+
+    def test_kld_detects_swap_via_conditioning(self, results):
+        kld = sum(results.successes(DETECTOR_KLD_5, ATTACK_SWAP))
+        arima = sum(results.successes(DETECTOR_ARIMA, ATTACK_SWAP))
+        assert kld > arima
+
+    def test_gains_zero_on_success(self, results):
+        for evaluation in results.consumers.values():
+            for key, gain in evaluation.worst_gain.items():
+                if evaluation.detected_all[key] and not evaluation.false_positive[
+                    _fp_key_of(*key)
+                ]:
+                    assert gain.stolen_kwh == 0.0
+                    assert gain.profit_usd == 0.0
+
+    def test_swap_steals_no_energy(self, results):
+        for evaluation in results.consumers.values():
+            for detector in (DETECTOR_ARIMA, DETECTOR_KLD_5):
+                gain = evaluation.worst_gain[(detector, ATTACK_SWAP)]
+                assert gain.stolen_kwh == 0.0
+
+    def test_deterministic_across_runs(self, eval_dataset):
+        cfg = EvaluationConfig(n_vectors=3)
+        cid = eval_dataset.consumers()[0]
+        a = evaluate_consumer(
+            cid,
+            eval_dataset.train_matrix(cid),
+            eval_dataset.test_matrix(cid)[0],
+            cfg,
+        )
+        b = evaluate_consumer(
+            cid,
+            eval_dataset.train_matrix(cid),
+            eval_dataset.test_matrix(cid)[0],
+            cfg,
+        )
+        assert a.worst_gain == b.worst_gain
+        assert a.detected_all == b.detected_all
+
+    def test_progress_callback(self, eval_dataset):
+        seen = []
+        run_evaluation(
+            eval_dataset,
+            EvaluationConfig(n_vectors=2),
+            consumers=eval_dataset.consumers()[:2],
+            progress=seen.append,
+        )
+        assert seen == list(eval_dataset.consumers()[:2])
+
+    def test_rejects_empty_consumer_selection(self, eval_dataset):
+        with pytest.raises(ConfigurationError):
+            run_evaluation(eval_dataset, consumers=())
+
+    def test_rejects_out_of_range_week(self, eval_dataset):
+        with pytest.raises(DataError):
+            run_evaluation(
+                eval_dataset, EvaluationConfig(attack_week_index=99)
+            )
+
+
+def _fp_key_of(detector: str, attack: str) -> str:
+    from repro.evaluation.experiment import _fp_key
+
+    return _fp_key(detector, attack)
+
+
+class TestFalsePositiveSemantics:
+    def test_fp_penalty_maximises_gain(self, eval_dataset):
+        """Section VIII-E: a false positive forfeits the consumer — the
+        attacker's gain is the maximum over all vectors."""
+        cfg = EvaluationConfig(n_vectors=4)
+        results = run_evaluation(eval_dataset, cfg)
+        for evaluation in results.consumers.values():
+            for (detector, attack), gain in evaluation.worst_gain.items():
+                fp = evaluation.false_positive[_fp_key_of(detector, attack)]
+                detected = evaluation.detected_all[(detector, attack)]
+                if detected and fp and attack != ATTACK_SWAP:
+                    # failed via FP: gain must not be zero unless the
+                    # attack itself yields nothing.
+                    assert gain.stolen_kwh >= 0.0

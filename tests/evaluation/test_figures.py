@@ -1,0 +1,92 @@
+"""Tests for the Figure 3 / Figure 4 data builders."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.config import EvaluationConfig
+from repro.evaluation.figures import figure1_tap_demo, figure3_data, figure4_data
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+@pytest.fixture(scope="module")
+def fig3(paper_dataset):
+    cid = paper_dataset.consumers()[0]
+    return figure3_data(paper_dataset, cid, EvaluationConfig(n_vectors=2))
+
+
+@pytest.fixture(scope="module")
+def fig4(paper_dataset):
+    cid = paper_dataset.consumers()[0]
+    return figure4_data(paper_dataset, cid, EvaluationConfig(n_vectors=2))
+
+
+class TestFigure3:
+    def test_series_lengths(self, fig3):
+        for key in (
+            "actual",
+            "band_lower",
+            "band_upper",
+            "attack_1b",
+            "attack_2a2b",
+            "attack_3a3b",
+        ):
+            assert fig3[key].shape == (SLOTS_PER_WEEK,)
+
+    def test_1b_over_reports(self, fig3):
+        """Fig 3(a): the neighbour's consumption is over-reported."""
+        assert fig3["attack_1b"].mean() > fig3["actual"].mean()
+
+    def test_2a2b_under_reports(self, fig3):
+        """Fig 3(b): Mallory's own consumption is under-reported."""
+        assert fig3["attack_2a2b"].mean() < fig3["actual"].mean()
+
+    def test_3a3b_preserves_distribution(self, fig3):
+        """Fig 3(c): swapped week has the same readings, reordered."""
+        assert np.allclose(
+            np.sort(fig3["attack_3a3b"]), np.sort(fig3["actual"])
+        )
+
+    def test_attacks_respect_band(self, fig3):
+        assert np.all(fig3["attack_1b"] <= fig3["band_upper"] + 1e-9)
+        assert np.all(
+            fig3["attack_2a2b"] >= np.minimum(fig3["band_lower"], 0.0) - 1e-9
+        )
+
+
+class TestFigure4:
+    def test_distributions_normalised(self, fig4):
+        for key in ("x_distribution", "x1_distribution", "attack_distribution"):
+            assert fig4[key].sum() == pytest.approx(1.0)
+            assert fig4[key].size == 10
+
+    def test_x1_close_to_x(self, fig4):
+        """Fig 4(a): a training week's distribution resembles X."""
+        from repro.stats.divergence import kl_divergence
+
+        d_train = kl_divergence(fig4["x1_distribution"], fig4["x_distribution"])
+        d_attack = kl_divergence(
+            fig4["attack_distribution"], fig4["x_distribution"]
+        )
+        assert d_attack > d_train
+
+    def test_attack_kld_exceeds_95th_percentile(self, fig4):
+        """The Fig 4 caption's headline: the attack week's divergence
+        clears the detection threshold."""
+        assert fig4["attack_kld"] > fig4["kld_p95"]
+
+    def test_percentiles_ordered(self, fig4):
+        assert fig4["kld_p90"] <= fig4["kld_p95"]
+
+    def test_kld_samples_per_training_week(self, fig4, paper_dataset):
+        assert fig4["kld_samples"].size == paper_dataset.train_weeks
+
+    def test_bin_edges_count(self, fig4):
+        assert fig4["bin_edges"].size == 11
+
+
+class TestFigure1Demo:
+    def test_tap_shortfall(self):
+        demo = figure1_tap_demo(tap_kw=2.0)
+        assert demo["true_demand_kw"] == 5.0
+        assert demo["reported_kw"] == pytest.approx(3.0)
+        assert demo["shortfall_kw"] == pytest.approx(2.0)

@@ -1,0 +1,75 @@
+"""Unit tests for Metric 1 / Metric 2 aggregation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.evaluation.config import COLUMN_1B, COLUMN_2A2B, COLUMN_3A3B
+from repro.evaluation.metrics import GainRecord, ZERO_GAIN, metric1, metric2
+
+
+class TestGainRecord:
+    def test_max_with(self):
+        a = GainRecord(stolen_kwh=10.0, profit_usd=1.0)
+        b = GainRecord(stolen_kwh=5.0, profit_usd=2.0)
+        combined = a.max_with(b)
+        assert combined.stolen_kwh == 10.0
+        assert combined.profit_usd == 2.0
+
+    def test_plus(self):
+        a = GainRecord(stolen_kwh=10.0, profit_usd=1.0)
+        b = GainRecord(stolen_kwh=5.0, profit_usd=2.0)
+        total = a.plus(b)
+        assert total.stolen_kwh == 15.0
+        assert total.profit_usd == 3.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            GainRecord(stolen_kwh=-1.0)
+
+    def test_zero_gain_identity(self):
+        a = GainRecord(stolen_kwh=3.0, profit_usd=4.0)
+        assert ZERO_GAIN.plus(a) == a
+        assert ZERO_GAIN.max_with(a) == a
+
+
+class TestMetric1:
+    def test_percentage(self):
+        assert metric1([True, True, False, False]) == 50.0
+
+    def test_all_success(self):
+        assert metric1([True] * 10) == 100.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            metric1([])
+
+
+class TestMetric2:
+    GAINS = {
+        "a": GainRecord(stolen_kwh=100.0, profit_usd=20.0),
+        "b": GainRecord(stolen_kwh=50.0, profit_usd=30.0),
+        "c": ZERO_GAIN,
+    }
+
+    def test_1b_sums_over_consumers(self):
+        """1B steals from all neighbours simultaneously."""
+        total = metric2(self.GAINS, COLUMN_1B)
+        assert total.stolen_kwh == 150.0
+        assert total.profit_usd == 50.0
+
+    def test_2a2b_takes_maximum(self):
+        worst = metric2(self.GAINS, COLUMN_2A2B)
+        assert worst.stolen_kwh == 100.0
+        assert worst.profit_usd == 30.0
+
+    def test_3a3b_takes_maximum(self):
+        worst = metric2(self.GAINS, COLUMN_3A3B)
+        assert worst.profit_usd == 30.0
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ConfigurationError):
+            metric2(self.GAINS, "5C")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            metric2({}, COLUMN_1B)

@@ -1,0 +1,54 @@
+"""Tests for the multi-attacker study (paper's future work)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.evaluation.multi_attacker import run_multi_attacker_study
+
+
+class TestMultiAttacker:
+    def test_balance_silent_for_any_k(self, paper_dataset):
+        for k in (1, 2, 3):
+            outcome = run_multi_attacker_study(
+                paper_dataset, n_attackers=k, seed=k
+            )
+            assert outcome.balance_check_silent
+            assert outcome.n_attackers == k
+            assert outcome.total_stolen_kwh > 0
+
+    def test_strong_thefts_flag_victims(self, paper_dataset):
+        outcome = run_multi_attacker_study(
+            paper_dataset, n_attackers=3, steal_fraction=2.0, seed=1
+        )
+        # A 2x-mean constant over-report deforms the victims' weekly
+        # distributions; the KLD layer should flag most of them.
+        assert outcome.victims_flagged >= 2
+
+    def test_attackers_themselves_look_normal(self, paper_dataset):
+        """Class 1B: the attackers' *reported* weeks are untouched, so
+        they should rarely be flagged — triage points at victims."""
+        outcome = run_multi_attacker_study(
+            paper_dataset, n_attackers=3, steal_fraction=2.0, seed=1
+        )
+        assert outcome.attackers_flagged <= outcome.victims_flagged
+
+    def test_more_attackers_steal_more(self, paper_dataset):
+        small = run_multi_attacker_study(paper_dataset, n_attackers=1, seed=4)
+        large = run_multi_attacker_study(paper_dataset, n_attackers=4, seed=4)
+        assert large.total_stolen_kwh > small.total_stolen_kwh
+
+    def test_rejects_zero_attackers(self, paper_dataset):
+        with pytest.raises(ConfigurationError):
+            run_multi_attacker_study(paper_dataset, n_attackers=0)
+
+    def test_rejects_too_many_attackers(self, paper_dataset):
+        with pytest.raises(ConfigurationError):
+            run_multi_attacker_study(
+                paper_dataset, n_attackers=paper_dataset.n_consumers
+            )
+
+    def test_rejects_bad_fraction(self, paper_dataset):
+        with pytest.raises(ConfigurationError):
+            run_multi_attacker_study(
+                paper_dataset, n_attackers=1, steal_fraction=0.0
+            )

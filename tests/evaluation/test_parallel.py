@@ -1,0 +1,59 @@
+"""Tests for the process-parallel evaluation runner."""
+
+import pytest
+
+from repro.data.synthetic import SyntheticCERConfig, generate_cer_like_dataset
+from repro.errors import ConfigurationError, DataError
+from repro.evaluation.config import EvaluationConfig
+from repro.evaluation.experiment import run_evaluation
+from repro.evaluation.parallel import run_evaluation_parallel
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return generate_cer_like_dataset(
+        SyntheticCERConfig(n_consumers=4, n_weeks=74, seed=66)
+    )
+
+
+class TestParallelRunner:
+    def test_identical_to_serial(self, tiny_dataset):
+        """Per-consumer RNG derivation makes parallel results
+        bit-identical to serial ones."""
+        cfg = EvaluationConfig(n_vectors=3)
+        serial = run_evaluation(tiny_dataset, cfg)
+        parallel = run_evaluation_parallel(tiny_dataset, cfg, max_workers=2)
+        assert set(serial.consumers) == set(parallel.consumers)
+        for cid in serial.consumers:
+            s = serial.consumers[cid]
+            p = parallel.consumers[cid]
+            assert s.detected_all == p.detected_all
+            assert s.false_positive == p.false_positive
+            assert s.worst_gain == p.worst_gain
+
+    def test_single_worker_runs_inline(self, tiny_dataset):
+        cfg = EvaluationConfig(n_vectors=2)
+        results = run_evaluation_parallel(tiny_dataset, cfg, max_workers=1)
+        assert results.n_consumers == tiny_dataset.n_consumers
+
+    def test_consumer_subset(self, tiny_dataset):
+        cfg = EvaluationConfig(n_vectors=2)
+        subset = tiny_dataset.consumers()[:2]
+        results = run_evaluation_parallel(
+            tiny_dataset, cfg, consumers=subset, max_workers=2
+        )
+        assert set(results.consumers) == set(subset)
+
+    def test_rejects_bad_worker_count(self, tiny_dataset):
+        with pytest.raises(ConfigurationError):
+            run_evaluation_parallel(tiny_dataset, max_workers=0)
+
+    def test_rejects_empty_selection(self, tiny_dataset):
+        with pytest.raises(ConfigurationError):
+            run_evaluation_parallel(tiny_dataset, consumers=())
+
+    def test_rejects_bad_week_index(self, tiny_dataset):
+        with pytest.raises(DataError):
+            run_evaluation_parallel(
+                tiny_dataset, EvaluationConfig(attack_week_index=99)
+            )

@@ -1,0 +1,51 @@
+"""Tests for the markdown evaluation report."""
+
+import pytest
+
+from repro.data.synthetic import SyntheticCERConfig, generate_cer_like_dataset
+from repro.evaluation.config import EvaluationConfig
+from repro.evaluation.experiment import run_evaluation
+from repro.evaluation.report import render_markdown_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    dataset = generate_cer_like_dataset(
+        SyntheticCERConfig(n_consumers=5, n_weeks=74, seed=88)
+    )
+    results = run_evaluation(dataset, EvaluationConfig(n_vectors=4))
+    return render_markdown_report(results)
+
+
+class TestReport:
+    def test_has_title_and_sections(self, report):
+        assert report.startswith("# F-DETA evaluation report")
+        assert "## Table II" in report
+        assert "## Table III" in report
+        assert "## Headlines" in report
+        assert "## Run configuration" in report
+
+    def test_configuration_recorded(self, report):
+        assert "consumers evaluated: 5" in report
+        assert "attack trajectories per stochastic attack: 4" in report
+        assert "peak 0.21 $/kWh" in report
+
+    def test_all_detectors_listed(self, report):
+        for label in (
+            "ARIMA detector",
+            "Integrated ARIMA detector",
+            "KLD detector (5% significance)",
+            "KLD detector (10% significance)",
+        ):
+            assert label in report
+
+    def test_markdown_tables_well_formed(self, report):
+        table_lines = [l for l in report.splitlines() if l.startswith("|")]
+        assert table_lines, "expected markdown tables"
+        # Consistent column counts within each table block.
+        widths = {line.count("|") for line in table_lines}
+        assert len(widths) <= 2  # Table II and Table III widths
+
+    def test_headline_percentages_present(self, report):
+        assert "%** relative to the ARIMA" in report
+        assert "paper: ~94.8%" in report

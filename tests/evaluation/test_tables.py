@@ -1,0 +1,140 @@
+"""Tests for Table II / Table III builders and the headline statistics."""
+
+import pytest
+
+from repro.data.synthetic import SyntheticCERConfig, generate_cer_like_dataset
+from repro.evaluation.config import (
+    ALL_COLUMNS,
+    COLUMN_1B,
+    COLUMN_2A2B,
+    COLUMN_3A3B,
+    DETECTOR_ARIMA,
+    DETECTOR_INTEGRATED,
+    DETECTOR_KLD_10,
+    DETECTOR_KLD_5,
+    EvaluationConfig,
+)
+from repro.evaluation.experiment import run_evaluation
+from repro.evaluation.tables import (
+    improvement_statistics,
+    render_table2,
+    render_table3,
+    table2,
+    table3,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    dataset = generate_cer_like_dataset(
+        SyntheticCERConfig(n_consumers=12, n_weeks=74, seed=33)
+    )
+    return run_evaluation(dataset, EvaluationConfig(n_vectors=10))
+
+
+@pytest.fixture(scope="module")
+def rows2(results):
+    return table2(results)
+
+
+@pytest.fixture(scope="module")
+def rows3(results):
+    return table3(results)
+
+
+class TestTable2Shape:
+    """Assert the qualitative structure of the paper's Table II."""
+
+    def _row(self, rows, detector):
+        return next(r for r in rows if r.detector == detector)
+
+    def test_four_rows_three_columns(self, rows2):
+        assert len(rows2) == 4
+        for row in rows2:
+            assert set(row.values) == set(ALL_COLUMNS)
+
+    def test_arima_row_all_zero(self, rows2):
+        row = self._row(rows2, DETECTOR_ARIMA)
+        assert all(v == 0.0 for v in row.values.values())
+
+    def test_integrated_row_near_zero_on_1b(self, rows2):
+        row = self._row(rows2, DETECTOR_INTEGRATED)
+        assert row.values[COLUMN_1B] <= 20.0
+
+    def test_kld_dominates_baselines_everywhere(self, rows2):
+        kld5 = self._row(rows2, DETECTOR_KLD_5)
+        integrated = self._row(rows2, DETECTOR_INTEGRATED)
+        for column in (COLUMN_1B, COLUMN_3A3B):
+            assert kld5.values[column] > integrated.values[column]
+
+    def test_kld_majority_detection_on_1b(self, rows2):
+        kld5 = self._row(rows2, DETECTOR_KLD_5)
+        assert kld5.values[COLUMN_1B] >= 60.0
+
+
+class TestTable3Shape:
+    """Assert the qualitative structure of the paper's Table III."""
+
+    def _row(self, rows, detector):
+        return next(r for r in rows if r.detector == detector)
+
+    def test_theft_ordering_1b(self, rows3):
+        """ARIMA >> Integrated >> KLD in permitted theft (1B)."""
+        arima = self._row(rows3, DETECTOR_ARIMA).values[COLUMN_1B].stolen_kwh
+        integrated = (
+            self._row(rows3, DETECTOR_INTEGRATED).values[COLUMN_1B].stolen_kwh
+        )
+        kld = min(
+            self._row(rows3, DETECTOR_KLD_5).values[COLUMN_1B].stolen_kwh,
+            self._row(rows3, DETECTOR_KLD_10).values[COLUMN_1B].stolen_kwh,
+        )
+        assert arima > integrated > kld
+
+    def test_2a2b_order_of_magnitude_below_1b(self, rows3):
+        """The paper's claim: 1B is the most advantageous class."""
+        for detector in (DETECTOR_ARIMA, DETECTOR_INTEGRATED):
+            row = self._row(rows3, detector)
+            assert (
+                row.values[COLUMN_1B].stolen_kwh
+                > 3 * row.values[COLUMN_2A2B].stolen_kwh
+            )
+
+    def test_3a3b_steals_no_energy(self, rows3):
+        for row in rows3:
+            assert row.values[COLUMN_3A3B].stolen_kwh == 0.0
+
+    def test_3a3b_profit_small(self, rows3):
+        """Swap profits are tiny compared to 1B profits (14.3$ vs
+        thousands in the paper)."""
+        arima = self._row(rows3, DETECTOR_ARIMA)
+        assert (
+            arima.values[COLUMN_3A3B].profit_usd
+            < 0.1 * arima.values[COLUMN_1B].profit_usd
+        )
+
+
+class TestImprovementStatistics:
+    def test_staged_reductions(self, rows3):
+        stats = improvement_statistics(rows3)
+        # Paper: ~78% then ~94.8%.  Assert strong staged reductions.
+        assert stats.integrated_over_arima > 50.0
+        assert stats.kld_over_integrated > 50.0
+
+    def test_best_detector_is_a_kld(self, rows3):
+        stats = improvement_statistics(rows3)
+        assert stats.best_kld_detector in (DETECTOR_KLD_5, DETECTOR_KLD_10)
+
+
+class TestRendering:
+    def test_table2_text(self, rows2):
+        text = render_table2(rows2)
+        assert "ARIMA detector" in text
+        assert "KLD detector (5% significance)" in text
+        assert "%" in text
+
+    def test_table3_text(self, rows3):
+        text = render_table3(rows3)
+        assert "Stolen (kWh)" in text
+        assert "Profit ($)" in text
+        for column in ALL_COLUMNS:
+            assert column in text

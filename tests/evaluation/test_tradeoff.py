@@ -1,0 +1,68 @@
+"""Tests for the significance-level operating curve."""
+
+import pytest
+
+from repro.data.synthetic import SyntheticCERConfig, generate_cer_like_dataset
+from repro.errors import ConfigurationError
+from repro.evaluation.config import EvaluationConfig
+from repro.evaluation.tradeoff import (
+    best_operating_point,
+    significance_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    dataset = generate_cer_like_dataset(
+        SyntheticCERConfig(n_consumers=8, n_weeks=74, seed=44)
+    )
+    return significance_sweep(
+        dataset,
+        dataset.consumers(),
+        significances=(0.02, 0.05, 0.10, 0.25),
+        config=EvaluationConfig(n_vectors=2),
+    )
+
+
+class TestSignificanceSweep:
+    def test_points_sorted_by_significance(self, sweep):
+        sigs = [p.significance for p in sweep]
+        assert sigs == sorted(sigs)
+
+    def test_detection_monotone_in_aggressiveness(self, sweep):
+        """A higher alpha lowers the threshold, so detection cannot
+        decrease."""
+        rates = [p.detection_rate for p in sweep]
+        assert all(a <= b + 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_false_positives_monotone_too(self, sweep):
+        rates = [p.false_positive_rate for p in sweep]
+        assert all(a <= b + 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_rates_are_probabilities(self, sweep):
+        for point in sweep:
+            assert 0.0 <= point.detection_rate <= 1.0
+            assert 0.0 <= point.false_positive_rate <= 1.0
+
+    def test_operating_points_dominate_fp(self, sweep):
+        """At every point the detector beats chance: detection rate
+        exceeds the false-positive rate."""
+        for point in sweep:
+            assert point.detection_rate >= point.false_positive_rate
+
+    def test_best_point_maximises_youden(self, sweep):
+        best = best_operating_point(sweep)
+        assert best.youden_j == max(p.youden_j for p in sweep)
+
+    def test_rejects_bad_inputs(self):
+        dataset = generate_cer_like_dataset(
+            SyntheticCERConfig(n_consumers=2, n_weeks=20, seed=1)
+        )
+        with pytest.raises(ConfigurationError):
+            significance_sweep(dataset, ())
+        with pytest.raises(ConfigurationError):
+            significance_sweep(
+                dataset, dataset.consumers(), significances=(0.0,)
+            )
+        with pytest.raises(ConfigurationError):
+            best_operating_point([])

@@ -1,0 +1,74 @@
+"""Unit tests for topology builders."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grid.builder import (
+    build_figure2_topology,
+    build_linear_topology,
+    build_random_topology,
+)
+from repro.grid.topology import NodeKind
+
+
+class TestRandomTopology:
+    def test_consumer_count(self):
+        topo = build_random_topology(n_consumers=50, seed=0)
+        assert len(topo.consumers()) == 50
+
+    def test_all_valid(self):
+        for seed in range(5):
+            build_random_topology(n_consumers=30, seed=seed).validate()
+
+    def test_branching_respected_for_consumers(self):
+        topo = build_random_topology(n_consumers=64, branching=4, seed=1)
+        for nid in topo.internal_nodes():
+            consumer_children = [
+                c
+                for c in topo.children(nid)
+                if topo.node(c).kind is NodeKind.CONSUMER
+            ]
+            assert len(consumer_children) <= 4
+
+    def test_deterministic_given_seed(self):
+        a = build_random_topology(n_consumers=20, seed=9)
+        b = build_random_topology(n_consumers=20, seed=9)
+        assert set(a.consumers()) == set(b.consumers())
+        assert {c: a.parent(c) for c in a.consumers()} == {
+            c: b.parent(c) for c in b.consumers()
+        }
+
+    def test_no_losses_when_probability_zero(self):
+        topo = build_random_topology(n_consumers=10, loss_probability=0.0, seed=0)
+        assert topo.losses() == ()
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            build_random_topology(n_consumers=0)
+        with pytest.raises(ConfigurationError):
+            build_random_topology(n_consumers=5, branching=1)
+        with pytest.raises(ConfigurationError):
+            build_random_topology(n_consumers=5, loss_probability=2.0)
+
+
+class TestLinearTopology:
+    def test_depth_grows_linearly(self):
+        topo = build_linear_topology(10)
+        depths = [topo.depth(c) for c in topo.consumers()]
+        assert max(depths) >= 9
+
+    def test_one_consumer(self):
+        topo = build_linear_topology(1)
+        assert len(topo.consumers()) == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            build_linear_topology(0)
+
+
+class TestFigure2:
+    def test_matches_paper_example(self):
+        topo = build_figure2_topology()
+        assert topo.root_id == "N1"
+        assert len(topo.consumers()) == 5
+        assert len(topo.losses()) == 3

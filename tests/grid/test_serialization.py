@@ -1,0 +1,83 @@
+"""Tests for topology JSON serialisation."""
+
+import json
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.grid.builder import build_figure2_topology, build_random_topology
+from repro.grid.serialization import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.grid.topology import NodeKind
+
+
+class TestRoundTrip:
+    def test_figure2_roundtrip(self):
+        original = build_figure2_topology()
+        rebuilt = topology_from_dict(topology_to_dict(original))
+        assert rebuilt.root_id == original.root_id
+        assert set(rebuilt.consumers()) == set(original.consumers())
+        assert set(rebuilt.losses()) == set(original.losses())
+        for nid in original.consumers():
+            assert rebuilt.parent(nid) == original.parent(nid)
+
+    def test_random_topology_roundtrip(self):
+        original = build_random_topology(n_consumers=40, seed=6)
+        rebuilt = topology_from_dict(topology_to_dict(original))
+        assert len(rebuilt) == len(original)
+        for nid in original.iter_breadth_first():
+            assert rebuilt.node(nid).kind == original.node(nid).kind
+
+    def test_file_roundtrip(self, tmp_path):
+        original = build_figure2_topology()
+        path = tmp_path / "topo.json"
+        save_topology(original, path)
+        rebuilt = load_topology(path)
+        assert set(rebuilt.consumers()) == set(original.consumers())
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "topo.json"
+        save_topology(build_figure2_topology(), path)
+        payload = json.loads(path.read_text())
+        assert payload["root"] == "N1"
+        assert payload["version"] == 1
+
+
+class TestValidation:
+    def test_missing_file(self):
+        with pytest.raises(TopologyError):
+            load_topology("/nonexistent/topo.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TopologyError):
+            load_topology(path)
+
+    def test_unsupported_version(self):
+        payload = topology_to_dict(build_figure2_topology())
+        payload["version"] = 99
+        with pytest.raises(TopologyError):
+            topology_from_dict(payload)
+
+    def test_missing_fields(self):
+        with pytest.raises(TopologyError):
+            topology_from_dict({"root": "r"})
+
+    def test_unknown_kind(self):
+        payload = topology_to_dict(build_figure2_topology())
+        payload["nodes"][1]["kind"] = "mystery"
+        with pytest.raises(TopologyError):
+            topology_from_dict(payload)
+
+    def test_orphan_node(self):
+        payload = topology_to_dict(build_figure2_topology())
+        payload["nodes"].append(
+            {"id": "stray", "kind": NodeKind.CONSUMER.value, "parent": None}
+        )
+        with pytest.raises(TopologyError):
+            topology_from_dict(payload)

@@ -1,0 +1,103 @@
+"""Unit tests for the radial topology, including the exact Fig. 2 instance."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.grid.builder import build_figure2_topology
+from repro.grid.topology import NodeKind, RadialTopology
+
+
+@pytest.fixture
+def fig2():
+    return build_figure2_topology()
+
+
+class TestConstruction:
+    def test_root_exists(self):
+        topo = RadialTopology(root_id="r")
+        assert "r" in topo
+        assert topo.node("r").kind is NodeKind.INTERNAL
+
+    def test_add_consumer_under_internal(self):
+        topo = RadialTopology()
+        topo.add_consumer("c1", "root")
+        assert topo.node("c1").kind is NodeKind.CONSUMER
+        assert topo.parent("c1") == "root"
+
+    def test_rejects_duplicate_id(self):
+        topo = RadialTopology()
+        topo.add_consumer("c1", "root")
+        with pytest.raises(TopologyError):
+            topo.add_consumer("c1", "root")
+
+    def test_rejects_unknown_parent(self):
+        topo = RadialTopology()
+        with pytest.raises(TopologyError):
+            topo.add_consumer("c1", "nope")
+
+    def test_rejects_children_under_leaf(self):
+        topo = RadialTopology()
+        topo.add_consumer("c1", "root")
+        with pytest.raises(TopologyError):
+            topo.add_consumer("c2", "c1")
+
+    def test_rejects_empty_node_id(self):
+        topo = RadialTopology()
+        with pytest.raises(TopologyError):
+            topo.add_consumer("", "root")
+
+
+class TestFigure2Instance:
+    """The paper's Fig. 2: N1-N3, C1-C5, L1-L3."""
+
+    def test_node_counts(self, fig2):
+        assert len(fig2) == 11
+        assert set(fig2.internal_nodes()) == {"N1", "N2", "N3"}
+        assert set(fig2.consumers()) == {"C1", "C2", "C3", "C4", "C5"}
+        assert set(fig2.losses()) == {"L1", "L2", "L3"}
+
+    def test_n3_children(self, fig2):
+        assert set(fig2.children("N3")) == {"C4", "C5", "L3"}
+
+    def test_consumer_descendants_of_root(self, fig2):
+        assert set(fig2.consumer_descendants("N1")) == {
+            "C1", "C2", "C3", "C4", "C5",
+        }
+
+    def test_loss_descendants_of_n2(self, fig2):
+        assert set(fig2.loss_descendants("N2")) == {"L2"}
+
+    def test_depths(self, fig2):
+        assert fig2.depth("N1") == 0
+        assert fig2.depth("N2") == 1
+        assert fig2.depth("C4") == 2
+
+    def test_path_to_root(self, fig2):
+        assert fig2.path_to_root("C4") == ("C4", "N3", "N1")
+
+    def test_siblings_are_the_papers_neighbours(self, fig2):
+        assert set(fig2.siblings("C1")) == {"C2", "C3"}
+        assert set(fig2.siblings("C4")) == {"C5"}
+
+    def test_root_has_no_siblings(self, fig2):
+        assert fig2.siblings("N1") == ()
+
+    def test_validate_passes(self, fig2):
+        fig2.validate()
+
+    def test_breadth_first_starts_at_root(self, fig2):
+        order = list(fig2.iter_breadth_first())
+        assert order[0] == "N1"
+        assert set(order) == set(
+            ["N1", "N2", "N3", "L1"]
+            + ["C1", "C2", "C3", "L2", "C4", "C5", "L3"]
+        )
+        # BFS level property: all depth-1 nodes precede depth-2 nodes.
+        depth_positions = {nid: order.index(nid) for nid in order}
+        assert depth_positions["N2"] < depth_positions["C1"]
+
+    def test_unknown_node_raises(self, fig2):
+        with pytest.raises(TopologyError):
+            fig2.node("X")
+        with pytest.raises(TopologyError):
+            fig2.children("X")

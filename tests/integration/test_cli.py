@@ -1,0 +1,159 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "out.txt", "--consumers", "5", "--weeks", "4"]
+        )
+        assert args.output == "out.txt"
+        assert args.consumers == 5
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "4B" in out
+        assert "Requires ADR" in out
+
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "data.txt"
+        code = main(
+            [
+                "generate",
+                str(out_file),
+                "--consumers",
+                "2",
+                "--weeks",
+                "3",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+        assert "2 consumers x 3 weeks" in capsys.readouterr().out
+
+    def test_evaluate_parallel_flag(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--consumers",
+                "3",
+                "--weeks",
+                "30",
+                "--vectors",
+                "2",
+                "--parallel",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_evaluate_small(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--consumers",
+                "3",
+                "--weeks",
+                "30",
+                "--vectors",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Table III" in out
+        assert "KLD detector" in out
+
+    def test_ablation_small(self, capsys):
+        code = main(
+            [
+                "ablation",
+                "--consumers",
+                "3",
+                "--weeks",
+                "30",
+                "--sample",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bins" in out
+
+    def test_topology_generate_and_roundtrip(self, tmp_path, capsys):
+        topo_file = tmp_path / "topo.json"
+        code = main(
+            [
+                "topology",
+                "--consumers",
+                "8",
+                "--save",
+                str(topo_file),
+                "--ascii",
+            ]
+        )
+        assert code == 0
+        assert topo_file.exists()
+        out = capsys.readouterr().out
+        assert "[#]" in out  # consumer marker in ASCII mode
+        code = main(["topology", "--load", str(topo_file), "--ascii"])
+        assert code == 0
+        assert "c0" in capsys.readouterr().out
+
+    def test_stats(self, capsys):
+        code = main(["stats", "--consumers", "3", "--weeks", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "consumers:" in out
+        assert "largest consumer:" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        code = main(
+            [
+                "report",
+                "--consumers",
+                "3",
+                "--weeks",
+                "30",
+                "--vectors",
+                "2",
+                "--output",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        text = out_file.read_text()
+        assert text.startswith("# F-DETA evaluation report")
+        assert "Table II" in text
+
+    def test_report_to_stdout(self, capsys):
+        code = main(
+            ["report", "--consumers", "3", "--weeks", "30", "--vectors", "2"]
+        )
+        assert code == 0
+        assert "# F-DETA evaluation report" in capsys.readouterr().out
+
+    def test_evaluate_from_file(self, tmp_path, capsys):
+        out_file = tmp_path / "data.txt"
+        main(["generate", str(out_file), "--consumers", "2", "--weeks", "20"])
+        capsys.readouterr()
+        code = main(
+            ["evaluate", "--input", str(out_file), "--vectors", "2"]
+        )
+        assert code == 0
+        assert "Table II" in capsys.readouterr().out

@@ -1,0 +1,127 @@
+"""Full-stack integration: grid + lossy AMI + preprocessing + online
+monitoring + investigation — the whole reproduction wired together."""
+
+import numpy as np
+import pytest
+
+from repro.core import KLDDetector, TheftMonitoringService
+from repro.core.framework import AnomalyNature
+from repro.data.consumers import ConsumerProfile, ConsumerType
+from repro.data.preprocessing import interpolate_gaps
+from repro.data.synthetic import generate_consumer_series
+from repro.grid.balance import BalanceAuditor
+from repro.grid.builder import build_random_topology
+from repro.grid.investigation import serviceman_search
+from repro.grid.losses import ImpedanceLossModel
+from repro.grid.snapshot import DemandSnapshot
+from repro.metering.ami import AMINetwork
+from repro.metering.channel import LossyChannel
+from repro.metering.errors_model import MeasurementErrorModel
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+N_WEEKS = 14
+TRAIN_WEEKS = 10
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Topology, AMI, losses, consumer ground truth."""
+    topo = build_random_topology(n_consumers=6, branching=3, seed=5)
+    ami = AMINetwork.deploy(topo, error_model=MeasurementErrorModel.exact())
+    losses = ImpedanceLossModel.uniform(topo, resistance_ohm=0.2)
+    series = {}
+    for i, cid in enumerate(topo.consumers()):
+        profile = ConsumerProfile(
+            consumer_id=cid,
+            kind=ConsumerType.RESIDENTIAL,
+            scale_kw=1.0 + 0.3 * i,
+            vacation_rate=0.0,
+            party_rate=0.0,
+        )
+        series[cid] = generate_consumer_series(
+            profile, N_WEEKS, np.random.default_rng(200 + i)
+        )
+    return topo, ami, losses, series
+
+
+class TestFullStack:
+    def test_lossy_channel_then_preprocessing_then_detection(self, world):
+        """Readings travel a lossy link; the head-end repairs the gaps;
+        the detector trains and still catches an attack week."""
+        topo, ami, _, series = world
+        channel = LossyChannel(drop_rate=0.01, outage_rate=0.0)
+        rng = np.random.default_rng(1)
+        cid = topo.consumers()[0]
+        received: list[float] = []
+        for t in range(TRAIN_WEEKS * SLOTS_PER_WEEK):
+            delivered = channel.transmit(
+                {cid: float(series[cid][t])}, rng
+            )
+            received.append(delivered.get(cid, np.nan))
+        gappy = np.asarray(received)
+        assert np.isnan(gappy).any()
+        repaired = interpolate_gaps(gappy, max_gap=6)
+        # Rare long outages may survive; seed those slots from the
+        # weekly profile as a utility would.
+        if np.isnan(repaired).any():
+            matrix = repaired.reshape(TRAIN_WEEKS, SLOTS_PER_WEEK)
+            profile = np.nanmean(matrix, axis=0)
+            idx = np.where(np.isnan(repaired))[0]
+            repaired[idx] = profile[idx % SLOTS_PER_WEEK]
+        train = repaired.reshape(TRAIN_WEEKS, SLOTS_PER_WEEK)
+        detector = KLDDetector(significance=0.05).fit(train)
+        attack_week = train[-1] * 3.0
+        assert detector.flags(attack_week)
+
+    def test_attack_alert_then_physical_investigation(self, world):
+        """End-to-end story: the KLD layer flags a victim, then the
+        serviceman search pins the thief physically."""
+        topo, ami, losses, series = world
+        rng = np.random.default_rng(2)
+        mallory = topo.consumers()[0]
+        siblings = topo.siblings(mallory)
+        if not siblings:
+            pytest.skip("random topology gave Mallory no siblings")
+        victim = siblings[0]
+        steal_kw = 2.0
+
+        # Data-driven layer: monitoring service over the weeks.
+        service = TheftMonitoringService(
+            detector_factory=lambda: KLDDetector(significance=0.01),
+            min_training_weeks=TRAIN_WEEKS,
+        )
+        for week in range(N_WEEKS):
+            attacking = week >= N_WEEKS - 2
+            for slot in range(SLOTS_PER_WEEK):
+                t = week * SLOTS_PER_WEEK + slot
+                cycle = {
+                    cid: float(series[cid][t]) for cid in topo.consumers()
+                }
+                if attacking:
+                    cycle[victim] += steal_kw
+                service.ingest_cycle(cycle)
+        assert victim in service.suspected_victims()
+
+        # Physical layer: Mallory's line tap is localised by the
+        # portable-meter search even though her meter looks honest.
+        demands = {
+            cid: float(series[cid][-1]) for cid in topo.consumers()
+        }
+        demands[mallory] += steal_kw  # she consumes the stolen power
+        snapshot = DemandSnapshot(
+            topology=topo,
+            actual=demands,
+            losses=losses.compute_losses(demands),
+        ).with_reported({mallory: float(series[mallory][-1])})
+        result = serviceman_search(topo, snapshot, tolerance=1e-3)
+        assert mallory in result.suspect_consumers
+
+    def test_honest_world_stays_quiet_everywhere(self, world):
+        topo, ami, losses, series = world
+        rng = np.random.default_rng(3)
+        demands = {cid: float(series[cid][0]) for cid in topo.consumers()}
+        snapshot = ami.snapshot(
+            demands, rng, losses=losses.compute_losses(demands)
+        )
+        auditor = BalanceAuditor(topo, tolerance=1e-6)
+        assert not auditor.audit(snapshot).any_failure

@@ -1,0 +1,63 @@
+"""Market-driven Attack Class 4B: the full substrate chain the paper
+says 4B needs — a real-time market clearing prices, ADR consumers
+responding, and Mallory forging a victim's price feed."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.injection import ADRPriceAttack, InjectionContext
+from repro.pricing.adr import ElasticConsumer
+from repro.pricing.billing import neighbour_loss, perceived_benefit
+from repro.pricing.market import default_market
+from repro.timeseries.seasonal import SLOTS_PER_DAY, SLOTS_PER_WEEK
+
+
+@pytest.fixture(scope="module")
+def market_rtp(paper_dataset):
+    """Clear a market against the population's aggregate daily profile."""
+    market = default_market(peak_demand_kw=60.0)
+    # Aggregate baseline demand per 2-slot interval, repeating daily.
+    total = sum(
+        paper_dataset.train_matrix(cid).mean(axis=0)
+        for cid in paper_dataset.consumers()
+    )
+    daily = total[:SLOTS_PER_DAY]
+    profile = daily.reshape(-1, 2).mean(axis=1)  # one clearing per hour
+    week_profile = np.tile(profile, 7 * (paper_dataset.n_weeks + 1))
+    return market.simulate_prices(week_profile, update_period=2)
+
+
+class TestMarketDriven4B:
+    def test_market_prices_track_demand(self, market_rtp):
+        prices = market_rtp.price_vector(SLOTS_PER_WEEK)
+        # Variable prices with a daily rhythm.
+        assert prices.std() > 0
+        day1 = prices[:SLOTS_PER_DAY]
+        day2 = prices[SLOTS_PER_DAY : 2 * SLOTS_PER_DAY]
+        assert np.array_equal(day1, day2)
+
+    def test_4b_attack_on_market_prices(self, paper_dataset, market_rtp):
+        cid = paper_dataset.consumers_by_size()[0]
+        train = paper_dataset.train_matrix(cid)
+        baseline = paper_dataset.test_matrix(cid)[0]
+        attack = ADRPriceAttack(
+            pricing=market_rtp,
+            consumer=ElasticConsumer(elasticity=-0.5, reference_price=0.2),
+            price_multiplier=1.6,
+        )
+        context = InjectionContext(
+            train_matrix=train,
+            actual_week=baseline,
+            band_lower=np.zeros(SLOTS_PER_WEEK),
+            band_upper=np.full(SLOTS_PER_WEEK, np.inf),
+        )
+        vector = attack.inject(context, np.random.default_rng(5))
+        prices = market_rtp.price_vector(SLOTS_PER_WEEK)
+        loss = neighbour_loss(vector.actual, vector.reported, prices)
+        illusion = perceived_benefit(
+            vector.reported, prices, attack.compromised_prices()
+        )
+        assert loss > 0
+        assert illusion > 0
+        # 4B's defining inequalities hold at every slot.
+        assert np.all(vector.actual < vector.reported)

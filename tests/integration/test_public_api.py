@@ -1,0 +1,55 @@
+"""Import-surface tests: every advertised name must resolve.
+
+Catches stale ``__all__`` entries and broken re-exports across the whole
+package — the kind of breakage that only shows up for downstream users.
+"""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = (
+    "repro",
+    "repro.attacks",
+    "repro.attacks.injection",
+    "repro.core",
+    "repro.data",
+    "repro.detectors",
+    "repro.evaluation",
+    "repro.grid",
+    "repro.metering",
+    "repro.pricing",
+    "repro.stats",
+    "repro.timeseries",
+)
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    assert exported, f"{module_name} must define __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.{name} does not resolve"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_all_sorted_and_unique(module_name):
+    module = importlib.import_module(module_name)
+    exported = list(module.__all__)
+    assert len(exported) == len(set(exported)), f"duplicates in {module_name}"
+
+
+def test_top_level_quickstart_names():
+    """The README quickstart's imports must keep working."""
+    from repro import (  # noqa: F401
+        KLDDetector,
+        SyntheticCERConfig,
+        generate_cer_like_dataset,
+    )
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,80 @@
+"""Unit tests for the AMI network and utility head-end."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeteringError
+from repro.grid.builder import build_figure2_topology
+from repro.metering.ami import AMINetwork, UtilityHeadEnd
+from repro.metering.errors_model import MeasurementErrorModel
+
+
+@pytest.fixture
+def ami():
+    topo = build_figure2_topology()
+    return AMINetwork.deploy(topo, error_model=MeasurementErrorModel.exact())
+
+
+def demands(topo, value=2.0):
+    return {c: value for c in topo.consumers()}
+
+
+class TestAMINetwork:
+    def test_deploy_covers_every_consumer(self, ami):
+        assert set(ami.meters) == set(ami.topology.consumers())
+
+    def test_collect_honest(self, ami, rng):
+        readings = ami.collect(demands(ami.topology), rng)
+        assert all(v == 2.0 for v in readings.values())
+
+    def test_collect_with_compromise(self, ami, rng):
+        ami.meter("C1").compromise(lambda m: m * 0.25)
+        readings = ami.collect(demands(ami.topology), rng)
+        assert readings["C1"] == pytest.approx(0.5)
+        assert readings["C2"] == 2.0
+
+    def test_collect_missing_demand(self, ami, rng):
+        with pytest.raises(MeteringError):
+            ami.collect({"C1": 1.0}, rng)
+
+    def test_unknown_meter(self, ami):
+        with pytest.raises(MeteringError):
+            ami.meter("ghost")
+
+    def test_snapshot_carries_losses(self, ami, rng):
+        snap = ami.snapshot(demands(ami.topology), rng, losses={"L1": 0.5})
+        assert snap.losses["L1"] == 0.5
+
+
+class TestUtilityHeadEnd:
+    def test_poll_archives_readings(self, ami, rng):
+        head = UtilityHeadEnd(ami=ami)
+        for _ in range(3):
+            head.poll(demands(ami.topology), rng)
+        assert head.store.length("C1") == 3
+        assert len(head.root_measurements) == 3
+
+    def test_residuals_zero_when_honest(self, ami, rng):
+        head = UtilityHeadEnd(ami=ami)
+        for _ in range(4):
+            head.poll(demands(ami.topology), rng)
+        assert np.allclose(head.root_balance_residuals(), 0.0)
+
+    def test_residuals_positive_under_theft(self, ami, rng):
+        ami.meter("C3").compromise(lambda m: 0.0)
+        head = UtilityHeadEnd(ami=ami)
+        head.poll(demands(ami.topology), rng)
+        residuals = head.root_balance_residuals()
+        assert residuals[0] == pytest.approx(2.0)  # C3's 2 kW unaccounted
+
+    def test_residuals_account_for_losses(self, ami, rng):
+        head = UtilityHeadEnd(ami=ami)
+        head.poll(demands(ami.topology), rng, losses={"L1": 0.7})
+        assert head.root_balance_residuals()[0] == pytest.approx(0.0)
+
+    def test_residuals_require_a_poll(self, ami):
+        with pytest.raises(MeteringError):
+            UtilityHeadEnd(ami=ami).root_balance_residuals()
+
+    def test_consumer_count(self, ami):
+        assert UtilityHeadEnd(ami=ami).consumer_count() == 5

@@ -1,0 +1,59 @@
+"""Unit tests for the reading store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, MeteringError
+from repro.metering.store import ReadingStore
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+class TestReadingStore:
+    def test_append_and_series(self):
+        store = ReadingStore()
+        store.append("c1", 1.0)
+        store.append("c1", 2.0)
+        assert np.array_equal(store.series("c1"), [1.0, 2.0])
+
+    def test_extend(self, rng):
+        store = ReadingStore()
+        values = rng.uniform(0, 5, size=10)
+        store.extend("c1", values)
+        assert np.allclose(store.series("c1"), values)
+
+    def test_rejects_negative_reading(self):
+        store = ReadingStore()
+        with pytest.raises(MeteringError):
+            store.append("c1", -0.1)
+
+    def test_series_unknown_consumer(self):
+        with pytest.raises(DataError):
+            ReadingStore().series("ghost")
+
+    def test_week_matrix_shape(self, rng):
+        store = ReadingStore()
+        store.extend("c1", rng.uniform(0, 2, size=3 * SLOTS_PER_WEEK + 5))
+        matrix = store.week_matrix("c1")
+        assert matrix.shape == (3, SLOTS_PER_WEEK)
+
+    def test_week_matrix_needs_full_week(self, rng):
+        store = ReadingStore()
+        store.extend("c1", rng.uniform(0, 2, size=100))
+        with pytest.raises(DataError):
+            store.week_matrix("c1")
+
+    def test_latest_week(self, rng):
+        store = ReadingStore()
+        first = rng.uniform(0, 2, size=SLOTS_PER_WEEK)
+        second = rng.uniform(0, 2, size=SLOTS_PER_WEEK)
+        store.extend("c1", first)
+        store.extend("c1", second)
+        assert np.allclose(store.latest_week("c1"), second)
+
+    def test_consumers_and_length(self):
+        store = ReadingStore()
+        store.append("a", 1.0)
+        store.append("b", 2.0)
+        assert set(store.consumers()) == {"a", "b"}
+        assert store.length("a") == 1
+        assert store.length("missing") == 0

@@ -1,0 +1,114 @@
+"""Unit tests for pricing schemes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PricingError
+from repro.pricing.schemes import (
+    ELECTRIC_IRELAND_NIGHTSAVER,
+    FlatRatePricing,
+    RealTimePricing,
+    TimeOfUsePricing,
+)
+from repro.timeseries.seasonal import SLOTS_PER_DAY, SLOTS_PER_WEEK
+
+
+class TestFlatRate:
+    def test_constant_price(self):
+        scheme = FlatRatePricing(rate=0.2)
+        assert scheme.price(0) == 0.2
+        assert scheme.price(10_000) == 0.2
+        assert not scheme.is_variable
+
+    def test_price_vector(self):
+        vec = FlatRatePricing(rate=0.3).price_vector(5)
+        assert np.allclose(vec, 0.3)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(PricingError):
+            FlatRatePricing(rate=-0.1)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(PricingError):
+            FlatRatePricing().price(-1)
+
+
+class TestTimeOfUse:
+    def test_nightsaver_rates(self):
+        """The Section VIII-C tariff: 0.21 peak / 0.18 off-peak."""
+        tariff = ELECTRIC_IRELAND_NIGHTSAVER
+        assert tariff.price(0) == 0.18  # midnight: off-peak
+        assert tariff.price(17) == 0.18  # 8:30am: off-peak
+        assert tariff.price(18) == 0.21  # 9:00am: peak starts
+        assert tariff.price(47) == 0.21  # 11:30pm: peak
+
+    def test_peak_window_daily_periodic(self):
+        tariff = TimeOfUsePricing()
+        assert tariff.is_peak(18)
+        assert tariff.is_peak(18 + SLOTS_PER_DAY)
+        assert not tariff.is_peak(SLOTS_PER_DAY)  # next midnight
+
+    def test_peak_mask_week(self):
+        mask = TimeOfUsePricing().peak_mask(SLOTS_PER_WEEK)
+        assert mask.sum() == 7 * 30  # 15 peak hours per day
+        assert mask.size == SLOTS_PER_WEEK
+
+    def test_is_variable(self):
+        assert TimeOfUsePricing().is_variable
+
+    def test_custom_window(self):
+        tariff = TimeOfUsePricing(peak_start_slot=10, peak_end_slot=20)
+        assert not tariff.is_peak(9)
+        assert tariff.is_peak(10)
+        assert not tariff.is_peak(20)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(PricingError):
+            TimeOfUsePricing(peak_start_slot=30, peak_end_slot=10)
+        with pytest.raises(PricingError):
+            TimeOfUsePricing(peak_start_slot=0, peak_end_slot=100)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(PricingError):
+            TimeOfUsePricing(peak_rate=-0.1)
+
+
+class TestRealTime:
+    def test_series_lookup_with_update_period(self):
+        scheme = RealTimePricing(prices=np.array([0.1, 0.2]), update_period=3)
+        assert scheme.price(0) == 0.1
+        assert scheme.price(2) == 0.1
+        assert scheme.price(3) == 0.2
+
+    def test_beyond_horizon_raises(self):
+        scheme = RealTimePricing(prices=np.array([0.1]), update_period=2)
+        with pytest.raises(PricingError):
+            scheme.price(2)
+
+    def test_simulate_covers_horizon(self):
+        scheme = RealTimePricing.simulate(n_slots=100, update_period=4, seed=1)
+        vec = scheme.price_vector(100)
+        assert vec.size == 100
+        assert np.all(vec > 0)
+
+    def test_simulate_mean_reverting(self):
+        scheme = RealTimePricing.simulate(
+            n_slots=5000, mean=0.25, volatility=0.01, seed=2
+        )
+        assert scheme.price_vector(5000).mean() == pytest.approx(0.25, abs=0.05)
+
+    def test_simulate_deterministic(self):
+        a = RealTimePricing.simulate(n_slots=50, seed=3).prices
+        b = RealTimePricing.simulate(n_slots=50, seed=3).prices
+        assert np.array_equal(a, b)
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(PricingError):
+            RealTimePricing(prices=np.array([]))
+
+    def test_rejects_negative_prices(self):
+        with pytest.raises(PricingError):
+            RealTimePricing(prices=np.array([-0.1]))
+
+    def test_is_variable(self):
+        assert RealTimePricing(prices=np.array([0.1])).is_variable

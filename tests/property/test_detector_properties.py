@@ -1,0 +1,126 @@
+"""Property-based tests on detector invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kld import KLDDetector
+from repro.detectors.pca import PCADetector
+from repro.detectors.threshold import MinimumAverageDetector
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+def _matrix(seed: int, weeks: int, scale: float) -> np.ndarray:
+    """A plausible consumption matrix with a stable weekly shape."""
+    rng = np.random.default_rng(seed)
+    template = 0.2 + np.abs(np.sin(np.linspace(0, 14 * np.pi, SLOTS_PER_WEEK)))
+    noise = rng.lognormal(0.0, 0.2, size=(weeks, SLOTS_PER_WEEK))
+    return scale * template * noise
+
+
+matrix_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=5, max_value=30),
+    st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+)
+
+
+class TestKLDProperties:
+    @given(params=matrix_params)
+    @settings(max_examples=20, deadline=None)
+    def test_threshold_monotone_in_alpha(self, params):
+        """Higher significance (more aggressive) => lower threshold."""
+        matrix = _matrix(*params)
+        thresholds = []
+        for alpha in (0.02, 0.05, 0.10, 0.25):
+            det = KLDDetector(significance=alpha).fit(matrix)
+            thresholds.append(det.threshold)
+        assert all(
+            a >= b - 1e-12 for a, b in zip(thresholds, thresholds[1:])
+        )
+
+    @given(
+        params=matrix_params,
+        perm_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_statistic_permutation_invariant(self, params, perm_seed):
+        """The KLD statistic ignores ordering — the structural reason
+        the Optimal Swap evades the unconditioned detector."""
+        matrix = _matrix(*params)
+        detector = KLDDetector(significance=0.05).fit(matrix)
+        week = matrix[0]
+        shuffled = np.random.default_rng(perm_seed).permutation(week)
+        assert np.isclose(
+            detector.divergence_of(week), detector.divergence_of(shuffled)
+        )
+
+    @given(params=matrix_params)
+    @settings(max_examples=20, deadline=None)
+    def test_divergence_nonnegative(self, params):
+        matrix = _matrix(*params)
+        detector = KLDDetector(significance=0.05).fit(matrix)
+        for week in matrix[:5]:
+            assert detector.divergence_of(week) >= -1e-9
+
+    @given(
+        params=matrix_params,
+        factor=st.floats(min_value=3.0, max_value=10.0, allow_nan=False),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_gross_scaling_always_flagged(self, params, factor):
+        """Multiplying a week by >= 3 pushes every reading's bin up:
+        the detector must flag it."""
+        matrix = _matrix(*params)
+        detector = KLDDetector(significance=0.10).fit(matrix)
+        week = matrix[0] * factor
+        assert detector.flags(week)
+
+
+class TestMinimumAverageProperties:
+    @given(
+        params=matrix_params,
+        scale=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_deep_under_report_always_flagged(self, params, scale):
+        matrix = _matrix(*params)
+        detector = MinimumAverageDetector(margin=1.0).fit(matrix)
+        if detector.tau <= 0:
+            return
+        week = matrix[0] * scale * 0.5
+        if week.reshape(-1, 48).mean(axis=1).min() < detector.tau:
+            assert detector.flags(week)
+
+    @given(params=matrix_params)
+    @settings(max_examples=20, deadline=None)
+    def test_training_weeks_never_flagged_at_full_margin(self, params):
+        matrix = _matrix(*params)
+        detector = MinimumAverageDetector(margin=1.0).fit(matrix)
+        for week in matrix:
+            assert not detector.flags(week)
+
+
+class TestPCAProperties:
+    @given(params=matrix_params)
+    @settings(max_examples=15, deadline=None)
+    def test_residual_invariant_to_subspace_shift(self, params):
+        """Adding a retained principal direction to a week leaves the
+        residual unchanged."""
+        matrix = _matrix(*params)
+        detector = PCADetector(n_components=2).fit(matrix)
+        week = matrix[0]
+        shifted = week + 0.5 * detector.components[0]
+        base = detector.residual_of(week)
+        moved = detector.residual_of(np.abs(shifted))
+        # abs() may perturb where readings would go negative; allow a
+        # modest tolerance while requiring the residual not to blow up.
+        assert moved <= base + 0.5 * np.linalg.norm(week) + 1e-6
+
+    @given(params=matrix_params)
+    @settings(max_examples=15, deadline=None)
+    def test_training_flag_rate_bounded_by_construction(self, params):
+        matrix = _matrix(*params)
+        detector = PCADetector(significance=0.10).fit(matrix)
+        flags = [detector.flags(week) for week in matrix]
+        assert np.mean(flags) <= 0.25

@@ -1,0 +1,141 @@
+"""Property-based tests on grid topology and balance-check invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.balance import BalanceAuditor
+from repro.grid.builder import build_random_topology
+from repro.grid.serialization import topology_from_dict, topology_to_dict
+from repro.grid.snapshot import DemandSnapshot
+
+
+topology_params = st.tuples(
+    st.integers(min_value=2, max_value=60),   # consumers
+    st.integers(min_value=2, max_value=6),    # branching
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def _topology(params):
+    n, branching, seed = params
+    return build_random_topology(
+        n_consumers=n, branching=branching, seed=seed
+    )
+
+
+class TestTopologyInvariants:
+    @given(params=topology_params)
+    @settings(max_examples=30)
+    def test_every_node_reachable_from_root(self, params):
+        topo = _topology(params)
+        reached = set(topo.iter_breadth_first())
+        assert len(reached) == len(topo)
+
+    @given(params=topology_params)
+    @settings(max_examples=30)
+    def test_path_to_root_ends_at_root(self, params):
+        topo = _topology(params)
+        for cid in topo.consumers():
+            path = topo.path_to_root(cid)
+            assert path[0] == cid
+            assert path[-1] == topo.root_id
+            # Each hop is a parent link.
+            for child, parent in zip(path, path[1:]):
+                assert topo.parent(child) == parent
+
+    @given(params=topology_params)
+    @settings(max_examples=30)
+    def test_consumer_partition_under_root_children(self, params):
+        """Consumers under distinct root subtrees partition the set."""
+        topo = _topology(params)
+        seen: set[str] = set()
+        for child in topo.children(topo.root_id):
+            if topo.node(child).kind.value != "internal":
+                if topo.node(child).kind.value == "consumer":
+                    assert child not in seen
+                    seen.add(child)
+                continue
+            subtree = set(topo.consumer_descendants(child))
+            assert not subtree & seen
+            seen |= subtree
+        assert seen == set(topo.consumers())
+
+    @given(params=topology_params)
+    @settings(max_examples=20)
+    def test_serialization_roundtrip(self, params):
+        topo = _topology(params)
+        rebuilt = topology_from_dict(topology_to_dict(topo))
+        assert set(rebuilt.consumers()) == set(topo.consumers())
+        for cid in topo.consumers():
+            assert rebuilt.parent(cid) == topo.parent(cid)
+
+
+class TestBalanceInvariants:
+    @given(
+        params=topology_params,
+        thief_index=st.integers(min_value=0, max_value=10_000),
+        steal=st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+    )
+    @settings(max_examples=30)
+    def test_under_report_fails_exactly_the_root_path(
+        self, params, thief_index, steal
+    ):
+        """A single under-report trips W at precisely the instrumented
+        ancestors of the thief (Section V-B's propagation rule)."""
+        topo = _topology(params)
+        consumers = topo.consumers()
+        thief = consumers[thief_index % len(consumers)]
+        actual = {cid: 3.0 + steal for cid in consumers}
+        snapshot = DemandSnapshot(topology=topo, actual=actual).with_reported(
+            {thief: 3.0}
+        )
+        auditor = BalanceAuditor(topo)
+        report = auditor.audit(snapshot)
+        ancestors = {
+            nid
+            for nid in topo.path_to_root(thief)
+            if nid in set(topo.internal_nodes())
+        }
+        assert set(report.failing_nodes()) == ancestors
+
+    @given(
+        params=topology_params,
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30)
+    def test_honest_grid_always_balances(self, params, seed):
+        topo = _topology(params)
+        rng = np.random.default_rng(seed)
+        actual = {
+            cid: float(rng.uniform(0.0, 10.0)) for cid in topo.consumers()
+        }
+        snapshot = DemandSnapshot(topology=topo, actual=actual)
+        assert not BalanceAuditor(topo).audit(snapshot).any_failure
+
+    @given(
+        params=topology_params,
+        pair_seed=st.integers(min_value=0, max_value=10_000),
+        steal=st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+    )
+    @settings(max_examples=30)
+    def test_balanced_1b_attack_always_invisible(
+        self, params, pair_seed, steal
+    ):
+        """Whatever the topology, a theft balanced by over-reporting a
+        *sibling* evades every balance meter (Proposition 2's converse)."""
+        topo = _topology(params)
+        rng = np.random.default_rng(pair_seed)
+        candidates = [
+            cid for cid in topo.consumers() if topo.siblings(cid)
+        ]
+        if not candidates:
+            return  # no sibling pairs in this topology
+        mallory = candidates[int(rng.integers(len(candidates)))]
+        victim = topo.siblings(mallory)[0]
+        actual = {cid: 3.0 for cid in topo.consumers()}
+        actual[mallory] = 3.0 + steal
+        snapshot = DemandSnapshot(topology=topo, actual=actual).with_reported(
+            {mallory: 3.0, victim: 3.0 + steal}
+        )
+        assert not BalanceAuditor(topo).audit(snapshot).any_failure

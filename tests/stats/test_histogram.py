@@ -1,0 +1,122 @@
+"""Unit tests for fixed-edge histograms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.histogram import (
+    FixedEdgeHistogram,
+    histogram_edges,
+    relative_frequencies,
+)
+
+
+class TestHistogramEdges:
+    def test_edges_span_data(self):
+        edges = histogram_edges(np.array([1.0, 2.0, 5.0]), bins=4)
+        assert edges[0] == 1.0
+        assert edges[-1] == 5.0
+        assert edges.size == 5
+
+    def test_edges_equal_width(self):
+        edges = histogram_edges(np.array([0.0, 10.0]), bins=5)
+        widths = np.diff(edges)
+        assert np.allclose(widths, 2.0)
+
+    def test_constant_data_yields_usable_interval(self):
+        edges = histogram_edges(np.full(10, 3.0), bins=3)
+        assert edges[0] < 3.0 < edges[-1]
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ConfigurationError):
+            histogram_edges(np.array([1.0, 2.0]), bins=0)
+
+    def test_rejects_empty_data(self):
+        with pytest.raises(ConfigurationError):
+            histogram_edges(np.array([]), bins=3)
+
+    def test_matrix_input_flattened(self):
+        edges = histogram_edges(np.array([[1.0, 2.0], [3.0, 4.0]]), bins=3)
+        assert edges[0] == 1.0 and edges[-1] == 4.0
+
+
+class TestRelativeFrequencies:
+    def test_sums_to_one(self, rng):
+        values = rng.uniform(0, 10, size=100)
+        edges = histogram_edges(values, bins=7)
+        probs = relative_frequencies(values, edges)
+        assert probs.shape == (7,)
+        assert np.isclose(probs.sum(), 1.0)
+
+    def test_out_of_range_values_clipped_not_dropped(self):
+        edges = np.array([0.0, 1.0, 2.0])
+        probs = relative_frequencies(np.array([-5.0, 0.5, 10.0, 10.0]), edges)
+        # -5 lands in the first bin; the two 10s land in the last.
+        assert np.isclose(probs[0], 0.5)
+        assert np.isclose(probs[1], 0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            relative_frequencies(np.array([]), np.array([0.0, 1.0]))
+
+
+class TestFixedEdgeHistogram:
+    def test_from_data_bins(self):
+        hist = FixedEdgeHistogram.from_data(np.arange(100.0), bins=10)
+        assert hist.bins == 10
+
+    def test_probabilities_uniform_data(self):
+        hist = FixedEdgeHistogram.from_data(np.arange(1000.0), bins=10)
+        probs = hist.probabilities(np.arange(1000.0))
+        assert np.allclose(probs, 0.1, atol=0.01)
+
+    def test_same_edges_reused_for_new_data(self):
+        train = np.arange(100.0)
+        hist = FixedEdgeHistogram.from_data(train, bins=5)
+        shifted = hist.probabilities(train + 200.0)  # all above range
+        assert np.isclose(shifted[-1], 1.0)
+
+    def test_counts_total(self, rng):
+        values = rng.uniform(0, 1, size=50)
+        hist = FixedEdgeHistogram.from_data(values, bins=4)
+        assert hist.counts(values).sum() == 50
+
+    def test_rejects_non_monotone_edges(self):
+        with pytest.raises(ConfigurationError):
+            FixedEdgeHistogram(np.array([0.0, 2.0, 1.0]))
+
+    def test_rejects_too_few_edges(self):
+        with pytest.raises(ConfigurationError):
+            FixedEdgeHistogram(np.array([1.0]))
+
+    def test_frozen_edges_are_copies_of_input_semantics(self):
+        edges = np.array([0.0, 1.0, 2.0])
+        hist = FixedEdgeHistogram(edges)
+        assert hist.bins == 2
+        assert np.array_equal(hist.edges, edges)
+
+
+class TestQuantileEdges:
+    def test_equal_mass_bins(self, rng):
+        values = rng.lognormal(0, 1, size=10_000)
+        hist = FixedEdgeHistogram.from_quantiles(values, bins=8)
+        probs = hist.probabilities(values)
+        assert np.allclose(probs, 1.0 / 8.0, atol=0.01)
+
+    def test_edges_strictly_increasing_with_ties(self):
+        values = np.array([1.0] * 50 + [2.0] * 50)
+        hist = FixedEdgeHistogram.from_quantiles(values, bins=5)
+        assert np.all(np.diff(hist.edges) > 0)
+
+    def test_constant_data_usable(self):
+        hist = FixedEdgeHistogram.from_quantiles(np.full(20, 3.0), bins=4)
+        probs = hist.probabilities(np.full(20, 3.0))
+        assert np.isclose(probs.sum(), 1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            FixedEdgeHistogram.from_quantiles(np.array([]), bins=3)
+
+    def test_rejects_zero_bins(self, rng):
+        with pytest.raises(ConfigurationError):
+            FixedEdgeHistogram.from_quantiles(rng.uniform(size=10), bins=0)

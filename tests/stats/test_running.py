@@ -1,0 +1,66 @@
+"""Unit tests for Welford running moments."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.running import RunningMoments
+
+
+class TestRunningMoments:
+    def test_empty_defaults(self):
+        m = RunningMoments()
+        assert m.count == 0
+        assert m.mean == 0.0
+        assert m.variance == 0.0
+        assert m.sample_variance == 0.0
+
+    def test_matches_numpy(self, rng):
+        values = rng.normal(5.0, 2.0, size=1000)
+        m = RunningMoments()
+        m.update_many(values)
+        assert m.mean == pytest.approx(values.mean())
+        assert m.variance == pytest.approx(values.var())
+        assert m.sample_variance == pytest.approx(values.var(ddof=1))
+        assert m.std == pytest.approx(values.std())
+
+    def test_single_value(self):
+        m = RunningMoments()
+        m.update(3.0)
+        assert m.mean == 3.0
+        assert m.variance == 0.0
+        assert m.sample_variance == 0.0
+
+    def test_merge_equals_sequential(self, rng):
+        a_values = rng.normal(size=500)
+        b_values = rng.normal(3.0, size=300)
+        a = RunningMoments()
+        a.update_many(a_values)
+        b = RunningMoments()
+        b.update_many(b_values)
+        merged = a.merge(b)
+        combined = np.concatenate([a_values, b_values])
+        assert merged.count == 800
+        assert merged.mean == pytest.approx(combined.mean())
+        assert merged.variance == pytest.approx(combined.var())
+
+    def test_merge_with_empty(self, rng):
+        a = RunningMoments()
+        a.update_many(rng.normal(size=10))
+        empty = RunningMoments()
+        assert a.merge(empty).mean == pytest.approx(a.mean)
+        assert empty.merge(a).count == 10
+
+    def test_rejects_non_finite(self):
+        m = RunningMoments()
+        with pytest.raises(ConfigurationError):
+            m.update(float("nan"))
+        with pytest.raises(ConfigurationError):
+            m.update(float("inf"))
+
+    def test_numerical_stability_large_offset(self):
+        m = RunningMoments()
+        base = 1e9
+        for v in (base + 1.0, base + 2.0, base + 3.0):
+            m.update(v)
+        assert m.sample_variance == pytest.approx(1.0)

@@ -1,0 +1,94 @@
+"""Unit tests for truncated-normal sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.truncated_normal import TruncatedNormal, sample_truncated_normal
+
+
+class TestTruncatedNormal:
+    def test_samples_within_bounds(self, rng):
+        dist = TruncatedNormal(mu=0.0, sigma=1.0, lower=-0.5, upper=2.0)
+        samples = dist.sample(5000, rng)
+        assert samples.min() >= -0.5
+        assert samples.max() <= 2.0
+
+    def test_sample_mean_matches_analytical(self, rng):
+        dist = TruncatedNormal(mu=1.0, sigma=0.5, lower=0.0, upper=3.0)
+        samples = dist.sample(50_000, rng)
+        assert samples.mean() == pytest.approx(dist.mean(), abs=0.01)
+
+    def test_sample_variance_matches_analytical(self, rng):
+        dist = TruncatedNormal(mu=1.0, sigma=0.5, lower=0.0, upper=3.0)
+        samples = dist.sample(50_000, rng)
+        assert samples.var() == pytest.approx(dist.variance(), rel=0.05)
+
+    def test_untruncated_limit_recovers_normal(self, rng):
+        dist = TruncatedNormal(mu=2.0, sigma=1.0, lower=-50.0, upper=50.0)
+        assert dist.mean() == pytest.approx(2.0, abs=1e-6)
+        assert dist.variance() == pytest.approx(1.0, abs=1e-6)
+
+    def test_far_tail_interval_falls_back_to_uniform(self, rng):
+        dist = TruncatedNormal(mu=0.0, sigma=0.01, lower=100.0, upper=101.0)
+        samples = dist.sample(100, rng)
+        assert np.all((samples >= 100.0) & (samples <= 101.0))
+
+    def test_zero_size(self, rng):
+        dist = TruncatedNormal(mu=0.0, sigma=1.0, lower=-1.0, upper=1.0)
+        assert dist.sample(0, rng).size == 0
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedNormal(mu=0.0, sigma=0.0, lower=-1.0, upper=1.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedNormal(mu=0.0, sigma=1.0, lower=1.0, upper=-1.0)
+
+    def test_reproducible_with_same_seed(self):
+        dist = TruncatedNormal(mu=0.0, sigma=1.0, lower=-1.0, upper=1.0)
+        a = dist.sample(10, np.random.default_rng(1))
+        b = dist.sample(10, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+
+class TestVectorisedSampling:
+    def test_per_element_bounds_respected(self, rng):
+        lower = np.linspace(0.0, 5.0, 100)
+        upper = lower + np.linspace(0.1, 2.0, 100)
+        samples = sample_truncated_normal(2.0, 1.0, lower, upper, rng)
+        assert np.all(samples >= lower)
+        assert np.all(samples <= upper)
+
+    def test_matches_scalar_distribution_statistics(self, rng):
+        lower = np.full(50_000, 0.0)
+        upper = np.full(50_000, 3.0)
+        samples = sample_truncated_normal(1.0, 0.5, lower, upper, rng)
+        expected = TruncatedNormal(mu=1.0, sigma=0.5, lower=0.0, upper=3.0)
+        assert samples.mean() == pytest.approx(expected.mean(), abs=0.01)
+
+    def test_degenerate_interval_uniform_fallback(self, rng):
+        lower = np.array([100.0, 0.0])
+        upper = np.array([100.5, 1.0])
+        samples = sample_truncated_normal(0.0, 0.001, lower, upper, rng)
+        assert 100.0 <= samples[0] <= 100.5
+        assert 0.0 <= samples[1] <= 1.0
+
+    def test_rejects_mismatched_bounds(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_truncated_normal(
+                0.0, 1.0, np.zeros(3), np.ones(2), rng
+            )
+
+    def test_rejects_crossed_bounds(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_truncated_normal(
+                0.0, 1.0, np.array([1.0]), np.array([0.0]), rng
+            )
+
+    def test_rejects_nonpositive_sigma(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_truncated_normal(
+                0.0, -1.0, np.zeros(2), np.ones(2), rng
+            )

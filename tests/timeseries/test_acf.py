@@ -1,0 +1,75 @@
+"""Unit tests for autocorrelation functions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ModelError
+from repro.timeseries.acf import acf, pacf
+
+
+class TestACF:
+    def test_lag_zero_is_one(self, rng):
+        assert acf(rng.normal(size=100), nlags=5)[0] == 1.0
+
+    def test_white_noise_near_zero(self, rng):
+        values = acf(rng.normal(size=5000), nlags=10)
+        assert np.all(np.abs(values[1:]) < 0.05)
+
+    def test_ar1_geometric_decay(self, rng):
+        phi = 0.8
+        n = 20_000
+        noise = rng.normal(size=n)
+        series = np.empty(n)
+        series[0] = noise[0]
+        for t in range(1, n):
+            series[t] = phi * series[t - 1] + noise[t]
+        rho = acf(series, nlags=3)
+        assert rho[1] == pytest.approx(phi, abs=0.03)
+        assert rho[2] == pytest.approx(phi**2, abs=0.05)
+
+    def test_constant_series_convention(self):
+        rho = acf(np.full(50, 2.0), nlags=3)
+        assert rho[0] == 1.0
+        assert np.all(rho[1:] == 0.0)
+
+    def test_rejects_negative_lags(self, rng):
+        with pytest.raises(ConfigurationError):
+            acf(rng.normal(size=10), nlags=-1)
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ModelError):
+            acf(np.arange(5.0), nlags=5)
+
+    def test_bounded_by_one(self, rng):
+        rho = acf(rng.normal(size=500).cumsum(), nlags=20)
+        assert np.all(np.abs(rho) <= 1.0 + 1e-9)
+
+
+class TestPACF:
+    def test_lag_zero_is_one(self, rng):
+        assert pacf(rng.normal(size=100), nlags=4)[0] == 1.0
+
+    def test_ar1_cuts_off_after_lag1(self, rng):
+        phi = 0.7
+        n = 20_000
+        noise = rng.normal(size=n)
+        series = np.empty(n)
+        series[0] = noise[0]
+        for t in range(1, n):
+            series[t] = phi * series[t - 1] + noise[t]
+        partial = pacf(series, nlags=4)
+        assert partial[1] == pytest.approx(phi, abs=0.03)
+        assert np.all(np.abs(partial[2:]) < 0.05)
+
+    def test_ar2_cuts_off_after_lag2(self, rng):
+        n = 30_000
+        noise = rng.normal(size=n)
+        series = np.zeros(n)
+        for t in range(2, n):
+            series[t] = 0.5 * series[t - 1] + 0.3 * series[t - 2] + noise[t]
+        partial = pacf(series, nlags=5)
+        assert abs(partial[2]) > 0.2
+        assert np.all(np.abs(partial[3:]) < 0.05)
+
+    def test_nlags_zero(self, rng):
+        assert pacf(rng.normal(size=10), nlags=0).size == 1

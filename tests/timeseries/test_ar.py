@@ -1,0 +1,64 @@
+"""Unit tests for AR estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ModelError
+from repro.timeseries.ar import fit_ar_least_squares, fit_ar_yule_walker
+
+
+def _simulate_ar(phi, n, rng, intercept=0.0):
+    p = len(phi)
+    noise = rng.normal(size=n)
+    series = np.zeros(n)
+    for t in range(p, n):
+        series[t] = intercept + noise[t]
+        for i, coef in enumerate(phi):
+            series[t] += coef * series[t - 1 - i]
+    return series
+
+
+class TestYuleWalker:
+    def test_recovers_ar1(self, rng):
+        series = _simulate_ar([0.6], 20_000, rng)
+        phi = fit_ar_yule_walker(series, order=1)
+        assert phi[0] == pytest.approx(0.6, abs=0.03)
+
+    def test_recovers_ar2(self, rng):
+        series = _simulate_ar([0.5, 0.2], 30_000, rng)
+        phi = fit_ar_yule_walker(series, order=2)
+        assert phi[0] == pytest.approx(0.5, abs=0.04)
+        assert phi[1] == pytest.approx(0.2, abs=0.04)
+
+    def test_rejects_zero_order(self, rng):
+        with pytest.raises(ConfigurationError):
+            fit_ar_yule_walker(rng.normal(size=100), order=0)
+
+
+class TestLeastSquares:
+    def test_recovers_ar1_with_intercept(self, rng):
+        series = _simulate_ar([0.6], 20_000, rng, intercept=1.0)
+        intercept, phi, residuals = fit_ar_least_squares(series, order=1)
+        assert phi[0] == pytest.approx(0.6, abs=0.03)
+        assert intercept == pytest.approx(1.0, abs=0.1)
+        assert residuals.size == series.size - 1
+
+    def test_residuals_uncorrelated_with_lags(self, rng):
+        series = _simulate_ar([0.7], 10_000, rng)
+        _, _, residuals = fit_ar_least_squares(series, order=1)
+        lagged = series[1:-1]
+        corr = np.corrcoef(residuals[1:], lagged)[0, 1]
+        assert abs(corr) < 0.05
+
+    def test_residual_variance_near_noise_variance(self, rng):
+        series = _simulate_ar([0.5], 20_000, rng)
+        _, _, residuals = fit_ar_least_squares(series, order=1)
+        assert residuals.var() == pytest.approx(1.0, rel=0.05)
+
+    def test_rejects_short_series(self, rng):
+        with pytest.raises(ModelError):
+            fit_ar_least_squares(rng.normal(size=5), order=3)
+
+    def test_rejects_zero_order(self, rng):
+        with pytest.raises(ConfigurationError):
+            fit_ar_least_squares(rng.normal(size=100), order=0)

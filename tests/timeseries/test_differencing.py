@@ -1,0 +1,62 @@
+"""Unit tests for differencing and undifferencing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ModelError
+from repro.timeseries.differencing import difference, undifference
+
+
+class TestDifference:
+    def test_first_difference(self):
+        out = difference(np.array([1.0, 3.0, 6.0, 10.0]), order=1)
+        assert np.array_equal(out, [2.0, 3.0, 4.0])
+
+    def test_second_difference(self):
+        out = difference(np.array([1.0, 3.0, 6.0, 10.0]), order=2)
+        assert np.array_equal(out, [1.0, 1.0])
+
+    def test_order_zero_identity(self):
+        series = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(difference(series, order=0), series)
+
+    def test_rejects_negative_order(self):
+        with pytest.raises(ConfigurationError):
+            difference(np.array([1.0, 2.0]), order=-1)
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ModelError):
+            difference(np.array([1.0]), order=1)
+
+    def test_linear_trend_removed(self):
+        series = 2.0 * np.arange(10.0) + 5.0
+        assert np.allclose(difference(series, 1), 2.0)
+
+
+class TestUndifference:
+    def test_roundtrip_order1(self, rng):
+        series = rng.normal(size=50).cumsum()
+        diffed = difference(series, 1)
+        restored = undifference(diffed, heads=series[:1], order=1)
+        assert np.allclose(restored, series[1:])
+
+    def test_roundtrip_order2(self, rng):
+        series = rng.normal(size=50).cumsum().cumsum()
+        diffed = difference(series, 2)
+        restored = undifference(diffed, heads=series[:2], order=2)
+        assert np.allclose(restored, series[2:])
+
+    def test_forecast_integration(self):
+        # Forecasting differences of +1 from a last value of 10.
+        out = undifference(np.ones(3), heads=np.array([10.0]), order=1)
+        assert np.array_equal(out, [11.0, 12.0, 13.0])
+
+    def test_order_zero_copy(self):
+        arr = np.array([1.0, 2.0])
+        out = undifference(arr, heads=np.array([]), order=0)
+        assert np.array_equal(out, arr)
+        assert out is not arr
+
+    def test_rejects_wrong_head_count(self):
+        with pytest.raises(ConfigurationError):
+            undifference(np.ones(3), heads=np.array([1.0, 2.0]), order=1)
