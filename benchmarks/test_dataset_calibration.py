@@ -18,8 +18,6 @@ import numpy as np
 from repro.data.consumers import ConsumerType
 from repro.data.statistics import summarise_population
 from repro.data.synthetic import SyntheticCERConfig, generate_cer_like_dataset
-from repro.pricing.schemes import TimeOfUsePricing
-from repro.timeseries.seasonal import SLOTS_PER_WEEK
 from benchmarks.conftest import write_artifact
 
 

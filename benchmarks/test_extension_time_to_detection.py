@@ -9,9 +9,8 @@ acceptable — and confirms normal weeks stay quiet at roughly the
 significance level.
 """
 
-import numpy as np
 
-from repro.attacks.injection import IntegratedARIMAAttack, InjectionContext
+from repro.attacks.injection import IntegratedARIMAAttack
 from repro.core.kld import KLDDetector
 from repro.evaluation.figures import _context_for
 from repro.evaluation.experiment import _consumer_rng

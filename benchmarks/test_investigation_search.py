@@ -6,7 +6,6 @@ degenerate linear topology.  This bench measures the serviceman search's
 portable-meter check count across population sizes and both shapes.
 """
 
-import numpy as np
 
 from repro.grid.builder import build_linear_topology, build_random_topology
 from repro.grid.investigation import (

@@ -12,7 +12,6 @@ Run:  python examples/attack_planning.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import (
     ARIMADetector,

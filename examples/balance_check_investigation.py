@@ -20,7 +20,6 @@ import numpy as np
 
 from repro.grid import (
     BalanceAuditor,
-    DemandSnapshot,
     build_random_topology,
     serviceman_search,
 )

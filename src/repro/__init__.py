@@ -62,6 +62,13 @@ from repro.pricing import (
     RealTimePricing,
     TimeOfUsePricing,
 )
+from repro.resilience import (
+    FaultyChannel,
+    ResilienceConfig,
+    RetryPolicy,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 __version__ = "1.0.0"
 
@@ -74,6 +81,7 @@ __all__ = [
     "DetectionResult",
     "EvaluationConfig",
     "FDetaFramework",
+    "FaultyChannel",
     "FlatRatePricing",
     "InjectionContext",
     "IntegratedARIMAAttack",
@@ -84,12 +92,16 @@ __all__ = [
     "PriceConditionedKLDDetector",
     "RadialTopology",
     "RealTimePricing",
+    "ResilienceConfig",
+    "RetryPolicy",
     "SmartMeterDataset",
     "SyntheticCERConfig",
     "TimeOfUsePricing",
     "build_random_topology",
     "generate_cer_like_dataset",
+    "load_checkpoint",
     "run_evaluation",
+    "save_checkpoint",
     "table2",
     "table3",
 ]

@@ -5,7 +5,9 @@ Subcommands:
 * ``generate`` — write a synthetic CER-like dataset to a CER-format file;
 * ``table1`` — print the attack-classification matrix (Table I);
 * ``evaluate`` — run the Section VIII evaluation and print Tables II/III;
-* ``ablation`` — run the histogram-bin-count sweep.
+* ``ablation`` — run the histogram-bin-count sweep;
+* ``monitor`` — replay a dataset through the online monitoring service
+  over a lossy channel, with optional checkpoint/resume.
 """
 
 from __future__ import annotations
@@ -162,6 +164,88 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import os
+
+    import numpy as np
+
+    from repro.core.kld import KLDDetector
+    from repro.core.online import TheftMonitoringService
+    from repro.metering.channel import LossyChannel
+    from repro.resilience import FaultInjector, FaultyChannel, ResilienceConfig
+    from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+    dataset = _dataset_from_args(args)
+    ids = dataset.consumers()
+    series = {cid: dataset.series(cid) for cid in ids}
+    weeks = dataset.n_weeks
+
+    def factory():
+        return KLDDetector(significance=args.significance)
+
+    resumed = False
+    if args.checkpoint and args.resume and os.path.exists(args.checkpoint):
+        service = TheftMonitoringService.restore(args.checkpoint, factory)
+        resumed = True
+        print(
+            f"resumed from {args.checkpoint} at week "
+            f"{service.weeks_completed}",
+            file=sys.stderr,
+        )
+    else:
+        service = TheftMonitoringService(
+            detector_factory=factory,
+            min_training_weeks=args.min_training_weeks,
+            retrain_every_weeks=args.retrain_every_weeks,
+            resilience=ResilienceConfig(min_coverage=args.min_coverage),
+            population=ids,
+        )
+    channel = FaultyChannel(
+        channel=LossyChannel(
+            drop_rate=args.drop_rate, outage_rate=args.outage_rate
+        ),
+        faults=FaultInjector(corrupt_rate=args.corrupt_rate),
+    )
+    rng = np.random.default_rng(args.seed + 1)
+    start_slot = service.weeks_completed * SLOTS_PER_WEEK
+    for t in range(start_slot, weeks * SLOTS_PER_WEEK):
+        readings = {cid: float(series[cid][t]) for cid in ids}
+        report = service.ingest_cycle(channel.transmit(readings, rng))
+        if report is None:
+            continue
+        mean_coverage = (
+            sum(report.coverage.values()) / len(report.coverage)
+            if report.coverage
+            else float("nan")
+        )
+        print(
+            f"week {report.week_index:>3}: "
+            f"{len(report.alerts)} alert(s), "
+            f"coverage {mean_coverage:.1%}, "
+            f"{len(report.quarantined)} quarantined, "
+            f"{len(report.suppressed)} suppressed"
+        )
+        for alert in report.alerts:
+            print(
+                f"    {alert.consumer_id}: {alert.nature.value} "
+                f"(severity {alert.severity:.2f}, "
+                f"coverage {alert.coverage:.1%})"
+            )
+        if args.checkpoint:
+            service.checkpoint(args.checkpoint)
+    attackers = service.suspected_attackers()
+    victims = service.suspected_victims()
+    print(
+        f"monitored {len(ids)} consumers for {service.weeks_completed} weeks"
+        + (" (resumed)" if resumed else "")
+    )
+    print(f"suspected attackers: {list(attackers) or 'none'}")
+    print(f"suspected victims:   {list(victims) or 'none'}")
+    if args.checkpoint:
+        print(f"checkpoint: {args.checkpoint}")
+    return 0
+
+
 def _cmd_ablation(args: argparse.Namespace) -> int:
     dataset = _dataset_from_args(args)
     consumers = dataset.consumers()[: args.sample]
@@ -221,6 +305,33 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--eval-seed", type=int, default=7)
     rep.add_argument("--output", type=str, default=None)
     rep.set_defaults(func=_cmd_report)
+
+    mon = sub.add_parser(
+        "monitor",
+        help="replay a dataset through the online service over a lossy link",
+    )
+    _add_dataset_options(mon)
+    mon.add_argument("--drop-rate", type=float, default=0.02)
+    mon.add_argument("--outage-rate", type=float, default=0.0005)
+    mon.add_argument("--corrupt-rate", type=float, default=0.0)
+    mon.add_argument("--significance", type=float, default=0.05)
+    mon.add_argument("--min-training-weeks", type=int, default=8)
+    mon.add_argument("--retrain-every-weeks", type=int, default=4)
+    mon.add_argument(
+        "--min-coverage",
+        type=float,
+        default=0.5,
+        help="suppress alerts for weeks observed below this fraction",
+    )
+    mon.add_argument(
+        "--checkpoint", type=str, default=None, help="checkpoint file path"
+    )
+    mon.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint if it exists",
+    )
+    mon.set_defaults(func=_cmd_monitor)
 
     ab = sub.add_parser("ablation", help="histogram bin-count sweep")
     _add_dataset_options(ab)

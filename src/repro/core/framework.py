@@ -67,12 +67,23 @@ class ExternalEvidence:
 
 @dataclass(frozen=True)
 class ConsumerAssessment:
-    """Per-consumer outcome of one F-DETA evaluation cycle."""
+    """Per-consumer outcome of one F-DETA evaluation cycle.
+
+    ``coverage`` is the fraction of the week's slots that were actually
+    observed; 1.0 for the normal path, below 1.0 when the week was
+    scored in degraded mode (see :meth:`FDetaFramework.assess_partial_week`).
+    """
 
     consumer_id: str
     result: DetectionResult
     nature: AnomalyNature
     false_positive_suspected: bool
+    coverage: float = 1.0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the week was scored with missing slots."""
+        return self.coverage < 1.0
 
     @property
     def needs_investigation(self) -> bool:
@@ -138,9 +149,28 @@ class FDetaFramework:
         except KeyError:
             raise DataError(f"no detector trained for {consumer_id!r}") from None
 
+    def has_detector(self, consumer_id: str) -> bool:
+        """Whether a detector has been trained for this consumer."""
+        return consumer_id in self._detectors
+
     # ------------------------------------------------------------------
     # Steps 2-4: flag, classify, discount
     # ------------------------------------------------------------------
+
+    def _classify(self, consumer_id: str, week_mean: float) -> AnomalyNature:
+        """Step-3 triage of a flagged week by its mean consumption.
+
+        cdf is right-continuous: a week pinned exactly at the historic
+        maximum scores 1.0, at the minimum scores > 0, so compare
+        against both tails explicitly.
+        """
+        distribution = self._mean_distributions[consumer_id]
+        low_q, high_q = self.triage_quantiles
+        if week_mean <= distribution.percentile(100.0 * low_q):
+            return AnomalyNature.SUSPECTED_ATTACKER
+        if week_mean >= distribution.percentile(100.0 * high_q):
+            return AnomalyNature.SUSPECTED_VICTIM
+        return AnomalyNature.SHAPE_CHANGE
 
     def assess_week(
         self,
@@ -155,17 +185,7 @@ class FDetaFramework:
         nature = AnomalyNature.NORMAL
         if result.flagged:
             week_mean = float(np.asarray(week, dtype=float).mean())
-            # cdf is right-continuous: a week pinned exactly at the
-            # historic maximum scores 1.0, at the minimum scores > 0, so
-            # compare against both tails explicitly.
-            distribution = self._mean_distributions[consumer_id]
-            low_q, high_q = self.triage_quantiles
-            if week_mean <= distribution.percentile(100.0 * low_q):
-                nature = AnomalyNature.SUSPECTED_ATTACKER
-            elif week_mean >= distribution.percentile(100.0 * high_q):
-                nature = AnomalyNature.SUSPECTED_VICTIM
-            else:
-                nature = AnomalyNature.SHAPE_CHANGE
+            nature = self._classify(consumer_id, week_mean)
         false_positive = bool(
             result.flagged
             and evidence is not None
@@ -176,6 +196,42 @@ class FDetaFramework:
             result=result,
             nature=nature,
             false_positive_suspected=false_positive,
+        )
+
+    def assess_partial_week(
+        self,
+        consumer_id: str,
+        week: np.ndarray,
+        week_index: int = 0,
+        evidence: ExternalEvidence | None = None,
+    ) -> ConsumerAssessment:
+        """Steps 2-4 for a week that may contain NaN gaps (degraded mode).
+
+        The detector renormalises over the observed slots (see
+        :meth:`repro.detectors.base.WeeklyDetector.score_partial_week`)
+        and the step-3 triage uses the observed-slot mean; the returned
+        assessment carries the week's ``coverage`` so alerting layers
+        can weigh (or suppress) low-coverage verdicts.
+        """
+        detector = self.detector_for(consumer_id)
+        arr = np.asarray(week, dtype=float).ravel()
+        result = detector.score_partial_week(arr)
+        observed = ~np.isnan(arr)
+        coverage = float(observed.mean())
+        nature = AnomalyNature.NORMAL
+        if result.flagged:
+            nature = self._classify(consumer_id, float(arr[observed].mean()))
+        false_positive = bool(
+            result.flagged
+            and evidence is not None
+            and evidence.explains(consumer_id, week_index)
+        )
+        return ConsumerAssessment(
+            consumer_id=consumer_id,
+            result=result,
+            nature=nature,
+            false_positive_suspected=false_positive,
+            coverage=coverage,
         )
 
     def assess_population(

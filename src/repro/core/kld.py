@@ -42,6 +42,7 @@ class KLDDetector(WeeklyDetector):
     """
 
     name = "KLD detector"
+    supports_partial_weeks = True
 
     def __init__(
         self,
@@ -150,5 +151,32 @@ class KLDDetector(WeeklyDetector):
             detail=(
                 f"KLD {k_value:.4f} vs {100 * (1 - self.significance):.0f}th "
                 f"percentile threshold {threshold:.4f}"
+            ),
+        )
+
+    def _score_partial_week(
+        self, week: np.ndarray, observed: np.ndarray
+    ) -> DetectionResult:
+        """Degraded-mode scoring of a week with residual gaps.
+
+        The week's histogram is built from the observed slots only;
+        :func:`repro.stats.histogram.relative_frequencies` normalises by
+        the observed count, so the probability mass is renormalised over
+        the slots that actually arrived.  The KLD statistic is then the
+        divergence of that renormalised distribution from the full
+        training reference, compared against the unchanged threshold.
+        """
+        values = week[observed]
+        distribution = self.histogram.probabilities(values)
+        k_value = kl_divergence(distribution, self.reference_distribution)
+        threshold = self.threshold
+        coverage = float(observed.mean())
+        return DetectionResult(
+            flagged=k_value > threshold,
+            score=k_value,
+            threshold=threshold,
+            detail=(
+                f"degraded-mode KLD {k_value:.4f} over {coverage:.0%} "
+                f"observed slots vs threshold {threshold:.4f}"
             ),
         )

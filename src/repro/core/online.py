@@ -7,27 +7,67 @@ cycles from the AMI, maintains per-consumer reading histories, trains
 per-consumer detectors once enough history has accumulated, re-assesses
 every completed week, periodically retrains, and fuses the balance-check
 signal with the data-driven assessments into actionable alerts.
+
+The service runs in one of two ingestion modes:
+
+* **strict** (default): every polling cycle must carry exactly the
+  fixed population; any mismatch raises.  Right for clean replays and
+  evaluation harnesses.
+* **gap-tolerant**: constructed with a
+  :class:`~repro.resilience.config.ResilienceConfig`, the service
+  accepts partial cycles.  Missing or invalid readings become NaN gap
+  markers (keeping every series slot-aligned), a per-consumer circuit
+  breaker quarantines meters that go silent or keep failing validation,
+  short gaps are repaired by interpolation at week boundaries, and weeks
+  with residual gaps are scored in degraded mode with the assessment
+  carrying a ``coverage`` fraction — alerts are suppressed below the
+  configured minimum coverage.
+
+The full service state can be checkpointed to disk and restored in a
+fresh process (see :mod:`repro.resilience.checkpoint`), resuming
+mid-week without retraining.
 """
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
 from repro.core.framework import AnomalyNature, ConsumerAssessment, FDetaFramework
+from repro.data.preprocessing import interpolate_gaps, observed_fraction
 from repro.detectors.base import WeeklyDetector
 from repro.errors import ConfigurationError, DataError
 from repro.grid.balance import BalanceAuditor
 from repro.grid.snapshot import DemandSnapshot
 from repro.metering.store import ReadingStore
+from repro.resilience.circuit import BreakerBoard, BreakerState
+from repro.resilience.config import ResilienceConfig
 from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+#: How many consumer ids a population-mismatch error spells out.
+_MISMATCH_IDS_SHOWN = 10
+
+
+def _abbreviate_ids(ids: Iterable[str], limit: int = _MISMATCH_IDS_SHOWN) -> str:
+    """Render a bounded listing of consumer ids for error messages."""
+    listed = sorted(ids)
+    shown = ", ".join(repr(cid) for cid in listed[:limit])
+    if len(listed) <= limit:
+        return f"[{shown}]"
+    return f"[{shown}] (+{len(listed) - limit} more)"
 
 
 @dataclass(frozen=True)
 class TheftAlert:
-    """An actionable alert raised by the monitoring service."""
+    """An actionable alert raised by the monitoring service.
+
+    ``coverage`` is the fraction of the week's slots that were observed;
+    below 1.0 the alert came from degraded-mode scoring.
+    """
 
     week_index: int
     consumer_id: str
@@ -35,6 +75,7 @@ class TheftAlert:
     score: float
     threshold: float
     balance_check_failed: bool
+    coverage: float = 1.0
 
     @property
     def severity(self) -> float:
@@ -46,15 +87,31 @@ class TheftAlert:
 
 @dataclass
 class MonitoringReport:
-    """Summary of one completed week of monitoring."""
+    """Summary of one completed week of monitoring.
+
+    The resilience fields are only populated in gap-tolerant mode:
+    ``coverage`` maps each scored consumer to the observed fraction of
+    its week, ``suppressed`` lists consumers whose coverage fell below
+    the configured minimum (recorded, never alerted), and
+    ``quarantined`` lists consumers whose circuit breaker was open at
+    the week boundary.
+    """
 
     week_index: int
     alerts: list[TheftAlert] = field(default_factory=list)
     balance_failures: tuple[str, ...] = ()
+    coverage: dict[str, float] = field(default_factory=dict)
+    suppressed: tuple[str, ...] = ()
+    quarantined: tuple[str, ...] = ()
 
     @property
     def quiet(self) -> bool:
         return not self.alerts and not self.balance_failures
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any consumer was scored on a partially-observed week."""
+        return any(value < 1.0 for value in self.coverage.values())
 
 
 class TheftMonitoringService:
@@ -73,6 +130,16 @@ class TheftMonitoringService:
     auditor:
         Optional balance auditor; when provided, the last snapshot of
         each week is audited and the result fused into the alerts.
+    resilience:
+        When provided, switches ingestion to gap-tolerant mode (see the
+        module docstring).  In degraded mode the detector must support
+        partial weeks (e.g. :class:`~repro.core.kld.KLDDetector`);
+        detectors that do not are simply skipped on gappy weeks.
+    population:
+        Optional fleet declaration.  When omitted, the first ingested
+        cycle fixes the population — in gap-tolerant mode that first
+        cycle may itself be partial, so head-ends that know their fleet
+        should declare it.
     """
 
     def __init__(
@@ -81,6 +148,8 @@ class TheftMonitoringService:
         min_training_weeks: int = 8,
         retrain_every_weeks: int = 4,
         auditor: BalanceAuditor | None = None,
+        resilience: ResilienceConfig | None = None,
+        population: Iterable[str] | None = None,
     ) -> None:
         if min_training_weeks < 2:
             raise ConfigurationError(
@@ -94,6 +163,7 @@ class TheftMonitoringService:
         self.min_training_weeks = int(min_training_weeks)
         self.retrain_every_weeks = int(retrain_every_weeks)
         self.auditor = auditor
+        self.resilience = resilience
         self.store = ReadingStore()
         self._framework: FDetaFramework | None = None
         self._slot_count = 0
@@ -102,6 +172,16 @@ class TheftMonitoringService:
         self._quarantined_weeks: dict[str, set[int]] = {}
         self._last_snapshot: DemandSnapshot | None = None
         self._population: frozenset[str] | None = None
+        self._roster: tuple[str, ...] = ()
+        self._breakers: BreakerBoard | None = None
+        if resilience is not None:
+            self._breakers = BreakerBoard(
+                failure_threshold=resilience.failure_threshold,
+                cooldown_cycles=resilience.cooldown_cycles,
+                recovery_probes=resilience.recovery_probes,
+            )
+        if population is not None:
+            self._set_population(population)
         self.reports: list[MonitoringReport] = []
 
     # ------------------------------------------------------------------
@@ -116,6 +196,18 @@ class TheftMonitoringService:
     def weeks_completed(self) -> int:
         return self._weeks_completed
 
+    @property
+    def gap_tolerant(self) -> bool:
+        """Whether the service accepts partial polling cycles."""
+        return self.resilience is not None
+
+    def _set_population(self, consumers: Iterable[str]) -> None:
+        roster = tuple(sorted(consumers))
+        if not roster:
+            raise DataError("population must contain at least one consumer")
+        self._population = frozenset(roster)
+        self._roster = roster
+
     def ingest_cycle(
         self,
         reported: Mapping[str, float],
@@ -125,32 +217,67 @@ class TheftMonitoringService:
 
         Returns a :class:`MonitoringReport` when this cycle completes a
         week, ``None`` otherwise.
+
+        In strict mode (no resilience config) a cycle whose population
+        differs from the fixed one is rejected: a missing consumer would
+        silently desynchronise that consumer's series (every later
+        reading shifted one slot), so the AMI layer must repair gaps
+        before handing cycles to the service.  In gap-tolerant mode the
+        service performs that repair itself: missing/invalid readings
+        are recorded as NaN gap markers and the circuit breaker decides
+        when a consumer has failed enough to be quarantined.
         """
-        if not reported:
+        if not reported and self.resilience is None:
+            # In gap-tolerant mode an empty cycle is a legitimate
+            # worst case (every meter silent at once) and records a
+            # gap for the whole roster instead of raising.
             raise DataError("polling cycle carried no readings")
-        # The population is fixed by the first cycle: a cycle missing a
-        # consumer would silently desynchronise that consumer's series
-        # (every later reading shifted one slot), so it is rejected —
-        # the AMI layer must repair gaps (see repro.data.preprocessing)
-        # before handing cycles to the service.
-        cycle_population = frozenset(reported)
         if self._population is None:
-            self._population = cycle_population
-        elif cycle_population != self._population:
-            missing = sorted(self._population - cycle_population)
-            extra = sorted(cycle_population - self._population)
-            raise DataError(
-                "polling cycle population mismatch: "
-                f"missing {missing}, unexpected {extra}"
-            )
-        for cid, value in reported.items():
-            self.store.append(cid, float(value))
+            self._set_population(reported)
+        if self.resilience is None:
+            self._ingest_strict(reported)
+        else:
+            self._ingest_tolerant(reported)
         self._slot_count += 1
         self._last_snapshot = snapshot
         if self._slot_count % SLOTS_PER_WEEK != 0:
             return None
         self._weeks_completed += 1
         return self._complete_week()
+
+    def _ingest_strict(self, reported: Mapping[str, float]) -> None:
+        cycle_population = frozenset(reported)
+        if cycle_population != self._population:
+            missing = self._population - cycle_population
+            extra = cycle_population - self._population
+            raise DataError(
+                "polling cycle population mismatch: "
+                f"missing {_abbreviate_ids(missing)}, "
+                f"unexpected {_abbreviate_ids(extra)}"
+            )
+        for cid, value in reported.items():
+            self.store.append(cid, float(value))
+
+    def _ingest_tolerant(self, reported: Mapping[str, float]) -> None:
+        unknown = frozenset(reported) - self._population
+        if unknown:
+            raise DataError(
+                "polling cycle carried unknown consumers: "
+                f"{_abbreviate_ids(unknown)}"
+            )
+        assert self._breakers is not None
+        for cid in self._roster:
+            value = reported.get(cid)
+            valid = (
+                value is not None
+                and math.isfinite(float(value))
+                and float(value) >= 0.0
+            )
+            if valid:
+                self.store.append(cid, float(value))
+            else:
+                self.store.append_gap(cid)
+            self._breakers.record(cid, valid)
 
     # ------------------------------------------------------------------
     # Week boundary processing
@@ -159,7 +286,11 @@ class TheftMonitoringService:
     def _training_matrix(self, consumer_id: str) -> np.ndarray:
         matrix = self.store.week_matrix(consumer_id)
         quarantined = self._quarantined_weeks.get(consumer_id, set())
-        keep = [i for i in range(matrix.shape[0]) if i not in quarantined]
+        keep = [
+            i
+            for i in range(matrix.shape[0])
+            if i not in quarantined and bool(np.isfinite(matrix[i]).all())
+        ]
         return matrix[keep]
 
     def _train(self) -> None:
@@ -167,10 +298,17 @@ class TheftMonitoringService:
         for cid in self.store.consumers():
             matrix = self._training_matrix(cid)
             if matrix.shape[0] < 2:
-                raise DataError(
-                    f"{cid!r} has too few clean weeks to train on"
-                )
+                if self.resilience is None:
+                    raise DataError(
+                        f"{cid!r} has too few clean weeks to train on"
+                    )
+                # Gap-tolerant mode: a consumer without enough clean
+                # history is skipped this round and picked up at a
+                # later retraining once its record recovers.
+                continue
             matrices[cid] = matrix
+        if not matrices:
+            return
         framework = FDetaFramework(detector_factory=self.detector_factory)
         framework.train(matrices)
         self._framework = framework
@@ -178,40 +316,26 @@ class TheftMonitoringService:
 
     def _complete_week(self) -> MonitoringReport:
         week_index = self._weeks_completed - 1
-        report = MonitoringReport(week_index=week_index)
+        balance_failures: tuple[str, ...] = ()
         if self.auditor is not None and self._last_snapshot is not None:
             audit = self.auditor.audit(self._last_snapshot)
-            report = MonitoringReport(
-                week_index=week_index,
-                balance_failures=audit.failing_nodes(),
-            )
+            balance_failures = audit.failing_nodes()
+        report = MonitoringReport(
+            week_index=week_index, balance_failures=balance_failures
+        )
         if self._framework is None:
+            # Weeks up to (and including) the first training week are
+            # history, not candidates: nothing is assessed.
             if self._weeks_completed >= self.min_training_weeks:
                 self._train()
+            if self.resilience is not None:
+                self._annotate_untrained_week(report, week_index)
             self.reports.append(report)
             return report
-        # Assess the just-completed week for every consumer.
-        assessments: dict[str, ConsumerAssessment] = {}
-        for cid in self.store.consumers():
-            week = self.store.week_matrix(cid)[week_index]
-            assessments[cid] = self._framework.assess_week(
-                cid, week, week_index=week_index
-            )
-        balance_failed = bool(report.balance_failures)
-        for cid, assessment in assessments.items():
-            if not assessment.result.flagged:
-                continue
-            report.alerts.append(
-                TheftAlert(
-                    week_index=week_index,
-                    consumer_id=cid,
-                    nature=assessment.nature,
-                    score=assessment.result.score,
-                    threshold=assessment.result.threshold,
-                    balance_check_failed=balance_failed,
-                )
-            )
-            self._quarantined_weeks.setdefault(cid, set()).add(week_index)
+        if self.resilience is None:
+            self._assess_week_strict(report, week_index)
+        else:
+            self._assess_week_tolerant(report, week_index)
         # Periodic retraining on non-quarantined history.
         due = (
             self._weeks_completed - self._weeks_at_last_training
@@ -222,9 +346,225 @@ class TheftMonitoringService:
         self.reports.append(report)
         return report
 
+    def _annotate_untrained_week(
+        self, report: MonitoringReport, week_index: int
+    ) -> None:
+        """Record coverage/quarantine even before detectors exist."""
+        assert self._breakers is not None
+        quarantined = []
+        for cid in self._roster:
+            if not self._breakers.allows_scoring(cid):
+                quarantined.append(cid)
+                continue
+            week = self._repaired_week(cid, week_index)
+            report.coverage[cid] = observed_fraction(week)
+        report.quarantined = tuple(quarantined)
+
+    def _repaired_week(self, consumer_id: str, week_index: int) -> np.ndarray:
+        """One consumer's week, with short gaps repaired in place."""
+        assert self.resilience is not None
+        week = self.store.week_matrix(consumer_id)[week_index]
+        isnan = np.isnan(week)
+        if isnan.any() and not isnan.all() and self.resilience.max_repair_gap > 0:
+            week = interpolate_gaps(
+                week, max_gap=self.resilience.max_repair_gap
+            )
+            self.store.overwrite_week(consumer_id, week_index, week)
+        return week
+
+    def _emit_alert(
+        self,
+        report: MonitoringReport,
+        week_index: int,
+        assessment: ConsumerAssessment,
+        balance_failed: bool,
+    ) -> None:
+        report.alerts.append(
+            TheftAlert(
+                week_index=week_index,
+                consumer_id=assessment.consumer_id,
+                nature=assessment.nature,
+                score=assessment.result.score,
+                threshold=assessment.result.threshold,
+                balance_check_failed=balance_failed,
+                coverage=assessment.coverage,
+            )
+        )
+        self._quarantined_weeks.setdefault(
+            assessment.consumer_id, set()
+        ).add(week_index)
+
+    def _assess_week_strict(
+        self, report: MonitoringReport, week_index: int
+    ) -> None:
+        assert self._framework is not None
+        balance_failed = bool(report.balance_failures)
+        for cid in self.store.consumers():
+            week = self.store.week_matrix(cid)[week_index]
+            assessment = self._framework.assess_week(
+                cid, week, week_index=week_index
+            )
+            if assessment.result.flagged:
+                self._emit_alert(report, week_index, assessment, balance_failed)
+
+    def _assess_week_tolerant(
+        self, report: MonitoringReport, week_index: int
+    ) -> None:
+        assert self._framework is not None
+        assert self._breakers is not None
+        assert self.resilience is not None
+        balance_failed = bool(report.balance_failures)
+        suppressed = []
+        quarantined = []
+        for cid in self._roster:
+            if not self._breakers.allows_scoring(cid):
+                quarantined.append(cid)
+                continue
+            week = self._repaired_week(cid, week_index)
+            coverage = observed_fraction(week)
+            report.coverage[cid] = coverage
+            if coverage < self.resilience.min_coverage:
+                # Too little signal: record, never alert — a mostly
+                # silenced link must not produce confident verdicts.
+                suppressed.append(cid)
+                continue
+            if not self._framework.has_detector(cid):
+                continue
+            if coverage < 1.0:
+                detector = self._framework.detector_for(cid)
+                if not detector.supports_partial_weeks:
+                    suppressed.append(cid)
+                    continue
+                assessment = self._framework.assess_partial_week(
+                    cid, week, week_index=week_index
+                )
+            else:
+                assessment = self._framework.assess_week(
+                    cid, week, week_index=week_index
+                )
+            if assessment.result.flagged:
+                self._emit_alert(report, week_index, assessment, balance_failed)
+        report.suppressed = tuple(suppressed)
+        report.quarantined = tuple(quarantined)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, path: str | os.PathLike) -> None:
+        """Atomically write the full service state to ``path``.
+
+        See :mod:`repro.resilience.checkpoint` for the file format and
+        what must be re-supplied at restore time.
+        """
+        from repro.resilience.checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
+
+    @classmethod
+    def restore(
+        cls,
+        path: str | os.PathLike,
+        detector_factory: Callable[[], WeeklyDetector],
+        auditor: BalanceAuditor | None = None,
+    ) -> "TheftMonitoringService":
+        """Load a service checkpointed with :meth:`checkpoint`."""
+        from repro.resilience.checkpoint import load_checkpoint
+
+        return load_checkpoint(path, detector_factory, auditor=auditor)
+
+    def _state_dict(self) -> dict:
+        framework_state = None
+        if self._framework is not None:
+            framework_state = {
+                "triage_quantiles": self._framework.triage_quantiles,
+                "detectors": dict(self._framework._detectors),
+                "mean_distributions": dict(
+                    self._framework._mean_distributions
+                ),
+            }
+        return {
+            "min_training_weeks": self.min_training_weeks,
+            "retrain_every_weeks": self.retrain_every_weeks,
+            "resilience": self.resilience,
+            "series": {
+                cid: list(values)
+                for cid, values in self.store._series.items()
+            },
+            "slot_count": self._slot_count,
+            "weeks_completed": self._weeks_completed,
+            "weeks_at_last_training": self._weeks_at_last_training,
+            "quarantined_weeks": {
+                cid: set(weeks)
+                for cid, weeks in self._quarantined_weeks.items()
+            },
+            "population": self._population,
+            "roster": self._roster,
+            "reports": list(self.reports),
+            "breakers": self._breakers,
+            "last_snapshot": self._last_snapshot,
+            "framework": framework_state,
+        }
+
+    @classmethod
+    def _from_state(
+        cls,
+        state: dict,
+        detector_factory: Callable[[], WeeklyDetector],
+        auditor: BalanceAuditor | None = None,
+    ) -> "TheftMonitoringService":
+        service = cls(
+            detector_factory=detector_factory,
+            min_training_weeks=state["min_training_weeks"],
+            retrain_every_weeks=state["retrain_every_weeks"],
+            auditor=auditor,
+            resilience=state["resilience"],
+        )
+        for cid, values in state["series"].items():
+            service.store._series[cid].extend(float(v) for v in values)
+        service._slot_count = state["slot_count"]
+        service._weeks_completed = state["weeks_completed"]
+        service._weeks_at_last_training = state["weeks_at_last_training"]
+        service._quarantined_weeks = {
+            cid: set(weeks)
+            for cid, weeks in state["quarantined_weeks"].items()
+        }
+        service._population = state["population"]
+        service._roster = state["roster"]
+        service.reports = list(state["reports"])
+        if state["breakers"] is not None:
+            service._breakers = state["breakers"]
+        service._last_snapshot = state["last_snapshot"]
+        if state["framework"] is not None:
+            framework = FDetaFramework(
+                detector_factory=detector_factory,
+                triage_quantiles=state["framework"]["triage_quantiles"],
+            )
+            framework._detectors = dict(state["framework"]["detectors"])
+            framework._mean_distributions = dict(
+                state["framework"]["mean_distributions"]
+            )
+            service._framework = framework
+        return service
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+
+    def breaker_state(self, consumer_id: str) -> BreakerState:
+        """Current circuit-breaker state for one consumer.
+
+        Always ``CLOSED`` in strict mode (there are no breakers to trip).
+        """
+        if self._breakers is None:
+            return BreakerState.CLOSED
+        return self._breakers.state(consumer_id)
+
+    def quarantined_consumers(self) -> tuple[str, ...]:
+        """Consumers whose circuit breaker is currently not closed."""
+        if self._breakers is None:
+            return ()
+        return self._breakers.quarantined()
 
     def alerts_for(self, consumer_id: str) -> tuple[TheftAlert, ...]:
         """Every alert ever raised against one consumer."""

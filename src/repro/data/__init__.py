@@ -22,6 +22,7 @@ from repro.data.preprocessing import (
     clip_spikes,
     detect_stuck_meter,
     interpolate_gaps,
+    observed_fraction,
     preprocess_series,
 )
 from repro.data.statistics import (
@@ -39,6 +40,7 @@ __all__ = [
     "clip_spikes",
     "detect_stuck_meter",
     "interpolate_gaps",
+    "observed_fraction",
     "preprocess_series",
     "summarise_consumer",
     "summarise_population",

@@ -17,6 +17,18 @@ import numpy as np
 from repro.errors import ConfigurationError, DataError
 
 
+def observed_fraction(series: np.ndarray) -> float:
+    """Fraction of finite (observed) slots in a possibly-gappy series.
+
+    The monitoring service reports this as a week's *coverage*: 1.0 for
+    a fully-observed week, lower when communication gaps survived repair.
+    """
+    arr = np.asarray(series, dtype=float).ravel()
+    if arr.size == 0:
+        raise DataError("series is empty")
+    return float(np.isfinite(arr).mean())
+
+
 def interpolate_gaps(
     series: np.ndarray, max_gap: int = 4
 ) -> np.ndarray:

@@ -36,6 +36,10 @@ class WeeklyDetector(ABC):
     #: Short name used in result tables.
     name: str = "detector"
 
+    #: Whether the detector can score weeks with missing (NaN) slots in
+    #: degraded mode; see :meth:`score_partial_week`.
+    supports_partial_weeks: bool = False
+
     def __init__(self) -> None:
         self._fitted = False
 
@@ -76,6 +80,34 @@ class WeeklyDetector(ABC):
         """Convenience: whether the week is flagged anomalous."""
         return self.score_week(week).flagged
 
+    def score_partial_week(self, week: np.ndarray) -> DetectionResult:
+        """Score a week that may contain NaN gaps (degraded mode).
+
+        The observed slots must still be finite and non-negative.  A
+        fully-observed week is delegated to the normal scoring path, so
+        the two paths agree whenever both apply; a gappy week goes to
+        :meth:`_score_partial_week` when the detector declares
+        ``supports_partial_weeks``.
+        """
+        if not self._fitted:
+            raise NotFittedError(f"{self.name} has not been fit")
+        arr = np.asarray(week, dtype=float).ravel()
+        if arr.size != SLOTS_PER_WEEK:
+            raise DataError(
+                f"week must have {SLOTS_PER_WEEK} readings, got {arr.size}"
+            )
+        observed = ~np.isnan(arr)
+        if not observed.any():
+            raise DataError("week has no observed readings")
+        values = arr[observed]
+        if np.any(values < 0) or np.any(~np.isfinite(values)):
+            raise DataError("observed readings must be finite and >= 0")
+        if observed.all():
+            return self._score_week(arr)
+        if not self.supports_partial_weeks:
+            raise DataError(f"{self.name} cannot score partial weeks")
+        return self._score_partial_week(arr, observed)
+
     # ------------------------------------------------------------------
     # Subclass hooks
     # ------------------------------------------------------------------
@@ -87,3 +119,16 @@ class WeeklyDetector(ABC):
     @abstractmethod
     def _score_week(self, week: np.ndarray) -> DetectionResult:
         """Score a validated 336-slot week."""
+
+    def _score_partial_week(
+        self, week: np.ndarray, observed: np.ndarray
+    ) -> DetectionResult:
+        """Score a validated week whose NaN slots are marked unobserved.
+
+        Only called when ``supports_partial_weeks`` is true; detectors
+        that opt in must override this.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares supports_partial_weeks "
+            "but does not implement _score_partial_week"
+        )

@@ -42,3 +42,11 @@ class NotFittedError(ModelError):
 
 class InjectionError(FDetaError):
     """An attack injection could not be constructed."""
+
+
+class ResilienceError(FDetaError):
+    """A fault-tolerance mechanism could not do its job."""
+
+
+class CheckpointError(ResilienceError):
+    """A monitoring-service checkpoint could not be written or restored."""

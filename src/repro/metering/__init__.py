@@ -10,15 +10,22 @@ period.
 from repro.metering.errors_model import MeasurementErrorModel
 from repro.metering.meter import SmartMeter, TamperSeal
 from repro.metering.store import ReadingStore
-from repro.metering.ami import AMINetwork, UtilityHeadEnd
+from repro.metering.ami import (
+    AMINetwork,
+    CycleResult,
+    ResilientHeadEnd,
+    UtilityHeadEnd,
+)
 from repro.metering.channel import LossyChannel, deliver_series
 
 __all__ = [
     "AMINetwork",
+    "CycleResult",
     "LossyChannel",
     "deliver_series",
     "MeasurementErrorModel",
     "ReadingStore",
+    "ResilientHeadEnd",
     "SmartMeter",
     "TamperSeal",
     "UtilityHeadEnd",

@@ -8,6 +8,7 @@ trusted root balance-meter measurement, for downstream detection.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -16,9 +17,11 @@ import numpy as np
 from repro.errors import MeteringError
 from repro.grid.snapshot import DemandSnapshot
 from repro.grid.topology import RadialTopology
+from repro.metering.channel import LossyChannel
 from repro.metering.errors_model import MeasurementErrorModel
 from repro.metering.meter import SmartMeter
 from repro.metering.store import ReadingStore
+from repro.resilience.retry import RetryPolicy
 
 
 @dataclass
@@ -129,3 +132,88 @@ class UtilityHeadEnd:
 
     def consumer_count(self) -> int:
         return len(self.ami.meters)
+
+
+@dataclass(frozen=True)
+class CycleResult:
+    """Outcome of one resilient polling cycle."""
+
+    delivered: dict[str, float]
+    missing: tuple[str, ...]
+    retried: int
+
+    @property
+    def delivery_ratio(self) -> float:
+        total = len(self.delivered) + len(self.missing)
+        return len(self.delivered) / total if total else 1.0
+
+
+@dataclass
+class ResilientHeadEnd:
+    """A head-end polling its fleet over a lossy channel with re-polling.
+
+    Each cycle the head-end collects every meter's report, pushes it
+    through the channel, and then spends its
+    :class:`~repro.resilience.retry.RetryPolicy` budget re-requesting
+    readings that did not arrive.  Readings still missing after the
+    budget is exhausted are recorded as explicit gaps
+    (:meth:`~repro.metering.store.ReadingStore.append_gap`), keeping
+    every consumer's series slot-aligned; the resulting partial cycles
+    are exactly what
+    :meth:`repro.core.online.TheftMonitoringService.ingest_cycle`
+    accepts in gap-tolerant mode.
+
+    The ``channel`` only needs ``transmit``/``retransmit`` — a plain
+    :class:`~repro.metering.channel.LossyChannel` or the fault-injecting
+    :class:`~repro.resilience.faults.FaultyChannel` both qualify.
+    """
+
+    ami: AMINetwork
+    channel: LossyChannel
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    store: ReadingStore = field(default_factory=ReadingStore)
+    cycles_polled: int = 0
+    retries_sent: int = 0
+    gaps_recorded: int = 0
+
+    def poll(
+        self, actual_demands: Mapping[str, float], rng: np.random.Generator
+    ) -> CycleResult:
+        """Run one polling cycle, re-polling dropped readings."""
+        reported = self.ami.collect(actual_demands, rng)
+        delivered = dict(self.channel.transmit(reported, rng))
+        missing = [cid for cid in reported if cid not in delivered]
+        budget = float(self.retry.cycle_budget)
+        retried = 0
+        for attempt in range(self.retry.max_attempts):
+            if not missing:
+                break
+            cost = self.retry.attempt_cost(attempt)
+            batch = missing[: int(budget // cost)] if cost > 0 else missing
+            if not batch:
+                break
+            budget -= cost * len(batch)
+            retried += len(batch)
+            redelivered = self.channel.retransmit(
+                {cid: reported[cid] for cid in batch}, rng
+            )
+            delivered.update(redelivered)
+            missing = [cid for cid in missing if cid not in delivered]
+        gaps = 0
+        for cid in reported:
+            value = delivered.get(cid)
+            # Corrupted deliveries (non-finite/negative, e.g. from a
+            # FaultyChannel) are stored as gaps but stay in `delivered`
+            # so the monitoring service can count them against the
+            # consumer's circuit breaker.
+            if value is not None and math.isfinite(value) and value >= 0:
+                self.store.append(cid, value)
+            else:
+                self.store.append_gap(cid)
+                gaps += 1
+        self.cycles_polled += 1
+        self.retries_sent += retried
+        self.gaps_recorded += gaps
+        return CycleResult(
+            delivered=delivered, missing=tuple(missing), retried=retried
+        )

@@ -34,7 +34,12 @@ class LossyChannel:
     drop_rate: float = 0.01
     outage_rate: float = 0.001
     outage_mean_cycles: float = 8.0
-    _outages: dict[str, int] = field(default_factory=dict, repr=False)
+    #: Remaining silent cycles per meter; ``math.inf`` means silenced
+    #: until :meth:`reset`.  Plain picklable state: the channel survives
+    #: ``copy.deepcopy`` and ``pickle`` (the parallel evaluation path
+    #: ships channels to ``ProcessPoolExecutor`` workers), and each copy
+    #: evolves its outages independently afterwards.
+    _outages: dict[str, float] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         for name in ("drop_rate", "outage_rate"):
@@ -48,6 +53,23 @@ class LossyChannel:
 
     def in_outage(self, meter_id: str) -> bool:
         return self._outages.get(meter_id, 0) > 0
+
+    def reset(self) -> None:
+        """Clear all outage state, returning the channel to pristine."""
+        self._outages.clear()
+
+    def silence(self, meter_id: str, cycles: int | None = None) -> None:
+        """Force a meter into an outage (forever when ``cycles`` is None).
+
+        Chaos tests use this to model a meter that dies outright rather
+        than waiting for the stochastic outage process to kill it.
+        """
+        if cycles is None:
+            self._outages[meter_id] = float("inf")
+        else:
+            if cycles < 1:
+                raise ConfigurationError(f"cycles must be >= 1, got {cycles}")
+            self._outages[meter_id] = float(cycles)
 
     def transmit(
         self, readings: Mapping[str, float], rng: np.random.Generator
@@ -66,6 +88,26 @@ class LossyChannel:
             if self.outage_rate > 0 and rng.random() < self.outage_rate:
                 duration = 1 + int(rng.geometric(1.0 / self.outage_mean_cycles))
                 self._outages[meter_id] = duration - 1
+                continue
+            if self.drop_rate > 0 and rng.random() < self.drop_rate:
+                continue
+            delivered[meter_id] = float(value)
+        return delivered
+
+    def retransmit(
+        self, readings: Mapping[str, float], rng: np.random.Generator
+    ) -> dict[str, float]:
+        """Re-request readings within the *same* polling cycle.
+
+        Unlike :meth:`transmit`, a re-request neither advances outage
+        timers (outages are measured in polling cycles) nor can it start
+        a new outage; it only re-rolls the independent per-reading drop.
+        This is the primitive behind the head-end's retry policy
+        (:class:`repro.resilience.retry.RetryPolicy`).
+        """
+        delivered: dict[str, float] = {}
+        for meter_id, value in readings.items():
+            if self.in_outage(meter_id):
                 continue
             if self.drop_rate > 0 and rng.random() < self.drop_rate:
                 continue

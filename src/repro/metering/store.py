@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 
 import numpy as np
@@ -16,6 +17,12 @@ class ReadingStore:
     Readings are indexed by consecutive polling periods ``t = 0, 1, ...``;
     each consumer's series must be appended in order (the AMI delivers
     readings per polling cycle).
+
+    Missing readings are first-class citizens: :meth:`append_gap` records
+    a NaN placeholder so a consumer's series stays slot-aligned across
+    communication losses.  The ordinary :meth:`append`/:meth:`extend`
+    path rejects non-finite values — a NaN sneaking in through the value
+    path is a bug (corrupted frame, bad parse), not a gap.
     """
 
     def __init__(self) -> None:
@@ -23,22 +30,46 @@ class ReadingStore:
 
     def append(self, consumer_id: str, reading: float) -> None:
         """Record one reading for the consumer's next time period."""
-        if reading < 0:
+        value = float(reading)
+        if not math.isfinite(value):
             raise MeteringError(
-                f"reading for {consumer_id!r} must be >= 0, got {reading}"
+                f"reading for {consumer_id!r} must be finite, got {value}; "
+                "use append_gap() to record a missing reading"
             )
-        self._series[consumer_id].append(float(reading))
+        if value < 0:
+            raise MeteringError(
+                f"reading for {consumer_id!r} must be >= 0, got {value}"
+            )
+        self._series[consumer_id].append(value)
+
+    def append_gap(self, consumer_id: str) -> None:
+        """Record a missing reading (NaN placeholder) for the next period.
+
+        This is the explicit gap-marker API: it keeps the consumer's
+        series aligned with the polling clock when a cycle's reading was
+        lost, so every later reading still lands in its true slot.
+        """
+        self._series[consumer_id].append(math.nan)
 
     def extend(self, consumer_id: str, readings: np.ndarray) -> None:
         """Record a batch of consecutive readings."""
         for value in np.asarray(readings, dtype=float).ravel():
             self.append(consumer_id, float(value))
 
+    def clear(self, consumer_id: str) -> None:
+        """Drop a consumer's entire series (quarantine eviction)."""
+        self._series.pop(consumer_id, None)
+
     def consumers(self) -> tuple[str, ...]:
         return tuple(self._series)
 
     def length(self, consumer_id: str) -> int:
         return len(self._series.get(consumer_id, ()))
+
+    def gap_count(self, consumer_id: str) -> int:
+        """Number of gap markers currently in a consumer's series."""
+        values = self._series.get(consumer_id, ())
+        return sum(1 for value in values if math.isnan(value))
 
     def series(self, consumer_id: str) -> np.ndarray:
         """Full reading series for a consumer as a float array."""
@@ -68,3 +99,37 @@ class ReadingStore:
     ) -> np.ndarray:
         """The most recent complete week of readings."""
         return self.week_matrix(consumer_id, slots_per_week)[-1]
+
+    def overwrite_week(
+        self,
+        consumer_id: str,
+        week_index: int,
+        values: np.ndarray,
+        slots_per_week: int = SLOTS_PER_WEEK,
+    ) -> None:
+        """Replace one recorded week with repaired values.
+
+        Part of the gap-repair path: after interpolation fills short
+        gaps, the repaired week is written back so training and
+        checkpoints see the repaired series.  Values must be finite and
+        non-negative or NaN (residual gaps are allowed to remain).
+        """
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size != slots_per_week:
+            raise DataError(
+                f"repaired week must have {slots_per_week} readings, "
+                f"got {arr.size}"
+            )
+        finite = arr[np.isfinite(arr)]
+        if np.any(finite < 0) or np.any(np.isinf(arr)):
+            raise MeteringError(
+                f"repaired week for {consumer_id!r} must hold finite "
+                "non-negative readings or NaN gaps"
+            )
+        series = self._series.get(consumer_id)
+        start = week_index * slots_per_week
+        if series is None or week_index < 0 or start + slots_per_week > len(series):
+            raise DataError(
+                f"{consumer_id!r} has no complete week {week_index} to overwrite"
+            )
+        series[start : start + slots_per_week] = [float(v) for v in arr]

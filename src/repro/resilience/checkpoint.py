@@ -1,0 +1,96 @@
+"""Crash-safe checkpoint/restore of the monitoring service.
+
+A control-centre process that dies mid-week must not lose weeks of
+accumulated history and trained detectors: retraining from scratch opens
+exactly the blind window an attacker wants.  The checkpoint captures the
+full :class:`~repro.core.online.TheftMonitoringService` state — store
+contents, fitted detectors, circuit-breaker states, quarantine sets,
+reports — so a restarted process resumes mid-week and produces reports
+bit-identical to an uninterrupted run.
+
+Two things are deliberately *not* serialized and must be re-supplied at
+restore time, because they are code, not state: the ``detector_factory``
+callable (frequently a lambda, hence unpicklable) and the optional
+balance ``auditor``.
+
+Writes are atomic (temp file + ``os.replace``) so a crash during
+checkpointing leaves the previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import CheckpointError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.online import TheftMonitoringService
+    from repro.detectors.base import WeeklyDetector
+    from repro.grid.balance import BalanceAuditor
+
+#: Bump when the state layout changes; old checkpoints are rejected.
+CHECKPOINT_VERSION = 1
+
+_MAGIC = "fdeta-checkpoint"
+
+
+def save_checkpoint(service: "TheftMonitoringService", path: str | os.PathLike) -> None:
+    """Atomically serialize the full service state to ``path``."""
+    payload = {
+        "magic": _MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "state": service._state_dict(),
+    }
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".checkpoint-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(
+    path: str | os.PathLike,
+    detector_factory: Callable[[], "WeeklyDetector"],
+    auditor: "BalanceAuditor | None" = None,
+) -> "TheftMonitoringService":
+    """Restore a service from ``path``.
+
+    ``detector_factory`` (and ``auditor``, if one was in use) must match
+    the ones the checkpointed service was built with; already-fitted
+    detectors are restored as-is, the factory is only used for future
+    retraining.
+    """
+    from repro.core.online import TheftMonitoringService
+
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at {path!r}") from None
+    except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        raise CheckpointError(f"checkpoint {path!r} is corrupt: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise CheckpointError(f"{path!r} is not an F-DETA checkpoint")
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has version {version}, "
+            f"expected {CHECKPOINT_VERSION}"
+        )
+    return TheftMonitoringService._from_state(
+        payload["state"], detector_factory=detector_factory, auditor=auditor
+    )

@@ -1,0 +1,64 @@
+"""Within-cycle re-polling policy for the utility head-end.
+
+When a polling cycle ends with readings missing, the head-end does not
+immediately record gaps: AMI protocols allow it to re-request individual
+meters while the cycle window is still open.  Re-requests are not free —
+each retry round waits longer for stragglers (exponential backoff), so
+later rounds consume more of the fixed cycle window.  :class:`RetryPolicy`
+models that budget; :class:`~repro.metering.ami.ResilientHeadEnd` applies
+it.
+
+Re-polling repairs *independent* drops (a lost frame on an otherwise
+healthy link) but deliberately cannot repair *outages*: a meter that is
+dark stays dark for the whole cycle, which is exactly the failure the
+downstream circuit breaker exists to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Budgeted exponential-backoff re-polling within one cycle.
+
+    Parameters
+    ----------
+    max_attempts:
+        Retry rounds per cycle; each round re-requests every reading
+        still missing (budget permitting).
+    cycle_budget:
+        Total budget units available per polling cycle.  A re-request in
+        round ``r`` costs ``backoff_base ** r`` units, modelling the
+        geometrically longer wait each backoff round spends inside the
+        fixed cycle window.
+    backoff_base:
+        Growth factor of the per-round cost.
+    """
+
+    max_attempts: int = 2
+    cycle_budget: int = 64
+    backoff_base: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ConfigurationError(
+                f"max_attempts must be >= 0, got {self.max_attempts}"
+            )
+        if self.cycle_budget < 0:
+            raise ConfigurationError(
+                f"cycle_budget must be >= 0, got {self.cycle_budget}"
+            )
+        if self.backoff_base < 1.0:
+            raise ConfigurationError(
+                f"backoff_base must be >= 1, got {self.backoff_base}"
+            )
+
+    def attempt_cost(self, attempt: int) -> float:
+        """Budget units one re-request costs in retry round ``attempt``."""
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+        return float(self.backoff_base**attempt)

@@ -1,6 +1,5 @@
 """Unit tests for the F-DETA five-step pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.core.framework import (

@@ -127,6 +127,41 @@ class TestQuantileBinning:
             KLDDetector(binning="log")
 
 
+class TestDegradedMode:
+    """Partial-week (gappy) scoring for the resilient pipeline."""
+
+    def test_declares_support(self):
+        assert KLDDetector.supports_partial_weeks is True
+
+    def test_full_week_agrees_with_normal_path(self, fitted, train_matrix):
+        week = train_matrix[0]
+        assert fitted.score_partial_week(week) == fitted.score_week(week)
+
+    def test_mild_gaps_barely_move_the_score(self, fitted, train_matrix):
+        """Histogram mass renormalises over observed slots: knocking out
+        a few slots of a normal week must not invent an anomaly."""
+        week = train_matrix[1].copy()
+        full_score = fitted.score_week(week).score
+        week[10:14] = np.nan
+        degraded = fitted.score_partial_week(week)
+        assert not degraded.flagged
+        assert degraded.score == pytest.approx(full_score, abs=0.1)
+        assert degraded.threshold == fitted.threshold
+
+    def test_attack_still_detected_with_gaps(self, fitted, train_matrix):
+        week = train_matrix[0] * 3.0
+        week[0:48] = np.nan  # a whole day missing
+        result = fitted.score_partial_week(week)
+        assert result.flagged
+
+    def test_detail_mentions_degraded_mode(self, fitted, train_matrix):
+        week = train_matrix[2].copy()
+        week[100:110] = np.nan
+        detail = fitted.score_partial_week(week).detail
+        assert "degraded" in detail
+        assert "97%" in detail  # 326/336 observed slots
+
+
 class TestConfiguration:
     def test_rejects_bad_bins(self):
         with pytest.raises(ConfigurationError):

@@ -1,12 +1,13 @@
 """Tests for the online theft-monitoring service."""
 
-import numpy as np
 import pytest
 
 from repro.core.framework import AnomalyNature
 from repro.core.kld import KLDDetector
-from repro.core.online import TheftMonitoringService
+from repro.core.online import TheftMonitoringService, _abbreviate_ids
 from repro.errors import ConfigurationError, DataError
+from repro.resilience import ResilienceConfig
+from repro.resilience.circuit import BreakerState
 from repro.timeseries.seasonal import SLOTS_PER_WEEK
 
 
@@ -83,6 +84,45 @@ class TestLifecycle:
             service.ingest_cycle({"a": 1.0, "b": 2.0, "ghost": 3.0})
         # A matching cycle is still accepted afterwards.
         assert service.ingest_cycle({"a": 1.0, "b": 2.0}) is None
+
+    def test_mismatch_error_lists_both_sides(self):
+        service = _make_service()
+        service.ingest_cycle({"a": 1.0, "b": 2.0})
+        with pytest.raises(DataError, match=r"missing \['b'\]"):
+            service.ingest_cycle({"a": 1.0, "ghost": 3.0})
+        with pytest.raises(DataError, match=r"unexpected \['ghost'\]"):
+            service.ingest_cycle({"a": 1.0, "ghost": 3.0})
+
+    def test_mismatch_error_truncates_large_populations(self):
+        """A thousand-consumer drift must not produce a megabyte error."""
+        population = {f"c{i:04d}": 1.0 for i in range(600)}
+        service = _make_service()
+        service.ingest_cycle(population)
+        # 599 of 600 consumers go missing: only the first 10 are named.
+        with pytest.raises(DataError, match=r"\(\+589 more\)") as excinfo:
+            service.ingest_cycle({"c0000": 1.0})
+        message = str(excinfo.value)
+        assert len(message) < 500
+        assert "c0010" in message  # first ten missing ids spelled out
+        assert "c0011" not in message
+
+
+class TestAbbreviateIds:
+    def test_short_lists_verbatim(self):
+        assert _abbreviate_ids(["b", "a"]) == "['a', 'b']"
+
+    def test_exactly_at_limit_not_truncated(self):
+        ids = [f"c{i}" for i in range(10)]
+        assert "more" not in _abbreviate_ids(ids)
+
+    def test_truncates_past_limit(self):
+        ids = [f"c{i:02d}" for i in range(25)]
+        rendered = _abbreviate_ids(ids)
+        assert rendered.endswith("(+15 more)")
+        assert "'c09'" in rendered and "c10" not in rendered
+
+    def test_deterministic_ordering(self):
+        assert _abbreviate_ids({"z", "a", "m"}) == "['a', 'm', 'z']"
 
 
 class TestAlertAndReportValueObjects:
@@ -195,3 +235,110 @@ class TestDetectionInOperation:
         )
         assert report is not None
         assert victim in {a.consumer_id for a in report.alerts}
+
+
+def _make_tolerant(ids, **config):
+    return TheftMonitoringService(
+        detector_factory=lambda: KLDDetector(significance=0.05),
+        min_training_weeks=6,
+        retrain_every_weeks=4,
+        resilience=ResilienceConfig(**config),
+        population=ids,
+    )
+
+
+class TestGapTolerantMode:
+    def test_accepts_partial_cycles(self, consumer_series):
+        ids = sorted(consumer_series)
+        service = _make_tolerant(ids)
+        absent = ids[0]
+        for slot in range(SLOTS_PER_WEEK):
+            cycle = {
+                cid: float(consumer_series[cid][slot]) for cid in ids
+            }
+            if slot % 90 == 7:
+                del cycle[absent]
+            service.ingest_cycle(cycle)
+        assert service.weeks_completed == 1
+        # Gap markers kept the series slot-aligned.
+        for cid in ids:
+            assert service.store.length(cid) == SLOTS_PER_WEEK
+
+    def test_accepts_empty_cycle(self, consumer_series):
+        ids = sorted(consumer_series)
+        service = _make_tolerant(ids)
+        service.ingest_cycle({})
+        for cid in ids:
+            assert service.store.gap_count(cid) == 1
+
+    def test_rejects_unknown_consumers(self, consumer_series):
+        ids = sorted(consumer_series)
+        service = _make_tolerant(ids)
+        with pytest.raises(DataError, match="unknown consumers"):
+            service.ingest_cycle({"ghost": 1.0})
+
+    def test_invalid_readings_become_gaps(self, consumer_series):
+        ids = sorted(consumer_series)
+        service = _make_tolerant(ids)
+        bad = ids[1]
+        cycle = {cid: 1.0 for cid in ids}
+        for value in (float("nan"), float("inf"), -2.0):
+            cycle[bad] = value
+            service.ingest_cycle(cycle)
+        assert service.store.gap_count(bad) == 3
+        assert service.store.gap_count(ids[0]) == 0
+
+    def test_breaker_quarantines_silent_consumer(self, consumer_series):
+        ids = sorted(consumer_series)
+        service = _make_tolerant(ids, failure_threshold=8)
+        silent = ids[2]
+        for slot in range(SLOTS_PER_WEEK):
+            cycle = {cid: 1.0 for cid in ids if cid != silent}
+            service.ingest_cycle(cycle)
+        assert service.breaker_state(silent) is BreakerState.OPEN
+        assert silent in service.quarantined_consumers()
+        assert silent in service.reports[-1].quarantined
+
+    def test_low_coverage_week_suppressed(self, paper_dataset):
+        """A consumer observed under min_coverage is never alerted."""
+        ids = sorted(paper_dataset.consumers()[:3])
+        series = {cid: paper_dataset.series(cid) for cid in ids}
+        # High threshold so the breaker never opens: gaps then flow into
+        # coverage accounting instead of quarantine.
+        service = _make_tolerant(
+            ids, min_coverage=0.9, failure_threshold=10_000
+        )
+        spotty = ids[0]
+        for t in range(7 * SLOTS_PER_WEEK):
+            cycle = {cid: float(series[cid][t]) for cid in ids}
+            # Drop 1 slot in 2 (in runs of 8, beyond repair) from week 6.
+            if t >= 6 * SLOTS_PER_WEEK and t % 16 < 8:
+                del cycle[spotty]
+            service.ingest_cycle(cycle)
+        report = service.reports[-1]
+        assert spotty in report.suppressed
+        assert all(a.consumer_id != spotty for a in report.alerts)
+        # The other consumers were scored normally.
+        assert report.coverage[ids[1]] == 1.0
+
+    def test_strict_mode_breaker_queries_are_benign(self, consumer_series):
+        service = _make_service()
+        assert service.breaker_state("anyone") is BreakerState.CLOSED
+        assert service.quarantined_consumers() == ()
+
+    def test_clean_data_matches_strict_mode(self, consumer_series):
+        """On loss-free input the resilient service is a no-op wrapper:
+        reports must be identical to strict mode's."""
+        ids = sorted(consumer_series)
+        strict = _make_service(min_training_weeks=6)
+        tolerant = _make_tolerant(ids)
+        for week in range(9):
+            _feed_week(strict, consumer_series, week)
+            _feed_week(tolerant, consumer_series, week)
+        assert len(strict.reports) == len(tolerant.reports)
+        for ours, theirs in zip(tolerant.reports, strict.reports):
+            assert [
+                (a.consumer_id, a.score, a.threshold) for a in ours.alerts
+            ] == [
+                (a.consumer_id, a.score, a.threshold) for a in theirs.alerts
+            ]

@@ -7,6 +7,7 @@ from repro.data.preprocessing import (
     clip_spikes,
     detect_stuck_meter,
     interpolate_gaps,
+    observed_fraction,
     preprocess_series,
 )
 from repro.errors import ConfigurationError, DataError
@@ -44,6 +45,32 @@ class TestInterpolateGaps:
     def test_rejects_bad_max_gap(self):
         with pytest.raises(ConfigurationError):
             interpolate_gaps(np.array([1.0]), max_gap=0)
+
+    def test_gap_exactly_at_max_gap_is_filled(self):
+        """The boundary is inclusive: a run of exactly max_gap heals."""
+        series = np.array([1.0, np.nan, np.nan, np.nan, 5.0])
+        out = interpolate_gaps(series, max_gap=3)
+        assert np.allclose(out, [1.0, 2.0, 3.0, 4.0, 5.0])
+        # One slot longer is left alone.
+        longer = np.array([1.0, np.nan, np.nan, np.nan, np.nan, 6.0])
+        assert np.isnan(interpolate_gaps(longer, max_gap=3)[1:5]).all()
+
+    def test_leading_and_trailing_gaps_together(self):
+        series = np.array([np.nan, np.nan, 3.0, 7.0, np.nan])
+        out = interpolate_gaps(series, max_gap=2)
+        assert np.allclose(out, [3.0, 3.0, 3.0, 7.0, 7.0])
+
+    def test_long_leading_gap_left_missing(self):
+        series = np.array([np.nan, np.nan, np.nan, 4.0, 5.0])
+        out = interpolate_gaps(series, max_gap=2)
+        assert np.isnan(out[:3]).all()
+        assert np.allclose(out[3:], [4.0, 5.0])
+
+    def test_single_observation_island(self):
+        """One reading surrounded by short gaps repairs to a constant."""
+        series = np.array([np.nan, 2.0, np.nan])
+        out = interpolate_gaps(series, max_gap=1)
+        assert np.allclose(out, [2.0, 2.0, 2.0])
 
 
 class TestClipSpikes:
@@ -83,6 +110,46 @@ class TestStuckMeter:
     def test_rejects_empty(self):
         with pytest.raises(DataError):
             detect_stuck_meter(np.array([]))
+
+    def test_constant_zero_series_is_not_stuck(self):
+        """An all-zero record is a vacant property, never a stuck meter."""
+        assert detect_stuck_meter(np.zeros(1000), min_run=48) is None
+
+    def test_constant_nonzero_series_is_stuck(self):
+        series = np.full(100, 1.5)
+        assert detect_stuck_meter(series, min_run=48) == (0, 100)
+
+    def test_zero_run_followed_by_stuck_run(self):
+        series = np.concatenate([np.zeros(60), np.full(60, 2.0), np.ones(5)])
+        assert detect_stuck_meter(series, min_run=48) == (60, 60)
+
+    def test_run_at_series_end_detected(self):
+        series = np.concatenate([np.arange(1, 11, dtype=float), np.full(48, 0.4)])
+        assert detect_stuck_meter(series, min_run=48) == (10, 48)
+
+    def test_rejects_bad_min_run(self):
+        with pytest.raises(ConfigurationError):
+            detect_stuck_meter(np.ones(10), min_run=1)
+
+
+class TestObservedFraction:
+    def test_fully_observed(self):
+        assert observed_fraction(np.ones(10)) == 1.0
+
+    def test_half_observed(self):
+        series = np.array([1.0, np.nan, 2.0, np.nan])
+        assert observed_fraction(series) == 0.5
+
+    def test_all_missing_is_zero(self):
+        assert observed_fraction(np.array([np.nan, np.nan])) == 0.0
+
+    def test_inf_counts_as_unobserved(self):
+        series = np.array([1.0, np.inf, -np.inf, 2.0])
+        assert observed_fraction(series) == 0.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            observed_fraction(np.array([]))
 
 
 class TestPipeline:

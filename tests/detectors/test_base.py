@@ -71,3 +71,45 @@ class TestContract:
         assert isinstance(result, DetectionResult)
         assert result.score == pytest.approx(1.0)
         assert result.threshold > 0
+
+
+class TestPartialWeekContract:
+    def test_detectors_opt_out_by_default(self, fitted):
+        assert ConstantDetector.supports_partial_weeks is False
+        week = np.ones(SLOTS_PER_WEEK)
+        week[0] = np.nan
+        with pytest.raises(DataError, match="cannot score partial weeks"):
+            fitted.score_partial_week(week)
+
+    def test_full_week_delegates_to_score_week(self, fitted):
+        """With no gaps the partial path must agree with the normal one,
+        even for detectors that don't support degraded mode."""
+        week = np.full(SLOTS_PER_WEEK, 1.2)
+        assert fitted.score_partial_week(week) == fitted.score_week(week)
+
+    def test_partial_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            ConstantDetector().score_partial_week(np.ones(SLOTS_PER_WEEK))
+
+    def test_rejects_fully_missing_week(self, fitted):
+        with pytest.raises(DataError, match="no observed"):
+            fitted.score_partial_week(np.full(SLOTS_PER_WEEK, np.nan))
+
+    def test_rejects_invalid_observed_values(self, fitted):
+        week = np.ones(SLOTS_PER_WEEK)
+        week[0] = np.nan
+        week[1] = -1.0
+        with pytest.raises(DataError, match="finite and >= 0"):
+            fitted.score_partial_week(week)
+
+    def test_opt_in_without_override_is_an_error(self, rng):
+        class BrokenDetector(ConstantDetector):
+            supports_partial_weeks = True
+
+        detector = BrokenDetector().fit(
+            rng.uniform(0.5, 1.5, size=(3, SLOTS_PER_WEEK))
+        )
+        week = np.ones(SLOTS_PER_WEEK)
+        week[5] = np.nan
+        with pytest.raises(NotImplementedError):
+            detector.score_partial_week(week)

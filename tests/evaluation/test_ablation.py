@@ -9,7 +9,6 @@ from repro.evaluation.ablation import (
     divergence_sweep,
     training_size_sweep,
 )
-from repro.evaluation.config import EvaluationConfig
 
 
 @pytest.fixture(scope="module")

@@ -1,19 +1,15 @@
 """Integration-grade tests for the per-consumer evaluation runner."""
 
-import numpy as np
 import pytest
 
 from repro.data.synthetic import SyntheticCERConfig, generate_cer_like_dataset
 from repro.errors import ConfigurationError, DataError
 from repro.evaluation.config import (
     ATTACK_ARIMA_OVER,
-    ATTACK_ARIMA_UNDER,
     ATTACK_INTEGRATED_OVER,
-    ATTACK_INTEGRATED_UNDER,
     ATTACK_SWAP,
     DETECTOR_ARIMA,
     DETECTOR_INTEGRATED,
-    DETECTOR_KLD_10,
     DETECTOR_KLD_5,
     EvaluationConfig,
 )

@@ -1,7 +1,6 @@
 """Fig. 1 scenario: an upstream line tap under-reports without meter
 compromise, and the balance check sees the shortfall."""
 
-import numpy as np
 import pytest
 
 from repro.grid.balance import BalanceAuditor

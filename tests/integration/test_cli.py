@@ -148,6 +148,32 @@ class TestCommands:
         assert code == 0
         assert "# F-DETA evaluation report" in capsys.readouterr().out
 
+    def test_monitor_runs_and_checkpoints(self, tmp_path, capsys):
+        ckpt = tmp_path / "monitor.ckpt"
+        argv = [
+            "monitor",
+            "--consumers",
+            "3",
+            "--weeks",
+            "8",
+            "--min-training-weeks",
+            "4",
+            "--drop-rate",
+            "0.05",
+            "--checkpoint",
+            str(ckpt),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "monitored 3 consumers for 8 weeks" in out
+        assert "coverage" in out
+        assert ckpt.exists()
+        # Resuming from the finished checkpoint is a no-op replay.
+        assert main(argv + ["--resume"]) == 0
+        assert "monitored 3 consumers for 8 weeks (resumed)" in (
+            capsys.readouterr().out
+        )
+
     def test_evaluate_from_file(self, tmp_path, capsys):
         out_file = tmp_path / "data.txt"
         main(["generate", str(out_file), "--consumers", "2", "--weeks", "20"])

@@ -13,7 +13,6 @@ from repro.core.kld import KLDDetector
 from repro.data.consumers import ConsumerProfile, ConsumerType
 from repro.data.synthetic import generate_consumer_series
 from repro.grid.balance import BalanceAuditor
-from repro.grid.snapshot import DemandSnapshot
 from repro.grid.topology import RadialTopology
 from repro.metering.ami import AMINetwork, UtilityHeadEnd
 from repro.metering.errors_model import MeasurementErrorModel

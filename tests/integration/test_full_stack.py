@@ -5,7 +5,6 @@ import numpy as np
 import pytest
 
 from repro.core import KLDDetector, TheftMonitoringService
-from repro.core.framework import AnomalyNature
 from repro.data.consumers import ConsumerProfile, ConsumerType
 from repro.data.preprocessing import interpolate_gaps
 from repro.data.synthetic import generate_consumer_series

@@ -19,6 +19,7 @@ SUBPACKAGES = (
     "repro.grid",
     "repro.metering",
     "repro.pricing",
+    "repro.resilience",
     "repro.stats",
     "repro.timeseries",
 )

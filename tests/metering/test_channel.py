@@ -1,5 +1,8 @@
 """Tests for the lossy AMI channel (failure injection)."""
 
+import copy
+import pickle
+
 import numpy as np
 import pytest
 
@@ -52,6 +55,79 @@ class TestLossyChannel:
             LossyChannel(outage_rate=-0.1)
         with pytest.raises(ConfigurationError):
             LossyChannel(outage_mean_cycles=0.5)
+
+
+class TestChannelLifecycle:
+    """Regression tests for reset(), silence() and copy semantics."""
+
+    def test_reset_clears_outages(self, rng):
+        channel = LossyChannel(drop_rate=0.0, outage_rate=0.0)
+        channel._outages["m"] = 10
+        channel.reset()
+        assert not channel.in_outage("m")
+        assert channel.transmit({"m": 1.0}, rng) == {"m": 1.0}
+
+    def test_silence_forever(self, rng):
+        channel = LossyChannel(drop_rate=0.0, outage_rate=0.0)
+        channel.silence("m")
+        for _ in range(1000):
+            assert channel.transmit({"m": 1.0}, rng) == {}
+        assert channel.in_outage("m")
+
+    def test_silence_for_n_cycles(self, rng):
+        channel = LossyChannel(drop_rate=0.0, outage_rate=0.0)
+        channel.silence("m", cycles=3)
+        outcomes = [len(channel.transmit({"m": 1.0}, rng)) for _ in range(4)]
+        assert outcomes == [0, 0, 0, 1]
+
+    def test_silence_rejects_bad_cycles(self):
+        with pytest.raises(ConfigurationError):
+            LossyChannel().silence("m", cycles=0)
+
+    def test_deepcopy_forks_outage_state(self, rng):
+        """Copies evolve independently — the parallel evaluation path
+        deep-copies channels into worker processes mid-outage."""
+        channel = LossyChannel(drop_rate=0.0, outage_rate=0.0)
+        channel._outages["m"] = 2
+        clone = copy.deepcopy(channel)
+        # Draining the original's outage must not touch the clone.
+        channel.transmit({"m": 1.0}, rng)
+        channel.transmit({"m": 1.0}, rng)
+        assert not channel.in_outage("m")
+        assert clone.in_outage("m")
+        assert clone._outages["m"] == 2
+
+    def test_pickle_round_trip_mid_outage(self, rng):
+        channel = LossyChannel(drop_rate=0.25, outage_rate=0.0)
+        channel.silence("a", cycles=5)
+        channel.silence("b")  # permanent (inf) must survive pickling
+        revived = pickle.loads(pickle.dumps(channel))
+        assert revived.drop_rate == 0.25
+        assert revived._outages == channel._outages
+        assert revived.in_outage("a") and revived.in_outage("b")
+
+    def test_retransmit_does_not_tick_outage_timers(self, rng):
+        channel = LossyChannel(drop_rate=0.0, outage_rate=0.0)
+        channel.silence("m", cycles=2)
+        # Any number of within-cycle retries leaves the timer untouched.
+        for _ in range(50):
+            assert channel.retransmit({"m": 1.0}, rng) == {}
+        assert channel._outages["m"] == 2
+
+    def test_retransmit_cannot_start_outages(self, rng):
+        channel = LossyChannel(drop_rate=0.0, outage_rate=1.0)
+        assert channel.retransmit({"m": 1.0}, rng) == {"m": 1.0}
+        assert not channel.in_outage("m")
+
+    def test_retransmit_rerolls_drops(self, rng):
+        channel = LossyChannel(drop_rate=0.5, outage_rate=0.0)
+        recovered = 0
+        for _ in range(2000):
+            if "m" not in channel.transmit({"m": 1.0}, rng):
+                if "m" in channel.retransmit({"m": 1.0}, rng):
+                    recovered += 1
+        # Roughly drop_rate * (1 - drop_rate) of attempts recover.
+        assert recovered / 2000 == pytest.approx(0.25, abs=0.05)
 
 
 class TestDeliverSeries:

@@ -57,3 +57,90 @@ class TestReadingStore:
         assert set(store.consumers()) == {"a", "b"}
         assert store.length("a") == 1
         assert store.length("missing") == 0
+
+
+class TestGapMarkers:
+    """The explicit gap API vs. the strict append path."""
+
+    def test_append_rejects_nan(self):
+        store = ReadingStore()
+        with pytest.raises(MeteringError, match="append_gap"):
+            store.append("c1", float("nan"))
+
+    def test_append_rejects_inf(self):
+        store = ReadingStore()
+        with pytest.raises(MeteringError):
+            store.append("c1", float("inf"))
+
+    def test_extend_rejects_nan_batch(self):
+        store = ReadingStore()
+        with pytest.raises(MeteringError):
+            store.extend("c1", np.array([1.0, np.nan, 2.0]))
+
+    def test_append_gap_keeps_series_aligned(self):
+        store = ReadingStore()
+        store.append("c1", 1.0)
+        store.append_gap("c1")
+        store.append("c1", 3.0)
+        series = store.series("c1")
+        assert series.size == 3
+        assert np.isnan(series[1])
+        assert series[2] == 3.0
+
+    def test_gap_count(self):
+        store = ReadingStore()
+        assert store.gap_count("c1") == 0
+        store.append("c1", 1.0)
+        store.append_gap("c1")
+        store.append_gap("c1")
+        assert store.gap_count("c1") == 2
+
+    def test_clear_drops_series(self):
+        store = ReadingStore()
+        store.append("c1", 1.0)
+        store.clear("c1")
+        assert store.length("c1") == 0
+        assert "c1" not in store.consumers()
+        store.clear("never-existed")  # idempotent
+
+
+class TestOverwriteWeek:
+    def _store_with_weeks(self, rng, weeks=2):
+        store = ReadingStore()
+        store.extend("c1", rng.uniform(0, 2, size=weeks * SLOTS_PER_WEEK))
+        return store
+
+    def test_overwrites_in_place(self, rng):
+        store = self._store_with_weeks(rng)
+        repaired = np.full(SLOTS_PER_WEEK, 0.5)
+        store.overwrite_week("c1", 0, repaired)
+        assert np.array_equal(store.week_matrix("c1")[0], repaired)
+
+    def test_residual_nan_gaps_allowed(self, rng):
+        store = self._store_with_weeks(rng)
+        week = np.full(SLOTS_PER_WEEK, 0.5)
+        week[10:16] = np.nan
+        store.overwrite_week("c1", 1, week)
+        assert store.gap_count("c1") == 6
+
+    def test_rejects_wrong_size(self, rng):
+        store = self._store_with_weeks(rng)
+        with pytest.raises(DataError):
+            store.overwrite_week("c1", 0, np.ones(10))
+
+    def test_rejects_negative_and_inf(self, rng):
+        store = self._store_with_weeks(rng)
+        bad = np.full(SLOTS_PER_WEEK, 0.5)
+        bad[0] = -1.0
+        with pytest.raises(MeteringError):
+            store.overwrite_week("c1", 0, bad)
+        bad[0] = np.inf
+        with pytest.raises(MeteringError):
+            store.overwrite_week("c1", 0, bad)
+
+    def test_rejects_out_of_range_week(self, rng):
+        store = self._store_with_weeks(rng, weeks=1)
+        with pytest.raises(DataError):
+            store.overwrite_week("c1", 1, np.ones(SLOTS_PER_WEEK))
+        with pytest.raises(DataError):
+            store.overwrite_week("ghost", 0, np.ones(SLOTS_PER_WEEK))

@@ -6,8 +6,6 @@ import pytest
 from repro.errors import PricingError
 from repro.pricing.billing import bill
 from repro.pricing.invoice import (
-    BillingCycleResult,
-    Invoice,
     bill_cycle,
     make_invoice,
 )

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import ConfigurationError, PricingError
 from repro.pricing.market import (
-    ClearingResult,
     Generator,
     RealTimeMarket,
     default_market,

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.pricing.billing import attacker_profit, neighbour_loss, stolen_energy_kwh
-from repro.pricing.schemes import FlatRatePricing, TimeOfUsePricing
+from repro.pricing.schemes import FlatRatePricing
 from repro.stats.divergence import js_divergence, kl_divergence
 from repro.stats.histogram import FixedEdgeHistogram
 from repro.stats.running import RunningMoments

@@ -1,0 +1,106 @@
+"""Unit tests for the per-consumer circuit breakers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.circuit import BreakerBoard, BreakerState, CircuitBreaker
+
+
+class TestCircuitBreaker:
+    def test_starts_closed(self):
+        breaker = CircuitBreaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows_scoring
+        assert breaker.trip_count == 0
+
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_cycles=5)
+        breaker.record(False)
+        breaker.record(False)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record(False)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trip_count == 1
+        assert not breaker.allows_scoring
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record(False)
+        breaker.record(False)
+        breaker.record(True)
+        breaker.record(False)
+        breaker.record(False)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_cooldown_then_half_open(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_cycles=3)
+        breaker.record(False)
+        assert breaker.state is BreakerState.OPEN
+        breaker.record(True)
+        breaker.record(True)
+        assert breaker.state is BreakerState.OPEN
+        breaker.record(True)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_recovers_after_probes(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_cycles=1, recovery_probes=2
+        )
+        breaker.record(False)  # trips
+        breaker.record(True)  # cooldown expires -> half-open
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record(True)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record(True)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_cycles=1)
+        breaker.record(False)
+        breaker.record(True)  # -> half-open
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record(False)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trip_count == 2
+
+    def test_permanently_silent_meter_stays_quarantined(self):
+        breaker = CircuitBreaker(failure_threshold=4, cooldown_cycles=10)
+        for _ in range(100):
+            breaker.record(False)
+        assert breaker.state in (BreakerState.OPEN, BreakerState.HALF_OPEN)
+        assert not breaker.allows_scoring
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(cooldown_cycles=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(recovery_probes=0)
+
+
+class TestBreakerBoard:
+    def test_lazy_creation_and_defaults(self):
+        board = BreakerBoard(failure_threshold=2)
+        assert board.state("new") is BreakerState.CLOSED
+        assert board.allows_scoring("new")
+        assert board.trip_count("new") == 0
+        assert board.quarantined() == ()
+
+    def test_per_consumer_isolation(self):
+        board = BreakerBoard(failure_threshold=2, cooldown_cycles=50)
+        board.record("a", False)
+        board.record("a", False)
+        board.record("b", False)
+        assert board.state("a") is BreakerState.OPEN
+        assert board.state("b") is BreakerState.CLOSED
+        assert board.quarantined() == ("a",)
+
+    def test_board_passes_settings_to_breakers(self):
+        board = BreakerBoard(
+            failure_threshold=5, cooldown_cycles=7, recovery_probes=3
+        )
+        breaker = board.breaker("c")
+        assert breaker.failure_threshold == 5
+        assert breaker.cooldown_cycles == 7
+        assert breaker.recovery_probes == 3
