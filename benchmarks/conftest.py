@@ -9,6 +9,10 @@ paper-scale run (500 consumers x 50 vectors) is one command away:
 
 Each benchmark writes its reproduced table/figure data under
 ``benchmarks/_artifacts/`` so the numbers are inspectable after a run.
+The heavyweight shared stages additionally append machine-readable
+timing records to ``BENCH_<name>.json`` at the repository root (see
+:mod:`repro.observability.bench`), so the performance trajectory of the
+codebase accumulates run over run.
 """
 
 from __future__ import annotations
@@ -21,12 +25,17 @@ import pytest
 from repro.data.synthetic import SyntheticCERConfig, generate_cer_like_dataset
 from repro.evaluation.config import EvaluationConfig
 from repro.evaluation.experiment import run_evaluation
+from repro.observability.bench import BenchTimer, write_bench_record
+from repro.observability.metrics import MetricsRegistry
 
 BENCH_CONSUMERS = int(os.environ.get("FDETA_BENCH_CONSUMERS", "30"))
 BENCH_VECTORS = int(os.environ.get("FDETA_BENCH_VECTORS", "12"))
 BENCH_SEED = int(os.environ.get("FDETA_BENCH_SEED", "2016"))
 
 ARTIFACTS = Path(__file__).parent / "_artifacts"
+
+#: BENCH_<name>.json perf records land at the repository root.
+BENCH_RECORDS_DIR = Path(__file__).parent.parent
 
 
 def write_artifact(name: str, text: str) -> Path:
@@ -37,14 +46,27 @@ def write_artifact(name: str, text: str) -> Path:
     return path
 
 
+def record_bench(name: str, seconds: float, **meta: object) -> Path:
+    """Append one perf record to the ``BENCH_<name>.json`` trajectory."""
+    meta.setdefault("consumers", BENCH_CONSUMERS)
+    meta.setdefault("vectors", BENCH_VECTORS)
+    meta.setdefault("seed", BENCH_SEED)
+    return Path(
+        write_bench_record(name, seconds, meta, directory=BENCH_RECORDS_DIR)
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_dataset():
     """The benchmark population (CER-like, paper-shaped 74-week record)."""
-    return generate_cer_like_dataset(
-        SyntheticCERConfig(
-            n_consumers=BENCH_CONSUMERS, n_weeks=74, seed=BENCH_SEED
+    with BenchTimer() as timer:
+        dataset = generate_cer_like_dataset(
+            SyntheticCERConfig(
+                n_consumers=BENCH_CONSUMERS, n_weeks=74, seed=BENCH_SEED
+            )
         )
-    )
+    record_bench("dataset_generation", timer.elapsed, weeks=74)
+    return dataset
 
 
 @pytest.fixture(scope="session")
@@ -55,4 +77,19 @@ def bench_config():
 @pytest.fixture(scope="session")
 def bench_results(bench_dataset, bench_config):
     """The full Section VIII evaluation, shared by the table benches."""
-    return run_evaluation(bench_dataset, bench_config)
+    metrics = MetricsRegistry()
+    with BenchTimer() as timer:
+        results = run_evaluation(bench_dataset, bench_config, metrics=metrics)
+    per_consumer = timer.elapsed / max(results.n_consumers, 1)
+    detector_fits = sum(
+        value
+        for (name, _labels), value in metrics.totals().items()
+        if name == "fdeta_detector_fit_seconds_count"
+    )
+    record_bench(
+        "evaluation",
+        timer.elapsed,
+        per_consumer_seconds=per_consumer,
+        detector_fits=int(detector_fits),
+    )
+    return results

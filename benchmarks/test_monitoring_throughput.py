@@ -1,0 +1,68 @@
+"""Benchmarks the online monitoring service's ingest hot path.
+
+The north-star workload is a control centre polling millions of meters;
+the per-cycle cost of ``TheftMonitoringService.ingest_cycle`` (now
+carrying metrics instrumentation) is the number that bounds fleet size
+per process.  Records the measured throughput to
+``BENCH_monitor_ingest.json`` and checks the run produced a valid
+Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kld import KLDDetector
+from repro.core.online import TheftMonitoringService
+from repro.observability.metrics import parse_prometheus
+from repro.resilience import ResilienceConfig
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+from benchmarks.conftest import BenchTimer, record_bench, write_artifact
+
+_WEEKS = 6
+_TRAIN_WEEKS = 4
+
+
+def _run_session(dataset) -> TheftMonitoringService:
+    ids = dataset.consumers()
+    series = {cid: dataset.series(cid) for cid in ids}
+    service = TheftMonitoringService(
+        detector_factory=lambda: KLDDetector(significance=0.05),
+        min_training_weeks=_TRAIN_WEEKS,
+        retrain_every_weeks=4,
+        resilience=ResilienceConfig(),
+        population=ids,
+    )
+    rng = np.random.default_rng(7)
+    drop = rng.random((_WEEKS * SLOTS_PER_WEEK, len(ids))) < 0.02
+    for t in range(_WEEKS * SLOTS_PER_WEEK):
+        readings = {
+            cid: float(series[cid][t])
+            for i, cid in enumerate(ids)
+            if not drop[t, i]
+        }
+        service.ingest_cycle(readings)
+    return service
+
+
+def test_monitor_ingest_throughput(benchmark, bench_dataset):
+    service = benchmark.pedantic(
+        _run_session, args=(bench_dataset,), iterations=1, rounds=1
+    )
+    cycles = _WEEKS * SLOTS_PER_WEEK
+    with BenchTimer() as timer:
+        rerun = _run_session(bench_dataset)
+    record_bench(
+        "monitor_ingest",
+        timer.elapsed,
+        cycles=cycles,
+        weeks=_WEEKS,
+        cycles_per_second=cycles / max(timer.elapsed, 1e-9),
+    )
+    text = rerun.metrics.to_prometheus()
+    write_artifact("monitor_metrics.prom", text)
+    families = parse_prometheus(text)
+    assert families["fdeta_weeks_completed_total"][0][1] == _WEEKS
+    assert "fdeta_ingest_cycle_seconds_bucket" in families
+    assert service.weeks_completed == _WEEKS

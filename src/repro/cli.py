@@ -8,6 +8,11 @@ Subcommands:
 * ``ablation`` — run the histogram-bin-count sweep;
 * ``monitor`` — replay a dataset through the online monitoring service
   over a lossy channel, with optional checkpoint/resume.
+
+The ``evaluate`` and ``monitor`` subcommands accept observability
+flags: ``--metrics-out`` (Prometheus text, or a JSON snapshot when the
+path ends in ``.json``), ``--trace-out`` (span-tree JSON), and
+``--log-json`` (structured JSONL event log).
 """
 
 from __future__ import annotations
@@ -16,6 +21,10 @@ import argparse
 import sys
 import time
 from typing import Sequence
+
+from repro.observability.events import EventLogger
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Tracer
 
 from repro.attacks.taxonomy import render_table_i
 from repro.data.loader import load_cer_file, save_cer_file
@@ -53,6 +62,47 @@ def _dataset_from_args(args: argparse.Namespace):
     )
 
 
+def _add_observability_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="write metrics here (Prometheus text; JSON snapshot if the "
+        "path ends in .json)",
+    )
+    parser.add_argument(
+        "--trace-out", type=str, default=None, help="write the span trace tree (JSON)"
+    )
+    parser.add_argument(
+        "--log-json",
+        type=str,
+        default=None,
+        help="append structured JSONL events here",
+    )
+
+
+def _event_logger_from_args(args: argparse.Namespace) -> EventLogger | None:
+    if args.log_json is None:
+        return None
+    return EventLogger(path=args.log_json)
+
+
+def _write_observability_outputs(
+    args: argparse.Namespace,
+    metrics: MetricsRegistry,
+    tracer: Tracer | None = None,
+) -> None:
+    if args.metrics_out:
+        if args.metrics_out.endswith(".json"):
+            metrics.write_json(args.metrics_out)
+        else:
+            metrics.write_prometheus(args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+    if args.trace_out and tracer is not None:
+        tracer.write(args.trace_out)
+        print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     dataset = generate_cer_like_dataset(
         SyntheticCERConfig(
@@ -75,27 +125,51 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     dataset = _dataset_from_args(args)
     config = EvaluationConfig(n_vectors=args.vectors, seed=args.eval_seed)
-    started = time.time()
+    # perf_counter, not time.time(): wall clock is not monotonic (NTP
+    # steps would produce negative "elapsed" readouts).
+    started = time.perf_counter()
     done = {"count": 0}
+    metrics = MetricsRegistry()
+    tracer = Tracer()
+    events = _event_logger_from_args(args)
 
     def progress(cid: str) -> None:
         done["count"] += 1
         if args.verbose:
-            elapsed = time.time() - started
+            elapsed = time.perf_counter() - started
             print(
                 f"  [{done['count']}/{dataset.n_consumers}] {cid} "
                 f"({elapsed:.1f}s elapsed)",
                 file=sys.stderr,
             )
 
+    if events is not None:
+        events.info(
+            "evaluation_started",
+            consumers=dataset.n_consumers,
+            vectors=args.vectors,
+            parallel=args.parallel,
+        )
     if args.parallel and args.parallel > 1:
         from repro.evaluation.parallel import run_evaluation_parallel
 
-        results = run_evaluation_parallel(
-            dataset, config, max_workers=args.parallel
-        )
+        with tracer.span("evaluate", mode="parallel", workers=args.parallel):
+            results = run_evaluation_parallel(
+                dataset, config, max_workers=args.parallel, metrics=metrics
+            )
     else:
-        results = run_evaluation(dataset, config, progress=progress)
+        with tracer.span("evaluate", mode="serial"):
+            results = run_evaluation(
+                dataset, config, progress=progress, metrics=metrics
+            )
+    if events is not None:
+        events.info(
+            "evaluation_finished",
+            consumers=results.n_consumers,
+            elapsed_s=time.perf_counter() - started,
+        )
+        events.close()
+    _write_observability_outputs(args, metrics, tracer)
     rows2 = table2(results)
     rows3 = table3(results)
     print("Table II - Metric 1: % of consumers with successful detection")
@@ -183,15 +257,25 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     def factory():
         return KLDDetector(significance=args.significance)
 
+    events = _event_logger_from_args(args)
+    tracer = Tracer()
     resumed = False
     if args.checkpoint and args.resume and os.path.exists(args.checkpoint):
-        service = TheftMonitoringService.restore(args.checkpoint, factory)
+        service = TheftMonitoringService.restore(
+            args.checkpoint, factory, events=events, tracer=tracer
+        )
         resumed = True
         print(
             f"resumed from {args.checkpoint} at week "
             f"{service.weeks_completed}",
             file=sys.stderr,
         )
+        if events is not None:
+            events.info(
+                "monitor_resumed",
+                checkpoint=args.checkpoint,
+                week=service.weeks_completed,
+            )
     else:
         service = TheftMonitoringService(
             detector_factory=factory,
@@ -199,6 +283,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             retrain_every_weeks=args.retrain_every_weeks,
             resilience=ResilienceConfig(min_coverage=args.min_coverage),
             population=ids,
+            events=events,
+            tracer=tracer,
         )
     channel = FaultyChannel(
         channel=LossyChannel(
@@ -243,6 +329,9 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     print(f"suspected victims:   {list(victims) or 'none'}")
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint}")
+    _write_observability_outputs(args, service.metrics, service.tracer)
+    if events is not None:
+        events.close()
     return 0
 
 
@@ -284,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel", type=int, default=1, help="worker processes (1 = serial)"
     )
     ev.add_argument("--verbose", action="store_true")
+    _add_observability_options(ev)
     ev.set_defaults(func=_cmd_evaluate)
 
     topo = sub.add_parser("topology", help="generate/inspect a grid topology")
@@ -331,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume from --checkpoint if it exists",
     )
+    _add_observability_options(mon)
     mon.set_defaults(func=_cmd_monitor)
 
     ab = sub.add_parser("ablation", help="histogram bin-count sweep")

@@ -30,9 +30,11 @@ mid-week without retraining.
 
 from __future__ import annotations
 
+import contextlib
 import math
 import os
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Iterable, Mapping
 
 import numpy as np
@@ -44,12 +46,30 @@ from repro.errors import ConfigurationError, DataError
 from repro.grid.balance import BalanceAuditor
 from repro.grid.snapshot import DemandSnapshot
 from repro.metering.store import ReadingStore
+from repro.observability.events import EventLogger
+from repro.observability.metrics import (
+    FRACTION_BUCKETS,
+    MetricsRegistry,
+    use_registry,
+)
+from repro.observability.tracing import Tracer
 from repro.resilience.circuit import BreakerBoard, BreakerState
 from repro.resilience.config import ResilienceConfig
 from repro.timeseries.seasonal import SLOTS_PER_WEEK
 
 #: How many consumer ids a population-mismatch error spells out.
 _MISMATCH_IDS_SHOWN = 10
+
+#: Alert severity (score / threshold) bands used as a metric label, so
+#: alert counters stay low-cardinality instead of carrying raw floats.
+_SEVERITY_BANDS = ((1.5, "marginal"), (3.0, "elevated"))
+
+
+def _severity_band(severity: float) -> str:
+    for upper, label in _SEVERITY_BANDS:
+        if severity < upper:
+            return label
+    return "critical"
 
 
 def _abbreviate_ids(ids: Iterable[str], limit: int = _MISMATCH_IDS_SHOWN) -> str:
@@ -140,6 +160,18 @@ class TheftMonitoringService:
         cycle fixes the population — in gap-tolerant mode that first
         cycle may itself be partial, so head-ends that know their fleet
         should declare it.
+    metrics:
+        Registry receiving the service's counters, gauges, and latency
+        histograms (a fresh one is created when omitted).  The registry
+        is part of the checkpointed state, so counters survive
+        ``--resume``.  Detector fit/score latencies recorded through the
+        global registry are routed here while the service runs them.
+    events:
+        Optional structured JSONL event logger.  Holds an open stream,
+        so it is *not* checkpointed — re-supply one at restore.
+    tracer:
+        Optional span tracer; weekly processing, training, assessment,
+        and audits become nested spans.  Checkpointed with the service.
     """
 
     def __init__(
@@ -150,6 +182,9 @@ class TheftMonitoringService:
         auditor: BalanceAuditor | None = None,
         resilience: ResilienceConfig | None = None,
         population: Iterable[str] | None = None,
+        metrics: MetricsRegistry | None = None,
+        events: EventLogger | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if min_training_weeks < 2:
             raise ConfigurationError(
@@ -164,6 +199,9 @@ class TheftMonitoringService:
         self.retrain_every_weeks = int(retrain_every_weeks)
         self.auditor = auditor
         self.resilience = resilience
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events
+        self.tracer = tracer
         self.store = ReadingStore()
         self._framework: FDetaFramework | None = None
         self._slot_count = 0
@@ -208,6 +246,19 @@ class TheftMonitoringService:
         self._population = frozenset(roster)
         self._roster = roster
 
+    # ------------------------------------------------------------------
+    # Telemetry plumbing
+    # ------------------------------------------------------------------
+
+    def _emit(self, level: str, event: str, **fields: object) -> None:
+        if self.events is not None:
+            self.events.log(level, event, **fields)
+
+    def _span(self, name: str, **fields: object):
+        if self.tracer is None:
+            return contextlib.nullcontext()
+        return self.tracer.span(name, **fields)
+
     def ingest_cycle(
         self,
         reported: Mapping[str, float],
@@ -232,6 +283,7 @@ class TheftMonitoringService:
             # worst case (every meter silent at once) and records a
             # gap for the whole roster instead of raising.
             raise DataError("polling cycle carried no readings")
+        started = perf_counter()
         if self._population is None:
             self._set_population(reported)
         if self.resilience is None:
@@ -240,10 +292,23 @@ class TheftMonitoringService:
             self._ingest_tolerant(reported)
         self._slot_count += 1
         self._last_snapshot = snapshot
-        if self._slot_count % SLOTS_PER_WEEK != 0:
-            return None
-        self._weeks_completed += 1
-        return self._complete_week()
+        report: MonitoringReport | None = None
+        if self._slot_count % SLOTS_PER_WEEK == 0:
+            self._weeks_completed += 1
+            # Detector fit/score latencies record into the global
+            # registry; route them into this service's registry for the
+            # duration of the weekly processing.
+            with use_registry(self.metrics):
+                report = self._complete_week()
+        self.metrics.counter(
+            "fdeta_ingest_cycles_total", "Polling cycles ingested."
+        ).inc()
+        self.metrics.histogram(
+            "fdeta_ingest_cycle_seconds",
+            "Latency of one ingest_cycle call (week-completing cycles "
+            "include training/assessment).",
+        ).observe(perf_counter() - started)
+        return report
 
     def _ingest_strict(self, reported: Mapping[str, float]) -> None:
         cycle_population = frozenset(reported)
@@ -266,6 +331,16 @@ class TheftMonitoringService:
                 f"{_abbreviate_ids(unknown)}"
             )
         assert self._breakers is not None
+        readings = self.metrics.counter(
+            "fdeta_readings_total",
+            "Readings ingested in gap-tolerant mode, by outcome.",
+            labels=("status",),
+        )
+        transitions = self.metrics.counter(
+            "fdeta_breaker_transitions_total",
+            "Circuit-breaker state transitions.",
+            labels=("from_state", "to_state"),
+        )
         for cid in self._roster:
             value = reported.get(cid)
             valid = (
@@ -277,7 +352,21 @@ class TheftMonitoringService:
                 self.store.append(cid, float(value))
             else:
                 self.store.append_gap(cid)
-            self._breakers.record(cid, valid)
+            readings.inc(status="ok" if valid else "gap")
+            before = self._breakers.state(cid)
+            after = self._breakers.record(cid, valid)
+            if after is not before:
+                transitions.inc(
+                    from_state=before.value, to_state=after.value
+                )
+                self._emit(
+                    "warning" if after is BreakerState.OPEN else "info",
+                    "breaker_transition",
+                    consumer=cid,
+                    from_state=before.value,
+                    to_state=after.value,
+                    cycle=self._slot_count,
+                )
 
     # ------------------------------------------------------------------
     # Week boundary processing
@@ -294,32 +383,50 @@ class TheftMonitoringService:
         return matrix[keep]
 
     def _train(self) -> None:
-        matrices = {}
-        for cid in self.store.consumers():
-            matrix = self._training_matrix(cid)
-            if matrix.shape[0] < 2:
-                if self.resilience is None:
-                    raise DataError(
-                        f"{cid!r} has too few clean weeks to train on"
-                    )
-                # Gap-tolerant mode: a consumer without enough clean
-                # history is skipped this round and picked up at a
-                # later retraining once its record recovers.
-                continue
-            matrices[cid] = matrix
-        if not matrices:
-            return
-        framework = FDetaFramework(detector_factory=self.detector_factory)
-        framework.train(matrices)
-        self._framework = framework
-        self._weeks_at_last_training = self._weeks_completed
+        with self._span("train", week=self._weeks_completed - 1):
+            matrices = {}
+            for cid in self.store.consumers():
+                matrix = self._training_matrix(cid)
+                if matrix.shape[0] < 2:
+                    if self.resilience is None:
+                        raise DataError(
+                            f"{cid!r} has too few clean weeks to train on"
+                        )
+                    # Gap-tolerant mode: a consumer without enough clean
+                    # history is skipped this round and picked up at a
+                    # later retraining once its record recovers.
+                    continue
+                matrices[cid] = matrix
+            if not matrices:
+                return
+            framework = FDetaFramework(detector_factory=self.detector_factory)
+            framework.train(matrices)
+            self._framework = framework
+            self._weeks_at_last_training = self._weeks_completed
+        self.metrics.counter(
+            "fdeta_trainings_total", "Detector (re)training rounds."
+        ).inc()
+        self._emit(
+            "info",
+            "detectors_trained",
+            week=self._weeks_completed - 1,
+            consumers_trained=len(matrices),
+            consumers_skipped=len(self.store.consumers()) - len(matrices),
+        )
 
     def _complete_week(self) -> MonitoringReport:
         week_index = self._weeks_completed - 1
+        with self._span("week", week=week_index):
+            report = self._process_week(week_index)
+        self._record_week_telemetry(report)
+        return report
+
+    def _process_week(self, week_index: int) -> MonitoringReport:
         balance_failures: tuple[str, ...] = ()
         if self.auditor is not None and self._last_snapshot is not None:
-            audit = self.auditor.audit(self._last_snapshot)
-            balance_failures = audit.failing_nodes()
+            with self._span("audit", week=week_index):
+                audit = self.auditor.audit(self._last_snapshot)
+                balance_failures = audit.failing_nodes()
         report = MonitoringReport(
             week_index=week_index, balance_failures=balance_failures
         )
@@ -332,10 +439,11 @@ class TheftMonitoringService:
                 self._annotate_untrained_week(report, week_index)
             self.reports.append(report)
             return report
-        if self.resilience is None:
-            self._assess_week_strict(report, week_index)
-        else:
-            self._assess_week_tolerant(report, week_index)
+        with self._span("assess", week=week_index):
+            if self.resilience is None:
+                self._assess_week_strict(report, week_index)
+            else:
+                self._assess_week_tolerant(report, week_index)
         # Periodic retraining on non-quarantined history.
         due = (
             self._weeks_completed - self._weeks_at_last_training
@@ -345,6 +453,81 @@ class TheftMonitoringService:
             self._train()
         self.reports.append(report)
         return report
+
+    def _record_week_telemetry(self, report: MonitoringReport) -> None:
+        metrics = self.metrics
+        metrics.counter(
+            "fdeta_weeks_completed_total", "Monitoring weeks completed."
+        ).inc()
+        alerts = metrics.counter(
+            "fdeta_alerts_total",
+            "Theft alerts raised, by anomaly nature and severity band.",
+            labels=("nature", "severity"),
+        )
+        for alert in report.alerts:
+            alerts.inc(
+                nature=alert.nature.value,
+                severity=_severity_band(alert.severity),
+            )
+            self._emit(
+                "warning",
+                "theft_alert",
+                week=report.week_index,
+                consumer=alert.consumer_id,
+                nature=alert.nature,
+                score=alert.score,
+                threshold=alert.threshold,
+                severity=alert.severity,
+                coverage=alert.coverage,
+                balance_check_failed=alert.balance_check_failed,
+            )
+        if report.balance_failures:
+            metrics.counter(
+                "fdeta_balance_failures_total",
+                "Nodes failing the weekly balance audit.",
+            ).inc(len(report.balance_failures))
+        if self.resilience is not None:
+            if report.degraded:
+                metrics.counter(
+                    "fdeta_degraded_weeks_total",
+                    "Weeks scored with at least one partially-observed "
+                    "consumer.",
+                ).inc()
+            coverage = metrics.histogram(
+                "fdeta_week_coverage_fraction",
+                "Per-consumer observed fraction of each scored week.",
+                buckets=FRACTION_BUCKETS,
+            )
+            for fraction in report.coverage.values():
+                coverage.observe(fraction)
+            if report.suppressed:
+                metrics.counter(
+                    "fdeta_suppressed_consumer_weeks_total",
+                    "Consumer-weeks suppressed for insufficient coverage.",
+                ).inc(len(report.suppressed))
+            if report.quarantined:
+                metrics.counter(
+                    "fdeta_quarantined_consumer_weeks_total",
+                    "Consumer-weeks skipped because the breaker was open.",
+                ).inc(len(report.quarantined))
+            assert self._breakers is not None
+            states = metrics.gauge(
+                "fdeta_breaker_state_consumers",
+                "Consumers currently in each circuit-breaker state.",
+                labels=("state",),
+            )
+            for state, count in self._breakers.state_counts().items():
+                states.set(count, state=state.value)
+        self._emit(
+            "info",
+            "week_completed",
+            week=report.week_index,
+            alerts=len(report.alerts),
+            suppressed=len(report.suppressed),
+            quarantined=len(report.quarantined),
+            degraded=report.degraded,
+            balance_failures=len(report.balance_failures),
+        )
 
     def _annotate_untrained_week(
         self, report: MonitoringReport, week_index: int
@@ -460,6 +643,13 @@ class TheftMonitoringService:
         from repro.resilience.checkpoint import save_checkpoint
 
         save_checkpoint(self, path)
+        self._emit(
+            "info",
+            "checkpoint_saved",
+            path=os.fspath(path),
+            week=self._weeks_completed,
+            cycle=self._slot_count,
+        )
 
     @classmethod
     def restore(
@@ -467,11 +657,21 @@ class TheftMonitoringService:
         path: str | os.PathLike,
         detector_factory: Callable[[], WeeklyDetector],
         auditor: BalanceAuditor | None = None,
+        events: EventLogger | None = None,
+        tracer: Tracer | None = None,
     ) -> "TheftMonitoringService":
-        """Load a service checkpointed with :meth:`checkpoint`."""
+        """Load a service checkpointed with :meth:`checkpoint`.
+
+        ``events`` (an open stream, never serialized) may be re-supplied
+        here; ``tracer`` overrides the checkpointed trace state when
+        given.
+        """
         from repro.resilience.checkpoint import load_checkpoint
 
-        return load_checkpoint(path, detector_factory, auditor=auditor)
+        return load_checkpoint(
+            path, detector_factory, auditor=auditor, events=events,
+            tracer=tracer,
+        )
 
     def _state_dict(self) -> dict:
         framework_state = None
@@ -504,6 +704,8 @@ class TheftMonitoringService:
             "breakers": self._breakers,
             "last_snapshot": self._last_snapshot,
             "framework": framework_state,
+            "metrics": self.metrics,
+            "tracer": self.tracer,
         }
 
     @classmethod
@@ -512,6 +714,8 @@ class TheftMonitoringService:
         state: dict,
         detector_factory: Callable[[], WeeklyDetector],
         auditor: BalanceAuditor | None = None,
+        events: EventLogger | None = None,
+        tracer: Tracer | None = None,
     ) -> "TheftMonitoringService":
         service = cls(
             detector_factory=detector_factory,
@@ -519,6 +723,9 @@ class TheftMonitoringService:
             retrain_every_weeks=state["retrain_every_weeks"],
             auditor=auditor,
             resilience=state["resilience"],
+            metrics=state["metrics"],
+            events=events,
+            tracer=tracer if tracer is not None else state["tracer"],
         )
         for cid, values in state["series"].items():
             service.store._series[cid].extend(float(v) for v in values)

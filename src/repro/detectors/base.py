@@ -1,14 +1,34 @@
-"""Common interface for per-consumer weekly anomaly detectors."""
+"""Common interface for per-consumer weekly anomaly detectors.
+
+Every ``fit``/``score_week`` call records its latency into the ambient
+:func:`~repro.observability.metrics.global_registry` as per-detector
+histograms (``fdeta_detector_fit_seconds`` /
+``fdeta_detector_score_seconds``), so any owner that installs its own
+registry with :func:`~repro.observability.metrics.use_registry` — the
+monitoring service, the evaluation runners — captures detector timing
+without threading a registry through every detector constructor (which
+must stay picklable for checkpoints and worker processes).
+"""
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from repro.errors import DataError, NotFittedError
+from repro.observability.metrics import global_registry
 from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+
+def _observe_latency(metric: str, detector_name: str, seconds: float) -> None:
+    global_registry().histogram(
+        metric,
+        "Latency of the detector template method, by detector name.",
+        labels=("detector",),
+    ).observe(seconds, detector=detector_name)
 
 
 @dataclass(frozen=True)
@@ -59,7 +79,11 @@ class WeeklyDetector(ABC):
             raise DataError("need at least 2 training weeks")
         if np.any(matrix < 0) or np.any(~np.isfinite(matrix)):
             raise DataError("training readings must be finite and >= 0")
+        started = perf_counter()
         self._fit(matrix)
+        _observe_latency(
+            "fdeta_detector_fit_seconds", self.name, perf_counter() - started
+        )
         self._fitted = True
         return self
 
@@ -74,7 +98,12 @@ class WeeklyDetector(ABC):
             )
         if np.any(arr < 0) or np.any(~np.isfinite(arr)):
             raise DataError("week readings must be finite and >= 0")
-        return self._score_week(arr)
+        started = perf_counter()
+        result = self._score_week(arr)
+        _observe_latency(
+            "fdeta_detector_score_seconds", self.name, perf_counter() - started
+        )
+        return result
 
     def flags(self, week: np.ndarray) -> bool:
         """Convenience: whether the week is flagged anomalous."""
@@ -102,11 +131,17 @@ class WeeklyDetector(ABC):
         values = arr[observed]
         if np.any(values < 0) or np.any(~np.isfinite(values)):
             raise DataError("observed readings must be finite and >= 0")
+        started = perf_counter()
         if observed.all():
-            return self._score_week(arr)
-        if not self.supports_partial_weeks:
+            result = self._score_week(arr)
+        elif not self.supports_partial_weeks:
             raise DataError(f"{self.name} cannot score partial weeks")
-        return self._score_partial_week(arr, observed)
+        else:
+            result = self._score_partial_week(arr, observed)
+        _observe_latency(
+            "fdeta_detector_score_seconds", self.name, perf_counter() - started
+        )
+        return result
 
     # ------------------------------------------------------------------
     # Subclass hooks

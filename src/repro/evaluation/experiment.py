@@ -18,6 +18,7 @@ a false positive), per the paper's harsh false-positive penalty.
 
 from __future__ import annotations
 
+import contextlib
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
@@ -38,6 +39,11 @@ from repro.detectors.arima_detector import ARIMADetector
 from repro.detectors.base import WeeklyDetector
 from repro.detectors.integrated_arima import IntegratedARIMADetector
 from repro.errors import ConfigurationError, DataError
+from repro.observability.metrics import (
+    MetricsRegistry,
+    global_registry,
+    use_registry,
+)
 from repro.evaluation.config import (
     ALL_ATTACKS,
     ALL_DETECTORS,
@@ -185,7 +191,16 @@ def evaluate_consumer(
     actual_week: np.ndarray,
     config: EvaluationConfig | None = None,
 ) -> ConsumerEvaluation:
-    """Run the full per-consumer evaluation."""
+    """Run the full per-consumer evaluation.
+
+    Telemetry (consumer/vector counters, detection and false-positive
+    tallies, plus the detector fit/score latency histograms recorded by
+    the detectors themselves) lands in the ambient
+    :func:`~repro.observability.metrics.global_registry`; callers that
+    want isolated totals install their own registry with
+    :func:`~repro.observability.metrics.use_registry` — the parallel
+    runner does exactly that per worker job.
+    """
     cfg = config if config is not None else EvaluationConfig()
     rng = _consumer_rng(cfg, consumer_id)
     detectors = _build_detectors(np.asarray(train_matrix, dtype=float), cfg)
@@ -205,8 +220,20 @@ def evaluate_consumer(
     }
     detected_all: dict[tuple[str, str], bool] = {}
     worst_gain: dict[tuple[str, str], GainRecord] = {}
+    registry = global_registry()
+    detections = registry.counter(
+        "fdeta_eval_detections_total",
+        "Attack realisations fully detected, by detector and attack.",
+        labels=("detector", "attack"),
+    )
+    vectors_scored = registry.counter(
+        "fdeta_eval_vectors_scored_total",
+        "Attack vectors scored, by attack realisation.",
+        labels=("attack",),
+    )
     for attack_key in ALL_ATTACKS:
         vectors = attack_vectors[attack_key]
+        vectors_scored.inc(len(vectors) * len(ALL_DETECTORS), attack=attack_key)
         for detector_key in ALL_DETECTORS:
             used = _fp_key(detector_key, attack_key)
             detector = detectors[used]
@@ -214,6 +241,8 @@ def evaluate_consumer(
             all_flagged = all(flags)
             fp = false_positive[used]
             detected_all[(detector_key, attack_key)] = all_flagged
+            if all_flagged:
+                detections.inc(detector=detector_key, attack=attack_key)
             if all_flagged and not fp:
                 worst_gain[(detector_key, attack_key)] = ZERO_GAIN
                 continue
@@ -234,6 +263,17 @@ def evaluate_consumer(
                     )
                 )
             worst_gain[(detector_key, attack_key)] = gain
+    registry.counter(
+        "fdeta_eval_consumers_total", "Consumers fully evaluated."
+    ).inc()
+    fp_counter = registry.counter(
+        "fdeta_eval_false_positives_total",
+        "Detector instances that flagged the normal week.",
+        labels=("detector",),
+    )
+    for key, flagged in false_positive.items():
+        if flagged:
+            fp_counter.inc(detector=key)
     return ConsumerEvaluation(
         consumer_id=consumer_id,
         false_positive=false_positive,
@@ -247,8 +287,14 @@ def run_evaluation(
     config: EvaluationConfig | None = None,
     consumers: tuple[str, ...] | None = None,
     progress: Callable[[str], None] | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> EvaluationResults:
-    """Evaluate every (or a subset of) consumer(s) in the dataset."""
+    """Evaluate every (or a subset of) consumer(s) in the dataset.
+
+    When ``metrics`` is given, every counter and latency histogram of
+    the run (including detector fit/score timings) is captured in it;
+    otherwise telemetry goes to the process-global registry.
+    """
     cfg = config if config is not None else EvaluationConfig()
     ids = dataset.consumers() if consumers is None else consumers
     if not ids:
@@ -259,10 +305,18 @@ def run_evaluation(
             f"dataset has {dataset.n_test_weeks} test weeks"
         )
     results = EvaluationResults(config=cfg)
-    for cid in ids:
-        train = dataset.train_matrix(cid)
-        actual_week = dataset.test_matrix(cid)[cfg.attack_week_index]
-        results.consumers[cid] = evaluate_consumer(cid, train, actual_week, cfg)
-        if progress is not None:
-            progress(cid)
+    scope = (
+        use_registry(metrics)
+        if metrics is not None
+        else contextlib.nullcontext()
+    )
+    with scope:
+        for cid in ids:
+            train = dataset.train_matrix(cid)
+            actual_week = dataset.test_matrix(cid)[cfg.attack_week_index]
+            results.consumers[cid] = evaluate_consumer(
+                cid, train, actual_week, cfg
+            )
+            if progress is not None:
+                progress(cid)
     return results

@@ -7,6 +7,15 @@ Consumers are embarrassingly parallel (each evaluation touches only its
 own training matrix and test week), so results are bit-identical to the
 serial runner — the per-consumer RNG is derived from the consumer id,
 not the execution order.
+
+Telemetry crosses the process boundary the same way the results do:
+each worker job runs against a fresh
+:class:`~repro.observability.metrics.MetricsRegistry`, ships its
+snapshot back with the evaluation, and the parent merges every snapshot
+into the caller's registry.  Counters and histogram counts therefore
+total identically to a serial run of the same work (latency *sums*
+differ — different machines spend different time — which is why
+equality checks go through ``MetricsRegistry.totals()``).
 """
 
 from __future__ import annotations
@@ -23,14 +32,25 @@ from repro.evaluation.experiment import (
     EvaluationResults,
     evaluate_consumer,
 )
+from repro.observability.metrics import MetricsRegistry, use_registry
 
 
 def _evaluate_one(
     args: tuple[str, np.ndarray, np.ndarray, EvaluationConfig],
-) -> ConsumerEvaluation:
-    """Module-level worker (picklable for ProcessPoolExecutor)."""
+) -> tuple[ConsumerEvaluation, dict]:
+    """Module-level worker (picklable for ProcessPoolExecutor).
+
+    Returns the evaluation together with the job's metric snapshot; a
+    fresh registry per job keeps snapshots disjoint, so the parent can
+    merge them all without double counting.
+    """
     consumer_id, train_matrix, actual_week, config = args
-    return evaluate_consumer(consumer_id, train_matrix, actual_week, config)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        evaluation = evaluate_consumer(
+            consumer_id, train_matrix, actual_week, config
+        )
+    return evaluation, registry.snapshot()
 
 
 def run_evaluation_parallel(
@@ -38,11 +58,13 @@ def run_evaluation_parallel(
     config: EvaluationConfig | None = None,
     consumers: tuple[str, ...] | None = None,
     max_workers: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> EvaluationResults:
     """Parallel counterpart of :func:`repro.evaluation.run_evaluation`.
 
     Produces results identical to the serial runner for the same config
-    (per-consumer determinism), in consumer order.
+    (per-consumer determinism), in consumer order.  When ``metrics`` is
+    given, per-worker registry snapshots are merged into it.
     """
     cfg = config if config is not None else EvaluationConfig()
     ids = dataset.consumers() if consumers is None else consumers
@@ -66,10 +88,12 @@ def run_evaluation_parallel(
     ]
     results = EvaluationResults(config=cfg)
     if max_workers == 1:
-        evaluations = map(_evaluate_one, jobs)
+        outcomes = map(_evaluate_one, jobs)
     else:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            evaluations = list(pool.map(_evaluate_one, jobs, chunksize=4))
-    for evaluation in evaluations:
+            outcomes = list(pool.map(_evaluate_one, jobs, chunksize=4))
+    for evaluation, snapshot in outcomes:
         results.consumers[evaluation.consumer_id] = evaluation
+        if metrics is not None:
+            metrics.merge_snapshot(snapshot)
     return results

@@ -21,6 +21,7 @@ from repro.metering.channel import LossyChannel
 from repro.metering.errors_model import MeasurementErrorModel
 from repro.metering.meter import SmartMeter
 from repro.metering.store import ReadingStore
+from repro.observability.metrics import FRACTION_BUCKETS, MetricsRegistry
 from repro.resilience.retry import RetryPolicy
 
 
@@ -166,12 +167,17 @@ class ResilientHeadEnd:
     The ``channel`` only needs ``transmit``/``retransmit`` — a plain
     :class:`~repro.metering.channel.LossyChannel` or the fault-injecting
     :class:`~repro.resilience.faults.FaultyChannel` both qualify.
+
+    When a ``metrics`` registry is attached, each cycle records poll
+    counts, re-poll attempts (by retry round), budget exhaustion, gaps,
+    and the cycle's delivery ratio.
     """
 
     ami: AMINetwork
     channel: LossyChannel
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     store: ReadingStore = field(default_factory=ReadingStore)
+    metrics: MetricsRegistry | None = None
     cycles_polled: int = 0
     retries_sent: int = 0
     gaps_recorded: int = 0
@@ -191,9 +197,21 @@ class ResilientHeadEnd:
             cost = self.retry.attempt_cost(attempt)
             batch = missing[: int(budget // cost)] if cost > 0 else missing
             if not batch:
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "fdeta_headend_budget_exhausted_total",
+                        "Retry rounds abandoned because the cycle budget "
+                        "could not afford a single re-request.",
+                    ).inc()
                 break
             budget -= cost * len(batch)
             retried += len(batch)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "fdeta_headend_repolls_total",
+                    "Individual meter re-requests, by retry round.",
+                    labels=("round",),
+                ).inc(len(batch), round=attempt)
             redelivered = self.channel.retransmit(
                 {cid: reported[cid] for cid in batch}, rng
             )
@@ -214,6 +232,32 @@ class ResilientHeadEnd:
         self.cycles_polled += 1
         self.retries_sent += retried
         self.gaps_recorded += gaps
-        return CycleResult(
+        result = CycleResult(
             delivered=delivered, missing=tuple(missing), retried=retried
         )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "fdeta_headend_cycles_total", "Polling cycles run."
+            ).inc()
+            self.metrics.counter(
+                "fdeta_headend_readings_total",
+                "Readings per cycle outcome across all polls.",
+                labels=("outcome",),
+            ).inc(len(delivered), outcome="delivered")
+            if missing:
+                self.metrics.counter(
+                    "fdeta_headend_readings_total",
+                    "Readings per cycle outcome across all polls.",
+                    labels=("outcome",),
+                ).inc(len(missing), outcome="dropped")
+            if gaps:
+                self.metrics.counter(
+                    "fdeta_headend_gaps_total",
+                    "Readings recorded as gaps (missing or corrupt).",
+                ).inc(gaps)
+            self.metrics.histogram(
+                "fdeta_headend_delivery_ratio",
+                "Fraction of the fleet delivered per cycle after retries.",
+                buckets=FRACTION_BUCKETS,
+            ).observe(result.delivery_ratio)
+        return result

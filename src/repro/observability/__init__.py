@@ -1,0 +1,67 @@
+"""Observability for the detection pipeline.
+
+The paper's claims are operational — theft mitigated per week,
+false-positive investigation cost — so a running F-DETA deployment needs
+telemetry as much as it needs detectors.  This subpackage provides the
+three classic signals, dependency-free:
+
+* :mod:`repro.observability.metrics` — labelled counters, gauges, and
+  fixed-bucket histograms in a :class:`MetricsRegistry`, with Prometheus
+  text exposition and JSON snapshot export, cross-process snapshot
+  merging, and pickle round-tripping (counters survive
+  checkpoint/resume);
+* :mod:`repro.observability.events` — a leveled, structured JSONL event
+  logger with a two-way stdlib-``logging`` bridge;
+* :mod:`repro.observability.tracing` — nested ``perf_counter`` spans
+  exportable as a trace tree;
+* :mod:`repro.observability.bench` — appendable ``BENCH_<name>.json``
+  performance records for the benchmark harness.
+
+Instrumented components: :class:`~repro.core.online.TheftMonitoringService`
+(cycle latency, weekly reports, alerts, coverage, breaker transitions),
+:class:`~repro.metering.ami.ResilientHeadEnd` (polls, re-polls, gaps),
+:class:`~repro.detectors.base.WeeklyDetector` (fit/score latency per
+detector), and the serial/parallel evaluation runners (per-worker
+registry snapshots merged across the process boundary).
+"""
+
+from repro.observability.bench import (
+    BenchTimer,
+    read_bench_records,
+    write_bench_record,
+)
+from repro.observability.events import EventLogger, StdlibBridgeHandler
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    FRACTION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    parse_prometheus,
+    set_global_registry,
+    use_registry,
+)
+from repro.observability.tracing import Span, Tracer, trace
+
+__all__ = [
+    "BenchTimer",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "EventLogger",
+    "FRACTION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "StdlibBridgeHandler",
+    "Tracer",
+    "global_registry",
+    "parse_prometheus",
+    "read_bench_records",
+    "set_global_registry",
+    "trace",
+    "use_registry",
+    "write_bench_record",
+]

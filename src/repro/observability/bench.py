@@ -1,0 +1,104 @@
+"""Machine-readable performance records for the benchmark harness.
+
+The benchmark suite asserts the paper's qualitative shapes; this module
+makes the *speed* of those runs a first-class artefact.  Each call to
+:func:`write_bench_record` appends one timing record to
+``BENCH_<name>.json`` so the performance trajectory of the codebase
+accumulates across runs instead of evaporating with the process:
+
+    {"name": "evaluation", "records": [
+        {"seconds": 12.3, "recorded_at": "2026-08-05T...", "meta": {...}},
+        ...
+    ]}
+
+Timing uses :class:`BenchTimer` (``time.perf_counter``, monotonic); the
+record's ``recorded_at`` wall-clock stamp exists only to order the
+trajectory, never to measure with.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from datetime import datetime, timezone
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BenchTimer", "write_bench_record", "read_bench_records"]
+
+
+class BenchTimer:
+    """Context manager measuring elapsed seconds with ``perf_counter``."""
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "BenchTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+def _record_path(name: str, directory: str | os.PathLike | None) -> str:
+    if not name or any(c in name for c in "/\\"):
+        raise ConfigurationError(f"invalid bench record name {name!r}")
+    base = os.fspath(directory) if directory is not None else "."
+    return os.path.join(base, f"BENCH_{name}.json")
+
+
+def write_bench_record(
+    name: str,
+    seconds: float,
+    meta: Mapping[str, object] | None = None,
+    directory: str | os.PathLike | None = None,
+) -> str:
+    """Append one timing record to ``BENCH_<name>.json``; returns the path.
+
+    The file holds the full trajectory (a list of records); corrupt or
+    foreign files are replaced rather than crashing the benchmark run.
+    """
+    path = _record_path(name, directory)
+    payload: dict = {"name": name, "records": []}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if isinstance(existing, dict) and isinstance(
+            existing.get("records"), list
+        ):
+            payload = existing
+    except (FileNotFoundError, json.JSONDecodeError):
+        pass
+    payload["name"] = name
+    payload["records"].append(
+        {
+            "seconds": float(seconds),
+            "recorded_at": datetime.now(timezone.utc).isoformat(),
+            "python": platform.python_version(),
+            "meta": dict(meta) if meta else {},
+        }
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def read_bench_records(
+    name: str, directory: str | os.PathLike | None = None
+) -> list[dict]:
+    """The accumulated trajectory for one benchmark (empty if none)."""
+    path = _record_path(name, directory)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return []
+    records = payload.get("records") if isinstance(payload, dict) else None
+    return list(records) if isinstance(records, list) else []

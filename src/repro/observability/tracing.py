@@ -1,0 +1,115 @@
+"""Span tracing for the detection pipeline.
+
+Answers the latency questions a flat histogram cannot: *of one week's
+processing, how much went to training versus scoring versus the balance
+audit?*  A :class:`Tracer` hands out nested :class:`Span` context
+managers timed with :func:`time.perf_counter`; the finished spans form a
+trace tree exportable as JSON.
+
+Spans are plain picklable data, so a tracer checkpointed with the
+monitoring service restores bit-identically (durations are
+``perf_counter`` intervals — meaningful as durations, not as absolute
+wall-clock times).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Span", "Tracer", "trace"]
+
+
+@dataclass
+class Span:
+    """One timed operation, possibly with nested child spans."""
+
+    name: str
+    fields: dict = field(default_factory=dict)
+    start: float = 0.0
+    end: float | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (up to now for a still-open span)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_s": self.duration,
+            "fields": dict(self.fields),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class Tracer:
+    """Collects a forest of spans; nesting follows ``with`` structure."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **fields: object) -> Iterator[Span]:
+        """Open a child of the innermost active span (or a new root)."""
+        span = Span(name=name, fields=dict(fields))
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        span.start = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.end = time.perf_counter()
+            self._stack.pop()
+
+    @property
+    def active(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def spans(self) -> Iterator[Span]:
+        """Every recorded span, depth-first across all roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> list[Span]:
+        return [span for span in self.spans() if span.name == name]
+
+    def to_dict(self) -> dict:
+        return {"spans": [root.to_dict() for root in self.roots]}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write(self, path: str | os.PathLike) -> None:
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+
+@contextmanager
+def trace(name: str, tracer: Tracer | None = None, **fields: object) -> Iterator[Span]:
+    """Convenience: a one-off span on ``tracer`` (or a throwaway one)."""
+    owner = tracer if tracer is not None else Tracer()
+    with owner.span(name, **fields) as span:
+        yield span

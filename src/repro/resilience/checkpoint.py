@@ -8,10 +8,13 @@ contents, fitted detectors, circuit-breaker states, quarantine sets,
 reports — so a restarted process resumes mid-week and produces reports
 bit-identical to an uninterrupted run.
 
-Two things are deliberately *not* serialized and must be re-supplied at
-restore time, because they are code, not state: the ``detector_factory``
-callable (frequently a lambda, hence unpicklable) and the optional
-balance ``auditor``.
+Three things are deliberately *not* serialized and must be re-supplied
+at restore time, because they are code or open resources, not state: the
+``detector_factory`` callable (frequently a lambda, hence unpicklable),
+the optional balance ``auditor``, and the optional ``events`` logger
+(it holds an open stream).  The service's metrics registry and tracer
+*are* state and round-trip with the checkpoint, so a resumed run's
+counters continue from where the checkpointed run stopped.
 
 Writes are atomic (temp file + ``os.replace``) so a crash during
 checkpointing leaves the previous checkpoint intact.
@@ -30,9 +33,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.online import TheftMonitoringService
     from repro.detectors.base import WeeklyDetector
     from repro.grid.balance import BalanceAuditor
+    from repro.observability.events import EventLogger
+    from repro.observability.tracing import Tracer
 
 #: Bump when the state layout changes; old checkpoints are rejected.
-CHECKPOINT_VERSION = 1
+#: v2 added the observability state (metrics registry + tracer).
+CHECKPOINT_VERSION = 2
 
 _MAGIC = "fdeta-checkpoint"
 
@@ -65,13 +71,16 @@ def load_checkpoint(
     path: str | os.PathLike,
     detector_factory: Callable[[], "WeeklyDetector"],
     auditor: "BalanceAuditor | None" = None,
+    events: "EventLogger | None" = None,
+    tracer: "Tracer | None" = None,
 ) -> "TheftMonitoringService":
     """Restore a service from ``path``.
 
     ``detector_factory`` (and ``auditor``, if one was in use) must match
     the ones the checkpointed service was built with; already-fitted
     detectors are restored as-is, the factory is only used for future
-    retraining.
+    retraining.  ``events`` attaches a fresh event logger; ``tracer``
+    overrides the checkpointed trace state when provided.
     """
     from repro.core.online import TheftMonitoringService
 
@@ -92,5 +101,9 @@ def load_checkpoint(
             f"expected {CHECKPOINT_VERSION}"
         )
     return TheftMonitoringService._from_state(
-        payload["state"], detector_factory=detector_factory, auditor=auditor
+        payload["state"],
+        detector_factory=detector_factory,
+        auditor=auditor,
+        events=events,
+        tracer=tracer,
     )

@@ -164,3 +164,19 @@ class BreakerBoard:
     def trip_count(self, consumer_id: str) -> int:
         board = self.breakers.get(consumer_id)
         return board.trip_count if board is not None else 0
+
+    def state_counts(self) -> dict[BreakerState, int]:
+        """How many tracked consumers sit in each breaker state.
+
+        Every state appears as a key (zero-valued when empty) so
+        per-state gauges reset cleanly when the last breaker leaves a
+        state.
+        """
+        counts = {state: 0 for state in BreakerState}
+        for breaker in self.breakers.values():
+            counts[breaker.state] += 1
+        return counts
+
+    def total_trips(self) -> int:
+        """Lifetime trip events across the whole board."""
+        return sum(b.trip_count for b in self.breakers.values())

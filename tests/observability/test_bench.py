@@ -1,0 +1,68 @@
+"""Tests for the benchmark perf-record trajectory files."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.bench import (
+    BenchTimer,
+    read_bench_records,
+    write_bench_record,
+)
+
+
+class TestBenchTimer:
+    def test_measures_elapsed_seconds(self):
+        with BenchTimer() as timer:
+            sum(range(1000))
+        assert timer.elapsed > 0.0
+
+    def test_elapsed_survives_exceptions(self):
+        timer = BenchTimer()
+        with pytest.raises(RuntimeError):
+            with timer:
+                raise RuntimeError("boom")
+        assert timer.elapsed > 0.0
+
+
+class TestTrajectoryFiles:
+    def test_first_write_creates_the_file(self, tmp_path):
+        path = write_bench_record(
+            "eval", 1.25, {"consumers": 4}, directory=tmp_path
+        )
+        assert path == str(tmp_path / "BENCH_eval.json")
+        payload = json.loads((tmp_path / "BENCH_eval.json").read_text())
+        assert payload["name"] == "eval"
+        (record,) = payload["records"]
+        assert record["seconds"] == 1.25
+        assert record["meta"] == {"consumers": 4}
+        assert "recorded_at" in record and "python" in record
+
+    def test_records_accumulate_across_writes(self, tmp_path):
+        write_bench_record("eval", 1.0, directory=tmp_path)
+        write_bench_record("eval", 2.0, directory=tmp_path)
+        records = read_bench_records("eval", directory=tmp_path)
+        assert [r["seconds"] for r in records] == [1.0, 2.0]
+
+    def test_corrupt_file_is_replaced_not_fatal(self, tmp_path):
+        (tmp_path / "BENCH_eval.json").write_text("{not json")
+        write_bench_record("eval", 3.0, directory=tmp_path)
+        records = read_bench_records("eval", directory=tmp_path)
+        assert [r["seconds"] for r in records] == [3.0]
+
+    def test_foreign_shape_is_replaced(self, tmp_path):
+        (tmp_path / "BENCH_eval.json").write_text('["unexpected"]')
+        write_bench_record("eval", 4.0, directory=tmp_path)
+        assert [
+            r["seconds"] for r in read_bench_records("eval", tmp_path)
+        ] == [4.0]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_bench_records("absent", directory=tmp_path) == []
+
+    def test_rejects_path_traversal_names(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="invalid bench"):
+            write_bench_record("../escape", 1.0, directory=tmp_path)
+        with pytest.raises(ConfigurationError, match="invalid bench"):
+            write_bench_record("", 1.0, directory=tmp_path)
