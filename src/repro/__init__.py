@@ -11,7 +11,11 @@ The package is organised as:
 * :mod:`repro.grid`, :mod:`repro.metering`, :mod:`repro.pricing`,
   :mod:`repro.data`, :mod:`repro.stats`, :mod:`repro.timeseries` —
   the substrates everything is built on;
-* :mod:`repro.evaluation` — the Section VIII experiment harness.
+* :mod:`repro.evaluation` — the Section VIII experiment harness;
+* :mod:`repro.durability` — WAL-backed durable ingestion with crash
+  recovery;
+* :mod:`repro.quarantine` — the reading-integrity firewall and
+  quarantine store.
 
 Quickstart::
 
@@ -56,11 +60,23 @@ from repro.evaluation import (
     table2,
     table3,
 )
+from repro.durability import (
+    DurableTheftMonitor,
+    WriteAheadLog,
+    recover_monitor,
+    replay_wal,
+)
 from repro.grid import BalanceAuditor, RadialTopology, build_random_topology
 from repro.pricing import (
     FlatRatePricing,
     RealTimePricing,
     TimeOfUsePricing,
+)
+from repro.quarantine import (
+    FirewallPolicy,
+    QuarantineReason,
+    QuarantineStore,
+    ReadingFirewall,
 )
 from repro.resilience import (
     FaultyChannel,
@@ -79,9 +95,11 @@ __all__ = [
     "AttackVector",
     "BalanceAuditor",
     "DetectionResult",
+    "DurableTheftMonitor",
     "EvaluationConfig",
     "FDetaFramework",
     "FaultyChannel",
+    "FirewallPolicy",
     "FlatRatePricing",
     "InjectionContext",
     "IntegratedARIMAAttack",
@@ -90,16 +108,22 @@ __all__ = [
     "MinimumAverageDetector",
     "OptimalSwapAttack",
     "PriceConditionedKLDDetector",
+    "QuarantineReason",
+    "QuarantineStore",
     "RadialTopology",
+    "ReadingFirewall",
     "RealTimePricing",
     "ResilienceConfig",
     "RetryPolicy",
     "SmartMeterDataset",
     "SyntheticCERConfig",
     "TimeOfUsePricing",
+    "WriteAheadLog",
     "build_random_topology",
     "generate_cer_like_dataset",
     "load_checkpoint",
+    "recover_monitor",
+    "replay_wal",
     "run_evaluation",
     "save_checkpoint",
     "table2",

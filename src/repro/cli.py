@@ -7,7 +7,9 @@ Subcommands:
 * ``evaluate`` — run the Section VIII evaluation and print Tables II/III;
 * ``ablation`` — run the histogram-bin-count sweep;
 * ``monitor`` — replay a dataset through the online monitoring service
-  over a lossy channel, with optional checkpoint/resume.
+  over a lossy channel, with optional checkpoint/resume, WAL-backed
+  durable ingestion (``--wal-dir``), crash recovery (``--recover``),
+  and a reading-integrity quarantine report (``--quarantine-report``).
 
 The ``evaluate`` and ``monitor`` subcommands accept observability
 flags: ``--metrics-out`` (Prometheus text, or a JSON snapshot when the
@@ -245,9 +247,19 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
     from repro.core.kld import KLDDetector
     from repro.core.online import TheftMonitoringService
+    from repro.durability import (
+        DurableTheftMonitor,
+        WriteAheadLog,
+        recover_monitor,
+    )
     from repro.metering.channel import LossyChannel
+    from repro.quarantine import FirewallPolicy, ReadingFirewall
     from repro.resilience import FaultInjector, FaultyChannel, ResilienceConfig
     from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+    if args.recover and not args.wal_dir:
+        print("--recover requires --wal-dir", file=sys.stderr)
+        return 2
 
     dataset = _dataset_from_args(args)
     ids = dataset.consumers()
@@ -259,8 +271,42 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
     events = _event_logger_from_args(args)
     tracer = Tracer()
+
+    def fresh_service() -> TheftMonitoringService:
+        return TheftMonitoringService(
+            detector_factory=factory,
+            min_training_weeks=args.min_training_weeks,
+            retrain_every_weeks=args.retrain_every_weeks,
+            resilience=ResilienceConfig(min_coverage=args.min_coverage),
+            population=ids,
+            events=events,
+            tracer=tracer,
+            firewall=ReadingFirewall(
+                FirewallPolicy(max_reading_kwh=args.max_reading)
+            ),
+        )
+
     resumed = False
-    if args.checkpoint and args.resume and os.path.exists(args.checkpoint):
+    if args.recover:
+        result = recover_monitor(
+            args.wal_dir,
+            detector_factory=factory,
+            checkpoint_path=args.checkpoint,
+            service_factory=fresh_service,
+            events=events,
+            tracer=tracer,
+        )
+        service = result.service
+        resumed = result.restored_from_checkpoint or result.replayed_cycles > 0
+        print(
+            f"recovered from {args.wal_dir} at week "
+            f"{service.weeks_completed}, cycle {service.cycles_ingested} "
+            f"({result.replayed_cycles} WAL cycle(s) replayed"
+            + (", torn tail truncated" if result.torn_tail else "")
+            + ")",
+            file=sys.stderr,
+        )
+    elif args.checkpoint and args.resume and os.path.exists(args.checkpoint):
         service = TheftMonitoringService.restore(
             args.checkpoint, factory, events=events, tracer=tracer
         )
@@ -277,26 +323,47 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
                 week=service.weeks_completed,
             )
     else:
-        service = TheftMonitoringService(
-            detector_factory=factory,
-            min_training_weeks=args.min_training_weeks,
-            retrain_every_weeks=args.retrain_every_weeks,
-            resilience=ResilienceConfig(min_coverage=args.min_coverage),
-            population=ids,
-            events=events,
-            tracer=tracer,
+        service = fresh_service()
+
+    if args.wal_dir:
+        wal = WriteAheadLog(args.wal_dir, metrics=service.metrics)
+        monitor = DurableTheftMonitor(
+            service, wal, checkpoint_path=args.checkpoint
         )
+        ingest = monitor.ingest_cycle
+    else:
+        monitor = None
+        ingest = service.ingest_cycle
     channel = FaultyChannel(
         channel=LossyChannel(
             drop_rate=args.drop_rate, outage_rate=args.outage_rate
         ),
         faults=FaultInjector(corrupt_rate=args.corrupt_rate),
     )
-    rng = np.random.default_rng(args.seed + 1)
-    start_slot = service.weeks_completed * SLOTS_PER_WEEK
+    start_slot = service.cycles_ingested
+    ingested = 0
     for t in range(start_slot, weeks * SLOTS_PER_WEEK):
+        # One rng per cycle, keyed by (seed, cycle): a crashed-and-
+        # recovered run resumes at cycle t with the exact noise a
+        # never-crashed run would have drawn there, so recovery
+        # equivalence is testable bit-for-bit.
+        cycle_rng = np.random.default_rng((args.seed + 1, t))
         readings = {cid: float(series[cid][t]) for cid in ids}
-        report = service.ingest_cycle(channel.transmit(readings, rng))
+        report = ingest(channel.transmit(readings, cycle_rng))
+        ingested += 1
+        if (
+            args.crash_after_cycle is not None
+            and ingested >= args.crash_after_cycle
+        ):
+            # A hard kill, not an exception: skips Python cleanup so the
+            # WAL is left exactly as a power cut would leave it.
+            print(
+                f"simulated crash after {ingested} cycle(s) (cycle {t})",
+                file=sys.stderr,
+            )
+            sys.stdout.flush()
+            sys.stderr.flush()
+            os._exit(3)
         if report is None:
             continue
         mean_coverage = (
@@ -317,16 +384,28 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
                 f"(severity {alert.severity:.2f}, "
                 f"coverage {alert.coverage:.1%})"
             )
-        if args.checkpoint:
+        if args.checkpoint and monitor is None:
             service.checkpoint(args.checkpoint)
+    if monitor is not None:
+        monitor.close()
     attackers = service.suspected_attackers()
     victims = service.suspected_victims()
+    total_alerts = sum(len(report.alerts) for report in service.reports)
     print(
         f"monitored {len(ids)} consumers for {service.weeks_completed} weeks"
         + (" (resumed)" if resumed else "")
     )
+    print(f"total alerts: {total_alerts}")
     print(f"suspected attackers: {list(attackers) or 'none'}")
     print(f"suspected victims:   {list(victims) or 'none'}")
+    if service.firewall is not None:
+        print(f"quarantined readings: {len(service.firewall.store)}")
+        if args.quarantine_report:
+            service.firewall.store.write_report(args.quarantine_report)
+            print(
+                f"wrote quarantine report to {args.quarantine_report}",
+                file=sys.stderr,
+            )
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint}")
     _write_observability_outputs(args, service.metrics, service.tracer)
@@ -420,6 +499,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="resume from --checkpoint if it exists",
+    )
+    mon.add_argument(
+        "--wal-dir",
+        type=str,
+        default=None,
+        help="write-ahead log directory: every cycle is logged and "
+        "fsynced before ingestion",
+    )
+    mon.add_argument(
+        "--recover",
+        action="store_true",
+        help="reconcile --checkpoint (if any) with the --wal-dir log "
+        "before continuing: replays the WAL tail a crash cut off",
+    )
+    mon.add_argument(
+        "--quarantine-report",
+        type=str,
+        default=None,
+        help="write the firewall's quarantine report (JSON) here",
+    )
+    mon.add_argument(
+        "--max-reading",
+        type=float,
+        default=1000.0,
+        help="physical kWh ceiling per half-hour slot; readings above "
+        "it are quarantined as out_of_range",
+    )
+    mon.add_argument(
+        "--crash-after-cycle",
+        type=int,
+        default=None,
+        help="hard-kill the process (exit 3) after ingesting N cycles "
+        "(crash-recovery testing)",
     )
     _add_observability_options(mon)
     mon.set_defaults(func=_cmd_monitor)

@@ -10,10 +10,17 @@ divergences (90th for alpha = 10%, 95th for alpha = 5%).
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.detectors.base import DetectionResult, WeeklyDetector
-from repro.errors import ConfigurationError, NotFittedError
+from repro.errors import (
+    ConfigurationError,
+    DataError,
+    NonFiniteInputError,
+    NotFittedError,
+)
 from repro.stats.divergence import kl_divergence
 from repro.stats.histogram import FixedEdgeHistogram
 from repro.stats.percentile import EmpiricalDistribution
@@ -75,6 +82,14 @@ class KLDDetector(WeeklyDetector):
     # ------------------------------------------------------------------
 
     def _fit(self, train_matrix: np.ndarray) -> None:
+        train_matrix = np.asarray(train_matrix, dtype=float)
+        if train_matrix.size == 0:
+            raise DataError("cannot fit KLD detector on empty training data")
+        if not np.all(np.isfinite(train_matrix)):
+            raise NonFiniteInputError(
+                "KLD training matrix contains NaN/inf; repair or drop "
+                "gappy weeks before fitting"
+            )
         if self.binning == "mass":
             histogram = FixedEdgeHistogram.from_quantiles(
                 train_matrix, self.bins
@@ -133,9 +148,17 @@ class KLDDetector(WeeklyDetector):
 
     def divergence_of(self, week: np.ndarray) -> float:
         """K value (eq 12) of a week against the X distribution."""
-        return kl_divergence(
+        k_value = kl_divergence(
             self.week_distribution(week), self.reference_distribution
         )
+        if not math.isfinite(k_value):
+            # A non-finite statistic cannot be compared to the
+            # threshold; propagating it would make `flagged` quietly
+            # False for any week, however anomalous.
+            raise NonFiniteInputError(
+                f"KLD statistic is not finite ({k_value})"
+            )
+        return k_value
 
     # ------------------------------------------------------------------
     # Scoring
@@ -167,8 +190,16 @@ class KLDDetector(WeeklyDetector):
         training reference, compared against the unchanged threshold.
         """
         values = week[observed]
+        if values.size == 0:
+            raise DataError(
+                "cannot score a week with zero observed readings"
+            )
         distribution = self.histogram.probabilities(values)
         k_value = kl_divergence(distribution, self.reference_distribution)
+        if not math.isfinite(k_value):
+            raise NonFiniteInputError(
+                f"degraded-mode KLD statistic is not finite ({k_value})"
+            )
         threshold = self.threshold
         coverage = float(observed.mean())
         return DetectionResult(

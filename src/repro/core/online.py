@@ -42,10 +42,11 @@ import numpy as np
 from repro.core.framework import AnomalyNature, ConsumerAssessment, FDetaFramework
 from repro.data.preprocessing import interpolate_gaps, observed_fraction
 from repro.detectors.base import WeeklyDetector
-from repro.errors import ConfigurationError, DataError
+from repro.errors import ConfigurationError, DataError, NonFiniteInputError
 from repro.grid.balance import BalanceAuditor
 from repro.grid.snapshot import DemandSnapshot
 from repro.metering.store import ReadingStore
+from repro.quarantine.firewall import MeterReading, ReadingFirewall
 from repro.observability.events import EventLogger
 from repro.observability.metrics import (
     FRACTION_BUCKETS,
@@ -172,6 +173,16 @@ class TheftMonitoringService:
     tracer:
         Optional span tracer; weekly processing, training, assessment,
         and audits become nested spans.  Checkpointed with the service.
+    firewall:
+        Optional reading-integrity firewall.  Every polling cycle is
+        screened before ingestion: malformed readings (NaN/inf,
+        negative, out-of-range, duplicate slots, clock skew, DST folds)
+        are quarantined with a reason code and become NaN gaps — they
+        count against the consumer's circuit breaker but never reach
+        detector ``fit``/``score``.  Requires gap-tolerant mode
+        (``resilience``), because rejects must become gaps rather than
+        population mismatches.  Checkpointed with the service, so the
+        quarantine evidence survives ``--resume``/``--recover``.
     """
 
     def __init__(
@@ -185,7 +196,14 @@ class TheftMonitoringService:
         metrics: MetricsRegistry | None = None,
         events: EventLogger | None = None,
         tracer: Tracer | None = None,
+        firewall: ReadingFirewall | None = None,
     ) -> None:
+        if firewall is not None and resilience is None:
+            raise ConfigurationError(
+                "the reading firewall requires gap-tolerant mode "
+                "(pass a ResilienceConfig): quarantined readings must "
+                "become gaps, not population mismatches"
+            )
         if min_training_weeks < 2:
             raise ConfigurationError(
                 f"min_training_weeks must be >= 2, got {min_training_weeks}"
@@ -202,7 +220,8 @@ class TheftMonitoringService:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = events
         self.tracer = tracer
-        self.store = ReadingStore()
+        self.firewall = firewall
+        self.store = ReadingStore(metrics=self.metrics)
         self._framework: FDetaFramework | None = None
         self._slot_count = 0
         self._weeks_completed = 0
@@ -235,6 +254,11 @@ class TheftMonitoringService:
         return self._weeks_completed
 
     @property
+    def cycles_ingested(self) -> int:
+        """Polling cycles ingested so far — the next expected cycle index."""
+        return self._slot_count
+
+    @property
     def gap_tolerant(self) -> bool:
         """Whether the service accepts partial polling cycles."""
         return self.resilience is not None
@@ -261,7 +285,7 @@ class TheftMonitoringService:
 
     def ingest_cycle(
         self,
-        reported: Mapping[str, float],
+        reported: Mapping[str, float | MeterReading],
         snapshot: DemandSnapshot | None = None,
     ) -> MonitoringReport | None:
         """Feed one polling cycle of reported readings.
@@ -277,6 +301,10 @@ class TheftMonitoringService:
         service performs that repair itself: missing/invalid readings
         are recorded as NaN gap markers and the circuit breaker decides
         when a consumer has failed enough to be quarantined.
+
+        With a ``firewall`` the cycle is screened first: readings may be
+        plain floats or :class:`~repro.quarantine.firewall.MeterReading`
+        stamps, and every reject becomes a gap for that consumer.
         """
         if not reported and self.resilience is None:
             # In gap-tolerant mode an empty cycle is a legitimate
@@ -286,6 +314,13 @@ class TheftMonitoringService:
         started = perf_counter()
         if self._population is None:
             self._set_population(reported)
+        if self.firewall is not None:
+            reported = self.firewall.screen(
+                reported,
+                cycle=self._slot_count,
+                metrics=self.metrics,
+                events=self.events,
+            )
         if self.resilience is None:
             self._ingest_strict(reported)
         else:
@@ -613,18 +648,37 @@ class TheftMonitoringService:
                 continue
             if not self._framework.has_detector(cid):
                 continue
-            if coverage < 1.0:
-                detector = self._framework.detector_for(cid)
-                if not detector.supports_partial_weeks:
-                    suppressed.append(cid)
-                    continue
-                assessment = self._framework.assess_partial_week(
-                    cid, week, week_index=week_index
+            try:
+                if coverage < 1.0:
+                    detector = self._framework.detector_for(cid)
+                    if not detector.supports_partial_weeks:
+                        suppressed.append(cid)
+                        continue
+                    assessment = self._framework.assess_partial_week(
+                        cid, week, week_index=week_index
+                    )
+                else:
+                    assessment = self._framework.assess_week(
+                        cid, week, week_index=week_index
+                    )
+            except NonFiniteInputError as exc:
+                # Degraded mode keeps the fleet scored even when one
+                # consumer's week defeats its detector: skip with an
+                # event instead of taking the whole week down.
+                suppressed.append(cid)
+                self.metrics.counter(
+                    "fdeta_assessments_skipped_total",
+                    "Consumer-week assessments skipped because the "
+                    "detector rejected its input.",
+                ).inc()
+                self._emit(
+                    "warning",
+                    "assessment_skipped",
+                    consumer=cid,
+                    week=week_index,
+                    reason=str(exc),
                 )
-            else:
-                assessment = self._framework.assess_week(
-                    cid, week, week_index=week_index
-                )
+                continue
             if assessment.result.flagged:
                 self._emit_alert(report, week_index, assessment, balance_failed)
         report.suppressed = tuple(suppressed)
@@ -706,6 +760,7 @@ class TheftMonitoringService:
             "framework": framework_state,
             "metrics": self.metrics,
             "tracer": self.tracer,
+            "firewall": self.firewall,
         }
 
     @classmethod
@@ -726,6 +781,7 @@ class TheftMonitoringService:
             metrics=state["metrics"],
             events=events,
             tracer=tracer if tracer is not None else state["tracer"],
+            firewall=state.get("firewall"),
         )
         for cid, values in state["series"].items():
             service.store._series[cid].extend(float(v) for v in values)

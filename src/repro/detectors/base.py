@@ -18,7 +18,7 @@ from time import perf_counter
 
 import numpy as np
 
-from repro.errors import DataError, NotFittedError
+from repro.errors import DataError, NonFiniteInputError, NotFittedError
 from repro.observability.metrics import global_registry
 from repro.timeseries.seasonal import SLOTS_PER_WEEK
 
@@ -77,8 +77,13 @@ class WeeklyDetector(ABC):
             )
         if matrix.shape[0] < 2:
             raise DataError("need at least 2 training weeks")
-        if np.any(matrix < 0) or np.any(~np.isfinite(matrix)):
-            raise DataError("training readings must be finite and >= 0")
+        if np.any(~np.isfinite(matrix)):
+            bad = int(np.count_nonzero(~np.isfinite(matrix)))
+            raise NonFiniteInputError(
+                f"training matrix has {bad} NaN/inf reading(s)"
+            )
+        if np.any(matrix < 0):
+            raise DataError("training readings must be >= 0")
         started = perf_counter()
         self._fit(matrix)
         _observe_latency(
@@ -96,8 +101,10 @@ class WeeklyDetector(ABC):
             raise DataError(
                 f"week must have {SLOTS_PER_WEEK} readings, got {arr.size}"
             )
-        if np.any(arr < 0) or np.any(~np.isfinite(arr)):
-            raise DataError("week readings must be finite and >= 0")
+        if np.any(~np.isfinite(arr)):
+            raise NonFiniteInputError("week readings must be finite")
+        if np.any(arr < 0):
+            raise DataError("week readings must be >= 0")
         started = perf_counter()
         result = self._score_week(arr)
         _observe_latency(
@@ -129,8 +136,10 @@ class WeeklyDetector(ABC):
         if not observed.any():
             raise DataError("week has no observed readings")
         values = arr[observed]
-        if np.any(values < 0) or np.any(~np.isfinite(values)):
-            raise DataError("observed readings must be finite and >= 0")
+        if np.any(~np.isfinite(values)):
+            raise NonFiniteInputError("observed readings must be finite")
+        if np.any(values < 0):
+            raise DataError("observed readings must be >= 0")
         started = perf_counter()
         if observed.all():
             result = self._score_week(arr)

@@ -1,0 +1,47 @@
+"""Durable ingestion: WAL, crash injection, and recovery.
+
+The resilience layer (PR 1) made the monitoring service survive *bad
+data*; this subpackage makes it survive *process death*.  Three pieces:
+
+* :mod:`repro.durability.wal` — a checksummed, segmented write-ahead
+  log: every polling cycle is appended and fsynced before ingestion,
+  segments rotate and are compacted once a checkpoint covers them, and
+  replay tolerates exactly the torn tail a crash can produce;
+* :mod:`repro.durability.crash` — a fault-injection harness that kills
+  the WAL write path at chosen byte or record boundaries, so recovery
+  is tested against real torn files rather than clean shutdowns;
+* :mod:`repro.durability.recovery` — :func:`recover_monitor`
+  reconciles checkpoint + WAL back into a running service, and
+  :class:`DurableTheftMonitor` is the write-side wrapper enforcing the
+  log-before-ingest contract.
+"""
+
+from repro.durability.crash import CrashingWAL, CrashPoint, SimulatedCrash
+from repro.durability.recovery import (
+    DurableTheftMonitor,
+    RecoveryResult,
+    recover_monitor,
+)
+from repro.durability.wal import (
+    WAL_VERSION,
+    WALRecord,
+    WALReplay,
+    WriteAheadLog,
+    list_segments,
+    replay_wal,
+)
+
+__all__ = [
+    "CrashPoint",
+    "CrashingWAL",
+    "DurableTheftMonitor",
+    "RecoveryResult",
+    "SimulatedCrash",
+    "WAL_VERSION",
+    "WALRecord",
+    "WALReplay",
+    "WriteAheadLog",
+    "list_segments",
+    "recover_monitor",
+    "replay_wal",
+]

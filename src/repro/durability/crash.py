@@ -1,0 +1,122 @@
+"""Crash-point fault injection for the write-ahead log.
+
+Recovery code that has only ever seen clean shutdowns is untested where
+it matters.  :class:`CrashingWAL` is a :class:`~repro.durability.wal.
+WriteAheadLog` whose byte-level write path dies at a chosen point — any
+byte offset in the log's lifetime stream, or a chosen record boundary —
+leaving exactly the torn file a real power cut would: the prefix of the
+fatal write reaches the file, the rest never happens, and every
+subsequent operation on the instance fails.  Tests sweep crash points
+across segment headers, record headers, payload bodies, and rotation
+boundaries and assert recovery is prefix-consistent for all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.durability.wal import WALRecord, WriteAheadLog
+from repro.errors import ConfigurationError
+
+
+class SimulatedCrash(RuntimeError):
+    """The injected crash.  Deliberately *not* an :class:`FDetaError`:
+
+    production code must never catch it by catching the library's
+    errors — only the test harness handles it.
+    """
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """Where the write path dies.
+
+    Parameters
+    ----------
+    at_byte:
+        Crash during the write that would carry the log's cumulative
+        byte stream (headers included) past this offset; the bytes up
+        to the offset are written (a torn write), the rest are lost.
+    before_record:
+        Crash immediately before appending the Nth record (0-based),
+        leaving the file cleanly truncated at a record boundary.
+    """
+
+    at_byte: int | None = None
+    before_record: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_byte is None and self.before_record is None:
+            raise ConfigurationError(
+                "CrashPoint needs at_byte or before_record"
+            )
+        if self.at_byte is not None and self.at_byte < 0:
+            raise ConfigurationError(
+                f"at_byte must be >= 0, got {self.at_byte}"
+            )
+        if self.before_record is not None and self.before_record < 0:
+            raise ConfigurationError(
+                f"before_record must be >= 0, got {self.before_record}"
+            )
+
+
+class CrashingWAL(WriteAheadLog):
+    """A WAL that dies at its :class:`CrashPoint`.
+
+    The crash can fire while ``__init__`` writes the first segment
+    header — construction itself may raise :class:`SimulatedCrash`,
+    exactly as a crash during log creation would.
+    """
+
+    def __init__(
+        self,
+        directory,
+        crash: CrashPoint,
+        **kwargs: object,
+    ) -> None:
+        # Set crash state before super().__init__, which already writes
+        # (the segment header) through our _write override.
+        self.crash = crash
+        self.bytes_written = 0
+        self.crashed = False
+        super().__init__(directory, **kwargs)
+
+    def _die(self) -> None:
+        self.crashed = True
+        handle = getattr(self, "_handle", None)
+        if handle is not None:
+            try:
+                handle.flush()
+                handle.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+            self._handle = None
+        self._closed = True
+        raise SimulatedCrash(f"injected crash at {self.crash}")
+
+    def _write(self, data: bytes) -> None:
+        if self.crashed:
+            raise SimulatedCrash("WAL already crashed")
+        at_byte = self.crash.at_byte
+        if at_byte is not None and self.bytes_written + len(data) > at_byte:
+            keep = at_byte - self.bytes_written
+            if keep > 0 and self._handle is not None:
+                # The torn write: only the prefix reaches the file.
+                self._handle.write(data[:keep])
+                self.bytes_written += keep
+            self._die()
+        super()._write(data)
+        self.bytes_written += len(data)
+
+    def _append(self, record: WALRecord) -> None:
+        if self.crashed:
+            raise SimulatedCrash("WAL already crashed")
+        before = self.crash.before_record
+        if before is not None and self.records_appended >= before:
+            self._die()
+        super()._append(record)
+
+    def sync(self) -> None:
+        if self.crashed:
+            raise SimulatedCrash("WAL already crashed")
+        super().sync()

@@ -1,0 +1,246 @@
+"""Crash recovery: reconcile the WAL with the latest checkpoint.
+
+The durable ingestion contract has two layers with different cadences:
+the *checkpoint* (atomic full-service snapshot, written once per
+completed week) and the *WAL* (every polling cycle, fsynced).  Recovery
+composes them: restore the newest checkpoint, then replay the WAL
+records the checkpoint does not cover — in order, through the exact
+same ingestion path (firewall screening included) a live head-end would
+use — so the recovered service is indistinguishable from one that never
+crashed, minus at most the unsynced WAL tail.
+
+:class:`DurableTheftMonitor` is the write-side counterpart: it wraps a
+:class:`~repro.core.online.TheftMonitoringService` so every cycle is
+WAL-appended before it is ingested, checkpoints at week boundaries, and
+compacts WAL segments the checkpoint has made redundant.  It also makes
+post-recovery re-polls idempotent: a cycle re-delivered with an index
+the service has already ingested is absorbed slot-addressed
+(last-write-wins) instead of being appended — re-polling the lost tail
+can never double-count consumption.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.durability.wal import WriteAheadLog, replay_wal
+from repro.errors import ConfigurationError, RecoveryError
+from repro.quarantine.firewall import MeterReading
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.online import MonitoringReport, TheftMonitoringService
+    from repro.detectors.base import WeeklyDetector
+    from repro.grid.balance import BalanceAuditor
+    from repro.grid.snapshot import DemandSnapshot
+    from repro.observability.events import EventLogger
+    from repro.observability.tracing import Tracer
+
+__all__ = ["DurableTheftMonitor", "RecoveryResult", "recover_monitor"]
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """What :func:`recover_monitor` rebuilt and from where."""
+
+    service: "TheftMonitoringService"
+    restored_from_checkpoint: bool
+    replayed_cycles: int
+    skipped_records: int
+    torn_tail: bool
+
+
+def recover_monitor(
+    wal_dir: str | os.PathLike,
+    detector_factory: "Callable[[], WeeklyDetector] | None" = None,
+    checkpoint_path: str | os.PathLike | None = None,
+    service_factory: "Callable[[], TheftMonitoringService] | None" = None,
+    auditor: "BalanceAuditor | None" = None,
+    events: "EventLogger | None" = None,
+    tracer: "Tracer | None" = None,
+) -> RecoveryResult:
+    """Rebuild a monitoring service after a crash.
+
+    Restores ``checkpoint_path`` when it exists (requiring
+    ``detector_factory``), otherwise builds a fresh service with
+    ``service_factory``; then replays every WAL cycle the restored
+    state does not cover.  Records already covered by the checkpoint
+    are skipped (the reconciliation), so a WAL that overlaps the
+    checkpoint — the normal case — cannot double-ingest.  A WAL whose
+    first uncovered record is *later* than the checkpoint's next cycle
+    means readings were lost between checkpoint and log (e.g. the WAL
+    was compacted past an older checkpoint) and raises
+    :class:`~repro.errors.RecoveryError` rather than resuming with a
+    silent hole in every series.
+    """
+    from repro.core.online import TheftMonitoringService
+
+    restored = False
+    if checkpoint_path is not None and os.path.exists(
+        os.fspath(checkpoint_path)
+    ):
+        if detector_factory is None:
+            raise ConfigurationError(
+                "recover_monitor needs detector_factory to restore "
+                f"checkpoint {os.fspath(checkpoint_path)!r}"
+            )
+        service = TheftMonitoringService.restore(
+            checkpoint_path,
+            detector_factory,
+            auditor=auditor,
+            events=events,
+            tracer=tracer,
+        )
+        restored = True
+    else:
+        if service_factory is None:
+            raise ConfigurationError(
+                "no checkpoint to restore; recover_monitor needs "
+                "service_factory to build a fresh service"
+            )
+        service = service_factory()
+    replay = replay_wal(wal_dir)
+    expected = service.cycles_ingested
+    replayed = 0
+    skipped = 0
+    for record in replay.cycles():
+        if record.cycle < expected:
+            skipped += 1
+            continue
+        if record.cycle > expected:
+            raise RecoveryError(
+                f"WAL gap: service resumes at cycle {expected} but the "
+                f"log jumps to cycle {record.cycle}; readings between "
+                "checkpoint and WAL were lost"
+            )
+        service.ingest_cycle(record.readings or {})
+        expected += 1
+        replayed += 1
+    if service.events is not None:
+        service.events.info(
+            "recovery_completed",
+            wal_dir=os.fspath(wal_dir),
+            restored_from_checkpoint=restored,
+            replayed_cycles=replayed,
+            skipped_records=skipped,
+            torn_tail=replay.torn_tail,
+            cycle=service.cycles_ingested,
+            week=service.weeks_completed,
+        )
+    return RecoveryResult(
+        service=service,
+        restored_from_checkpoint=restored,
+        replayed_cycles=replayed,
+        skipped_records=skipped,
+        torn_tail=replay.torn_tail,
+    )
+
+
+class DurableTheftMonitor:
+    """WAL-backed ingestion front for the monitoring service.
+
+    Parameters
+    ----------
+    service:
+        The wrapped monitoring service (fresh or recovered).
+    wal:
+        An open :class:`~repro.durability.wal.WriteAheadLog`.
+    checkpoint_path:
+        When given, the service checkpoints here at every week boundary
+        and the WAL is compacted to the checkpoint.
+    sync_every_cycles:
+        fsync cadence; ``1`` (default) makes every acknowledged cycle
+        durable, larger values trade the crash window for throughput.
+    """
+
+    def __init__(
+        self,
+        service: "TheftMonitoringService",
+        wal: WriteAheadLog,
+        checkpoint_path: str | os.PathLike | None = None,
+        sync_every_cycles: int = 1,
+    ) -> None:
+        if sync_every_cycles < 1:
+            raise ConfigurationError(
+                f"sync_every_cycles must be >= 1, got {sync_every_cycles}"
+            )
+        self.service = service
+        self.wal = wal
+        self.checkpoint_path = (
+            os.fspath(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.sync_every_cycles = int(sync_every_cycles)
+        self._cycles_since_sync = 0
+        self.redelivered_cycles = 0
+
+    def ingest_cycle(
+        self,
+        reported: "Mapping[str, float | MeterReading]",
+        snapshot: "DemandSnapshot | None" = None,
+        cycle_index: int | None = None,
+    ) -> "MonitoringReport | None":
+        """WAL-append then ingest one polling cycle.
+
+        ``cycle_index`` defaults to the service's next expected cycle.
+        An index the service has already ingested marks a *re-delivered*
+        cycle (a head-end re-poll overlapping the recovered state): its
+        readings are absorbed slot-addressed and idempotently
+        (last-write-wins, counted as duplicates) without advancing the
+        polling clock, so recovery overlap can never double-count.
+        """
+        expected = self.service.cycles_ingested
+        if cycle_index is None:
+            cycle_index = expected
+        cycle_index = int(cycle_index)
+        if cycle_index < expected:
+            self._absorb_redelivery(cycle_index, reported)
+            return None
+        if cycle_index > expected:
+            raise RecoveryError(
+                f"cycle {cycle_index} delivered but the service expects "
+                f"cycle {expected}; the head-end skipped ahead"
+            )
+        self.wal.append_cycle(cycle_index, reported)
+        self._cycles_since_sync += 1
+        if self._cycles_since_sync >= self.sync_every_cycles:
+            self.wal.sync()
+            self._cycles_since_sync = 0
+        report = self.service.ingest_cycle(reported, snapshot)
+        if report is not None and self.checkpoint_path is not None:
+            # Order matters: sync the WAL first so the checkpoint never
+            # claims coverage of cycles the log could still lose, then
+            # compact segments the checkpoint has made redundant.
+            self.wal.sync()
+            self._cycles_since_sync = 0
+            self.service.checkpoint(self.checkpoint_path)
+            self.wal.mark_checkpoint(self.service.cycles_ingested)
+            self.wal.compact(self.service.cycles_ingested)
+        return report
+
+    def _absorb_redelivery(
+        self,
+        cycle_index: int,
+        reported: "Mapping[str, float | MeterReading]",
+    ) -> None:
+        self.redelivered_cycles += 1
+        for cid, raw in reported.items():
+            value = raw.value if isinstance(raw, MeterReading) else raw
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                continue
+            # Garbage must not overwrite an accepted reading; the
+            # original delivery already went through the firewall.
+            if math.isfinite(value) and value >= 0:
+                self.service.store.record(cid, cycle_index, value)
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __enter__(self) -> "DurableTheftMonitor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,459 @@
+"""Checksummed, segmented write-ahead log for ingested readings.
+
+The monitoring service checkpoints once per completed week (336 polling
+cycles); a crash between checkpoints would silently lose up to a week of
+readings — exactly the blind window an attacker wants.  The WAL closes
+it: every polling cycle is appended (and fsynced) *before* it is
+ingested, so a restarted process replays the tail since the last
+checkpoint and resumes with nothing lost but the unsynced suffix.
+
+File format
+-----------
+
+A WAL is a directory of numbered segment files ``wal-00000001.seg``.
+Each segment starts with an 18-byte header::
+
+    magic   8 bytes  b"FDWALSEG"
+    version u16      format version (currently 1)
+    base    u64      cycle index the log expected next when the
+                     segment was opened (diagnostic aid)
+
+followed by length-prefixed, CRC-checked records::
+
+    length  u32      payload byte count
+    crc32   u32      CRC-32 of the payload
+    payload          compact JSON, e.g. {"k":"cycle","t":412,"r":{...}}
+
+Two record kinds exist: ``cycle`` (one polling cycle of readings, the
+raw pre-firewall mapping) and ``mark`` (a checkpoint boundary, written
+so compaction evidence survives in the log itself).
+
+Crash safety
+------------
+
+Appends are buffered; :meth:`WriteAheadLog.sync` flushes and fsyncs —
+records written before the last ``sync`` survive any crash.  A crash
+mid-append leaves a *torn tail*: a partial header or a record whose CRC
+fails.  Replay (:func:`replay_wal`) accepts a torn tail **only at the
+end of the final segment** — the one place a crash can produce one —
+and surfaces it as ``torn_tail=True``; an invalid record anywhere else
+is disk corruption and raises
+:class:`~repro.errors.WALCorruptionError`.  Re-opening a directory for
+append truncates the torn tail first (the partial record was never
+acknowledged, so discarding it is correct), then continues in a fresh
+segment.
+
+Segments whose every record is covered by a newer service checkpoint
+are deleted by :meth:`WriteAheadLog.compact`, bounding disk usage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import IO, TYPE_CHECKING, Iterator, Mapping
+
+from repro.errors import ConfigurationError, WALCorruptionError, WALError
+from repro.quarantine.firewall import MeterReading
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.observability.metrics import MetricsRegistry
+
+__all__ = [
+    "WAL_VERSION",
+    "WALRecord",
+    "WALReplay",
+    "WriteAheadLog",
+    "replay_wal",
+]
+
+_MAGIC = b"FDWALSEG"
+_HEADER = struct.Struct("<8sHQ")
+_RECORD_HEADER = struct.Struct("<II")
+
+#: Bump when the segment layout changes; old segments are rejected.
+WAL_VERSION = 1
+
+#: Sanity ceiling for one record's payload; a length field above this is
+#: treated as corruption, not as a 4 GiB allocation request.
+_MAX_PAYLOAD_BYTES = 64 * 1024 * 1024
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".seg"
+
+
+def _segment_name(seq: int) -> str:
+    return f"{_SEGMENT_PREFIX}{seq:08d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_seq(name: str) -> int | None:
+    if not (
+        name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)
+    ):
+        return None
+    body = name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+    return int(body) if body.isdigit() else None
+
+
+def list_segments(directory: str | os.PathLike) -> list[str]:
+    """Absolute paths of the directory's segments, in write order."""
+    directory = os.fspath(directory)
+    found = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        seq = _segment_seq(name)
+        if seq is not None:
+            found.append((seq, os.path.join(directory, name)))
+    return [path for _, path in sorted(found)]
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One decoded WAL record."""
+
+    kind: str
+    cycle: int
+    readings: dict[str, float | MeterReading] | None = None
+
+
+@dataclass(frozen=True)
+class WALReplay:
+    """Everything a replay recovered from a WAL directory."""
+
+    records: tuple[WALRecord, ...]
+    segments: int
+    torn_tail: bool
+
+    def cycles(self) -> Iterator[WALRecord]:
+        """The cycle records, in append order."""
+        return (r for r in self.records if r.kind == "cycle")
+
+    @property
+    def last_cycle(self) -> int:
+        """Highest cycle index recovered (``-1`` when none)."""
+        last = -1
+        for record in self.records:
+            if record.kind == "cycle" and record.cycle > last:
+                last = record.cycle
+        return last
+
+
+def _pack_value(value: float | MeterReading) -> float | list:
+    """JSON shape for one reading: float, or [value, slot, fold] when
+    the reading carries stamps the replay must re-screen."""
+    if isinstance(value, MeterReading):
+        if value.slot is not None or value.fold:
+            return [_coerce(value.value), value.slot, bool(value.fold)]
+        value = value.value
+    return _coerce(value)
+
+
+def _coerce(value: object) -> float:
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        # Unparseable garbage is logged as NaN; the firewall quarantines
+        # it as non_finite on both the live and the replayed path.
+        return float("nan")
+
+
+def _unpack_value(value: object) -> float | MeterReading:
+    if isinstance(value, list):
+        raw, slot, fold = (list(value) + [None, False])[:3]
+        return MeterReading(
+            value=_coerce(raw),
+            slot=None if slot is None else int(slot),
+            fold=bool(fold),
+        )
+    return _coerce(value)
+
+
+def _encode(record: WALRecord) -> bytes:
+    payload: dict = {"k": record.kind, "t": int(record.cycle)}
+    if record.readings is not None:
+        payload["r"] = {
+            str(cid): _pack_value(v) for cid, v in record.readings.items()
+        }
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    header = _RECORD_HEADER.pack(len(body), zlib.crc32(body))
+    return header + body
+
+
+def _decode(payload: bytes) -> WALRecord:
+    obj = json.loads(payload.decode("utf-8"))
+    readings = obj.get("r")
+    if readings is not None:
+        readings = {str(cid): _unpack_value(v) for cid, v in readings.items()}
+    return WALRecord(
+        kind=str(obj["k"]), cycle=int(obj["t"]), readings=readings
+    )
+
+
+def _scan_segment(path: str) -> tuple[list[WALRecord], int, bool]:
+    """Decode one segment's valid prefix.
+
+    Returns ``(records, valid_bytes, torn)`` where ``valid_bytes`` is
+    the offset up to which the file is well-formed and ``torn`` whether
+    anything (partial header, short payload, CRC mismatch, undecodable
+    payload) follows it.  Zero-byte files are valid and empty — they
+    are what repairing a segment torn inside its *file* header leaves.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) == 0:
+        return [], 0, False
+    if len(data) < _HEADER.size:
+        return [], 0, True
+    magic, version, _base = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise WALCorruptionError(
+            f"{path!r} is not a WAL segment (bad magic {magic!r})"
+        )
+    if version != WAL_VERSION:
+        raise WALCorruptionError(
+            f"{path!r} has WAL version {version}, expected {WAL_VERSION}"
+        )
+    records: list[WALRecord] = []
+    offset = _HEADER.size
+    while offset < len(data):
+        if offset + _RECORD_HEADER.size > len(data):
+            return records, offset, True
+        length, crc = _RECORD_HEADER.unpack_from(data, offset)
+        if length > _MAX_PAYLOAD_BYTES:
+            return records, offset, True
+        start = offset + _RECORD_HEADER.size
+        end = start + length
+        if end > len(data):
+            return records, offset, True
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return records, offset, True
+        try:
+            records.append(_decode(payload))
+        except (ValueError, KeyError, TypeError):
+            return records, offset, True
+        offset = end
+    return records, offset, False
+
+
+def replay_wal(directory: str | os.PathLike) -> WALReplay:
+    """Decode every record in a WAL directory, tolerating a torn tail.
+
+    A torn tail is accepted only at the end of the *last* segment (the
+    only place a crash can tear); a torn or unreadable earlier segment
+    raises :class:`~repro.errors.WALCorruptionError`.
+    """
+    segments = list_segments(directory)
+    records: list[WALRecord] = []
+    torn_tail = False
+    for i, path in enumerate(segments):
+        segment_records, valid_bytes, torn = _scan_segment(path)
+        records.extend(segment_records)
+        if torn:
+            if i != len(segments) - 1:
+                raise WALCorruptionError(
+                    f"WAL segment {path!r} is corrupt at byte "
+                    f"{valid_bytes} but is not the final segment"
+                )
+            torn_tail = True
+    return WALReplay(
+        records=tuple(records),
+        segments=len(segments),
+        torn_tail=torn_tail,
+    )
+
+
+class WriteAheadLog:
+    """Append-only durable log of polling cycles.
+
+    Parameters
+    ----------
+    directory:
+        Where segments live; created if missing.  Re-opening a
+        directory repairs any torn tail (truncating the unacknowledged
+        partial record) and continues in a fresh segment.
+    segment_max_bytes:
+        Rotation threshold; a segment that has grown past it is sealed
+        (synced + closed) and a new one opened.
+    metrics:
+        Optional registry receiving append/sync/rotation counters.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        segment_max_bytes: int = 1 << 20,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        if segment_max_bytes < 256:
+            raise ConfigurationError(
+                f"segment_max_bytes must be >= 256, got {segment_max_bytes}"
+            )
+        self.directory = os.fspath(directory)
+        self.segment_max_bytes = int(segment_max_bytes)
+        self.metrics = metrics
+        os.makedirs(self.directory, exist_ok=True)
+        existing = list_segments(self.directory)
+        if existing:
+            self._repair_tail(existing[-1])
+        last_seq = 0
+        for path in existing:
+            seq = _segment_seq(os.path.basename(path))
+            if seq is not None:
+                last_seq = max(last_seq, seq)
+        self._next_seq = last_seq + 1
+        self._handle: IO[bytes] | None = None
+        self._segment_bytes = 0
+        self._closed = False
+        self.records_appended = 0
+        self.syncs = 0
+        self.rotations = 0
+        self.last_appended_cycle = -1
+        #: Highest cycle index known durable (on disk past an fsync).
+        self.last_synced_cycle = -1
+        self._open_segment(base_cycle=0)
+
+    # ------------------------------------------------------------------
+    # Segment lifecycle
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _repair_tail(path: str) -> None:
+        """Truncate a torn tail left by a crash mid-append."""
+        _records, valid_bytes, torn = _scan_segment(path)
+        if torn:
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+
+    def _open_segment(self, base_cycle: int) -> None:
+        path = os.path.join(self.directory, _segment_name(self._next_seq))
+        if os.path.exists(path):  # pragma: no cover - defensive
+            raise WALError(f"segment {path!r} already exists")
+        self._next_seq += 1
+        self._handle = open(path, "wb")
+        self._segment_bytes = 0
+        self._write(_HEADER.pack(_MAGIC, WAL_VERSION, max(base_cycle, 0)))
+
+    def _rotate(self, base_cycle: int) -> None:
+        self.sync()
+        assert self._handle is not None
+        self._handle.close()
+        self._open_segment(base_cycle)
+        self.rotations += 1
+        self._count("fdeta_wal_rotations_total", "WAL segment rotations.")
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def _write(self, data: bytes) -> None:
+        """Single byte-level write hook (overridden by the crash harness)."""
+        assert self._handle is not None
+        self._handle.write(data)
+        self._segment_bytes += len(data)
+
+    def _append(self, record: WALRecord) -> None:
+        if self._closed:
+            raise WALError("write-ahead log is closed")
+        if self._segment_bytes >= self.segment_max_bytes:
+            self._rotate(base_cycle=record.cycle)
+        self._write(_encode(record))
+        self.records_appended += 1
+        if record.cycle > self.last_appended_cycle:
+            self.last_appended_cycle = record.cycle
+        self._count("fdeta_wal_appends_total", "WAL records appended.")
+
+    def append_cycle(
+        self, cycle: int, readings: Mapping[str, float | MeterReading]
+    ) -> None:
+        """Log one polling cycle (must precede its ingestion)."""
+        self._append(
+            WALRecord(
+                kind="cycle",
+                cycle=int(cycle),
+                readings=dict(readings),
+            )
+        )
+
+    def mark_checkpoint(self, cycle: int) -> None:
+        """Record that a service checkpoint covers cycles below ``cycle``."""
+        self._append(WALRecord(kind="mark", cycle=int(cycle)))
+
+    def sync(self) -> None:
+        """Flush and fsync: everything appended so far becomes durable."""
+        if self._closed:
+            raise WALError("write-ahead log is closed")
+        assert self._handle is not None
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.syncs += 1
+        self.last_synced_cycle = self.last_appended_cycle
+        self._count("fdeta_wal_syncs_total", "WAL fsync points.")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._handle is not None:
+            try:
+                self.sync()
+            finally:
+                self._handle.close()
+                self._handle = None
+        self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    @property
+    def active_segment(self) -> str | None:
+        """Path of the segment currently being appended to."""
+        if self._handle is None:
+            return None
+        return self._handle.name
+
+    def segments(self) -> list[str]:
+        return list_segments(self.directory)
+
+    def compact(self, up_to_cycle: int) -> int:
+        """Delete sealed segments fully covered by a checkpoint.
+
+        A segment is covered when every record in it has
+        ``cycle < up_to_cycle``.  Deletion proceeds from the oldest
+        segment and stops at the first uncovered (or the active) one,
+        so the surviving log is always a contiguous suffix.  Returns
+        the number of segments removed.
+        """
+        removed = 0
+        active = self.active_segment
+        for path in list_segments(self.directory):
+            if active is not None and os.path.samefile(path, active):
+                break
+            records, _valid, _torn = _scan_segment(path)
+            if any(r.cycle >= up_to_cycle for r in records):
+                break
+            os.unlink(path)
+            removed += 1
+        if removed:
+            self._count(
+                "fdeta_wal_segments_compacted_total",
+                "WAL segments removed by compaction.",
+                amount=removed,
+            )
+        return removed
+
+    def _count(self, name: str, help: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, help).inc(amount)

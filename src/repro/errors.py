@@ -50,3 +50,28 @@ class ResilienceError(FDetaError):
 
 class CheckpointError(ResilienceError):
     """A monitoring-service checkpoint could not be written or restored."""
+
+
+class NonFiniteInputError(DataError):
+    """A computation received NaN/inf where finite values are required.
+
+    Raised instead of letting non-finite values propagate into detector
+    scores, where a NaN would silently defeat every threshold
+    comparison (``nan > threshold`` is ``False``).
+    """
+
+
+class DurabilityError(ResilienceError):
+    """The durable-ingestion layer (WAL, recovery) failed."""
+
+
+class WALError(DurabilityError):
+    """A write-ahead-log operation failed."""
+
+
+class WALCorruptionError(WALError):
+    """A WAL segment is corrupt beyond the tolerated torn tail."""
+
+
+class RecoveryError(DurabilityError):
+    """Crash recovery could not reconcile the WAL with the checkpoint."""

@@ -22,6 +22,7 @@ from repro.metering.errors_model import MeasurementErrorModel
 from repro.metering.meter import SmartMeter
 from repro.metering.store import ReadingStore
 from repro.observability.metrics import FRACTION_BUCKETS, MetricsRegistry
+from repro.quarantine.firewall import ReadingFirewall
 from repro.resilience.retry import RetryPolicy
 
 
@@ -171,6 +172,12 @@ class ResilientHeadEnd:
     When a ``metrics`` registry is attached, each cycle records poll
     counts, re-poll attempts (by retry round), budget exhaustion, gaps,
     and the cycle's delivery ratio.
+
+    An optional ``firewall`` screens what the channel delivered before
+    anything is stored: quarantined readings (with their reason codes)
+    never enter the store and are recorded as gaps instead, while the
+    raw delivery still appears in :class:`CycleResult` so downstream
+    breaker accounting sees the failure.
     """
 
     ami: AMINetwork
@@ -178,6 +185,7 @@ class ResilientHeadEnd:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     store: ReadingStore = field(default_factory=ReadingStore)
     metrics: MetricsRegistry | None = None
+    firewall: ReadingFirewall | None = None
     cycles_polled: int = 0
     retries_sent: int = 0
     gaps_recorded: int = 0
@@ -217,13 +225,19 @@ class ResilientHeadEnd:
             )
             delivered.update(redelivered)
             missing = [cid for cid in missing if cid not in delivered]
+        screened = delivered
+        if self.firewall is not None:
+            screened = self.firewall.screen(
+                delivered, cycle=self.cycles_polled, metrics=self.metrics
+            )
         gaps = 0
         for cid in reported:
-            value = delivered.get(cid)
+            value = screened.get(cid)
             # Corrupted deliveries (non-finite/negative, e.g. from a
-            # FaultyChannel) are stored as gaps but stay in `delivered`
-            # so the monitoring service can count them against the
-            # consumer's circuit breaker.
+            # FaultyChannel) — and anything the firewall quarantined —
+            # are stored as gaps but stay in `delivered` so the
+            # monitoring service can count them against the consumer's
+            # circuit breaker.
             if value is not None and math.isfinite(value) and value >= 0:
                 self.store.append(cid, value)
             else:

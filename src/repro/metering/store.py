@@ -8,7 +8,12 @@ from collections import defaultdict
 import numpy as np
 
 from repro.errors import DataError, MeteringError
+from repro.observability.metrics import MetricsRegistry, global_registry
 from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+#: Metric counting re-delivered (consumer, slot) pairs absorbed
+#: idempotently by :meth:`ReadingStore.record`.
+DUPLICATE_METRIC = "fdeta_readings_duplicate_total"
 
 
 class ReadingStore:
@@ -23,13 +28,18 @@ class ReadingStore:
     communication losses.  The ordinary :meth:`append`/:meth:`extend`
     path rejects non-finite values — a NaN sneaking in through the value
     path is a bug (corrupted frame, bad parse), not a gap.
+
+    :meth:`record` is the slot-addressed alternative for re-delivery
+    paths (post-crash re-polls): writing the same (consumer, slot) twice
+    is idempotent (last-write-wins) and counted, never double-appended.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
         self._series: dict[str, list[float]] = defaultdict(list)
+        self.metrics = metrics
 
-    def append(self, consumer_id: str, reading: float) -> None:
-        """Record one reading for the consumer's next time period."""
+    @staticmethod
+    def _validated(consumer_id: str, reading: float) -> float:
         value = float(reading)
         if not math.isfinite(value):
             raise MeteringError(
@@ -40,7 +50,46 @@ class ReadingStore:
             raise MeteringError(
                 f"reading for {consumer_id!r} must be >= 0, got {value}"
             )
-        self._series[consumer_id].append(value)
+        return value
+
+    def append(self, consumer_id: str, reading: float) -> None:
+        """Record one reading for the consumer's next time period."""
+        self._series[consumer_id].append(
+            self._validated(consumer_id, reading)
+        )
+
+    def record(self, consumer_id: str, slot: int, reading: float) -> bool:
+        """Slot-addressed idempotent write (last-write-wins).
+
+        Writes ``reading`` into the consumer's series at ``slot``:
+        a slot beyond the current series end extends it (intervening
+        slots become NaN gaps), while a slot already present is
+        overwritten in place — the re-delivered duplicate is absorbed,
+        counted in ``fdeta_readings_duplicate_total``, and the series
+        length (the polling clock) does not move.  Returns ``True``
+        when the write extended the series, ``False`` when it
+        overwrote an existing slot.
+        """
+        value = self._validated(consumer_id, reading)
+        slot = int(slot)
+        if slot < 0:
+            raise DataError(f"slot must be >= 0, got {slot}")
+        series = self._series[consumer_id]
+        if slot < len(series):
+            series[slot] = value
+            registry = (
+                self.metrics if self.metrics is not None else global_registry()
+            )
+            registry.counter(
+                DUPLICATE_METRIC,
+                "Re-delivered (consumer, slot) readings absorbed "
+                "idempotently (last-write-wins).",
+            ).inc()
+            return False
+        while len(series) < slot:
+            series.append(math.nan)
+        series.append(value)
+        return True
 
     def append_gap(self, consumer_id: str) -> None:
         """Record a missing reading (NaN placeholder) for the next period.

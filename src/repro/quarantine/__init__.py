@@ -1,0 +1,37 @@
+"""Reading-integrity quarantine: a firewall in front of the detectors.
+
+A production AMI delivers duplicated, out-of-order, clock-skewed,
+non-finite, and deliberately malformed readings.  Feeding them to the
+KLD/ARIMA detectors either crashes scoring or — worse — silently skews
+the very distributions the detectors threshold on.  This subpackage
+screens every polling cycle before ingestion:
+
+* :mod:`repro.quarantine.firewall` — per-reading validators (NaN/inf,
+  negative, out-of-physical-range, duplicate (meter, slot) pairs,
+  clock skew, DST-fold slots) with one reason code per class;
+* :mod:`repro.quarantine.store` — the evidence locker rejected
+  readings land in, with per-reason/per-consumer counts and a
+  JSON report for operators.
+"""
+
+from repro.quarantine.firewall import (
+    QUARANTINE_METRIC,
+    FirewallPolicy,
+    MeterReading,
+    ReadingFirewall,
+)
+from repro.quarantine.store import (
+    QuarantinedReading,
+    QuarantineReason,
+    QuarantineStore,
+)
+
+__all__ = [
+    "FirewallPolicy",
+    "MeterReading",
+    "QUARANTINE_METRIC",
+    "QuarantineReason",
+    "QuarantineStore",
+    "QuarantinedReading",
+    "ReadingFirewall",
+]

@@ -1,0 +1,134 @@
+"""Quarantine storage for readings rejected by the integrity firewall.
+
+A malformed reading must never be silently dropped: operators need to
+know *which* meters send garbage, *what kind* of garbage, and *how
+often* — a meter that suddenly starts emitting out-of-range values is
+either failing hardware or an attacker probing the detector.  The
+:class:`QuarantineStore` keeps every rejected reading together with a
+machine-readable reason code so the evidence survives for forensics,
+and renders an aggregate report for the CLI's ``--quarantine-report``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+class QuarantineReason(enum.Enum):
+    """Why a reading was refused entry to the detection pipeline."""
+
+    #: NaN or +/-inf value (corrupted frame, failed parse).
+    NON_FINITE = "non_finite"
+    #: Negative kWh (physically impossible for a consumption register).
+    NEGATIVE = "negative"
+    #: Finite but beyond the configured physical maximum per slot.
+    OUT_OF_RANGE = "out_of_range"
+    #: Re-delivery of a (meter, slot) pair already ingested.
+    DUPLICATE = "duplicate"
+    #: Declared slot ahead of the polling clock (meter clock skew).
+    CLOCK_SKEW = "clock_skew"
+    #: Reading from the repeated local-time hour of a DST fall-back.
+    DST_FOLD = "dst_fold"
+
+
+@dataclass(frozen=True)
+class QuarantinedReading:
+    """One rejected reading with full forensic context."""
+
+    consumer_id: str
+    value: float
+    cycle: int
+    reason: QuarantineReason
+    declared_slot: int | None = None
+    detail: str = ""
+
+
+@dataclass
+class QuarantineStore:
+    """Append-only evidence locker for firewall rejects.
+
+    ``max_records`` bounds memory on a long-running service: once full,
+    new rejects still count toward the totals but their full records are
+    dropped (``records_dropped`` says how many).  Totals therefore stay
+    exact even when the evidence list is truncated.
+    """
+
+    max_records: int | None = None
+    records: list[QuarantinedReading] = field(default_factory=list)
+    records_dropped: int = 0
+    _reason_counts: Counter = field(default_factory=Counter)
+    _consumer_counts: Counter = field(default_factory=Counter)
+
+    def add(self, record: QuarantinedReading) -> None:
+        self._reason_counts[record.reason.value] += 1
+        self._consumer_counts[record.consumer_id] += 1
+        if (
+            self.max_records is not None
+            and len(self.records) >= self.max_records
+        ):
+            self.records_dropped += 1
+            return
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return int(sum(self._reason_counts.values()))
+
+    def counts_by_reason(self) -> dict[str, int]:
+        """Total rejects per reason code (exact, never truncated)."""
+        return {
+            reason.value: int(self._reason_counts.get(reason.value, 0))
+            for reason in QuarantineReason
+            if reason.value in self._reason_counts
+        }
+
+    def counts_by_consumer(self) -> dict[str, int]:
+        return dict(self._consumer_counts)
+
+    def for_consumer(self, consumer_id: str) -> tuple[QuarantinedReading, ...]:
+        return tuple(
+            r for r in self.records if r.consumer_id == consumer_id
+        )
+
+    def report(self) -> dict:
+        """Aggregate report (JSON-able) for operators and CI artifacts."""
+        return {
+            "total": len(self),
+            "by_reason": self.counts_by_reason(),
+            "by_consumer": {
+                cid: count
+                for cid, count in sorted(
+                    self._consumer_counts.items(),
+                    key=lambda item: (-item[1], item[0]),
+                )
+            },
+            "records_kept": len(self.records),
+            "records_dropped": self.records_dropped,
+            "records": [
+                {
+                    "consumer": r.consumer_id,
+                    "value": r.value,
+                    "cycle": r.cycle,
+                    "reason": r.reason.value,
+                    "declared_slot": r.declared_slot,
+                    "detail": r.detail,
+                }
+                for r in self.records
+            ],
+        }
+
+    def write_report(self, path: str | os.PathLike) -> None:
+        """Write :meth:`report` as JSON (NaN/inf rendered as strings)."""
+
+        def _default(value: object) -> object:
+            return str(value)
+
+        rendered = json.dumps(
+            self.report(), indent=2, default=_default, allow_nan=True
+        )
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+            handle.write("\n")

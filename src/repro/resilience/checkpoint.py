@@ -38,7 +38,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Bump when the state layout changes; old checkpoints are rejected.
 #: v2 added the observability state (metrics registry + tracer).
-CHECKPOINT_VERSION = 2
+#: v3 added the reading-integrity firewall (policy + quarantine store).
+CHECKPOINT_VERSION = 3
 
 _MAGIC = "fdeta-checkpoint"
 

@@ -12,7 +12,23 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, NonFiniteInputError
+
+
+def _require_finite(arr: np.ndarray, what: str) -> None:
+    """Reject NaN/inf early with a typed error.
+
+    A NaN reaching ``np.min``/``np.histogram`` does not raise — it
+    poisons the edges and every downstream probability/KLD score turns
+    NaN, silently disabling detection.  Failing loudly here lets the
+    degraded-mode service skip the consumer with an event instead.
+    """
+    if not np.all(np.isfinite(arr)):
+        bad = int(np.count_nonzero(~np.isfinite(arr)))
+        raise NonFiniteInputError(
+            f"{what} requires finite values; got {bad} NaN/inf of "
+            f"{arr.size}"
+        )
 
 
 def histogram_edges(values: np.ndarray, bins: int) -> np.ndarray:
@@ -27,6 +43,7 @@ def histogram_edges(values: np.ndarray, bins: int) -> np.ndarray:
     arr = np.asarray(values, dtype=float).ravel()
     if arr.size == 0:
         raise ConfigurationError("cannot compute histogram edges of empty data")
+    _require_finite(arr, "histogram_edges")
     lo = float(np.min(arr))
     hi = float(np.max(arr))
     if lo == hi:
@@ -52,6 +69,7 @@ def relative_frequencies(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
     arr = np.asarray(values, dtype=float).ravel()
     if arr.size == 0:
         raise ConfigurationError("cannot histogram empty data")
+    _require_finite(arr, "relative_frequencies")
     edges = np.asarray(edges, dtype=float)
     clipped = np.clip(arr, edges[0], edges[-1])
     counts, _ = np.histogram(clipped, bins=edges)
@@ -100,6 +118,7 @@ class FixedEdgeHistogram:
         arr = np.asarray(values, dtype=float).ravel()
         if arr.size == 0:
             raise ConfigurationError("cannot compute quantile edges of empty data")
+        _require_finite(arr, "from_quantiles")
         edges = np.quantile(arr, np.linspace(0.0, 1.0, bins + 1))
         # Enforce strict monotonicity in the presence of ties.
         for i in range(1, edges.size):
@@ -121,6 +140,7 @@ class FixedEdgeHistogram:
     def counts(self, values: np.ndarray) -> np.ndarray:
         """Raw (clipped) counts of ``values`` in each bin."""
         arr = np.asarray(values, dtype=float).ravel()
+        _require_finite(arr, "counts")
         clipped = np.clip(arr, self.edges[0], self.edges[-1])
         counts, _ = np.histogram(clipped, bins=self.edges)
         return counts

@@ -181,3 +181,37 @@ class TestConfiguration:
         fine = KLDDetector(bins=40, significance=0.10).fit(train_matrix)
         week = train_matrix[0] * 1.3  # mild anomaly
         assert fine.divergence_of(week) >= coarse.divergence_of(week) - 0.05
+
+
+class TestInputHardening:
+    """NaN/inf and empty inputs fail with typed errors, never NaN scores."""
+
+    def test_fit_rejects_nan_training_matrix(self, train_matrix):
+        from repro.errors import NonFiniteInputError
+
+        poisoned = train_matrix.copy()
+        poisoned[0, 0] = np.nan
+        with pytest.raises(NonFiniteInputError):
+            KLDDetector().fit(poisoned)
+
+    def test_fit_rejects_empty_training_matrix(self):
+        from repro.errors import DataError
+
+        with pytest.raises(DataError):
+            KLDDetector().fit(np.empty((0, SLOTS_PER_WEEK)))
+
+    def test_divergence_of_rejects_nan_week(self, fitted):
+        from repro.errors import NonFiniteInputError
+
+        week = np.full(SLOTS_PER_WEEK, 1.0)
+        week[7] = np.nan
+        with pytest.raises(NonFiniteInputError):
+            fitted.divergence_of(week)
+
+    def test_partial_week_with_zero_observed_slots_raises(self, fitted):
+        from repro.errors import DataError
+
+        week = np.full(SLOTS_PER_WEEK, np.nan)
+        observed = np.zeros(SLOTS_PER_WEEK, dtype=bool)
+        with pytest.raises(DataError):
+            fitted._score_partial_week(week, observed)

@@ -1,0 +1,80 @@
+"""Crash-point fault injection: torn writes and recovery from them."""
+
+import pytest
+
+from repro.durability.crash import CrashingWAL, CrashPoint, SimulatedCrash
+from repro.durability.wal import WriteAheadLog, replay_wal
+from repro.errors import ConfigurationError, FDetaError
+
+
+def _fill(wal, n=100):
+    for t in range(n):
+        wal.append_cycle(t, {"c1": float(t)})
+        wal.sync()
+
+
+class TestCrashPoint:
+    def test_needs_at_least_one_trigger(self):
+        with pytest.raises(ConfigurationError):
+            CrashPoint()
+
+    def test_negative_offsets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrashPoint(at_byte=-1)
+        with pytest.raises(ConfigurationError):
+            CrashPoint(before_record=-1)
+
+    def test_simulated_crash_is_not_a_library_error(self):
+        # Production `except FDetaError` must never swallow the crash.
+        assert not issubclass(SimulatedCrash, FDetaError)
+
+
+class TestCrashingWAL:
+    def test_crash_before_record(self, tmp_path):
+        wal = CrashingWAL(tmp_path / "wal", CrashPoint(before_record=3))
+        with pytest.raises(SimulatedCrash):
+            _fill(wal)
+        assert wal.crashed
+        replay = replay_wal(tmp_path / "wal")
+        assert [r.cycle for r in replay.cycles()] == [0, 1, 2]
+        assert not replay.torn_tail  # record-boundary crash tears nothing
+
+    def test_crash_at_byte_leaves_torn_prefix(self, tmp_path):
+        wal = CrashingWAL(tmp_path / "wal", CrashPoint(at_byte=100))
+        with pytest.raises(SimulatedCrash):
+            _fill(wal)
+        replay = replay_wal(tmp_path / "wal")
+        # The torn write is visible, and everything before it replays.
+        assert replay.torn_tail or len(replay.records) > 0
+
+    def test_crash_during_construction(self, tmp_path):
+        # The 18-byte segment header write itself can die.
+        with pytest.raises(SimulatedCrash):
+            CrashingWAL(tmp_path / "wal", CrashPoint(at_byte=5))
+        replay = replay_wal(tmp_path / "wal")
+        assert replay.records == ()
+        assert replay.torn_tail  # a partial header is a torn tail
+
+    def test_operations_after_crash_raise(self, tmp_path):
+        wal = CrashingWAL(tmp_path / "wal", CrashPoint(before_record=1))
+        wal.append_cycle(0, {"c1": 1.0})
+        with pytest.raises(SimulatedCrash):
+            wal.append_cycle(1, {"c1": 2.0})
+        with pytest.raises(SimulatedCrash):
+            wal.append_cycle(2, {"c1": 3.0})
+        with pytest.raises(SimulatedCrash):
+            wal.sync()
+
+    def test_reopen_after_torn_crash_recovers(self, tmp_path):
+        wal = CrashingWAL(tmp_path / "wal", CrashPoint(at_byte=150))
+        with pytest.raises(SimulatedCrash):
+            _fill(wal)
+        survived = [r.cycle for r in replay_wal(tmp_path / "wal").cycles()]
+        # Reopen repairs the tail; appending resumes cleanly.
+        with WriteAheadLog(tmp_path / "wal") as fresh:
+            next_cycle = (survived[-1] + 1) if survived else 0
+            fresh.append_cycle(next_cycle, {"c1": 9.0})
+            fresh.sync()
+        replay = replay_wal(tmp_path / "wal")
+        assert not replay.torn_tail
+        assert [r.cycle for r in replay.cycles()] == survived + [next_cycle]

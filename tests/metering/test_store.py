@@ -144,3 +144,67 @@ class TestOverwriteWeek:
             store.overwrite_week("c1", 1, np.ones(SLOTS_PER_WEEK))
         with pytest.raises(DataError):
             store.overwrite_week("ghost", 0, np.ones(SLOTS_PER_WEEK))
+
+
+class TestSlotAddressedRecord:
+    """record(): idempotent last-write-wins re-delivery absorption."""
+
+    def test_record_extends_like_append(self):
+        store = ReadingStore()
+        assert store.record("c1", 0, 1.0) is True
+        assert store.record("c1", 1, 2.0) is True
+        assert np.array_equal(store.series("c1"), [1.0, 2.0])
+
+    def test_record_past_end_fills_gaps(self):
+        store = ReadingStore()
+        assert store.record("c1", 3, 4.0) is True
+        series = store.series("c1")
+        assert series.size == 4
+        assert np.isnan(series[:3]).all()
+        assert series[3] == 4.0
+
+    def test_duplicate_slot_overwrites_in_place(self):
+        store = ReadingStore()
+        store.record("c1", 0, 1.0)
+        assert store.record("c1", 0, 9.0) is False  # last write wins
+        assert store.length("c1") == 1
+        assert store.series("c1")[0] == 9.0
+
+    def test_duplicate_fills_a_gap_without_counting_length(self):
+        store = ReadingStore()
+        store.append_gap("c1")
+        assert store.record("c1", 0, 5.0) is False
+        assert store.length("c1") == 1
+        assert store.gap_count("c1") == 0
+
+    def test_duplicates_counted_in_metric(self):
+        from repro.observability.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        store = ReadingStore(metrics=registry)
+        store.record("c1", 0, 1.0)
+        store.record("c1", 0, 2.0)
+        store.record("c1", 0, 3.0)
+        counter = registry.counter("fdeta_readings_duplicate_total")
+        assert counter.value() == 2.0
+
+    def test_duplicates_fall_back_to_global_registry(self):
+        from repro.observability.metrics import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        store = ReadingStore()  # no registry of its own
+        with use_registry(registry):
+            store.record("c1", 0, 1.0)
+            store.record("c1", 0, 2.0)
+        assert (
+            registry.counter("fdeta_readings_duplicate_total").value() == 1.0
+        )
+
+    def test_record_validates_like_append(self):
+        store = ReadingStore()
+        with pytest.raises(MeteringError):
+            store.record("c1", 0, float("nan"))
+        with pytest.raises(MeteringError):
+            store.record("c1", 0, -1.0)
+        with pytest.raises(DataError):
+            store.record("c1", -1, 1.0)

@@ -120,3 +120,47 @@ class TestQuantileEdges:
     def test_rejects_zero_bins(self, rng):
         with pytest.raises(ConfigurationError):
             FixedEdgeHistogram.from_quantiles(rng.uniform(size=10), bins=0)
+
+
+class TestNonFiniteHardening:
+    """NaN/inf must fail loudly, not poison edges and probabilities."""
+
+    def test_histogram_edges_rejects_nan(self):
+        from repro.errors import NonFiniteInputError
+
+        with pytest.raises(NonFiniteInputError):
+            histogram_edges(np.array([1.0, np.nan, 2.0]), bins=4)
+
+    def test_histogram_edges_rejects_inf(self):
+        from repro.errors import NonFiniteInputError
+
+        with pytest.raises(NonFiniteInputError):
+            histogram_edges(np.array([1.0, np.inf]), bins=4)
+
+    def test_relative_frequencies_rejects_nan(self):
+        from repro.errors import NonFiniteInputError
+
+        edges = histogram_edges(np.array([0.0, 1.0]), bins=2)
+        with pytest.raises(NonFiniteInputError):
+            relative_frequencies(np.array([0.5, np.nan]), edges)
+
+    def test_from_quantiles_rejects_nan(self):
+        from repro.errors import NonFiniteInputError
+
+        with pytest.raises(NonFiniteInputError):
+            FixedEdgeHistogram.from_quantiles(
+                np.array([1.0, np.nan, 2.0]), bins=2
+            )
+
+    def test_counts_rejects_nan(self):
+        from repro.errors import NonFiniteInputError
+
+        hist = FixedEdgeHistogram.from_data(np.array([0.0, 1.0]), bins=2)
+        with pytest.raises(NonFiniteInputError):
+            hist.counts(np.array([np.nan]))
+
+    def test_error_is_a_data_error(self):
+        # Degraded-mode skip handling catches the DataError family.
+        from repro.errors import DataError, NonFiniteInputError
+
+        assert issubclass(NonFiniteInputError, DataError)
