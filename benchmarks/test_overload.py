@@ -1,0 +1,121 @@
+"""Benchmarks the overload path: sustained read storms at 1x/2x/5x.
+
+The question the capacity planner asks: at what overload factor does
+the bounded queue start shedding, and what does scoring throughput look
+like while it does?  Each factor's run records cycles/second, the shed
+fraction (shed consumer-weeks over the total), and the queue's peak
+depth to ``BENCH_overload.json`` — the trajectory of the degradation
+curve, not just a single point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kld import KLDDetector
+from repro.core.online import TheftMonitoringService
+from repro.loadcontrol import BufferedIngestor, LoadControlConfig, ShedPolicy
+from repro.observability.metrics import parse_prometheus
+from repro.resilience import ResilienceConfig
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+from benchmarks.conftest import BenchTimer, record_bench, write_artifact
+
+_WEEKS = 6
+_TRAIN_WEEKS = 4
+_MAX_QUEUE = 16
+_FACTORS = (1, 2, 5)
+
+
+def _run_storm(dataset, factor: int):
+    """Drive the full replay at ``factor`` offered cycles per drain tick."""
+    ids = dataset.consumers()
+    series = {cid: dataset.series(cid) for cid in ids}
+    config = LoadControlConfig(
+        max_queue=_MAX_QUEUE,
+        shed_policy=ShedPolicy.PRIORITY,
+        pressure_shed_after=4,
+    )
+    service = TheftMonitoringService(
+        detector_factory=lambda: KLDDetector(significance=0.05),
+        min_training_weeks=_TRAIN_WEEKS,
+        retrain_every_weeks=4,
+        resilience=ResilienceConfig(),
+        population=ids,
+        loadcontrol=config,
+    )
+    ingestor = BufferedIngestor(
+        service.ingest_cycle, config=config, metrics=service.metrics
+    )
+    rng = np.random.default_rng(11)
+    drop = rng.random((_WEEKS * SLOTS_PER_WEEK, len(ids))) < 0.02
+    pending = [
+        {
+            cid: float(series[cid][t])
+            for i, cid in enumerate(ids)
+            if not drop[t, i]
+        }
+        for t in range(_WEEKS * SLOTS_PER_WEEK)
+    ]
+    pending.reverse()
+    held = None
+    while pending or held is not None or ingestor.backlog:
+        for _ in range(factor):
+            cycle = held if held is not None else (
+                pending.pop() if pending else None
+            )
+            if cycle is None:
+                break
+            if ingestor.submit(cycle):
+                held = None
+            else:
+                held = cycle
+                break
+        ingestor.drain(max_cycles=1)
+    return service, ingestor
+
+
+def test_overload_degradation_curve(bench_dataset):
+    population = bench_dataset.n_consumers
+    curve = []
+    last_service = None
+    for factor in _FACTORS:
+        with BenchTimer() as timer:
+            service, ingestor = _run_storm(bench_dataset, factor)
+        cycles = _WEEKS * SLOTS_PER_WEEK
+        shed_total = sum(len(r.shed) for r in service.reports)
+        shed_fraction = shed_total / (population * _WEEKS)
+        record_bench(
+            "overload",
+            timer.elapsed,
+            overload_factor=factor,
+            cycles=cycles,
+            cycles_per_second=cycles / max(timer.elapsed, 1e-9),
+            shed_fraction=shed_fraction,
+            shed_total=shed_total,
+            peak_queue_depth=ingestor.queue.peak_depth,
+            queue_rejects=ingestor.queue.rejected,
+            max_queue=_MAX_QUEUE,
+        )
+        curve.append((factor, shed_fraction, ingestor.queue.peak_depth))
+        # Invariants at every factor: nothing lost, queue bounded.
+        assert service.cycles_ingested == cycles
+        assert service.weeks_completed == _WEEKS
+        assert ingestor.backlog == 0
+        assert ingestor.queue.peak_depth <= _MAX_QUEUE
+        last_service = service
+
+    # At 1x the consumer keeps up: no pressure, no shedding.  The
+    # heaviest storm must shed strictly more than the lightest.
+    assert curve[0][1] == 0.0
+    assert curve[-1][1] > curve[0][1]
+
+    assert last_service is not None
+    text = last_service.metrics.to_prometheus()
+    write_artifact("overload_metrics.prom", text)
+    families = parse_prometheus(text)
+    assert "fdeta_shed_total" in families
+    assert "fdeta_queue_depth_peak" in families
+    lines = ["factor  shed_fraction  peak_depth"]
+    lines += [f"{f:>6}  {s:>13.3%}  {p:>10}" for f, s, p in curve]
+    write_artifact("overload_curve.txt", "\n".join(lines) + "\n")

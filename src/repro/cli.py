@@ -10,6 +10,12 @@ Subcommands:
   over a lossy channel, with optional checkpoint/resume, WAL-backed
   durable ingestion (``--wal-dir``), crash recovery (``--recover``),
   and a reading-integrity quarantine report (``--quarantine-report``).
+  Overload controls: a bounded ingestion queue (``--max-queue``),
+  priority load shedding (``--shed-policy``), per-cycle deadlines
+  (``--cycle-deadline-ms``), and a self-healing supervised worker
+  fleet (``--shards``).  Exit status 4 marks a run that completed only
+  by shedding load or overrunning its deadline (valid reports,
+  degraded coverage — revisit capacity).
 
 The ``evaluate`` and ``monitor`` subcommands accept observability
 flags: ``--metrics-out`` (Prometheus text, or a JSON snapshot when the
@@ -252,6 +258,14 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         WriteAheadLog,
         recover_monitor,
     )
+    from repro.errors import ConfigurationError
+    from repro.loadcontrol import (
+        BufferedIngestor,
+        LoadControlConfig,
+        ShedPolicy,
+        Supervisor,
+        make_shards,
+    )
     from repro.metering.channel import LossyChannel
     from repro.quarantine import FirewallPolicy, ReadingFirewall
     from repro.resilience import FaultInjector, FaultyChannel, ResilienceConfig
@@ -260,6 +274,43 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     if args.recover and not args.wal_dir:
         print("--recover requires --wal-dir", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 and not args.wal_dir:
+        print(
+            "--shards > 1 requires --wal-dir (per-shard WALs and "
+            "checkpoints live under it)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shards > 1 and args.checkpoint:
+        print(
+            "--shards > 1 manages per-shard checkpoints under --wal-dir; "
+            "drop --checkpoint",
+            file=sys.stderr,
+        )
+        return 2
+
+    loadcontrol: LoadControlConfig | None = None
+    if (
+        args.max_queue is not None
+        or args.shed_policy != "off"
+        or args.cycle_deadline_ms is not None
+    ):
+        try:
+            loadcontrol = LoadControlConfig(
+                max_queue=args.max_queue if args.max_queue is not None else 1024,
+                shed_policy=ShedPolicy(args.shed_policy),
+                cycle_deadline_s=(
+                    args.cycle_deadline_ms / 1000.0
+                    if args.cycle_deadline_ms is not None
+                    else None
+                ),
+            )
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
 
     dataset = _dataset_from_args(args)
     ids = dataset.consumers()
@@ -272,18 +323,31 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     events = _event_logger_from_args(args)
     tracer = Tracer()
 
-    def fresh_service() -> TheftMonitoringService:
+    def fresh_service(population=ids) -> TheftMonitoringService:
         return TheftMonitoringService(
             detector_factory=factory,
             min_training_weeks=args.min_training_weeks,
             retrain_every_weeks=args.retrain_every_weeks,
             resilience=ResilienceConfig(min_coverage=args.min_coverage),
-            population=ids,
+            population=population,
             events=events,
             tracer=tracer,
             firewall=ReadingFirewall(
                 FirewallPolicy(max_reading_kwh=args.max_reading)
             ),
+            loadcontrol=loadcontrol,
+        )
+
+    if args.shards > 1:
+        return _run_monitor_sharded(
+            args,
+            ids=ids,
+            series=series,
+            weeks=weeks,
+            factory=factory,
+            fresh_service=fresh_service,
+            loadcontrol=loadcontrol,
+            events=events,
         )
 
     resumed = False
@@ -334,6 +398,17 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     else:
         monitor = None
         ingest = service.ingest_cycle
+    ingestor = None
+    if loadcontrol is not None:
+        # The bounded queue + backpressure signal sit in front of
+        # ingestion; its signal attaches itself to the service so
+        # sustained pressure can trigger pre-shedding.
+        ingestor = BufferedIngestor(
+            ingest,
+            config=loadcontrol,
+            metrics=service.metrics,
+            events=events,
+        )
     channel = FaultyChannel(
         channel=LossyChannel(
             drop_rate=args.drop_rate, outage_rate=args.outage_rate
@@ -349,7 +424,17 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         # equivalence is testable bit-for-bit.
         cycle_rng = np.random.default_rng((args.seed + 1, t))
         readings = {cid: float(series[cid][t]) for cid in ids}
-        report = ingest(channel.transmit(readings, cycle_rng))
+        delivered = channel.transmit(readings, cycle_rng)
+        if ingestor is not None:
+            if not ingestor.submit(delivered):
+                # Queue full: this replay driver is also the consumer,
+                # so "hold and re-offer" means drain one cycle first.
+                ingestor.drain(max_cycles=1)
+                ingestor.submit(delivered)
+            drained = ingestor.drain()
+            report = drained[-1] if drained else None
+        else:
+            report = ingest(delivered)
         ingested += 1
         if (
             args.crash_after_cycle is not None
@@ -371,13 +456,16 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             if report.coverage
             else float("nan")
         )
-        print(
+        week_line = (
             f"week {report.week_index:>3}: "
             f"{len(report.alerts)} alert(s), "
             f"coverage {mean_coverage:.1%}, "
             f"{len(report.quarantined)} quarantined, "
             f"{len(report.suppressed)} suppressed"
         )
+        if loadcontrol is not None:
+            week_line += f", {len(report.shed)} shed"
+        print(week_line)
         for alert in report.alerts:
             print(
                 f"    {alert.consumer_id}: {alert.nature.value} "
@@ -411,7 +499,191 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     _write_observability_outputs(args, service.metrics, service.tracer)
     if events is not None:
         events.close()
+    return _monitor_exit_status(
+        shed_total=sum(len(report.shed) for report in service.reports),
+        overruns=ingestor.deadlines_overrun if ingestor is not None else 0,
+    )
+
+
+def _monitor_exit_status(shed_total: int, overruns: int) -> int:
+    """0 for a clean run; 4 when the run only completed by shedding
+    load or overrunning its cycle deadline (distinct from hard failure:
+    the weekly reports are valid, but coverage was deliberately
+    sacrificed and capacity should be revisited)."""
+    if shed_total > 0 or overruns > 0:
+        print(
+            f"completed in degraded mode: {shed_total} consumer-week(s) "
+            f"shed, {overruns} deadline overrun(s)",
+            file=sys.stderr,
+        )
+        return 4
     return 0
+
+
+def _run_monitor_sharded(
+    args: argparse.Namespace,
+    ids,
+    series,
+    weeks: int,
+    factory,
+    fresh_service,
+    loadcontrol,
+    events,
+) -> int:
+    """``monitor --shards N``: the supervised worker-fleet path.
+
+    Each shard is a DurableTheftMonitor over its own WAL directory and
+    checkpoint under ``--wal-dir``; the supervisor recovers any shard
+    with existing durable state at start, so ``--recover`` is implicit.
+    """
+    import os
+
+    import numpy as np
+
+    from repro.errors import ConfigurationError
+    from repro.loadcontrol import BufferedIngestor, Supervisor, make_shards
+    from repro.metering.channel import LossyChannel
+    from repro.observability.metrics import MetricsRegistry
+    from repro.resilience import FaultInjector, FaultyChannel
+    from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+    fleet_metrics = MetricsRegistry()
+    try:
+        shards = make_shards(ids, args.shards, args.wal_dir)
+        supervisor = Supervisor(
+            shards,
+            service_factory=lambda spec: fresh_service(spec.consumers),
+            detector_factory=factory,
+            metrics=fleet_metrics,
+            events=events,
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    ingest = supervisor.ingest_cycle
+    ingestor = None
+    if loadcontrol is not None:
+        ingestor = BufferedIngestor(
+            ingest, config=loadcontrol, metrics=fleet_metrics, events=events
+        )
+    channel = FaultyChannel(
+        channel=LossyChannel(
+            drop_rate=args.drop_rate, outage_rate=args.outage_rate
+        ),
+        faults=FaultInjector(corrupt_rate=args.corrupt_rate),
+    )
+    start_slot = supervisor.cycle
+    if start_slot:
+        print(
+            f"fleet resumed at cycle {start_slot} "
+            f"({args.shards} shard(s) recovered from {args.wal_dir})",
+            file=sys.stderr,
+        )
+    ingested = 0
+    for t in range(start_slot, weeks * SLOTS_PER_WEEK):
+        cycle_rng = np.random.default_rng((args.seed + 1, t))
+        readings = {cid: float(series[cid][t]) for cid in ids}
+        delivered = channel.transmit(readings, cycle_rng)
+        if ingestor is not None:
+            if not ingestor.submit(delivered):
+                ingestor.drain(max_cycles=1)
+                ingestor.submit(delivered)
+            drained = ingestor.drain()
+            result = drained[-1] if drained else None
+        else:
+            result = ingest(delivered)
+        ingested += 1
+        if (
+            args.crash_after_cycle is not None
+            and ingested >= args.crash_after_cycle
+        ):
+            print(
+                f"simulated crash after {ingested} cycle(s) (cycle {t})",
+                file=sys.stderr,
+            )
+            sys.stdout.flush()
+            sys.stderr.flush()
+            os._exit(3)
+        shard_reports = (
+            [r for r in result.values() if r is not None]
+            if isinstance(result, dict)
+            else []
+        )
+        if not shard_reports:
+            continue
+        week_index = shard_reports[0].week_index
+        alerts = [a for r in shard_reports for a in r.alerts]
+        coverage = [
+            value for r in shard_reports for value in r.coverage.values()
+        ]
+        mean_coverage = (
+            sum(coverage) / len(coverage) if coverage else float("nan")
+        )
+        quarantined = sum(len(r.quarantined) for r in shard_reports)
+        suppressed = sum(len(r.suppressed) for r in shard_reports)
+        shed = sum(len(r.shed) for r in shard_reports)
+        week_line = (
+            f"week {week_index:>3}: "
+            f"{len(alerts)} alert(s), "
+            f"coverage {mean_coverage:.1%}, "
+            f"{quarantined} quarantined, "
+            f"{suppressed} suppressed"
+        )
+        if loadcontrol is not None:
+            week_line += f", {shed} shed"
+        week_line += f" [{len(shard_reports)}/{args.shards} shards]"
+        print(week_line)
+        for r in shard_reports:
+            for alert in r.alerts:
+                print(
+                    f"    {alert.consumer_id}: {alert.nature.value} "
+                    f"(severity {alert.severity:.2f}, "
+                    f"coverage {alert.coverage:.1%})"
+                )
+    services = supervisor.services()
+    attackers = [
+        cid for svc in services.values() for cid in svc.suspected_attackers()
+    ]
+    victims = [
+        cid for svc in services.values() for cid in svc.suspected_victims()
+    ]
+    total_alerts = sum(
+        len(report.alerts)
+        for svc in services.values()
+        for report in svc.reports
+    )
+    shed_total = sum(
+        len(report.shed)
+        for svc in services.values()
+        for report in svc.reports
+    )
+    weeks_completed = min(
+        (svc.weeks_completed for svc in services.values()), default=0
+    )
+    print(
+        f"monitored {len(ids)} consumers for {weeks_completed} weeks "
+        f"across {args.shards} shards"
+    )
+    print(f"total alerts: {total_alerts}")
+    print(f"suspected attackers: {sorted(attackers) or 'none'}")
+    print(f"suspected victims:   {sorted(victims) or 'none'}")
+    quarantined_readings = sum(
+        len(svc.firewall.store)
+        for svc in services.values()
+        if svc.firewall is not None
+    )
+    print(f"quarantined readings: {quarantined_readings}")
+    print(f"supervisor restarts: {supervisor.restarts_total}")
+    supervisor.close()
+    for svc in services.values():
+        fleet_metrics.merge_snapshot(svc.metrics.snapshot())
+    _write_observability_outputs(args, fleet_metrics, None)
+    if events is not None:
+        events.close()
+    return _monitor_exit_status(
+        shed_total=shed_total,
+        overruns=ingestor.deadlines_overrun if ingestor is not None else 0,
+    )
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
@@ -532,6 +804,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="hard-kill the process (exit 3) after ingesting N cycles "
         "(crash-recovery testing)",
+    )
+    mon.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="bound the ingestion queue to N pending cycles (enables "
+        "the backpressure signal)",
+    )
+    mon.add_argument(
+        "--shed-policy",
+        choices=["off", "priority", "uniform"],
+        default="off",
+        help="load-shedding policy under overload: priority sheds the "
+        "healthy tier first (suspects always scored), uniform sheds "
+        "tier-blind, off never sheds",
+    )
+    mon.add_argument(
+        "--cycle-deadline-ms",
+        type=float,
+        default=None,
+        help="per-cycle time budget in milliseconds; an exhausted "
+        "budget sheds the rest of the weekly scoring pass",
+    )
+    mon.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run N supervised monitor shards (requires --wal-dir; "
+        "each shard keeps its own WAL and checkpoint and is restarted "
+        "from them if it dies)",
     )
     _add_observability_options(mon)
     mon.set_defaults(func=_cmd_monitor)

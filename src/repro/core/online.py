@@ -45,6 +45,10 @@ from repro.detectors.base import WeeklyDetector
 from repro.errors import ConfigurationError, DataError, NonFiniteInputError
 from repro.grid.balance import BalanceAuditor
 from repro.grid.snapshot import DemandSnapshot
+from repro.loadcontrol.config import LoadControlConfig, ShedPolicy
+from repro.loadcontrol.deadline import Deadline
+from repro.loadcontrol.queue import BackpressureSignal
+from repro.loadcontrol.shedding import LoadShedder, ShedTier
 from repro.metering.store import ReadingStore
 from repro.quarantine.firewall import MeterReading, ReadingFirewall
 from repro.observability.events import EventLogger
@@ -115,7 +119,10 @@ class MonitoringReport:
     its week, ``suppressed`` lists consumers whose coverage fell below
     the configured minimum (recorded, never alerted), and
     ``quarantined`` lists consumers whose circuit breaker was open at
-    the week boundary.
+    the week boundary.  ``shed`` lists consumers whose scoring was
+    skipped by the load shedder this week (deadline exhausted or
+    sustained backpressure) — they still carry a ``coverage`` entry, so
+    a shed week is a counted gap, never a silent one.
     """
 
     week_index: int
@@ -124,6 +131,7 @@ class MonitoringReport:
     coverage: dict[str, float] = field(default_factory=dict)
     suppressed: tuple[str, ...] = ()
     quarantined: tuple[str, ...] = ()
+    shed: tuple[str, ...] = ()
 
     @property
     def quiet(self) -> bool:
@@ -183,6 +191,20 @@ class TheftMonitoringService:
         (``resilience``), because rejects must become gaps rather than
         population mismatches.  Checkpointed with the service, so the
         quarantine evidence survives ``--resume``/``--recover``.
+    loadcontrol:
+        Overload-control settings (see
+        :class:`~repro.loadcontrol.config.LoadControlConfig`).  A
+        non-``off`` shed policy requires gap-tolerant mode: a shed
+        consumer-week degrades to a coverage-counted gap, which only
+        exists there.  The service reads pressure from
+        :attr:`backpressure` (attach a
+        :class:`~repro.loadcontrol.queue.BackpressureSignal`, e.g. via
+        :class:`~repro.loadcontrol.queue.BufferedIngestor`) and sheds
+        the healthy tier once pressure has been sustained for
+        ``pressure_shed_after`` drain cycles; a per-cycle
+        :class:`~repro.loadcontrol.deadline.Deadline` passed to
+        :meth:`ingest_cycle` sheds the remainder of a scoring pass the
+        moment the budget runs out.
     """
 
     def __init__(
@@ -197,12 +219,23 @@ class TheftMonitoringService:
         events: EventLogger | None = None,
         tracer: Tracer | None = None,
         firewall: ReadingFirewall | None = None,
+        loadcontrol: LoadControlConfig | None = None,
     ) -> None:
         if firewall is not None and resilience is None:
             raise ConfigurationError(
                 "the reading firewall requires gap-tolerant mode "
                 "(pass a ResilienceConfig): quarantined readings must "
                 "become gaps, not population mismatches"
+            )
+        if (
+            loadcontrol is not None
+            and loadcontrol.shed_policy is not ShedPolicy.OFF
+            and resilience is None
+        ):
+            raise ConfigurationError(
+                "load shedding requires gap-tolerant mode (pass a "
+                "ResilienceConfig): a shed consumer-week must degrade "
+                "to a coverage-counted gap"
             )
         if min_training_weeks < 2:
             raise ConfigurationError(
@@ -221,6 +254,17 @@ class TheftMonitoringService:
         self.events = events
         self.tracer = tracer
         self.firewall = firewall
+        self.loadcontrol = loadcontrol
+        #: Producer-side pressure signal; attached by whatever queues
+        #: cycles in front of this service (e.g. a BufferedIngestor).
+        self.backpressure: BackpressureSignal | None = None
+        self._shedder: LoadShedder | None = None
+        if loadcontrol is not None:
+            self._shedder = LoadShedder(
+                policy=loadcontrol.shed_policy,
+                metrics=self.metrics,
+                events=events,
+            )
         self.store = ReadingStore(metrics=self.metrics)
         self._framework: FDetaFramework | None = None
         self._slot_count = 0
@@ -287,11 +331,20 @@ class TheftMonitoringService:
         self,
         reported: Mapping[str, float | MeterReading],
         snapshot: DemandSnapshot | None = None,
+        deadline: Deadline | None = None,
     ) -> MonitoringReport | None:
         """Feed one polling cycle of reported readings.
 
         Returns a :class:`MonitoringReport` when this cycle completes a
         week, ``None`` otherwise.
+
+        ``deadline`` is the cycle's time budget (an unlimited one is
+        created when omitted, so stage latencies are always accounted).
+        The pipeline stages — ``firewall``, ``ingest``, ``scoring`` —
+        each record their elapsed seconds against it; an expired
+        deadline never aborts a stage mid-flight, but the weekly
+        scoring pass consults it between consumers and (with a shedding
+        policy configured) sheds the unscored remainder.
 
         In strict mode (no resilience config) a cycle whose population
         differs from the fixed one is rejected: a missing consumer would
@@ -312,19 +365,23 @@ class TheftMonitoringService:
             # gap for the whole roster instead of raising.
             raise DataError("polling cycle carried no readings")
         started = perf_counter()
+        if deadline is None:
+            deadline = Deadline.unlimited(metrics=self.metrics)
         if self._population is None:
             self._set_population(reported)
         if self.firewall is not None:
-            reported = self.firewall.screen(
-                reported,
-                cycle=self._slot_count,
-                metrics=self.metrics,
-                events=self.events,
-            )
-        if self.resilience is None:
-            self._ingest_strict(reported)
-        else:
-            self._ingest_tolerant(reported)
+            with deadline.stage("firewall"):
+                reported = self.firewall.screen(
+                    reported,
+                    cycle=self._slot_count,
+                    metrics=self.metrics,
+                    events=self.events,
+                )
+        with deadline.stage("ingest"):
+            if self.resilience is None:
+                self._ingest_strict(reported)
+            else:
+                self._ingest_tolerant(reported)
         self._slot_count += 1
         self._last_snapshot = snapshot
         report: MonitoringReport | None = None
@@ -334,7 +391,8 @@ class TheftMonitoringService:
             # registry; route them into this service's registry for the
             # duration of the weekly processing.
             with use_registry(self.metrics):
-                report = self._complete_week()
+                with deadline.stage("scoring"):
+                    report = self._complete_week(deadline)
         self.metrics.counter(
             "fdeta_ingest_cycles_total", "Polling cycles ingested."
         ).inc()
@@ -449,14 +507,18 @@ class TheftMonitoringService:
             consumers_skipped=len(self.store.consumers()) - len(matrices),
         )
 
-    def _complete_week(self) -> MonitoringReport:
+    def _complete_week(
+        self, deadline: Deadline | None = None
+    ) -> MonitoringReport:
         week_index = self._weeks_completed - 1
         with self._span("week", week=week_index):
-            report = self._process_week(week_index)
+            report = self._process_week(week_index, deadline)
         self._record_week_telemetry(report)
         return report
 
-    def _process_week(self, week_index: int) -> MonitoringReport:
+    def _process_week(
+        self, week_index: int, deadline: Deadline | None = None
+    ) -> MonitoringReport:
         balance_failures: tuple[str, ...] = ()
         if self.auditor is not None and self._last_snapshot is not None:
             with self._span("audit", week=week_index):
@@ -478,7 +540,7 @@ class TheftMonitoringService:
             if self.resilience is None:
                 self._assess_week_strict(report, week_index)
             else:
-                self._assess_week_tolerant(report, week_index)
+                self._assess_week_tolerant(report, week_index, deadline)
         # Periodic retraining on non-quarantined history.
         due = (
             self._weeks_completed - self._weeks_at_last_training
@@ -560,6 +622,7 @@ class TheftMonitoringService:
             alerts=len(report.alerts),
             suppressed=len(report.suppressed),
             quarantined=len(report.quarantined),
+            shed=len(report.shed),
             degraded=report.degraded,
             balance_failures=len(report.balance_failures),
         )
@@ -625,8 +688,56 @@ class TheftMonitoringService:
             if assessment.result.flagged:
                 self._emit_alert(report, week_index, assessment, balance_failed)
 
+    def _shed_tiers(self) -> dict[str, ShedTier]:
+        """Triage the roster into scoring-priority tiers (see
+        :mod:`repro.loadcontrol.shedding`): evidence of trouble —
+        alert history, breaker trips, or firewalled readings — must
+        never be what gets shed first."""
+        quarantine_counts: Mapping[str, int] = {}
+        if self.firewall is not None:
+            quarantine_counts = self.firewall.store.counts_by_consumer()
+        tiers: dict[str, ShedTier] = {}
+        for cid in self._roster:
+            if (
+                self._quarantined_weeks.get(cid)
+                or quarantine_counts.get(cid)
+                or (
+                    self._breakers is not None
+                    and self._breakers.trip_count(cid) > 0
+                )
+            ):
+                tiers[cid] = ShedTier.SUSPECT
+            elif (
+                self._breakers is not None
+                and self._breakers.state(cid) is not BreakerState.CLOSED
+            ):
+                tiers[cid] = ShedTier.WATCH
+            else:
+                tiers[cid] = ShedTier.HEALTHY
+        return tiers
+
+    def _pressure_sustained(self) -> bool:
+        """Whether backpressure has been engaged long enough to pre-shed."""
+        return (
+            self.loadcontrol is not None
+            and self.backpressure is not None
+            and self.backpressure.engaged_ticks
+            >= self.loadcontrol.pressure_shed_after
+        )
+
+    def _shed_coverage(
+        self, report: MonitoringReport, consumer_id: str, week_index: int
+    ) -> None:
+        """A shed week still gets its coverage counted (cheap, no
+        repair, no scoring) so it reconciles as an explicit gap."""
+        week = self.store.week_matrix(consumer_id)[week_index]
+        report.coverage[consumer_id] = observed_fraction(week)
+
     def _assess_week_tolerant(
-        self, report: MonitoringReport, week_index: int
+        self,
+        report: MonitoringReport,
+        week_index: int,
+        deadline: Deadline | None = None,
     ) -> None:
         assert self._framework is not None
         assert self._breakers is not None
@@ -634,9 +745,35 @@ class TheftMonitoringService:
         balance_failed = bool(report.balance_failures)
         suppressed = []
         quarantined = []
-        for cid in self._roster:
+        order: tuple[str, ...] = self._roster
+        tiers: dict[str, ShedTier] = {}
+        pre_shed: frozenset[str] = frozenset()
+        pressure_shed: dict[str, ShedTier] = {}
+        deadline_shed: dict[str, ShedTier] = {}
+        shedding = (
+            self._shedder is not None
+            and self._shedder.policy is not ShedPolicy.OFF
+        )
+        if shedding:
+            assert self._shedder is not None
+            tiers = self._shed_tiers()
+            order = self._shedder.order(self._roster, tiers)
+            if self._pressure_sustained():
+                pre_shed = self._shedder.pressure_shed(order, tiers)
+        for cid in order:
             if not self._breakers.allows_scoring(cid):
                 quarantined.append(cid)
+                continue
+            if cid in pre_shed:
+                pressure_shed[cid] = tiers[cid]
+                self._shed_coverage(report, cid, week_index)
+                continue
+            if shedding and deadline is not None and deadline.expired:
+                # Budget gone: the rest of the pass degrades to counted
+                # gaps.  Under PRIORITY ordering the suspects have
+                # already been scored by the time this fires.
+                deadline_shed[cid] = tiers[cid]
+                self._shed_coverage(report, cid, week_index)
                 continue
             week = self._repaired_week(cid, week_index)
             coverage = observed_fraction(week)
@@ -683,6 +820,17 @@ class TheftMonitoringService:
                 self._emit_alert(report, week_index, assessment, balance_failed)
         report.suppressed = tuple(suppressed)
         report.quarantined = tuple(quarantined)
+        if pressure_shed or deadline_shed:
+            assert self._shedder is not None
+            report.shed = tuple(sorted({**pressure_shed, **deadline_shed}))
+            if pressure_shed:
+                self._shedder.record(
+                    pressure_shed, week_index, reason="pressure"
+                )
+            if deadline_shed:
+                self._shedder.record(
+                    deadline_shed, week_index, reason="deadline"
+                )
 
     # ------------------------------------------------------------------
     # Checkpoint / restore
@@ -761,6 +909,7 @@ class TheftMonitoringService:
             "metrics": self.metrics,
             "tracer": self.tracer,
             "firewall": self.firewall,
+            "loadcontrol": self.loadcontrol,
         }
 
     @classmethod
@@ -782,6 +931,7 @@ class TheftMonitoringService:
             events=events,
             tracer=tracer if tracer is not None else state["tracer"],
             firewall=state.get("firewall"),
+            loadcontrol=state.get("loadcontrol"),
         )
         for cid, values in state["series"].items():
             service.store._series[cid].extend(float(v) for v in values)

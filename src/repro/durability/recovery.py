@@ -35,6 +35,8 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.detectors.base import WeeklyDetector
     from repro.grid.balance import BalanceAuditor
     from repro.grid.snapshot import DemandSnapshot
+    from repro.loadcontrol.deadline import Deadline
+    from repro.loadcontrol.queue import BackpressureSignal
     from repro.observability.events import EventLogger
     from repro.observability.tracing import Tracer
 
@@ -175,11 +177,22 @@ class DurableTheftMonitor:
         self._cycles_since_sync = 0
         self.redelivered_cycles = 0
 
+    @property
+    def backpressure(self) -> "BackpressureSignal | None":
+        """The wrapped service's pressure signal (delegated), so a
+        BufferedIngestor can attach its signal through this wrapper."""
+        return self.service.backpressure
+
+    @backpressure.setter
+    def backpressure(self, signal: "BackpressureSignal | None") -> None:
+        self.service.backpressure = signal
+
     def ingest_cycle(
         self,
         reported: "Mapping[str, float | MeterReading]",
         snapshot: "DemandSnapshot | None" = None,
         cycle_index: int | None = None,
+        deadline: "Deadline | None" = None,
     ) -> "MonitoringReport | None":
         """WAL-append then ingest one polling cycle.
 
@@ -189,6 +202,11 @@ class DurableTheftMonitor:
         readings are absorbed slot-addressed and idempotently
         (last-write-wins, counted as duplicates) without advancing the
         polling clock, so recovery overlap can never double-count.
+
+        ``deadline`` (the cycle's time budget) charges the WAL append
+        and fsync to a ``wal_append`` stage before being handed to the
+        service, so durability cost shows up in the same per-stage
+        accounting as screening and scoring.
         """
         expected = self.service.cycles_ingested
         if cycle_index is None:
@@ -202,12 +220,12 @@ class DurableTheftMonitor:
                 f"cycle {cycle_index} delivered but the service expects "
                 f"cycle {expected}; the head-end skipped ahead"
             )
-        self.wal.append_cycle(cycle_index, reported)
-        self._cycles_since_sync += 1
-        if self._cycles_since_sync >= self.sync_every_cycles:
-            self.wal.sync()
-            self._cycles_since_sync = 0
-        report = self.service.ingest_cycle(reported, snapshot)
+        if deadline is not None:
+            with deadline.stage("wal_append"):
+                self._append(cycle_index, reported)
+        else:
+            self._append(cycle_index, reported)
+        report = self.service.ingest_cycle(reported, snapshot, deadline=deadline)
         if report is not None and self.checkpoint_path is not None:
             # Order matters: sync the WAL first so the checkpoint never
             # claims coverage of cycles the log could still lose, then
@@ -218,6 +236,17 @@ class DurableTheftMonitor:
             self.wal.mark_checkpoint(self.service.cycles_ingested)
             self.wal.compact(self.service.cycles_ingested)
         return report
+
+    def _append(
+        self,
+        cycle_index: int,
+        reported: "Mapping[str, float | MeterReading]",
+    ) -> None:
+        self.wal.append_cycle(cycle_index, reported)
+        self._cycles_since_sync += 1
+        if self._cycles_since_sync >= self.sync_every_cycles:
+            self.wal.sync()
+            self._cycles_since_sync = 0
 
     def _absorb_redelivery(
         self,

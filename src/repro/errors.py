@@ -61,6 +61,27 @@ class NonFiniteInputError(DataError):
     """
 
 
+class LoadControlError(ResilienceError):
+    """The overload-control layer (queues, admission, shedding) failed."""
+
+
+class QueueDrainedError(LoadControlError):
+    """A bounded ingestion queue was taken from while empty."""
+
+
+class SupervisorError(LoadControlError):
+    """The monitor-worker supervisor could not keep the fleet healthy."""
+
+
+class WorkerCrashed(SupervisorError):
+    """A supervised monitor worker died mid-cycle.
+
+    Raised by workers (or injected by test harnesses) to signal that the
+    worker's in-memory state is gone; the supervisor responds by
+    restarting the shard from its checkpoint and write-ahead log.
+    """
+
+
 class DurabilityError(ResilienceError):
     """The durable-ingestion layer (WAL, recovery) failed."""
 

@@ -16,11 +16,22 @@ into the caller's registry.  Counters and histogram counts therefore
 total identically to a serial run of the same work (latency *sums*
 differ — different machines spend different time — which is why
 equality checks go through ``MetricsRegistry.totals()``).
+
+The pool is harvested future-by-future with bounded waits, never with a
+bare ``pool.map``: a wedged worker process (OOM-killed child, stuck
+BLAS call) must not hang the whole evaluation forever.  Jobs that miss
+their per-job timeout or the batch deadline are cancelled where
+possible and **re-run serially in the parent**, so a sweep always
+completes with every consumer evaluated — the timeout degrades
+parallelism, not coverage.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from time import perf_counter
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -34,10 +45,14 @@ from repro.evaluation.experiment import (
 )
 from repro.observability.metrics import MetricsRegistry, use_registry
 
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.observability.events import EventLogger
 
-def _evaluate_one(
-    args: tuple[str, np.ndarray, np.ndarray, EvaluationConfig],
-) -> tuple[ConsumerEvaluation, dict]:
+_Job = tuple[str, np.ndarray, np.ndarray, EvaluationConfig]
+_Outcome = tuple[ConsumerEvaluation, dict]
+
+
+def _evaluate_one(args: _Job) -> _Outcome:
     """Module-level worker (picklable for ProcessPoolExecutor).
 
     Returns the evaluation together with the job's metric snapshot; a
@@ -53,18 +68,86 @@ def _evaluate_one(
     return evaluation, registry.snapshot()
 
 
+def _harvest_pool(
+    jobs: list[_Job],
+    max_workers: int | None,
+    job_timeout_s: float | None,
+    batch_deadline_s: float | None,
+) -> tuple[list[_Outcome], list[_Job], bool]:
+    """Run jobs on a process pool with bounded waits per future.
+
+    Returns ``(outcomes, unfinished_jobs, timed_out)``.  Futures are
+    submitted individually and harvested in submission order, each wait
+    capped by the per-job timeout and the remaining batch budget.  On
+    the first timeout everything still pending is cancelled (already
+    finished results are kept — they are free) and handed back as
+    unfinished for the caller's serial fallback.
+    """
+    outcomes: list[_Outcome] = []
+    unfinished: list[_Job] = []
+    started = perf_counter()
+    timed_out = False
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    try:
+        futures = [(job, pool.submit(_evaluate_one, job)) for job in jobs]
+        for job, future in futures:
+            if timed_out:
+                # Past the first timeout: keep whatever already
+                # finished, cancel the rest.
+                if future.done() and not future.cancelled():
+                    try:
+                        outcomes.append(future.result(timeout=0))
+                        continue
+                    except (Exception, CancelledError):  # noqa: BLE001
+                        pass
+                future.cancel()
+                unfinished.append(job)
+                continue
+            timeout: float | None = job_timeout_s
+            if batch_deadline_s is not None:
+                remaining = batch_deadline_s - (perf_counter() - started)
+                timeout = (
+                    remaining if timeout is None else min(timeout, remaining)
+                )
+            if timeout is not None and timeout <= 0:
+                timed_out = True
+                future.cancel()
+                unfinished.append(job)
+                continue
+            try:
+                outcomes.append(future.result(timeout=timeout))
+            except FutureTimeoutError:
+                timed_out = True
+                future.cancel()
+                unfinished.append(job)
+    finally:
+        # Never block on stragglers: cancel what has not started and
+        # leave the interpreter to reap still-running workers.
+        pool.shutdown(wait=not timed_out, cancel_futures=True)
+    return outcomes, unfinished, timed_out
+
+
 def run_evaluation_parallel(
     dataset: SmartMeterDataset,
     config: EvaluationConfig | None = None,
     consumers: tuple[str, ...] | None = None,
     max_workers: int | None = None,
     metrics: MetricsRegistry | None = None,
+    job_timeout_s: float | None = None,
+    batch_deadline_s: float | None = None,
+    events: "EventLogger | None" = None,
 ) -> EvaluationResults:
     """Parallel counterpart of :func:`repro.evaluation.run_evaluation`.
 
     Produces results identical to the serial runner for the same config
     (per-consumer determinism), in consumer order.  When ``metrics`` is
     given, per-worker registry snapshots are merged into it.
+
+    ``job_timeout_s`` bounds the wait on any single consumer's future;
+    ``batch_deadline_s`` bounds the whole batch.  When either fires,
+    pending jobs are cancelled, a ``parallel_eval_timeout`` event is
+    logged, and the unfinished consumers are evaluated serially in the
+    parent process — slower, but every consumer is always evaluated.
     """
     cfg = config if config is not None else EvaluationConfig()
     ids = dataset.consumers() if consumers is None else consumers
@@ -77,7 +160,15 @@ def run_evaluation_parallel(
         )
     if max_workers is not None and max_workers < 1:
         raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
-    jobs = [
+    if job_timeout_s is not None and job_timeout_s <= 0:
+        raise ConfigurationError(
+            f"job_timeout_s must be > 0, got {job_timeout_s}"
+        )
+    if batch_deadline_s is not None and batch_deadline_s <= 0:
+        raise ConfigurationError(
+            f"batch_deadline_s must be > 0, got {batch_deadline_s}"
+        )
+    jobs: list[_Job] = [
         (
             cid,
             dataset.train_matrix(cid),
@@ -88,12 +179,42 @@ def run_evaluation_parallel(
     ]
     results = EvaluationResults(config=cfg)
     if max_workers == 1:
-        outcomes = map(_evaluate_one, jobs)
+        outcomes = [_evaluate_one(job) for job in jobs]
     else:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            outcomes = list(pool.map(_evaluate_one, jobs, chunksize=4))
-    for evaluation, snapshot in outcomes:
-        results.consumers[evaluation.consumer_id] = evaluation
+        outcomes, unfinished, timed_out = _harvest_pool(
+            jobs, max_workers, job_timeout_s, batch_deadline_s
+        )
+        if timed_out:
+            if events is not None:
+                events.warning(
+                    "parallel_eval_timeout",
+                    completed=len(outcomes),
+                    fallback=len(unfinished),
+                    job_timeout_s=job_timeout_s,
+                    batch_deadline_s=batch_deadline_s,
+                )
+            if metrics is not None:
+                metrics.counter(
+                    "fdeta_parallel_eval_timeouts_total",
+                    "Parallel evaluation batches that hit a timeout and "
+                    "fell back to serial execution.",
+                ).inc()
+                if unfinished:
+                    metrics.counter(
+                        "fdeta_parallel_eval_fallback_total",
+                        "Consumer evaluations re-run serially after a "
+                        "pool timeout.",
+                    ).inc(len(unfinished))
+            # Serial fallback: the parent finishes what the pool could
+            # not, so coverage never depends on worker health.
+            outcomes.extend(_evaluate_one(job) for job in unfinished)
+    by_consumer = {
+        evaluation.consumer_id: (evaluation, snapshot)
+        for evaluation, snapshot in outcomes
+    }
+    for cid in ids:
+        evaluation, snapshot = by_consumer[cid]
+        results.consumers[cid] = evaluation
         if metrics is not None:
             metrics.merge_snapshot(snapshot)
     return results

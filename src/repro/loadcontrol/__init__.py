@@ -1,0 +1,61 @@
+"""Overload control: backpressure, admission, shedding, supervision.
+
+This package keeps the monitoring pipeline *bounded* under read storms
+and overload:
+
+* :mod:`repro.loadcontrol.queue` — bounded ingestion queues with an
+  explicit :class:`BackpressureSignal` back to the producer;
+* :mod:`repro.loadcontrol.admission` — token-bucket/AIMD admission
+  control at the head-end, with a bounded-starvation aging guarantee;
+* :mod:`repro.loadcontrol.shedding` — priority-tiered load shedding
+  (suspects score first; healthy consumers degrade to coverage-counted
+  gaps);
+* :mod:`repro.loadcontrol.deadline` — per-cycle time budgets threaded
+  through every pipeline stage;
+* :mod:`repro.loadcontrol.supervisor` — a self-healing fleet of
+  sharded monitor workers with heartbeat hang detection and
+  restart-from-checkpoint recovery.
+"""
+
+from repro.loadcontrol.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AIMDRate,
+    TokenBucket,
+)
+from repro.loadcontrol.config import LoadControlConfig, ShedPolicy
+from repro.loadcontrol.deadline import Deadline, STAGE_SECONDS_BUCKETS
+from repro.loadcontrol.queue import (
+    BackpressureSignal,
+    BoundedCycleQueue,
+    BufferedIngestor,
+)
+from repro.loadcontrol.shedding import LoadShedder, ShedTier
+from repro.loadcontrol.supervisor import (
+    ShardSpec,
+    Supervisor,
+    WorkerHandle,
+    make_shards,
+    shard_roster,
+)
+
+__all__ = [
+    "AIMDRate",
+    "AdmissionController",
+    "AdmissionDecision",
+    "BackpressureSignal",
+    "BoundedCycleQueue",
+    "BufferedIngestor",
+    "Deadline",
+    "LoadControlConfig",
+    "LoadShedder",
+    "STAGE_SECONDS_BUCKETS",
+    "ShardSpec",
+    "ShedPolicy",
+    "ShedTier",
+    "Supervisor",
+    "TokenBucket",
+    "WorkerHandle",
+    "make_shards",
+    "shard_roster",
+]

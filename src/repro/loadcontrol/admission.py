@@ -1,0 +1,242 @@
+"""Token-bucket/AIMD admission control with a bounded-starvation guarantee.
+
+The head-end is the right place to absorb a read storm: once a reading
+enters the store it costs memory, WAL bytes, and scoring time, so the
+cheapest shed point is *before* ingestion.  The
+:class:`AdmissionController` paces how many readings per polling cycle
+the head-end forwards downstream:
+
+* a **token bucket** bounds the per-cycle admission burst;
+* an **AIMD controller** (additive increase, multiplicative decrease —
+  TCP's congestion algorithm) grows the admission rate while the
+  service keeps up and halves it the moment backpressure engages;
+* an **aging guarantee** bounds starvation: a consumer whose reading
+  has been deferred for ``max_defer_cycles`` consecutive candidate
+  cycles is force-admitted past the bucket, so no meter — however low
+  its priority — can be deferred forever.  The hypothesis property
+  suite asserts exactly this invariant.
+
+Deferred readings become coverage-counted gaps downstream (the
+degraded-mode machinery), never silent losses: every deferral is
+counted in ``fdeta_admission_rejects_total``.
+
+Time is measured in polling cycles, not wall-clock seconds, so
+admission decisions are deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ConfigurationError
+from repro.loadcontrol.config import LoadControlConfig
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.observability.events import EventLogger
+    from repro.observability.metrics import MetricsRegistry
+
+__all__ = ["AIMDRate", "AdmissionController", "AdmissionDecision", "TokenBucket"]
+
+
+class TokenBucket:
+    """Cycle-time token bucket: ``refill`` tokens per tick, capped.
+
+    Wall-clock-free on purpose: refills happen at :meth:`tick` (once
+    per polling cycle), which keeps admission decisions deterministic
+    under replay.
+    """
+
+    def __init__(self, capacity: float, refill_per_cycle: float) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be > 0, got {capacity}")
+        if refill_per_cycle <= 0:
+            raise ConfigurationError(
+                f"refill_per_cycle must be > 0, got {refill_per_cycle}"
+            )
+        self.capacity = float(capacity)
+        self.refill_per_cycle = float(refill_per_cycle)
+        self.tokens = float(capacity)
+
+    def tick(self, refill: float | None = None) -> None:
+        """Advance one polling cycle, refilling the bucket."""
+        amount = self.refill_per_cycle if refill is None else float(refill)
+        self.tokens = min(self.capacity, self.tokens + amount)
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; ``False`` without side effects."""
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+
+class AIMDRate:
+    """Additive-increase / multiplicative-decrease rate controller."""
+
+    def __init__(
+        self,
+        rate: float,
+        min_rate: float,
+        max_rate: float,
+        increase: float,
+        decrease: float,
+    ) -> None:
+        if not 0 < min_rate <= max_rate:
+            raise ConfigurationError(
+                f"rate bounds must satisfy 0 < min <= max, got "
+                f"{min_rate} and {max_rate}"
+            )
+        if increase <= 0 or not 0.0 < decrease < 1.0:
+            raise ConfigurationError(
+                "increase must be > 0 and decrease in (0, 1), got "
+                f"{increase} and {decrease}"
+            )
+        self.min_rate = float(min_rate)
+        self.max_rate = float(max_rate)
+        self.increase = float(increase)
+        self.decrease = float(decrease)
+        self.rate = min(max(float(rate), self.min_rate), self.max_rate)
+
+    def on_pressure(self) -> float:
+        """Backpressure engaged: cut the rate multiplicatively."""
+        self.rate = max(self.min_rate, self.rate * self.decrease)
+        return self.rate
+
+    def on_clear(self) -> float:
+        """No pressure: probe upward additively."""
+        self.rate = min(self.max_rate, self.rate + self.increase)
+        return self.rate
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one cycle's admission pass."""
+
+    admitted: tuple[str, ...]
+    deferred: tuple[str, ...]
+    #: Consumers force-admitted by the aging guarantee (subset of
+    #: ``admitted``): their deferral streak hit the bound.
+    bypassed: tuple[str, ...]
+
+    @property
+    def admitted_set(self) -> frozenset[str]:
+        return frozenset(self.admitted)
+
+
+class AdmissionController:
+    """Per-cycle admission decisions for the head-end.
+
+    One call to :meth:`admit` per polling cycle: candidates are the
+    consumers whose readings arrived (and survived screening) this
+    cycle.  Admission order is candidate order, so callers wanting
+    priority admission sort candidates first.
+    """
+
+    def __init__(
+        self,
+        config: LoadControlConfig | None = None,
+        metrics: "MetricsRegistry | None" = None,
+        events: "EventLogger | None" = None,
+    ) -> None:
+        self.config = config if config is not None else LoadControlConfig()
+        self.metrics = metrics
+        self.events = events
+        self.bucket = TokenBucket(
+            capacity=self.config.admit_burst,
+            refill_per_cycle=self.config.admit_rate,
+        )
+        self.aimd = AIMDRate(
+            rate=self.config.admit_rate,
+            min_rate=self.config.min_admit_rate,
+            max_rate=self.config.max_admit_rate,
+            increase=self.config.aimd_increase,
+            decrease=self.config.aimd_decrease,
+        )
+        self.cycle = 0
+        self._defer_streak: dict[str, int] = {}
+        self.admitted_total = 0
+        self.deferred_total = 0
+        self.bypassed_total = 0
+
+    def defer_streak(self, consumer_id: str) -> int:
+        """Consecutive candidate cycles this consumer has been deferred."""
+        return self._defer_streak.get(consumer_id, 0)
+
+    def admit(
+        self, candidates: Sequence[str], pressure: bool = False
+    ) -> AdmissionDecision:
+        """Decide which of this cycle's readings are forwarded.
+
+        ``pressure`` is the backpressure signal state; it drives the
+        AIMD step *before* tokens refill, so the very cycle pressure
+        engages already admits less.
+        """
+        rate = self.aimd.on_pressure() if pressure else self.aimd.on_clear()
+        self.bucket.tick(refill=rate)
+        admitted: list[str] = []
+        deferred: list[str] = []
+        bypassed: list[str] = []
+        limit = self.config.max_defer_cycles
+        for cid in candidates:
+            streak = self._defer_streak.get(cid, 0)
+            if streak + 1 >= limit:
+                # Aging guarantee: the bucket may be dry, but this
+                # consumer has waited its bound — admit regardless.
+                self.bucket.try_acquire(1.0)  # still consumes if possible
+                admitted.append(cid)
+                bypassed.append(cid)
+                self._defer_streak.pop(cid, None)
+            elif self.bucket.try_acquire(1.0):
+                admitted.append(cid)
+                self._defer_streak.pop(cid, None)
+            else:
+                deferred.append(cid)
+                self._defer_streak[cid] = streak + 1
+        self.cycle += 1
+        self.admitted_total += len(admitted)
+        self.deferred_total += len(deferred)
+        self.bypassed_total += len(bypassed)
+        self._record(rate, admitted, deferred, bypassed)
+        return AdmissionDecision(
+            admitted=tuple(admitted),
+            deferred=tuple(deferred),
+            bypassed=tuple(bypassed),
+        )
+
+    def _record(
+        self,
+        rate: float,
+        admitted: list[str],
+        deferred: list[str],
+        bypassed: list[str],
+    ) -> None:
+        if self.metrics is not None:
+            if admitted:
+                self.metrics.counter(
+                    "fdeta_admission_admitted_total",
+                    "Readings forwarded by the admission controller.",
+                ).inc(len(admitted))
+            if deferred:
+                self.metrics.counter(
+                    "fdeta_admission_rejects_total",
+                    "Readings deferred (became gaps) by admission control.",
+                ).inc(len(deferred))
+            if bypassed:
+                self.metrics.counter(
+                    "fdeta_admission_bypass_total",
+                    "Readings force-admitted by the aging guarantee.",
+                ).inc(len(bypassed))
+            self.metrics.gauge(
+                "fdeta_admission_rate",
+                "Current AIMD admission rate (readings per cycle).",
+            ).set(rate)
+        if deferred and self.events is not None:
+            self.events.info(
+                "admission_deferred",
+                cycle=self.cycle - 1,
+                deferred=len(deferred),
+                admitted=len(admitted),
+                bypassed=len(bypassed),
+                rate=rate,
+            )

@@ -1,0 +1,140 @@
+"""Priority-tiered load shedding for the weekly scoring pass.
+
+Under sustained overload the service cannot score every consumer every
+week — and *which* consumers it scores first then matters enormously
+for a theft detector: an attacker's cheapest cover is a control centre
+too busy to look at them.  Shedding therefore triages the roster into
+tiers:
+
+========  =============================================================
+tier      membership
+========  =============================================================
+suspect   alert history, a breaker that has ever tripped, or
+          quarantined (firewalled) readings on record — scored first,
+          never pre-shed under the ``PRIORITY`` policy
+watch     breaker currently not closed (half-open probation)
+healthy   everyone else — shed first
+========  =============================================================
+
+A shed consumer-week is not a silent loss: it degrades to a
+coverage-counted gap exactly like a lossy-channel week (the PR-1
+degraded-mode machinery), appears in the weekly report's ``shed``
+tuple, increments ``fdeta_shed_total{tier=...}``, and is logged as a
+structured ``consumers_shed`` event with its reason (``deadline`` or
+``pressure``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.loadcontrol.config import ShedPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.observability.events import EventLogger
+    from repro.observability.metrics import MetricsRegistry
+
+__all__ = ["LoadShedder", "ShedTier"]
+
+
+class ShedTier(enum.Enum):
+    """Scoring-priority tier of one consumer (see module docstring)."""
+
+    SUSPECT = "suspect"
+    WATCH = "watch"
+    HEALTHY = "healthy"
+
+
+#: Scoring order: lower rank scores earlier, sheds later.
+_TIER_RANK: Mapping[ShedTier, int] = {
+    ShedTier.SUSPECT: 0,
+    ShedTier.WATCH: 1,
+    ShedTier.HEALTHY: 2,
+}
+
+
+@dataclass
+class LoadShedder:
+    """Turns tier assignments into a scoring order and shed decisions."""
+
+    policy: ShedPolicy = ShedPolicy.PRIORITY
+    metrics: "MetricsRegistry | None" = None
+    events: "EventLogger | None" = None
+
+    def order(
+        self,
+        roster: Sequence[str],
+        tiers: Mapping[str, ShedTier],
+    ) -> tuple[str, ...]:
+        """Scoring order for one week.
+
+        ``PRIORITY`` sorts by tier rank (stable within a tier, so the
+        roster's deterministic order is preserved); ``UNIFORM`` and
+        ``OFF`` keep roster order.
+        """
+        if self.policy is not ShedPolicy.PRIORITY:
+            return tuple(roster)
+        return tuple(
+            sorted(
+                roster,
+                key=lambda cid: _TIER_RANK[tiers.get(cid, ShedTier.HEALTHY)],
+            )
+        )
+
+    def pressure_shed(
+        self,
+        order: Sequence[str],
+        tiers: Mapping[str, ShedTier],
+    ) -> frozenset[str]:
+        """Consumers to pre-shed because backpressure is sustained.
+
+        ``PRIORITY`` sheds the healthy tier; ``UNIFORM`` sheds the same
+        *number* of consumers but from the tail of roster order,
+        ignoring tiers; ``OFF`` sheds nobody.
+        """
+        if self.policy is ShedPolicy.OFF:
+            return frozenset()
+        healthy = [
+            cid
+            for cid in order
+            if tiers.get(cid, ShedTier.HEALTHY) is ShedTier.HEALTHY
+        ]
+        if self.policy is ShedPolicy.PRIORITY:
+            return frozenset(healthy)
+        # UNIFORM: shed the tail of the (roster-ordered) pass, tier-blind.
+        count = len(healthy)
+        return frozenset(order[len(order) - count :]) if count else frozenset()
+
+    def record(
+        self,
+        shed: Mapping[str, ShedTier],
+        week_index: int,
+        reason: str,
+    ) -> None:
+        """Account one week's shed decisions in metrics and events."""
+        if not shed:
+            return
+        if self.metrics is not None:
+            counter = self.metrics.counter(
+                "fdeta_shed_total",
+                "Consumer-weeks shed under load, by priority tier.",
+                labels=("tier",),
+            )
+            for tier in ShedTier:
+                count = sum(1 for t in shed.values() if t is tier)
+                if count:
+                    counter.inc(count, tier=tier.value)
+        if self.events is not None:
+            self.events.warning(
+                "consumers_shed",
+                week=week_index,
+                reason=reason,
+                count=len(shed),
+                by_tier={
+                    tier.value: sum(1 for t in shed.values() if t is tier)
+                    for tier in ShedTier
+                    if any(t is tier for t in shed.values())
+                },
+            )

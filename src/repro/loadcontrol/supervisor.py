@@ -1,0 +1,499 @@
+"""Self-healing supervision of sharded monitor workers.
+
+One monitoring process for millions of meters is both a throughput
+ceiling and a single point of failure.  The :class:`Supervisor` splits
+the fleet into shards — each a
+:class:`~repro.durability.recovery.DurableTheftMonitor` over its own
+WAL directory and checkpoint — and keeps them healthy:
+
+* **heartbeats**: every dispatched cycle a live worker advances its
+  heartbeat (the last cycle it ingested); a worker that stops beating
+  is *hung*, not merely slow, once it falls ``hang_tolerance_cycles``
+  behind.
+* **hang/crash detection**: a worker that raises
+  :class:`~repro.errors.WorkerCrashed` mid-cycle, or is found hung, or
+  was hard-killed (:meth:`Supervisor.kill`), is declared dead.
+* **self-healing restart**: the dead shard is rebuilt with
+  :func:`repro.durability.recovery.recover_monitor` — checkpoint
+  restore plus WAL tail replay — and the supervisor re-delivers the
+  recent cycles its bounded replay buffer holds, so the shard rejoins
+  at the current cycle with no data loss (re-deliveries overlapping
+  the recovered state are absorbed idempotently by the durable layer).
+
+Restarts are counted in ``fdeta_supervisor_restarts_total{reason=...}``
+(reasons: ``crash``, ``hang``, ``killed``) and per-state worker counts
+exported as ``fdeta_supervisor_workers{state=...}``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+from repro.durability.recovery import DurableTheftMonitor, recover_monitor
+from repro.durability.wal import WriteAheadLog
+from repro.errors import ConfigurationError, RecoveryError, SupervisorError, WorkerCrashed
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.online import MonitoringReport, TheftMonitoringService
+    from repro.detectors.base import WeeklyDetector
+    from repro.grid.snapshot import DemandSnapshot
+    from repro.loadcontrol.deadline import Deadline
+    from repro.loadcontrol.queue import BackpressureSignal
+    from repro.observability.events import EventLogger
+    from repro.observability.metrics import MetricsRegistry
+
+__all__ = ["ShardSpec", "Supervisor", "WorkerHandle", "make_shards", "shard_roster"]
+
+
+def shard_roster(
+    roster: Sequence[str], n_shards: int
+) -> tuple[tuple[str, ...], ...]:
+    """Deterministic round-robin split of a consumer roster.
+
+    Sharding is by sorted position, not hash, so the same roster always
+    produces the same shards — a restarted supervisor must route every
+    consumer to the shard whose WAL holds its history.
+    """
+    ids = sorted(roster)
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards > len(ids):
+        raise ConfigurationError(
+            f"cannot split {len(ids)} consumers into {n_shards} shards"
+        )
+    return tuple(tuple(ids[i::n_shards]) for i in range(n_shards))
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's identity: its consumers and its durable storage."""
+
+    shard_id: int
+    consumers: tuple[str, ...]
+    wal_dir: str
+    checkpoint_path: str
+
+
+def make_shards(
+    roster: Sequence[str], n_shards: int, base_dir: str | os.PathLike
+) -> tuple[ShardSpec, ...]:
+    """Build shard specs with per-shard WAL dirs under ``base_dir``."""
+    base = os.fspath(base_dir)
+    return tuple(
+        ShardSpec(
+            shard_id=i,
+            consumers=members,
+            wal_dir=os.path.join(base, f"shard-{i:04d}"),
+            checkpoint_path=os.path.join(base, f"shard-{i:04d}.ckpt"),
+        )
+        for i, members in enumerate(shard_roster(roster, n_shards))
+    )
+
+
+@dataclass
+class WorkerHandle:
+    """Supervisor-side view of one shard worker."""
+
+    spec: ShardSpec
+    worker: DurableTheftMonitor | None = None
+    members: frozenset[str] = field(default_factory=frozenset)
+    last_cycle: int = -1
+    beats: int = 0
+    restarts: int = 0
+    hung: bool = False
+
+    @property
+    def alive(self) -> bool:
+        return self.worker is not None and not self.hung
+
+
+class Supervisor:
+    """Runs sharded monitor workers and restarts the ones that die.
+
+    Parameters
+    ----------
+    shards:
+        The shard layout (see :func:`make_shards`).
+    service_factory:
+        ``service_factory(spec)`` builds a fresh
+        :class:`~repro.core.online.TheftMonitoringService` for one
+        shard (population = ``spec.consumers``).  Used at start and
+        whenever recovery finds no checkpoint.
+    detector_factory:
+        Passed to checkpoint restore during recovery.
+    worker_factory:
+        Optional hook wrapping ``(service, wal, spec)`` into the
+        durable worker; tests inject crashing variants here.
+    hang_tolerance_cycles:
+        How many cycles a worker may fall behind before it is declared
+        hung and restarted.
+    replay_buffer_cycles:
+        How many recent cycles the supervisor retains for re-delivery
+        after a restart.  Must exceed ``hang_tolerance_cycles`` or a
+        hung worker's missed cycles would be unrecoverable.
+    sync_every_cycles:
+        fsync cadence of each shard's WAL (1 = every cycle durable).
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[ShardSpec],
+        service_factory: "Callable[[ShardSpec], TheftMonitoringService]",
+        detector_factory: "Callable[[], WeeklyDetector]",
+        worker_factory: "Callable[[TheftMonitoringService, WriteAheadLog, ShardSpec], DurableTheftMonitor] | None" = None,
+        hang_tolerance_cycles: int = 2,
+        replay_buffer_cycles: int | None = None,
+        sync_every_cycles: int = 1,
+        metrics: "MetricsRegistry | None" = None,
+        events: "EventLogger | None" = None,
+    ) -> None:
+        if not shards:
+            raise ConfigurationError("supervisor needs at least one shard")
+        if hang_tolerance_cycles < 1:
+            raise ConfigurationError(
+                f"hang_tolerance_cycles must be >= 1, got "
+                f"{hang_tolerance_cycles}"
+            )
+        buffer_size = (
+            replay_buffer_cycles
+            if replay_buffer_cycles is not None
+            else hang_tolerance_cycles + 2
+        )
+        if buffer_size <= hang_tolerance_cycles:
+            raise ConfigurationError(
+                "replay_buffer_cycles must exceed hang_tolerance_cycles "
+                f"({buffer_size} <= {hang_tolerance_cycles}); a hung "
+                "worker's missed cycles would be unrecoverable"
+            )
+        seen: set[str] = set()
+        for spec in shards:
+            overlap = seen.intersection(spec.consumers)
+            if overlap:
+                raise ConfigurationError(
+                    f"consumers assigned to multiple shards: {sorted(overlap)}"
+                )
+            seen.update(spec.consumers)
+        self.service_factory = service_factory
+        self.detector_factory = detector_factory
+        self.worker_factory = worker_factory
+        self.hang_tolerance_cycles = int(hang_tolerance_cycles)
+        self.sync_every_cycles = int(sync_every_cycles)
+        self.metrics = metrics
+        self.events = events
+        self.restarts_total = 0
+        self._cycle = 0
+        self._backpressure: "BackpressureSignal | None" = None
+        self._buffer: deque = deque(maxlen=buffer_size)
+        self._handles: dict[int, WorkerHandle] = {
+            spec.shard_id: WorkerHandle(
+                spec=spec, members=frozenset(spec.consumers)
+            )
+            for spec in shards
+        }
+        for handle in self._handles.values():
+            handle.worker = self._build_worker(handle.spec, recover=False)
+            handle.last_cycle = handle.worker.service.cycles_ingested - 1
+        # Resume dispatch where the fleet left off.  After a cold-start
+        # recovery shards may sit at different cycles (a crash mid-
+        # dispatch); resuming at the *minimum* lets the behind shards
+        # ingest for real while the ahead ones absorb the overlap
+        # idempotently until the fleet is level again.
+        self._cycle = min(
+            handle.worker.service.cycles_ingested
+            for handle in self._handles.values()
+        )
+        self._update_gauges()
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def backpressure(self) -> "BackpressureSignal | None":
+        """Fleet-wide pressure signal, propagated into every shard's
+        service (and re-attached across restarts)."""
+        return self._backpressure
+
+    @backpressure.setter
+    def backpressure(self, signal: "BackpressureSignal | None") -> None:
+        self._backpressure = signal
+        for handle in self._handles.values():
+            if handle.worker is not None:
+                handle.worker.service.backpressure = signal
+
+    def _wrap(
+        self, service: "TheftMonitoringService", spec: ShardSpec
+    ) -> DurableTheftMonitor:
+        service.backpressure = self._backpressure
+        wal = WriteAheadLog(spec.wal_dir, metrics=service.metrics)
+        if self.worker_factory is not None:
+            return self.worker_factory(service, wal, spec)
+        return DurableTheftMonitor(
+            service,
+            wal,
+            checkpoint_path=spec.checkpoint_path,
+            sync_every_cycles=self.sync_every_cycles,
+        )
+
+    def _build_worker(
+        self, spec: ShardSpec, recover: bool
+    ) -> DurableTheftMonitor:
+        """Construct one shard worker, recovering durable state if any.
+
+        At cold start a shard whose WAL directory already holds
+        segments (a previous incarnation) recovers too — start and
+        restart are the same code path, which is what makes the
+        supervisor safe to bounce.
+        """
+        has_state = recover or bool(
+            os.path.exists(spec.checkpoint_path)
+            or (
+                os.path.isdir(spec.wal_dir)
+                and any(
+                    name.startswith("wal-")
+                    for name in os.listdir(spec.wal_dir)
+                )
+            )
+        )
+        if has_state:
+            result = recover_monitor(
+                spec.wal_dir,
+                detector_factory=self.detector_factory,
+                checkpoint_path=spec.checkpoint_path,
+                service_factory=lambda: self.service_factory(spec),
+                events=self.events,
+            )
+            service = result.service
+        else:
+            service = self.service_factory(spec)
+        return self._wrap(service, spec)
+
+    def _restart(self, handle: WorkerHandle, cycle: int, reason: str) -> None:
+        """Rebuild a dead shard from checkpoint+WAL and re-deliver the
+        buffered cycles the recovered state does not cover."""
+        old = handle.worker
+        handle.worker = None
+        if old is not None:
+            try:
+                old.close()
+            except Exception:  # noqa: BLE001 - a dead worker may not close
+                pass
+        handle.worker = self._build_worker(handle.spec, recover=True)
+        handle.restarts += 1
+        self.restarts_total += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "fdeta_supervisor_restarts_total",
+                "Shard-worker restarts, by failure reason.",
+                labels=("reason",),
+            ).inc(reason=reason)
+        service = handle.worker.service
+        if self.events is not None:
+            self.events.warning(
+                "worker_restarted",
+                shard=handle.spec.shard_id,
+                reason=reason,
+                recovered_cycle=service.cycles_ingested,
+                recovered_week=service.weeks_completed,
+                cycle=cycle,
+            )
+        self._redeliver(handle, up_to_cycle=cycle)
+        handle.last_cycle = cycle - 1
+
+    def _redeliver(self, handle: WorkerHandle, up_to_cycle: int) -> None:
+        """Replay buffered cycles below ``up_to_cycle`` into a freshly
+        recovered worker; overlap with the recovered state is absorbed
+        idempotently by the durable layer."""
+        assert handle.worker is not None
+        expected = handle.worker.service.cycles_ingested
+        for buffered_cycle, readings, snapshot in self._buffer:
+            if buffered_cycle >= up_to_cycle:
+                break
+            if buffered_cycle < expected:
+                # The recovered WAL already covers it; skipping here
+                # avoids needless idempotent re-absorption work.
+                continue
+            sub = self._subset(handle, readings)
+            try:
+                handle.worker.ingest_cycle(
+                    sub, snapshot, cycle_index=buffered_cycle
+                )
+            except RecoveryError as exc:
+                raise SupervisorError(
+                    f"shard {handle.spec.shard_id} cannot rejoin: the "
+                    f"replay buffer no longer holds cycle "
+                    f"{handle.worker.service.cycles_ingested} "
+                    f"(buffer spans {len(self._buffer)} cycles)"
+                ) from exc
+
+    @staticmethod
+    def _subset(handle: WorkerHandle, readings: Mapping) -> dict:
+        return {
+            cid: value
+            for cid, value in readings.items()
+            if cid in handle.members
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    @property
+    def cycle(self) -> int:
+        """The next cycle index the supervisor will dispatch."""
+        return self._cycle
+
+    def ingest_cycle(
+        self,
+        reported: Mapping,
+        snapshot: "DemandSnapshot | None" = None,
+        deadline: "Deadline | None" = None,
+    ) -> dict[int, "MonitoringReport | None"]:
+        """Route one polling cycle to every shard; heal the dead ones.
+
+        Returns per-shard weekly reports (``None`` off week
+        boundaries).  A shard that crashes mid-cycle is restarted and
+        the cycle re-delivered within the same call.
+        """
+        cycle = self._cycle
+        self._buffer.append((cycle, dict(reported), snapshot))
+        reports: dict[int, "MonitoringReport | None"] = {}
+        for shard_id in sorted(self._handles):
+            reports[shard_id] = self._dispatch(
+                self._handles[shard_id], cycle, reported, snapshot, deadline
+            )
+        self._cycle += 1
+        self._update_gauges()
+        return reports
+
+    def _dispatch(
+        self,
+        handle: WorkerHandle,
+        cycle: int,
+        reported: Mapping,
+        snapshot: "DemandSnapshot | None",
+        deadline: "Deadline | None",
+    ) -> "MonitoringReport | None":
+        if handle.hung:
+            # A wedged worker neither ingests nor beats.  Declare it
+            # dead only once it has fallen hang_tolerance_cycles behind
+            # (a slow worker is not a dead one).
+            if cycle - handle.last_cycle <= self.hang_tolerance_cycles:
+                return None
+            handle.hung = False
+            self._restart(handle, cycle, reason="hang")
+        if handle.worker is None:
+            self._restart(handle, cycle, reason="killed")
+        assert handle.worker is not None
+        sub = self._subset(handle, reported)
+        try:
+            report = handle.worker.ingest_cycle(
+                sub, snapshot, cycle_index=cycle, deadline=deadline
+            )
+        except WorkerCrashed:
+            self._restart(handle, cycle, reason="crash")
+            assert handle.worker is not None
+            report = handle.worker.ingest_cycle(
+                sub, snapshot, cycle_index=cycle, deadline=deadline
+            )
+        handle.last_cycle = cycle
+        handle.beats += 1
+        return report
+
+    # ------------------------------------------------------------------
+    # Fault-injection hooks (chaos tests)
+    # ------------------------------------------------------------------
+
+    def kill(self, shard_id: int) -> None:
+        """Hard-kill one shard: its in-memory state is gone.
+
+        The worker's WAL fsyncs every acknowledged cycle (the
+        supervisor default), so closing the log file loses nothing a
+        power cut would not also preserve; what dies is the in-memory
+        service state accumulated since the last checkpoint — exactly
+        what recovery must rebuild from checkpoint + WAL replay.
+        """
+        handle = self._handle(shard_id)
+        worker = handle.worker
+        handle.worker = None
+        handle.hung = False
+        if worker is not None:
+            try:
+                worker.close()
+            except Exception:  # noqa: BLE001 - dying worker may not close
+                pass
+        self._update_gauges()
+
+    def hang(self, shard_id: int) -> None:
+        """Wedge one shard: it stops ingesting and stops heartbeating."""
+        self._handle(shard_id).hung = True
+        self._update_gauges()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _handle(self, shard_id: int) -> WorkerHandle:
+        try:
+            return self._handles[shard_id]
+        except KeyError:
+            raise SupervisorError(f"no shard {shard_id}") from None
+
+    def handles(self) -> tuple[WorkerHandle, ...]:
+        return tuple(
+            self._handles[shard_id] for shard_id in sorted(self._handles)
+        )
+
+    def service(self, shard_id: int) -> "TheftMonitoringService":
+        handle = self._handle(shard_id)
+        if handle.worker is None:
+            raise SupervisorError(f"shard {shard_id} is dead")
+        return handle.worker.service
+
+    def services(self) -> dict[int, "TheftMonitoringService"]:
+        return {
+            shard_id: self.service(shard_id)
+            for shard_id in sorted(self._handles)
+            if self._handles[shard_id].worker is not None
+        }
+
+    def weekly_reports(self) -> dict[int, list["MonitoringReport"]]:
+        """Every shard's accumulated weekly reports, by shard id."""
+        return {
+            shard_id: list(service.reports)
+            for shard_id, service in self.services().items()
+        }
+
+    def _update_gauges(self) -> None:
+        if self.metrics is None:
+            return
+        gauge = self.metrics.gauge(
+            "fdeta_supervisor_workers",
+            "Shard workers currently in each health state.",
+            labels=("state",),
+        )
+        counts = {"running": 0, "hung": 0, "dead": 0}
+        for handle in self._handles.values():
+            if handle.worker is None:
+                counts["dead"] += 1
+            elif handle.hung:
+                counts["hung"] += 1
+            else:
+                counts["running"] += 1
+        for state, count in counts.items():
+            gauge.set(count, state=state)
+
+    def close(self) -> None:
+        for handle in self._handles.values():
+            if handle.worker is not None:
+                handle.worker.close()
+                handle.worker = None
+
+    def __enter__(self) -> "Supervisor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -17,6 +17,8 @@ import numpy as np
 from repro.errors import MeteringError
 from repro.grid.snapshot import DemandSnapshot
 from repro.grid.topology import RadialTopology
+from repro.loadcontrol.admission import AdmissionController
+from repro.loadcontrol.queue import BackpressureSignal
 from repro.metering.channel import LossyChannel
 from repro.metering.errors_model import MeasurementErrorModel
 from repro.metering.meter import SmartMeter
@@ -138,11 +140,18 @@ class UtilityHeadEnd:
 
 @dataclass(frozen=True)
 class CycleResult:
-    """Outcome of one resilient polling cycle."""
+    """Outcome of one resilient polling cycle.
+
+    ``deferred`` lists consumers whose readings arrived intact but were
+    held back by admission control this cycle (stored as gaps; the
+    aging guarantee bounds how many consecutive cycles that can
+    happen to any one consumer).
+    """
 
     delivered: dict[str, float]
     missing: tuple[str, ...]
     retried: int
+    deferred: tuple[str, ...] = ()
 
     @property
     def delivery_ratio(self) -> float:
@@ -178,6 +187,15 @@ class ResilientHeadEnd:
     never enter the store and are recorded as gaps instead, while the
     raw delivery still appears in :class:`CycleResult` so downstream
     breaker accounting sees the failure.
+
+    An optional ``admission`` controller rate-limits what the head-end
+    forwards downstream: when the monitoring side's ``backpressure``
+    signal is engaged, the controller's AIMD loop cuts the admission
+    rate and intact readings beyond the token budget are *deferred* —
+    stored as gaps this cycle (the degraded-mode machinery counts them
+    against coverage) and re-admitted within the aging bound.
+    Screening runs before admission, so quarantined garbage never
+    spends admission tokens.
     """
 
     ami: AMINetwork
@@ -186,9 +204,12 @@ class ResilientHeadEnd:
     store: ReadingStore = field(default_factory=ReadingStore)
     metrics: MetricsRegistry | None = None
     firewall: ReadingFirewall | None = None
+    admission: AdmissionController | None = None
+    backpressure: BackpressureSignal | None = None
     cycles_polled: int = 0
     retries_sent: int = 0
     gaps_recorded: int = 0
+    readings_deferred: int = 0
 
     def poll(
         self, actual_demands: Mapping[str, float], rng: np.random.Generator
@@ -230,6 +251,26 @@ class ResilientHeadEnd:
             screened = self.firewall.screen(
                 delivered, cycle=self.cycles_polled, metrics=self.metrics
             )
+        admitted: frozenset[str] | None = None
+        deferred: tuple[str, ...] = ()
+        if self.admission is not None:
+            # Screening already ran: only intact readings compete for
+            # admission tokens, so garbage cannot starve good meters.
+            candidates = [
+                cid
+                for cid in reported
+                if (value := screened.get(cid)) is not None
+                and math.isfinite(value)
+                and value >= 0
+            ]
+            pressure = (
+                self.backpressure.engaged
+                if self.backpressure is not None
+                else False
+            )
+            decision = self.admission.admit(candidates, pressure=pressure)
+            admitted = decision.admitted_set
+            deferred = decision.deferred
         gaps = 0
         for cid in reported:
             value = screened.get(cid)
@@ -237,8 +278,10 @@ class ResilientHeadEnd:
             # FaultyChannel) — and anything the firewall quarantined —
             # are stored as gaps but stay in `delivered` so the
             # monitoring service can count them against the consumer's
-            # circuit breaker.
-            if value is not None and math.isfinite(value) and value >= 0:
+            # circuit breaker.  Deferred readings become gaps too, but
+            # deliberately: admission held them back this cycle.
+            valid = value is not None and math.isfinite(value) and value >= 0
+            if valid and (admitted is None or cid in admitted):
                 self.store.append(cid, value)
             else:
                 self.store.append_gap(cid)
@@ -246,8 +289,12 @@ class ResilientHeadEnd:
         self.cycles_polled += 1
         self.retries_sent += retried
         self.gaps_recorded += gaps
+        self.readings_deferred += len(deferred)
         result = CycleResult(
-            delivered=delivered, missing=tuple(missing), retried=retried
+            delivered=delivered,
+            missing=tuple(missing),
+            retried=retried,
+            deferred=deferred,
         )
         if self.metrics is not None:
             self.metrics.counter(

@@ -39,7 +39,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Bump when the state layout changes; old checkpoints are rejected.
 #: v2 added the observability state (metrics registry + tracer).
 #: v3 added the reading-integrity firewall (policy + quarantine store).
-CHECKPOINT_VERSION = 3
+#: v4 added overload control (loadcontrol config; reports carry
+#: ``shed``).
+CHECKPOINT_VERSION = 4
 
 _MAGIC = "fdeta-checkpoint"
 

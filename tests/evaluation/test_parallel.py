@@ -1,5 +1,8 @@
 """Tests for the process-parallel evaluation runner."""
 
+import io
+import json
+
 import pytest
 
 from repro.data.synthetic import SyntheticCERConfig, generate_cer_like_dataset
@@ -7,6 +10,8 @@ from repro.errors import ConfigurationError, DataError
 from repro.evaluation.config import EvaluationConfig
 from repro.evaluation.experiment import run_evaluation
 from repro.evaluation.parallel import run_evaluation_parallel
+from repro.observability.events import EventLogger
+from repro.observability.metrics import MetricsRegistry
 
 
 @pytest.fixture(scope="module")
@@ -57,3 +62,71 @@ class TestParallelRunner:
             run_evaluation_parallel(
                 tiny_dataset, EvaluationConfig(attack_week_index=99)
             )
+
+    def test_rejects_bad_timeouts(self, tiny_dataset):
+        with pytest.raises(ConfigurationError):
+            run_evaluation_parallel(tiny_dataset, job_timeout_s=0)
+        with pytest.raises(ConfigurationError):
+            run_evaluation_parallel(tiny_dataset, batch_deadline_s=-1.0)
+
+
+class TestTimeoutFallback:
+    def test_batch_deadline_falls_back_to_serial(self, tiny_dataset):
+        """A batch deadline the pool cannot possibly meet must degrade
+        parallelism, never coverage: every consumer still gets evaluated
+        (serially, in the parent) and results match the serial runner."""
+        cfg = EvaluationConfig(n_vectors=2)
+        metrics = MetricsRegistry()
+        stream = io.StringIO()
+        events = EventLogger(stream=stream)
+        results = run_evaluation_parallel(
+            tiny_dataset,
+            cfg,
+            max_workers=2,
+            batch_deadline_s=1e-6,
+            metrics=metrics,
+            events=events,
+        )
+        assert results.n_consumers == tiny_dataset.n_consumers
+        serial = run_evaluation(tiny_dataset, cfg)
+        for cid in serial.consumers:
+            assert (
+                results.consumers[cid].detected_all
+                == serial.consumers[cid].detected_all
+            )
+        totals = metrics.totals()
+        assert totals[("fdeta_parallel_eval_timeouts_total", ())] == 1
+        assert (
+            totals[("fdeta_parallel_eval_fallback_total", ())]
+            == tiny_dataset.n_consumers
+        )
+        logged = [json.loads(line) for line in stream.getvalue().splitlines()]
+        timeout_events = [
+            e for e in logged if e["event"] == "parallel_eval_timeout"
+        ]
+        assert len(timeout_events) == 1
+        assert timeout_events[0]["fallback"] == tiny_dataset.n_consumers
+
+    def test_job_timeout_still_completes_every_consumer(self, tiny_dataset):
+        # Whether the first future beats a microscopic timeout is a
+        # race; either way the contract is completeness.
+        results = run_evaluation_parallel(
+            tiny_dataset,
+            EvaluationConfig(n_vectors=2),
+            max_workers=2,
+            job_timeout_s=1e-9,
+        )
+        assert set(results.consumers) == set(tiny_dataset.consumers())
+
+    def test_generous_deadline_never_triggers_fallback(self, tiny_dataset):
+        metrics = MetricsRegistry()
+        results = run_evaluation_parallel(
+            tiny_dataset,
+            EvaluationConfig(n_vectors=2),
+            max_workers=2,
+            job_timeout_s=600.0,
+            batch_deadline_s=600.0,
+            metrics=metrics,
+        )
+        assert results.n_consumers == tiny_dataset.n_consumers
+        assert ("fdeta_parallel_eval_timeouts_total", ()) not in metrics.totals()

@@ -15,10 +15,14 @@ SUBPACKAGES = (
     "repro.core",
     "repro.data",
     "repro.detectors",
+    "repro.durability",
     "repro.evaluation",
     "repro.grid",
+    "repro.loadcontrol",
     "repro.metering",
+    "repro.observability",
     "repro.pricing",
+    "repro.quarantine",
     "repro.resilience",
     "repro.stats",
     "repro.timeseries",

@@ -1,0 +1,169 @@
+"""Token bucket, AIMD rate control, and the bounded-starvation guarantee."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.loadcontrol.admission import (
+    AdmissionController,
+    AIMDRate,
+    TokenBucket,
+)
+from repro.loadcontrol.config import LoadControlConfig
+from repro.observability.metrics import MetricsRegistry
+
+
+class TestTokenBucket:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(capacity=0, refill_per_cycle=1)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(capacity=1, refill_per_cycle=0)
+
+    def test_starts_full_and_drains(self):
+        bucket = TokenBucket(capacity=3, refill_per_cycle=1)
+        assert all(bucket.try_acquire() for _ in range(3))
+        assert not bucket.try_acquire()
+
+    def test_refill_capped_at_capacity(self):
+        bucket = TokenBucket(capacity=2, refill_per_cycle=5)
+        bucket.tick()
+        assert bucket.tokens == 2
+
+    def test_failed_acquire_has_no_side_effect(self):
+        bucket = TokenBucket(capacity=1, refill_per_cycle=1)
+        assert bucket.try_acquire()
+        before = bucket.tokens
+        assert not bucket.try_acquire()
+        assert bucket.tokens == before
+
+
+class TestAIMDRate:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AIMDRate(rate=1, min_rate=2, max_rate=1, increase=1, decrease=0.5)
+        with pytest.raises(ConfigurationError):
+            AIMDRate(rate=1, min_rate=1, max_rate=2, increase=1, decrease=1.5)
+
+    def test_multiplicative_decrease_additive_increase(self):
+        aimd = AIMDRate(
+            rate=64, min_rate=1, max_rate=128, increase=4, decrease=0.5
+        )
+        assert aimd.on_pressure() == 32.0
+        assert aimd.on_pressure() == 16.0
+        assert aimd.on_clear() == 20.0
+
+    def test_clamped_to_bounds(self):
+        aimd = AIMDRate(
+            rate=2, min_rate=1, max_rate=4, increase=10, decrease=0.01
+        )
+        assert aimd.on_pressure() == 1.0  # floor
+        assert aimd.on_clear() == 4.0  # ceiling
+
+
+class TestAdmissionController:
+    def _controller(self, **overrides):
+        defaults = dict(
+            admit_rate=2.0,
+            admit_burst=2.0,
+            min_admit_rate=1.0,
+            max_admit_rate=8.0,
+            aimd_increase=1.0,
+            aimd_decrease=0.5,
+            max_defer_cycles=3,
+        )
+        defaults.update(overrides)
+        return AdmissionController(LoadControlConfig(**defaults))
+
+    def test_admits_within_rate(self):
+        controller = self._controller()
+        decision = controller.admit(["a", "b"])
+        assert decision.admitted == ("a", "b")
+        assert decision.deferred == ()
+
+    def test_defers_beyond_burst(self):
+        controller = self._controller()
+        decision = controller.admit(["a", "b", "c", "d", "e"])
+        assert len(decision.admitted) < 5
+        assert set(decision.admitted) | set(decision.deferred) == {
+            "a", "b", "c", "d", "e",
+        }
+
+    def test_pressure_cuts_rate_multiplicatively(self):
+        # max_defer_cycles high enough that aging never force-admits here.
+        controller = self._controller(
+            admit_rate=8.0, admit_burst=8.0, max_defer_cycles=32
+        )
+        roster = [f"c{i}" for i in range(16)]
+        calm = controller.admit(roster)
+        controller.admit(roster, pressure=True)
+        pressured = controller.admit(roster, pressure=True)
+        assert len(pressured.admitted) < len(calm.admitted)
+        assert controller.aimd.rate < 8.0
+
+    def test_rate_recovers_additively_after_pressure_clears(self):
+        controller = self._controller(admit_rate=8.0, admit_burst=8.0)
+        for _ in range(3):
+            controller.admit(["x"], pressure=True)
+        low = controller.aimd.rate
+        controller.admit(["x"], pressure=False)
+        assert controller.aimd.rate == low + 1.0
+
+    def test_aging_guarantee_bounds_starvation(self):
+        # One token per cycle, three candidates, strict candidate order:
+        # the tail consumer would starve forever without aging.
+        controller = self._controller(
+            admit_rate=1.0, admit_burst=1.0, max_defer_cycles=3
+        )
+        roster = ["a", "b", "z"]
+        admitted_z = []
+        for cycle in range(12):
+            decision = controller.admit(roster)
+            admitted_z.append("z" in decision.admitted)
+            assert controller.defer_streak("z") < 3
+        assert any(admitted_z), "aging never admitted the tail consumer"
+
+    def test_bypass_counted_and_reported(self):
+        controller = self._controller(
+            admit_rate=1.0, admit_burst=1.0, max_defer_cycles=2
+        )
+        controller.admit(["a", "z"])  # z deferred (streak 1)
+        decision = controller.admit(["a", "z"])  # z hits the bound
+        assert "z" in decision.bypassed
+        assert "z" in decision.admitted
+        assert controller.bypassed_total == 1
+
+    def test_streak_resets_on_admission(self):
+        controller = self._controller(
+            admit_rate=1.0, admit_burst=1.0, max_defer_cycles=4
+        )
+        controller.admit(["a", "z"])
+        assert controller.defer_streak("z") == 1
+        controller.admit(["z"])  # alone: admitted
+        assert controller.defer_streak("z") == 0
+
+    def test_metrics_recorded(self):
+        metrics = MetricsRegistry()
+        controller = AdmissionController(
+            LoadControlConfig(
+                admit_rate=1.0,
+                admit_burst=1.0,
+                min_admit_rate=1.0,
+                max_defer_cycles=8,
+            ),
+            metrics=metrics,
+        )
+        controller.admit(["a", "b"])
+        totals = metrics.totals()
+        assert totals[("fdeta_admission_admitted_total", ())] == 1
+        assert totals[("fdeta_admission_rejects_total", ())] == 1
+
+    def test_totals_reconcile(self):
+        controller = self._controller(admit_rate=1.0, admit_burst=1.0)
+        candidates = ["a", "b", "c"]
+        seen = 0
+        for _ in range(20):
+            decision = controller.admit(candidates)
+            seen += len(candidates)
+            assert set(decision.admitted).isdisjoint(decision.deferred)
+            assert set(decision.bypassed) <= set(decision.admitted)
+        assert controller.admitted_total + controller.deferred_total == seen

@@ -1,0 +1,116 @@
+"""Deadline accounting with a deterministic fake clock."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.loadcontrol.deadline import STAGE_SECONDS_BUCKETS, Deadline
+from repro.observability.events import EventLogger
+from repro.observability.metrics import MetricsRegistry
+
+
+class FakeClock:
+    """Manually-advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _events(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestDeadline:
+    def test_budget_validated(self):
+        with pytest.raises(ConfigurationError):
+            Deadline(0.0)
+        with pytest.raises(ConfigurationError):
+            Deadline(-1.0)
+
+    def test_stage_accounting(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        with deadline.stage("firewall"):
+            clock.advance(1.0)
+        with deadline.stage("scoring"):
+            clock.advance(2.0)
+        with deadline.stage("scoring"):
+            clock.advance(0.5)
+        assert deadline.stage_seconds == {"firewall": 1.0, "scoring": 2.5}
+        assert deadline.elapsed() == 3.5
+        assert deadline.remaining() == 6.5
+        assert not deadline.expired
+        assert not deadline.overran
+
+    def test_expires_when_budget_spent(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        with deadline.stage("ingest"):
+            clock.advance(1.5)
+        assert deadline.expired
+        assert deadline.overran
+        assert deadline.overrun_stages == ["ingest"]
+
+    def test_unlimited_never_expires(self):
+        clock = FakeClock()
+        deadline = Deadline.unlimited(clock=clock)
+        with deadline.stage("scoring"):
+            clock.advance(1e9)
+        assert not deadline.expired
+        assert not deadline.overran
+        assert deadline.remaining() == float("inf")
+        # Stages are still accounted even without a budget.
+        assert deadline.stage_seconds["scoring"] == 1e9
+
+    def test_overrun_event_fires_once(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        events = EventLogger(stream=stream)
+        metrics = MetricsRegistry()
+        deadline = Deadline(1.0, clock=clock, metrics=metrics, events=events)
+        with deadline.stage("wal_append"):
+            clock.advance(2.0)
+        with deadline.stage("scoring"):
+            clock.advance(1.0)
+        overruns = [
+            e for e in _events(stream) if e["event"] == "deadline_overrun"
+        ]
+        assert len(overruns) == 1
+        assert overruns[0]["stage"] == "wal_append"
+        # Both stages count in the per-stage overrun counter...
+        totals = metrics.totals()
+        assert totals[("fdeta_deadline_overruns_total", ("wal_append",))] == 1
+        assert totals[("fdeta_deadline_overruns_total", ("scoring",))] == 1
+        # ...but the magnitude histogram samples only the first overrun.
+        assert totals[("fdeta_deadline_overrun_seconds_count", ())] == 1
+
+    def test_stage_seconds_histogram_observed(self):
+        clock = FakeClock()
+        metrics = MetricsRegistry()
+        deadline = Deadline(10.0, clock=clock, metrics=metrics)
+        with deadline.stage("firewall"):
+            clock.advance(0.25)
+        histogram = metrics.histogram(
+            "fdeta_stage_seconds",
+            labels=("stage",),
+            buckets=STAGE_SECONDS_BUCKETS,
+        )
+        assert histogram.count(stage="firewall") == 1
+        assert histogram.sum(stage="firewall") == 0.25
+
+    def test_stage_records_even_when_body_raises(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        with pytest.raises(RuntimeError):
+            with deadline.stage("scoring"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        assert deadline.stage_seconds["scoring"] == 1.0

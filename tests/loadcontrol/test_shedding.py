@@ -1,0 +1,106 @@
+"""Shed-tier ordering and shed accounting."""
+
+import io
+import json
+
+from repro.loadcontrol.config import ShedPolicy
+from repro.loadcontrol.shedding import LoadShedder, ShedTier
+from repro.observability.events import EventLogger
+from repro.observability.metrics import MetricsRegistry
+
+ROSTER = ("c1", "c2", "c3", "c4", "c5")
+TIERS = {
+    "c1": ShedTier.HEALTHY,
+    "c2": ShedTier.SUSPECT,
+    "c3": ShedTier.WATCH,
+    "c4": ShedTier.HEALTHY,
+    "c5": ShedTier.SUSPECT,
+}
+
+
+class TestScoringOrder:
+    def test_priority_orders_suspects_first(self):
+        shedder = LoadShedder(policy=ShedPolicy.PRIORITY)
+        assert shedder.order(ROSTER, TIERS) == ("c2", "c5", "c3", "c1", "c4")
+
+    def test_priority_sort_is_stable_within_tier(self):
+        shedder = LoadShedder(policy=ShedPolicy.PRIORITY)
+        order = shedder.order(ROSTER, TIERS)
+        assert order.index("c2") < order.index("c5")  # roster order kept
+        assert order.index("c1") < order.index("c4")
+
+    def test_uniform_and_off_keep_roster_order(self):
+        for policy in (ShedPolicy.UNIFORM, ShedPolicy.OFF):
+            shedder = LoadShedder(policy=policy)
+            assert shedder.order(ROSTER, TIERS) == ROSTER
+
+    def test_unknown_consumer_defaults_to_healthy(self):
+        shedder = LoadShedder(policy=ShedPolicy.PRIORITY)
+        order = shedder.order(("zz", "c2"), TIERS)
+        assert order == ("c2", "zz")
+
+
+class TestPressureShed:
+    def test_off_sheds_nobody(self):
+        shedder = LoadShedder(policy=ShedPolicy.OFF)
+        assert shedder.pressure_shed(ROSTER, TIERS) == frozenset()
+
+    def test_priority_sheds_exactly_the_healthy_tier(self):
+        shedder = LoadShedder(policy=ShedPolicy.PRIORITY)
+        order = shedder.order(ROSTER, TIERS)
+        assert shedder.pressure_shed(order, TIERS) == {"c1", "c4"}
+
+    def test_uniform_sheds_same_count_from_the_tail(self):
+        shedder = LoadShedder(policy=ShedPolicy.UNIFORM)
+        shed = shedder.pressure_shed(ROSTER, TIERS)
+        # Same volume as the healthy tier, but tier-blind: the tail of
+        # roster order goes, even though c5 is a suspect.
+        assert shed == {"c4", "c5"}
+
+    def test_all_suspect_roster_sheds_nothing(self):
+        tiers = {cid: ShedTier.SUSPECT for cid in ROSTER}
+        for policy in (ShedPolicy.PRIORITY, ShedPolicy.UNIFORM):
+            shedder = LoadShedder(policy=policy)
+            assert shedder.pressure_shed(ROSTER, tiers) == frozenset()
+
+
+class TestRecord:
+    def test_metrics_count_by_tier(self):
+        metrics = MetricsRegistry()
+        shedder = LoadShedder(policy=ShedPolicy.PRIORITY, metrics=metrics)
+        shedder.record(
+            {"c1": ShedTier.HEALTHY, "c4": ShedTier.HEALTHY,
+             "c3": ShedTier.WATCH},
+            week_index=2,
+            reason="pressure",
+        )
+        counter = metrics.counter("fdeta_shed_total", labels=("tier",))
+        assert counter.value(tier="healthy") == 2
+        assert counter.value(tier="watch") == 1
+        assert counter.value(tier="suspect") == 0
+
+    def test_event_carries_reason_and_tier_breakdown(self):
+        stream = io.StringIO()
+        events = EventLogger(stream=stream)
+        shedder = LoadShedder(policy=ShedPolicy.PRIORITY, events=events)
+        shedder.record(
+            {"c1": ShedTier.HEALTHY}, week_index=7, reason="deadline"
+        )
+        records = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert len(records) == 1
+        event = records[0]
+        assert event["event"] == "consumers_shed"
+        assert event["level"] == "warning"
+        assert event["week"] == 7
+        assert event["reason"] == "deadline"
+        assert event["count"] == 1
+        assert event["by_tier"] == {"healthy": 1}
+
+    def test_empty_shed_records_nothing(self):
+        metrics = MetricsRegistry()
+        stream = io.StringIO()
+        events = EventLogger(stream=stream)
+        shedder = LoadShedder(metrics=metrics, events=events)
+        shedder.record({}, week_index=0, reason="pressure")
+        assert stream.getvalue() == ""
+        assert metrics.totals() == {}

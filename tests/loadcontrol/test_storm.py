@@ -1,0 +1,135 @@
+"""Read-storm chaos: 5x overload with exact accounting reconciliation.
+
+A storm must never lose a reading silently: every offered cycle is
+either queued or rejected-and-retried, every roster member of every
+completed week is scored, suppressed, quarantined, or shed, and the
+shed metrics reconcile exactly with the weekly reports.
+"""
+
+import numpy as np
+
+from repro.core.kld import KLDDetector
+from repro.core.online import TheftMonitoringService
+from repro.loadcontrol.config import LoadControlConfig, ShedPolicy
+from repro.loadcontrol.queue import BufferedIngestor
+from repro.loadcontrol.shedding import ShedTier
+from repro.quarantine import FirewallPolicy, ReadingFirewall
+from repro.resilience.config import ResilienceConfig
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+CONSUMERS = tuple(f"c{i}" for i in range(1, 9))
+WEEKS = 4
+OVERLOAD = 5  # cycles offered per drain tick
+
+
+def _readings(t):
+    rng = np.random.default_rng((23, t))
+    out = {cid: float(rng.gamma(2.0, 0.5)) for cid in CONSUMERS}
+    if t % 31 == 0:
+        out["c8"] = 1e6  # absurd spike: firewalled, marks c8 a suspect
+    return out
+
+
+def _run_storm(policy):
+    config = LoadControlConfig(
+        max_queue=8,
+        shed_policy=policy,
+        pressure_shed_after=2,
+    )
+    service = TheftMonitoringService(
+        detector_factory=lambda: KLDDetector(significance=0.05),
+        min_training_weeks=2,
+        resilience=ResilienceConfig(),
+        population=CONSUMERS,
+        firewall=ReadingFirewall(FirewallPolicy(max_reading_kwh=50.0)),
+        loadcontrol=config,
+    )
+    ingestor = BufferedIngestor(
+        service.ingest_cycle, config=config, metrics=service.metrics
+    )
+    pending = [_readings(t) for t in range(WEEKS * SLOTS_PER_WEEK)]
+    pending.reverse()  # pop() yields cycles in order
+    held = None
+    while pending or held is not None or ingestor.backlog:
+        # Producer side: a 5x burst arrives each tick; a rejected cycle
+        # is held and re-offered (never dropped, never reordered).
+        for _ in range(OVERLOAD):
+            cycle = held if held is not None else (
+                pending.pop() if pending else None
+            )
+            if cycle is None:
+                break
+            if ingestor.submit(cycle):
+                held = None
+            else:
+                held = cycle
+                break
+        # Consumer side drains at 1x: sustained 5x pressure.
+        ingestor.drain(max_cycles=1)
+    return service, ingestor
+
+
+class TestReadStorm:
+    def test_priority_storm_reconciles_exactly(self):
+        service, ingestor = _run_storm(ShedPolicy.PRIORITY)
+        queue = ingestor.queue
+        total_cycles = WEEKS * SLOTS_PER_WEEK
+
+        # Queue ledger: every offer is accounted, nothing lingers.
+        accepted = queue.offered - queue.rejected
+        assert accepted == queue.taken == total_cycles
+        assert queue.rejected > 0  # the storm genuinely overflowed
+        assert queue.peak_depth <= queue.capacity == 8
+        assert ingestor.backlog == 0
+        assert service.cycles_ingested == total_cycles
+
+        # Backpressure engaged during the storm and released after it.
+        assert queue.signal.transitions >= 2
+        assert not queue.signal.engaged
+
+        # Weekly partition: every roster member of every completed week
+        # is exactly one of scored/suppressed (coverage), quarantined,
+        # or shed-with-coverage.
+        assert len(service.reports) == WEEKS
+        for report in service.reports:
+            covered = set(report.coverage)
+            quarantined = set(report.quarantined)
+            assert covered | quarantined == set(CONSUMERS)
+            assert not covered & quarantined
+            assert set(report.shed) <= covered
+            assert set(report.suppressed) <= covered
+
+        # Sustained 5x pressure must actually shed somebody...
+        shed_by_week = [len(r.shed) for r in service.reports]
+        assert sum(shed_by_week) > 0
+        # ...but never the suspect under the PRIORITY policy.
+        assert all("c8" not in r.shed for r in service.reports)
+
+        # Metric <-> report reconciliation, tier by tier.
+        counter = service.metrics.counter("fdeta_shed_total", labels=("tier",))
+        metric_total = sum(
+            counter.value(tier=tier.value) for tier in ShedTier
+        )
+        assert metric_total == sum(shed_by_week)
+        assert counter.value(tier=ShedTier.SUSPECT.value) == 0
+
+    def test_uniform_storm_still_reconciles(self):
+        service, ingestor = _run_storm(ShedPolicy.UNIFORM)
+        assert service.cycles_ingested == WEEKS * SLOTS_PER_WEEK
+        assert ingestor.backlog == 0
+        counter = service.metrics.counter("fdeta_shed_total", labels=("tier",))
+        metric_total = sum(
+            counter.value(tier=tier.value) for tier in ShedTier
+        )
+        assert metric_total == sum(len(r.shed) for r in service.reports)
+        for report in service.reports:
+            assert set(report.coverage) | set(report.quarantined) == set(
+                CONSUMERS
+            )
+
+    def test_off_policy_never_sheds_under_storm(self):
+        service, ingestor = _run_storm(ShedPolicy.OFF)
+        assert service.cycles_ingested == WEEKS * SLOTS_PER_WEEK
+        assert all(r.shed == () for r in service.reports)
+        counter = service.metrics.counter("fdeta_shed_total", labels=("tier",))
+        assert all(counter.value(tier=t.value) == 0 for t in ShedTier)

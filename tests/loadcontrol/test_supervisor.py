@@ -1,0 +1,309 @@
+"""Supervised shard fleet: heartbeats, kill/hang/crash healing.
+
+The load-bearing claim: a shard that is hard-killed (or hangs, or
+crashes) mid-week is rebuilt from checkpoint + WAL replay and produces
+**identical** weekly reports to a fleet that was never disturbed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kld import KLDDetector
+from repro.core.online import TheftMonitoringService
+from repro.errors import ConfigurationError, SupervisorError, WorkerCrashed
+from repro.loadcontrol.queue import BackpressureSignal
+from repro.loadcontrol.supervisor import (
+    ShardSpec,
+    Supervisor,
+    make_shards,
+    shard_roster,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.resilience.config import ResilienceConfig
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+CONSUMERS = tuple(f"c{i}" for i in range(1, 7))
+WEEKS = 3
+THEFT_START = 2 * SLOTS_PER_WEEK  # c1 starts under-reporting in week 2
+
+
+def _factory():
+    return KLDDetector(significance=0.05)
+
+
+def _service_factory(spec):
+    return TheftMonitoringService(
+        detector_factory=_factory,
+        min_training_weeks=2,
+        resilience=ResilienceConfig(),
+        population=spec.consumers,
+    )
+
+
+def _readings(t):
+    rng = np.random.default_rng((17, t))
+    out = {cid: float(rng.gamma(2.0, 0.5)) for cid in CONSUMERS}
+    if t >= THEFT_START:
+        out["c1"] *= 0.05
+    return out
+
+
+def _signatures(supervisor):
+    """Byte-comparable view of every shard's weekly reports."""
+    return {
+        shard_id: [
+            (
+                report.week_index,
+                tuple(
+                    (a.consumer_id, a.nature, a.score, a.threshold, a.coverage)
+                    for a in report.alerts
+                ),
+                report.balance_failures,
+                tuple(sorted(report.coverage.items())),
+                report.suppressed,
+                report.quarantined,
+                report.shed,
+            )
+            for report in service.reports
+        ]
+        for shard_id, service in supervisor.services().items()
+    }
+
+
+def _run_fleet(base_dir, chaos=None, metrics=None, worker_factory=None):
+    """Run a 2-shard fleet for WEEKS weeks; ``chaos(supervisor, t)`` is
+    invoked before every cycle to inject faults."""
+    shards = make_shards(CONSUMERS, 2, base_dir)
+    with Supervisor(
+        shards,
+        service_factory=_service_factory,
+        detector_factory=_factory,
+        worker_factory=worker_factory,
+        metrics=metrics,
+    ) as supervisor:
+        for t in range(WEEKS * SLOTS_PER_WEEK):
+            if chaos is not None:
+                chaos(supervisor, t)
+            supervisor.ingest_cycle(_readings(t))
+        return _signatures(supervisor), supervisor.restarts_total
+
+
+class TestShardRoster:
+    def test_round_robin_over_sorted_ids(self):
+        assert shard_roster(("b", "d", "a", "c"), 2) == (("a", "c"), ("b", "d"))
+
+    def test_single_shard_keeps_everyone(self):
+        assert shard_roster(CONSUMERS, 1) == (CONSUMERS,)
+
+    def test_invalid_shard_counts(self):
+        with pytest.raises(ConfigurationError):
+            shard_roster(CONSUMERS, 0)
+        with pytest.raises(ConfigurationError):
+            shard_roster(("a", "b"), 3)
+
+    def test_make_shards_layout(self, tmp_path):
+        shards = make_shards(CONSUMERS, 2, tmp_path)
+        assert [s.shard_id for s in shards] == [0, 1]
+        assert shards[0].consumers == ("c1", "c3", "c5")
+        assert shards[1].consumers == ("c2", "c4", "c6")
+        assert shards[0].wal_dir.endswith("shard-0000")
+        assert shards[1].checkpoint_path.endswith("shard-0001.ckpt")
+
+
+class TestSupervisorValidation:
+    def test_needs_shards(self):
+        with pytest.raises(ConfigurationError):
+            Supervisor([], _service_factory, _factory)
+
+    def test_replay_buffer_must_exceed_hang_tolerance(self, tmp_path):
+        shards = make_shards(CONSUMERS, 2, tmp_path)
+        with pytest.raises(ConfigurationError):
+            Supervisor(
+                shards,
+                _service_factory,
+                _factory,
+                hang_tolerance_cycles=4,
+                replay_buffer_cycles=4,
+            )
+
+    def test_rejects_overlapping_shards(self, tmp_path):
+        shards = [
+            ShardSpec(0, ("c1", "c2"), str(tmp_path / "a"), str(tmp_path / "a.ckpt")),
+            ShardSpec(1, ("c2", "c3"), str(tmp_path / "b"), str(tmp_path / "b.ckpt")),
+        ]
+        with pytest.raises(ConfigurationError):
+            Supervisor(shards, _service_factory, _factory)
+
+    def test_unknown_shard_queries_raise(self, tmp_path):
+        shards = make_shards(CONSUMERS, 2, tmp_path)
+        with Supervisor(shards, _service_factory, _factory) as supervisor:
+            with pytest.raises(SupervisorError):
+                supervisor.kill(99)
+            with pytest.raises(SupervisorError):
+                supervisor.service(99)
+
+
+class TestLockstepDispatch:
+    def test_week_boundary_reports_all_shards(self, tmp_path):
+        shards = make_shards(CONSUMERS, 2, tmp_path)
+        with Supervisor(shards, _service_factory, _factory) as supervisor:
+            for t in range(SLOTS_PER_WEEK):
+                reports = supervisor.ingest_cycle(_readings(t))
+            assert supervisor.cycle == SLOTS_PER_WEEK
+            assert set(reports) == {0, 1}
+            assert all(r is not None and r.week_index == 0 for r in reports.values())
+            for handle in supervisor.handles():
+                assert handle.beats == SLOTS_PER_WEEK
+                assert handle.last_cycle == SLOTS_PER_WEEK - 1
+
+    def test_off_boundary_cycles_return_none(self, tmp_path):
+        shards = make_shards(CONSUMERS, 2, tmp_path)
+        with Supervisor(shards, _service_factory, _factory) as supervisor:
+            reports = supervisor.ingest_cycle(_readings(0))
+            assert reports == {0: None, 1: None}
+
+
+class TestKillHealing:
+    def test_killed_shard_recovers_bit_identical_reports(self, tmp_path):
+        baseline, baseline_restarts = _run_fleet(tmp_path / "baseline")
+        assert baseline_restarts == 0
+        # The thief's shard produces a scored week with c1 on top.
+        week2 = baseline[0][2]
+        scores = dict((cid, score) for cid, _, score, _, _ in week2[1])
+        assert scores and max(scores, key=scores.get) == "c1"
+
+        metrics = MetricsRegistry()
+
+        def chaos(supervisor, t):
+            if t == THEFT_START + 50:  # mid-week-2, after theft starts
+                supervisor.kill(0)
+
+        killed, restarts = _run_fleet(
+            tmp_path / "killed", chaos=chaos, metrics=metrics
+        )
+        assert restarts == 1
+        assert metrics.counter(
+            "fdeta_supervisor_restarts_total", labels=("reason",)
+        ).value(reason="killed") == 1
+        assert killed == baseline
+
+    def test_kill_marks_worker_dead_until_next_dispatch(self, tmp_path):
+        metrics = MetricsRegistry()
+        shards = make_shards(CONSUMERS, 2, tmp_path)
+        with Supervisor(
+            shards, _service_factory, _factory, metrics=metrics
+        ) as supervisor:
+            for t in range(10):
+                supervisor.ingest_cycle(_readings(t))
+            supervisor.kill(0)
+            gauge = metrics.gauge(
+                "fdeta_supervisor_workers", labels=("state",)
+            )
+            assert gauge.value(state="dead") == 1
+            with pytest.raises(SupervisorError):
+                supervisor.service(0)
+            supervisor.ingest_cycle(_readings(10))
+            assert gauge.value(state="dead") == 0
+            # Recovery + replay-buffer redelivery caught the shard up.
+            assert supervisor.service(0).cycles_ingested == supervisor.cycle
+
+    def test_backpressure_reattached_after_restart(self, tmp_path):
+        shards = make_shards(CONSUMERS, 2, tmp_path)
+        signal = BackpressureSignal()
+        with Supervisor(shards, _service_factory, _factory) as supervisor:
+            supervisor.backpressure = signal
+            assert all(
+                service.backpressure is signal
+                for service in supervisor.services().values()
+            )
+            supervisor.ingest_cycle(_readings(0))
+            supervisor.kill(0)
+            supervisor.ingest_cycle(_readings(1))
+            assert supervisor.service(0).backpressure is signal
+
+
+class TestHangHealing:
+    def test_hung_shard_restarts_after_tolerance(self, tmp_path):
+        metrics = MetricsRegistry()
+        shards = make_shards(CONSUMERS, 2, tmp_path)
+        with Supervisor(
+            shards,
+            _service_factory,
+            _factory,
+            hang_tolerance_cycles=2,
+            metrics=metrics,
+        ) as supervisor:
+            for t in range(10):
+                supervisor.ingest_cycle(_readings(t))
+            supervisor.hang(0)
+            # Within tolerance: no ingestion, no beats, no restart.
+            for t in (10, 11):
+                reports = supervisor.ingest_cycle(_readings(t))
+                assert reports[0] is None
+                assert reports[1] is None  # off week boundary
+            assert supervisor.handles()[0].beats == 10
+            assert supervisor.restarts_total == 0
+            assert metrics.gauge(
+                "fdeta_supervisor_workers", labels=("state",)
+            ).value(state="hung") == 1
+            # Past tolerance: restart, redeliver the missed cycles.
+            supervisor.ingest_cycle(_readings(12))
+            assert supervisor.restarts_total == 1
+            assert metrics.counter(
+                "fdeta_supervisor_restarts_total", labels=("reason",)
+            ).value(reason="hang") == 1
+            assert supervisor.service(0).cycles_ingested == supervisor.cycle
+            assert supervisor.service(1).cycles_ingested == supervisor.cycle
+
+    def test_hang_heals_to_bit_identical_reports(self, tmp_path):
+        baseline, _ = _run_fleet(tmp_path / "baseline")
+
+        def chaos(supervisor, t):
+            if t == THEFT_START + 100:
+                supervisor.hang(1)
+
+        healed, restarts = _run_fleet(tmp_path / "hung", chaos=chaos)
+        assert restarts == 1
+        assert healed == baseline
+
+
+class TestCrashHealing:
+    def test_crash_is_retried_same_cycle(self, tmp_path):
+        from repro.durability.recovery import DurableTheftMonitor
+
+        crash_at = {THEFT_START + 7}
+
+        def worker_factory(service, wal, spec):
+            monitor = DurableTheftMonitor(
+                service,
+                wal,
+                checkpoint_path=spec.checkpoint_path,
+                sync_every_cycles=1,
+            )
+            if spec.shard_id != 0:
+                return monitor
+            real = monitor.ingest_cycle
+
+            def flaky(reported, snapshot=None, cycle_index=None, **kwargs):
+                if cycle_index in crash_at:
+                    crash_at.discard(cycle_index)
+                    raise WorkerCrashed(f"injected at cycle {cycle_index}")
+                return real(
+                    reported, snapshot, cycle_index=cycle_index, **kwargs
+                )
+
+            monitor.ingest_cycle = flaky
+            return monitor
+
+        baseline, _ = _run_fleet(tmp_path / "baseline")
+        metrics = MetricsRegistry()
+        crashed, restarts = _run_fleet(
+            tmp_path / "crashed",
+            metrics=metrics,
+            worker_factory=worker_factory,
+        )
+        assert restarts == 1
+        assert metrics.counter(
+            "fdeta_supervisor_restarts_total", labels=("reason",)
+        ).value(reason="crash") == 1
+        assert crashed == baseline
