@@ -1,0 +1,178 @@
+"""Benchmarks the event-time ingestion hot path.
+
+Every delivered reading pays one reorder-buffer offer plus a watermark
+observation before anything else happens, so buffer throughput bounds
+how much delivery disorder a single head-end process can absorb.
+Measures raw offer/release bandwidth, the end-to-end overhead the
+event-time pipeline adds over in-order ingestion, and the watermark lag
+a scrambled stream sustains.  Records land in ``BENCH_eventtime.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kld import KLDDetector
+from repro.core.online import TheftMonitoringService
+from repro.eventtime import (
+    EventTimeConfig,
+    EventTimeIngestor,
+    ReorderBuffer,
+    StampedReading,
+    WatermarkTracker,
+)
+from repro.metering.scramble import ScramblingChannel
+from repro.quarantine import FirewallPolicy, ReadingFirewall
+from repro.resilience import ResilienceConfig
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+from benchmarks.conftest import BENCH_CONSUMERS, BenchTimer, record_bench
+
+_WEEKS = 3
+_LATENESS = 16
+
+
+def _population(n=BENCH_CONSUMERS):
+    return tuple(f"c{i:04d}" for i in range(n))
+
+
+def _service(ids):
+    return TheftMonitoringService(
+        detector_factory=lambda: KLDDetector(significance=0.05),
+        min_training_weeks=2,
+        retrain_every_weeks=4,
+        resilience=ResilienceConfig(failure_threshold=10_000),
+        population=ids,
+        firewall=ReadingFirewall(FirewallPolicy()),
+        eventtime=EventTimeConfig(lateness_slots=_LATENESS, grace_weeks=1),
+    )
+
+
+def _scrambled_batches(ids, n_slots):
+    channel = ScramblingChannel(
+        median_delay_slots=2.0,
+        max_delay_slots=_LATENESS + SLOTS_PER_WEEK,
+        duplicate_rate=0.02,
+    )
+    rng = np.random.default_rng(2016)
+    batches = []
+    for t in range(n_slots):
+        values = np.random.default_rng((2016, t)).gamma(
+            2.0, 0.5, size=len(ids)
+        )
+        channel.push(
+            t, {cid: float(values[i]) for i, cid in enumerate(ids)}, rng
+        )
+        batches.append(channel.pop_due(t))
+    batches.append(channel.drain())
+    return batches
+
+
+def test_reorder_buffer_throughput():
+    """Raw offer/release bandwidth of the buffer data structure."""
+    ids = _population()
+    n_slots = _WEEKS * SLOTS_PER_WEEK
+    rng = np.random.default_rng(7)
+    readings = [
+        StampedReading(
+            ids[int(i % len(ids))],
+            int(max(0, t - rng.integers(0, _LATENESS))),
+            1.0,
+        )
+        for i, t in enumerate(
+            np.repeat(np.arange(n_slots), len(ids))
+        )
+    ]
+    buffer = ReorderBuffer()
+    tracker = WatermarkTracker(lateness_slots=_LATENESS)
+    released = 0
+    with BenchTimer() as timer:
+        for reading in readings:
+            buffer.offer(reading)
+            tracker.observe(reading.consumer_id, reading.slot)
+            for _slot, _batch in buffer.release_until(tracker.watermark):
+                released += 1
+    offered = len(readings)
+    record_bench(
+        "eventtime",
+        timer.elapsed,
+        stage="reorder_buffer",
+        offered=offered,
+        released_slots=released,
+        offers_per_second=offered / max(timer.elapsed, 1e-9),
+    )
+    assert released > 0
+
+
+def test_eventtime_pipeline_overhead():
+    """Scrambled event-time ingest vs. the bare in-order service."""
+    ids = _population()
+    n_slots = _WEEKS * SLOTS_PER_WEEK
+
+    bare = _service(ids)
+    with BenchTimer() as bare_timer:
+        for t in range(n_slots):
+            values = np.random.default_rng((2016, t)).gamma(
+                2.0, 0.5, size=len(ids)
+            )
+            bare.ingest_cycle(
+                {cid: float(values[i]) for i, cid in enumerate(ids)}
+            )
+
+    batches = _scrambled_batches(ids, n_slots)
+    service = _service(ids)
+    ingestor = EventTimeIngestor(service)
+    with BenchTimer() as timer:
+        for batch in batches:
+            ingestor.deliver(batch)
+        ingestor.finish()
+
+    delivered = sum(len(batch) for batch in batches)
+    record_bench(
+        "eventtime",
+        timer.elapsed,
+        stage="scrambled_pipeline",
+        weeks=_WEEKS,
+        delivered_readings=delivered,
+        readings_per_second=delivered / max(timer.elapsed, 1e-9),
+        bare_seconds=bare_timer.elapsed,
+        overhead_ratio=timer.elapsed / max(bare_timer.elapsed, 1e-9),
+        revisions=len(service.revisions),
+    )
+    # The event-time run must converge to the in-order verdicts.
+    assert service.weeks_completed == bare.weeks_completed == _WEEKS
+    assert [r.week_index for r in service.reports] == [
+        r.week_index for r in bare.reports
+    ]
+    assert service.reports == bare.reports
+
+
+def test_watermark_lag_under_scramble():
+    """Peak buffer occupancy and watermark lag a scrambled stream holds."""
+    ids = _population()
+    n_slots = _WEEKS * SLOTS_PER_WEEK
+    batches = _scrambled_batches(ids, n_slots)
+    service = _service(ids)
+    ingestor = EventTimeIngestor(service)
+    peak_readings = 0
+    peak_span = 0
+    with BenchTimer() as timer:
+        for batch in batches:
+            ingestor.deliver(batch)
+            peak_readings = max(
+                peak_readings, ingestor.buffer.pending_readings
+            )
+            peak_span = max(peak_span, ingestor.buffer.span)
+        ingestor.finish()
+    record_bench(
+        "eventtime",
+        timer.elapsed,
+        stage="watermark_lag",
+        peak_buffered_readings=peak_readings,
+        peak_buffer_span_slots=peak_span,
+        final_watermark=ingestor.tracker.watermark,
+    )
+    assert peak_readings > 0
+    # The buffer cannot hold more than the lateness window's worth of
+    # slots for the whole fleet plus the in-flight tail.
+    assert peak_span <= _LATENESS + SLOTS_PER_WEEK + 1

@@ -15,7 +15,12 @@ Subcommands:
   (``--cycle-deadline-ms``), and a self-healing supervised worker
   fleet (``--shards``).  Exit status 4 marks a run that completed only
   by shedding load or overrunning its deadline (valid reports,
-  degraded coverage — revisit capacity).
+  degraded coverage — revisit capacity).  Event-time mode
+  (``--eventtime``) delivers readings out of order through a
+  watermarked reorder buffer (``--lateness-bound``, ``--scramble-delay``)
+  and reconciles late arrivals into versioned verdict revisions
+  (``--grace-weeks``, ``--revisions-out``); the final weekly verdicts
+  are identical to an in-order run's.
 
 The ``evaluate`` and ``monitor`` subcommands accept observability
 flags: ``--metrics-out`` (Prometheus text, or a JSON snapshot when the
@@ -291,6 +296,31 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.revisions_out and not args.eventtime:
+        print("--revisions-out requires --eventtime", file=sys.stderr)
+        return 2
+    if args.eventtime:
+        if args.shards > 1:
+            print("--eventtime does not support --shards > 1", file=sys.stderr)
+            return 2
+        if args.checkpoint or args.resume:
+            print(
+                "--eventtime persists via --wal-dir delivery records; "
+                "drop --checkpoint/--resume",
+                file=sys.stderr,
+            )
+            return 2
+        if (
+            args.max_queue is not None
+            or args.shed_policy != "off"
+            or args.cycle_deadline_ms is not None
+        ):
+            print(
+                "--eventtime has its own reorder-buffer backpressure; "
+                "drop --max-queue/--shed-policy/--cycle-deadline-ms",
+                file=sys.stderr,
+            )
+            return 2
 
     loadcontrol: LoadControlConfig | None = None
     if (
@@ -323,7 +353,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     events = _event_logger_from_args(args)
     tracer = Tracer()
 
-    def fresh_service(population=ids) -> TheftMonitoringService:
+    def fresh_service(population=ids, eventtime=None) -> TheftMonitoringService:
         return TheftMonitoringService(
             detector_factory=factory,
             min_training_weeks=args.min_training_weeks,
@@ -336,6 +366,17 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
                 FirewallPolicy(max_reading_kwh=args.max_reading)
             ),
             loadcontrol=loadcontrol,
+            eventtime=eventtime,
+        )
+
+    if args.eventtime:
+        return _run_monitor_eventtime(
+            args,
+            ids=ids,
+            series=series,
+            weeks=weeks,
+            fresh_service=fresh_service,
+            events=events,
         )
 
     if args.shards > 1:
@@ -518,6 +559,195 @@ def _monitor_exit_status(shed_total: int, overruns: int) -> int:
         )
         return 4
     return 0
+
+
+def _print_monitor_week(report, suffix: str = "") -> None:
+    mean_coverage = (
+        sum(report.coverage.values()) / len(report.coverage)
+        if report.coverage
+        else float("nan")
+    )
+    print(
+        f"week {report.week_index:>3}: "
+        f"{len(report.alerts)} alert(s), "
+        f"coverage {mean_coverage:.1%}, "
+        f"{len(report.quarantined)} quarantined, "
+        f"{len(report.suppressed)} suppressed" + suffix
+    )
+    for alert in report.alerts:
+        print(
+            f"    {alert.consumer_id}: {alert.nature.value} "
+            f"(severity {alert.severity:.2f}, "
+            f"coverage {alert.coverage:.1%})"
+        )
+
+
+def _run_monitor_eventtime(
+    args: argparse.Namespace,
+    ids,
+    series,
+    weeks: int,
+    fresh_service,
+    events,
+) -> int:
+    """``monitor --eventtime``: the out-of-order delivery path.
+
+    Readings traverse the lossy/faulty channel and then a
+    :class:`~repro.metering.scramble.ScramblingChannel`, so they reach
+    the service late and out of order; the event-time ingestor reorders
+    them, reconciles late arrivals, and revises verdicts.  Weekly lines
+    printed during the stream are provisional; the ``final weekly
+    verdicts`` section at the end matches an in-order run of the same
+    dataset exactly (that equivalence is what CI diffs).
+
+    The delivery schedule is a pure function of the dataset and seed, so
+    a recovered run (``--recover`` with ``--wal-dir``) regenerates it
+    and skips the batches the write-ahead log already holds.
+    """
+    import os
+
+    import numpy as np
+
+    from repro.durability.wal import WriteAheadLog
+    from repro.errors import ConfigurationError
+    from repro.eventtime import (
+        EventTimeConfig,
+        EventTimeIngestor,
+        replay_eventtime,
+    )
+    from repro.metering.channel import LossyChannel
+    from repro.metering.scramble import ScramblingChannel
+    from repro.resilience import FaultInjector, FaultyChannel
+    from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+    try:
+        config = EventTimeConfig(
+            lateness_slots=args.lateness_bound, grace_weeks=args.grace_weeks
+        )
+        # Capping backhaul delay at lateness + grace guarantees every
+        # reading is reconciled before its week finalises (no too_late).
+        scramble = ScramblingChannel(
+            median_delay_slots=args.scramble_delay,
+            max_delay_slots=config.lateness_slots + config.grace_slots,
+            duplicate_rate=0.02 if args.scramble_delay > 0 else 0.0,
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    def service_factory():
+        return fresh_service(eventtime=config)
+
+    channel = FaultyChannel(
+        channel=LossyChannel(
+            drop_rate=args.drop_rate, outage_rate=args.outage_rate
+        ),
+        faults=FaultInjector(corrupt_rate=args.corrupt_rate),
+    )
+    batches: list[list] = []
+    for t in range(weeks * SLOTS_PER_WEEK):
+        cycle_rng = np.random.default_rng((args.seed + 1, t))
+        readings = {cid: float(series[cid][t]) for cid in ids}
+        delivered = channel.transmit(readings, cycle_rng)
+        scramble.push(t, delivered, cycle_rng)
+        batches.append(scramble.pop_due(t))
+    batches.append(scramble.drain())
+
+    start_batch = 0
+    if args.recover:
+        result = replay_eventtime(args.wal_dir, service_factory, resume=True)
+        ingestor, replay = result
+        service = ingestor.service
+        start_batch = ingestor.deliveries
+        print(
+            f"recovered from {args.wal_dir}: {start_batch} delivery "
+            "batch(es) replayed"
+            + (", torn tail truncated" if replay.torn_tail else ""),
+            file=sys.stderr,
+        )
+    else:
+        service = service_factory()
+        wal = (
+            WriteAheadLog(args.wal_dir, metrics=service.metrics)
+            if args.wal_dir
+            else None
+        )
+        ingestor = EventTimeIngestor(service, wal=wal)
+
+    delivered_batches = 0
+    for batch in batches[start_batch:]:
+        outcome = ingestor.deliver(batch)
+        delivered_batches += 1
+        if (
+            args.crash_after_cycle is not None
+            and delivered_batches >= args.crash_after_cycle
+        ):
+            print(
+                f"simulated crash after {delivered_batches} delivery "
+                "batch(es)",
+                file=sys.stderr,
+            )
+            sys.stdout.flush()
+            sys.stderr.flush()
+            os._exit(3)
+        for report in outcome.reports:
+            _print_monitor_week(report, suffix=" (provisional)")
+        for revision in outcome.revisions:
+            print(
+                f"    revision week {revision.week_index} "
+                f"{revision.consumer_id} v{revision.version}: "
+                f"{revision.kind.value} "
+                f"(score {revision.score_before:.3f} -> "
+                f"{revision.score_after:.3f})"
+            )
+    if not ingestor.finished:
+        final = ingestor.finish()
+        for report in final.reports:
+            _print_monitor_week(report, suffix=" (provisional)")
+    if ingestor.wal is not None:
+        ingestor.wal.close()
+
+    print("final weekly verdicts:")
+    for report in service.reports:
+        _print_monitor_week(report)
+
+    attackers = service.suspected_attackers()
+    victims = service.suspected_victims()
+    total_alerts = sum(len(report.alerts) for report in service.reports)
+    by_kind = service.revisions.counts_by_kind()
+    print(
+        f"monitored {len(ids)} consumers for {service.weeks_completed} "
+        "weeks (event-time)"
+    )
+    print(f"total alerts: {total_alerts}")
+    print(
+        f"verdict revisions: {len(service.revisions)} "
+        f"({by_kind.get('upgrade', 0)} upgrade(s), "
+        f"{by_kind.get('downgrade', 0)} downgrade(s))"
+    )
+    print(f"suspected attackers: {list(attackers) or 'none'}")
+    print(f"suspected victims:   {list(victims) or 'none'}")
+    too_late = service.firewall.store.counts_by_reason().get("too_late", 0)
+    print(
+        f"quarantined readings: {len(service.firewall.store)} "
+        f"(too_late: {too_late})"
+    )
+    if args.quarantine_report:
+        service.firewall.store.write_report(args.quarantine_report)
+        print(
+            f"wrote quarantine report to {args.quarantine_report}",
+            file=sys.stderr,
+        )
+    if args.revisions_out:
+        service.revisions.write_report(args.revisions_out)
+        print(f"wrote revision report to {args.revisions_out}", file=sys.stderr)
+    _write_observability_outputs(args, service.metrics, service.tracer)
+    if events is not None:
+        events.close()
+    return _monitor_exit_status(
+        shed_total=sum(len(report.shed) for report in service.reports),
+        overruns=0,
+    )
 
 
 def _run_monitor_sharded(
@@ -826,6 +1056,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-cycle time budget in milliseconds; an exhausted "
         "budget sheds the rest of the weekly scoring pass",
+    )
+    mon.add_argument(
+        "--eventtime",
+        action="store_true",
+        help="deliver readings out of order through the watermarked "
+        "event-time pipeline: a reorder buffer releases slot-contiguous "
+        "runs, late arrivals are reconciled into versioned verdict "
+        "revisions, and the final weekly verdicts match an in-order run",
+    )
+    mon.add_argument(
+        "--lateness-bound",
+        type=int,
+        default=48,
+        help="slots the watermark trails the event-time frontier; "
+        "deliveries inside the bound are reordered, not late",
+    )
+    mon.add_argument(
+        "--grace-weeks",
+        type=int,
+        default=1,
+        help="weeks a scored verdict stays open to late-reading "
+        "reconciliation before finalising (later arrivals are "
+        "quarantined too_late)",
+    )
+    mon.add_argument(
+        "--scramble-delay",
+        type=float,
+        default=2.0,
+        help="median backhaul delivery delay in slots for --eventtime "
+        "(0 delivers in order)",
+    )
+    mon.add_argument(
+        "--revisions-out",
+        type=str,
+        default=None,
+        help="write the verdict-revision report (JSON) here "
+        "(requires --eventtime)",
     )
     mon.add_argument(
         "--shards",

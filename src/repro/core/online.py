@@ -43,6 +43,8 @@ from repro.core.framework import AnomalyNature, ConsumerAssessment, FDetaFramewo
 from repro.data.preprocessing import interpolate_gaps, observed_fraction
 from repro.detectors.base import WeeklyDetector
 from repro.errors import ConfigurationError, DataError, NonFiniteInputError
+from repro.eventtime.config import EventTimeConfig
+from repro.eventtime.revision import RevisionKind, RevisionLog, VerdictRevision
 from repro.grid.balance import BalanceAuditor
 from repro.grid.snapshot import DemandSnapshot
 from repro.loadcontrol.config import LoadControlConfig, ShedPolicy
@@ -68,6 +70,10 @@ _MISMATCH_IDS_SHOWN = 10
 #: Alert severity (score / threshold) bands used as a metric label, so
 #: alert counters stay low-cardinality instead of carrying raw floats.
 _SEVERITY_BANDS = ((1.5, "marginal"), (3.0, "elevated"))
+
+#: Histogram buckets (in slots) for how far behind the release cursor
+#: late readings arrive — up to two weeks, the widest sane grace window.
+_LATE_SLOT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 48.0, 96.0, 168.0, 336.0, 672.0)
 
 
 def _severity_band(severity: float) -> str:
@@ -205,6 +211,21 @@ class TheftMonitoringService:
         :class:`~repro.loadcontrol.deadline.Deadline` passed to
         :meth:`ingest_cycle` sheds the remainder of a scoring pass the
         moment the budget runs out.
+    eventtime:
+        Event-time settings (see
+        :class:`~repro.eventtime.config.EventTimeConfig`).  Enables
+        late-reading reconciliation: :meth:`reconcile_reading` merges a
+        reading that arrived after its slot was released, re-assesses
+        the affected week with the framework snapshot that originally
+        scored it, and publishes any verdict change as a versioned
+        :class:`~repro.eventtime.revision.VerdictRevision`.  Detector
+        training is restricted to *finalized* weeks (those past their
+        grace window), so a verdict still open to revision can never
+        poison — or launder — the training data.  In this mode weekly
+        gap repair does not write interpolated values back to the
+        store: a repaired slot must stay a gap so a late true reading
+        can still land in it.  Requires ``resilience`` and
+        ``firewall``.
     """
 
     def __init__(
@@ -220,7 +241,15 @@ class TheftMonitoringService:
         tracer: Tracer | None = None,
         firewall: ReadingFirewall | None = None,
         loadcontrol: LoadControlConfig | None = None,
+        eventtime: EventTimeConfig | None = None,
     ) -> None:
+        if eventtime is not None and (resilience is None or firewall is None):
+            raise ConfigurationError(
+                "event-time mode requires gap-tolerant ingestion and a "
+                "reading firewall: released slots with absent readings "
+                "become gaps, and too-late arrivals need a quarantine "
+                "to land in"
+            )
         if firewall is not None and resilience is None:
             raise ConfigurationError(
                 "the reading firewall requires gap-tolerant mode "
@@ -255,6 +284,16 @@ class TheftMonitoringService:
         self.tracer = tracer
         self.firewall = firewall
         self.loadcontrol = loadcontrol
+        self.eventtime = eventtime
+        #: Audited record of post-publication verdict changes (event-time
+        #: mode); rendered by the CLI's ``--revisions-out``.
+        self.revisions = RevisionLog()
+        #: Framework snapshot that scored each still-reconcilable week:
+        #: a late reading re-assesses with the *same* detectors the week
+        #: was originally scored with, so a retrain between scoring and
+        #: reconciliation cannot flip verdicts on its own.  Pruned as
+        #: weeks finalize, so it holds at most grace_weeks + 1 entries.
+        self._scoring_frameworks: dict[int, FDetaFramework] = {}
         #: Producer-side pressure signal; attached by whatever queues
         #: cycles in front of this service (e.g. a BufferedIngestor).
         self.backpressure: BackpressureSignal | None = None
@@ -471,7 +510,17 @@ class TheftMonitoringService:
         keep = [
             i
             for i in range(matrix.shape[0])
-            if i not in quarantined and bool(np.isfinite(matrix[i]).all())
+            if i not in quarantined
+            and bool(np.isfinite(matrix[i]).all())
+            # Event-time mode: only *finalized* weeks may train.  A week
+            # still inside its grace window can be revised by a late
+            # reading, and the finalization schedule is a pure function
+            # of released-slot count — so in-order and scrambled runs
+            # select identical training rows at every retraining.
+            and (
+                self.eventtime is None
+                or self.eventtime.finalization_slot(i) <= self._slot_count
+            )
         ]
         return matrix[keep]
 
@@ -541,6 +590,18 @@ class TheftMonitoringService:
                 self._assess_week_strict(report, week_index)
             else:
                 self._assess_week_tolerant(report, week_index, deadline)
+        if self.eventtime is not None:
+            # Pin the framework that scored this week (a retrain below
+            # replaces self._framework wholesale, so holding the
+            # reference is a stable snapshot), and drop pins for weeks
+            # whose grace window just closed.
+            self._scoring_frameworks[week_index] = self._framework
+            for week in [
+                w
+                for w in self._scoring_frameworks
+                if self.eventtime.finalization_slot(w) <= self._slot_count
+            ]:
+                del self._scoring_frameworks[week]
         # Periodic retraining on non-quarantined history.
         due = (
             self._weeks_completed - self._weeks_at_last_training
@@ -650,7 +711,11 @@ class TheftMonitoringService:
             week = interpolate_gaps(
                 week, max_gap=self.resilience.max_repair_gap
             )
-            self.store.overwrite_week(consumer_id, week_index, week)
+            if self.eventtime is None:
+                # Event-time mode repairs in memory only: an interpolated
+                # slot must stay a NaN gap in the store so a late true
+                # reading can still be reconciled into it.
+                self.store.overwrite_week(consumer_id, week_index, week)
         return week
 
     def _emit_alert(
@@ -733,6 +798,63 @@ class TheftMonitoringService:
         week = self.store.week_matrix(consumer_id)[week_index]
         report.coverage[consumer_id] = observed_fraction(week)
 
+    def _assess_single(
+        self,
+        framework: FDetaFramework | None,
+        consumer_id: str,
+        week_index: int,
+        week: np.ndarray,
+        coverage: float,
+    ) -> tuple[ConsumerAssessment | None, bool]:
+        """Assess one consumer-week; returns ``(assessment, suppress)``.
+
+        The single source of degraded-mode verdict logic: both the
+        boundary scoring pass and late-reading reconciliation call this,
+        so a reconciled week can never be judged by different rules than
+        it would have been at its boundary.  ``suppress`` means the
+        consumer-week is recorded but must not alert (insufficient
+        coverage, detector without partial-week support, or input the
+        detector rejected); a ``(None, False)`` return means there is
+        simply no verdict to give (no detector trained yet).
+        """
+        assert self.resilience is not None
+        if coverage < self.resilience.min_coverage:
+            # Too little signal: record, never alert — a mostly
+            # silenced link must not produce confident verdicts.
+            return None, True
+        if framework is None or not framework.has_detector(consumer_id):
+            return None, False
+        try:
+            if coverage < 1.0:
+                detector = framework.detector_for(consumer_id)
+                if not detector.supports_partial_weeks:
+                    return None, True
+                assessment = framework.assess_partial_week(
+                    consumer_id, week, week_index=week_index
+                )
+            else:
+                assessment = framework.assess_week(
+                    consumer_id, week, week_index=week_index
+                )
+        except NonFiniteInputError as exc:
+            # Degraded mode keeps the fleet scored even when one
+            # consumer's week defeats its detector: skip with an
+            # event instead of taking the whole week down.
+            self.metrics.counter(
+                "fdeta_assessments_skipped_total",
+                "Consumer-week assessments skipped because the "
+                "detector rejected its input.",
+            ).inc()
+            self._emit(
+                "warning",
+                "assessment_skipped",
+                consumer=consumer_id,
+                week=week_index,
+                reason=str(exc),
+            )
+            return None, True
+        return assessment, False
+
     def _assess_week_tolerant(
         self,
         report: MonitoringReport,
@@ -778,45 +900,13 @@ class TheftMonitoringService:
             week = self._repaired_week(cid, week_index)
             coverage = observed_fraction(week)
             report.coverage[cid] = coverage
-            if coverage < self.resilience.min_coverage:
-                # Too little signal: record, never alert — a mostly
-                # silenced link must not produce confident verdicts.
+            assessment, suppress = self._assess_single(
+                self._framework, cid, week_index, week, coverage
+            )
+            if suppress:
                 suppressed.append(cid)
                 continue
-            if not self._framework.has_detector(cid):
-                continue
-            try:
-                if coverage < 1.0:
-                    detector = self._framework.detector_for(cid)
-                    if not detector.supports_partial_weeks:
-                        suppressed.append(cid)
-                        continue
-                    assessment = self._framework.assess_partial_week(
-                        cid, week, week_index=week_index
-                    )
-                else:
-                    assessment = self._framework.assess_week(
-                        cid, week, week_index=week_index
-                    )
-            except NonFiniteInputError as exc:
-                # Degraded mode keeps the fleet scored even when one
-                # consumer's week defeats its detector: skip with an
-                # event instead of taking the whole week down.
-                suppressed.append(cid)
-                self.metrics.counter(
-                    "fdeta_assessments_skipped_total",
-                    "Consumer-week assessments skipped because the "
-                    "detector rejected its input.",
-                ).inc()
-                self._emit(
-                    "warning",
-                    "assessment_skipped",
-                    consumer=cid,
-                    week=week_index,
-                    reason=str(exc),
-                )
-                continue
-            if assessment.result.flagged:
+            if assessment is not None and assessment.result.flagged:
                 self._emit_alert(report, week_index, assessment, balance_failed)
         report.suppressed = tuple(suppressed)
         report.quarantined = tuple(quarantined)
@@ -831,6 +921,206 @@ class TheftMonitoringService:
                 self._shedder.record(
                     deadline_shed, week_index, reason="deadline"
                 )
+
+    # ------------------------------------------------------------------
+    # Event-time reconciliation
+    # ------------------------------------------------------------------
+
+    def reconcile_reading(
+        self, consumer_id: str, slot: int, value: float
+    ) -> VerdictRevision | None:
+        """Merge a late reading into an already-released slot.
+
+        Called by the event-time ingestor for readings that arrive after
+        the watermark released their slot but while the slot's week is
+        still inside its grace window.  The value lands in the store
+        (slot-addressed, last-write-wins); if the slot's week has
+        already been scored, the week is re-assessed with the framework
+        snapshot that originally scored it, the report's coverage and
+        alert evidence are updated in place, and a flagged-state change
+        comes back as a freshly versioned
+        :class:`~repro.eventtime.revision.VerdictRevision` (also
+        appended to :attr:`revisions`).  Returns ``None`` when the
+        verdict did not flip — a duplicate of an absorbed value, a
+        reading for the still-open week, or a change too small to cross
+        the threshold.
+        """
+        if self.eventtime is None:
+            raise ConfigurationError(
+                "reconcile_reading requires event-time mode "
+                "(construct the service with an EventTimeConfig)"
+            )
+        slot = int(slot)
+        if self._population is None or consumer_id not in self._population:
+            raise DataError(f"unknown consumer {consumer_id!r}")
+        if slot >= self._slot_count:
+            raise DataError(
+                f"slot {slot} has not been released yet (released "
+                f"through {self._slot_count - 1}); offer the reading to "
+                "the reorder buffer instead"
+            )
+        week_index = self.eventtime.clock.week_of(slot)
+        if self.eventtime.finalization_slot(week_index) <= self._slot_count:
+            raise DataError(
+                f"week {week_index} is finalized; a reading for slot "
+                f"{slot} must be quarantined as too_late"
+            )
+        value = float(value)
+        if not math.isfinite(value) or value < 0:
+            raise DataError(
+                f"late reading for {consumer_id!r} must be finite and "
+                f">= 0, got {value} (screen it before reconciling)"
+            )
+        outcomes = self.metrics.counter(
+            "fdeta_reconciliations_total",
+            "Late readings reconciled into released slots, by outcome.",
+            labels=("outcome",),
+        )
+        self.metrics.histogram(
+            "fdeta_eventtime_late_slots",
+            "How many slots behind the release cursor late readings "
+            "arrive.",
+            buckets=_LATE_SLOT_BUCKETS,
+        ).observe(float(self._slot_count - slot))
+        series = self.store._series[consumer_id]
+        if slot < len(series) and series[slot] == value:
+            # The exact value is already in place (duplicate delivery of
+            # an already-reconciled reading): converged, nothing to do.
+            outcomes.inc(outcome="noop")
+            return None
+        self.store.record(consumer_id, slot, value)
+        if week_index >= len(self.reports):
+            # The slot's week has not completed yet: the write landed in
+            # the open week and boundary scoring will see it normally.
+            outcomes.inc(outcome="open_week")
+            return None
+        with use_registry(self.metrics):
+            return self._reassess_consumer_week(
+                consumer_id, week_index, outcomes
+            )
+
+    def _reassess_consumer_week(
+        self, consumer_id: str, week_index: int, outcomes
+    ) -> VerdictRevision | None:
+        """Re-run one consumer's weekly verdict after a late write."""
+        assert self.eventtime is not None and self.resilience is not None
+        report = self.reports[week_index]
+        if consumer_id in report.quarantined:
+            # The breaker was open at the boundary: the week was never
+            # scored, and one late value must not conjure a verdict now.
+            outcomes.inc(outcome="quarantined")
+            return None
+        week = self._repaired_week(consumer_id, week_index)
+        coverage = observed_fraction(week)
+        coverage_before = report.coverage.get(consumer_id)
+        report.coverage[consumer_id] = coverage
+        old_alert = next(
+            (a for a in report.alerts if a.consumer_id == consumer_id), None
+        )
+        flagged_before = old_alert is not None
+        framework = self._scoring_frameworks.get(week_index)
+        assessment, suppress = self._assess_single(
+            framework, consumer_id, week_index, week, coverage
+        )
+        was_suppressed = consumer_id in report.suppressed
+        if suppress and not was_suppressed:
+            report.suppressed = tuple(
+                sorted({*report.suppressed, consumer_id})
+            )
+        elif was_suppressed and not suppress:
+            report.suppressed = tuple(
+                cid for cid in report.suppressed if cid != consumer_id
+            )
+        flagged_after = assessment is not None and assessment.result.flagged
+        if not flagged_before and not flagged_after:
+            outcomes.inc(outcome="unchanged")
+            return None
+        balance_failed = bool(report.balance_failures)
+        if flagged_before and flagged_after:
+            # Verdict stands; refresh the alert's evidence (score and
+            # coverage moved) in place.  Deliberately not a revision:
+            # the operator-visible decision did not change.
+            assert assessment is not None
+            report.alerts[report.alerts.index(old_alert)] = TheftAlert(
+                week_index=week_index,
+                consumer_id=consumer_id,
+                nature=assessment.nature,
+                score=assessment.result.score,
+                threshold=assessment.result.threshold,
+                balance_check_failed=balance_failed,
+                coverage=assessment.coverage,
+            )
+            outcomes.inc(outcome="refreshed")
+            return None
+        if flagged_after:
+            assert assessment is not None
+            self._emit_alert(report, week_index, assessment, balance_failed)
+            # The boundary pass emits alerts in roster order; an upgrade
+            # must land in the same position it would have held there,
+            # so a reconciled report is bit-identical to an in-order one.
+            alert = report.alerts.pop()
+            position = {cid: i for i, cid in enumerate(self._roster)}
+            rank = position.get(consumer_id, len(position))
+            insert_at = next(
+                (
+                    i
+                    for i, existing in enumerate(report.alerts)
+                    if position.get(existing.consumer_id, len(position))
+                    > rank
+                ),
+                len(report.alerts),
+            )
+            report.alerts.insert(insert_at, alert)
+            kind = RevisionKind.UPGRADE
+            reason = "late readings lifted the week's verdict over threshold"
+        else:
+            report.alerts.remove(old_alert)
+            self._quarantined_weeks.get(consumer_id, set()).discard(
+                week_index
+            )
+            kind = RevisionKind.DOWNGRADE
+            if suppress:
+                reason = (
+                    "reconciled week no longer yields a confident verdict"
+                )
+            else:
+                reason = (
+                    "late readings brought the week back under threshold"
+                )
+        revision = self.revisions.record(
+            week_index=week_index,
+            consumer_id=consumer_id,
+            kind=kind,
+            reason=reason,
+            cycle=self._slot_count,
+            flagged_before=flagged_before,
+            flagged_after=flagged_after,
+            score_before=old_alert.score if old_alert is not None else None,
+            score_after=(
+                assessment.result.score if assessment is not None else None
+            ),
+            coverage_before=coverage_before,
+            coverage_after=coverage,
+        )
+        outcomes.inc(outcome=kind.value)
+        self.metrics.counter(
+            "fdeta_revisions_total",
+            "Verdict revisions published after late-reading "
+            "reconciliation, by direction.",
+            labels=("kind",),
+        ).inc(kind=kind.value)
+        self._emit(
+            "warning" if kind is RevisionKind.UPGRADE else "info",
+            "verdict_revised",
+            week=week_index,
+            consumer=consumer_id,
+            version=revision.version,
+            kind=kind.value,
+            reason=reason,
+            score_before=revision.score_before,
+            score_after=revision.score_after,
+        )
+        return revision
 
     # ------------------------------------------------------------------
     # Checkpoint / restore
@@ -910,6 +1200,18 @@ class TheftMonitoringService:
             "tracer": self.tracer,
             "firewall": self.firewall,
             "loadcontrol": self.loadcontrol,
+            "eventtime": self.eventtime,
+            "revisions": self.revisions,
+            # Pinned per-week frameworks are decomposed like "framework"
+            # above: FDetaFramework holds the (unpicklable) factory.
+            "scoring_frameworks": {
+                week: {
+                    "triage_quantiles": fw.triage_quantiles,
+                    "detectors": dict(fw._detectors),
+                    "mean_distributions": dict(fw._mean_distributions),
+                }
+                for week, fw in self._scoring_frameworks.items()
+            },
         }
 
     @classmethod
@@ -932,7 +1234,18 @@ class TheftMonitoringService:
             tracer=tracer if tracer is not None else state["tracer"],
             firewall=state.get("firewall"),
             loadcontrol=state.get("loadcontrol"),
+            eventtime=state.get("eventtime"),
         )
+        if state.get("revisions") is not None:
+            service.revisions = state["revisions"]
+        for week, fw_state in state.get("scoring_frameworks", {}).items():
+            pinned = FDetaFramework(
+                detector_factory=detector_factory,
+                triage_quantiles=fw_state["triage_quantiles"],
+            )
+            pinned._detectors = dict(fw_state["detectors"])
+            pinned._mean_distributions = dict(fw_state["mean_distributions"])
+            service._scoring_frameworks[int(week)] = pinned
         for cid, values in state["series"].items():
             service.store._series[cid].extend(float(v) for v in values)
         service._slot_count = state["slot_count"]

@@ -15,7 +15,12 @@ redistributable.  This subpackage provides:
 
 from repro.data.consumers import ConsumerProfile, ConsumerType
 from repro.data.dataset import SmartMeterDataset
-from repro.data.synthetic import SyntheticCERConfig, generate_cer_like_dataset
+from repro.data.synthetic import (
+    DeliveryLatencyConfig,
+    SyntheticCERConfig,
+    generate_cer_like_dataset,
+    generate_delivery_trace,
+)
 from repro.data.loader import load_cer_file, save_cer_file
 from repro.data.preprocessing import (
     PreprocessingSummary,
@@ -47,9 +52,11 @@ __all__ = [
     "weekly_pattern_strength",
     "ConsumerProfile",
     "ConsumerType",
+    "DeliveryLatencyConfig",
     "SmartMeterDataset",
     "SyntheticCERConfig",
     "generate_cer_like_dataset",
+    "generate_delivery_trace",
     "load_cer_file",
     "save_cer_file",
 ]

@@ -18,6 +18,7 @@ on:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
@@ -30,6 +31,10 @@ from repro.data.consumers import (
 from repro.data.dataset import SmartMeterDataset
 from repro.errors import ConfigurationError
 from repro.timeseries.seasonal import SLOTS_PER_DAY, SLOTS_PER_WEEK
+
+if TYPE_CHECKING:
+    from repro.eventtime.reorder import StampedReading
+    from repro.metering.scramble import ScramblingChannel
 
 
 @dataclass(frozen=True)
@@ -184,3 +189,65 @@ def generate_cer_like_dataset(
         consumer_types=types,
         train_weeks=cfg.effective_train_weeks,
     )
+
+
+@dataclass(frozen=True)
+class DeliveryLatencyConfig:
+    """How late, duplicated, and bursty the synthetic backhaul is.
+
+    Parameterises a :class:`~repro.metering.scramble.ScramblingChannel`
+    for turning a clean dataset into an out-of-order delivery trace.
+    Defaults model a mildly congested mesh: most readings land within a
+    couple of slots, a long lognormal tail reaches the cap, a couple of
+    percent arrive twice, and rare collector outages batch a consumer's
+    backlog into one burst.
+
+    Keep ``max_delay_slots`` at or below the event-time pipeline's
+    ``lateness_slots + grace_weeks * 336`` so every reading can still be
+    reconciled before its week finalises.
+    """
+
+    median_delay_slots: float = 2.0
+    sigma: float = 0.8
+    consumer_sigma: float = 0.5
+    max_delay_slots: int = 48
+    duplicate_rate: float = 0.02
+    outage_rate: float = 0.0005
+    outage_mean_slots: float = 16.0
+    seed: int = 2016
+
+    def __post_init__(self) -> None:
+        self.channel()  # validates the parameters eagerly
+
+    def channel(self) -> "ScramblingChannel":
+        """A fresh channel configured with these parameters."""
+        from repro.metering.scramble import ScramblingChannel
+
+        return ScramblingChannel(
+            median_delay_slots=self.median_delay_slots,
+            sigma=self.sigma,
+            consumer_sigma=self.consumer_sigma,
+            max_delay_slots=self.max_delay_slots,
+            duplicate_rate=self.duplicate_rate,
+            outage_rate=self.outage_rate,
+            outage_mean_slots=self.outage_mean_slots,
+        )
+
+
+def generate_delivery_trace(
+    readings: Mapping[str, np.ndarray],
+    config: DeliveryLatencyConfig | None = None,
+) -> "list[list[StampedReading]]":
+    """Turn clean per-consumer series into an out-of-order delivery trace.
+
+    Returns one batch of stamped readings per processing slot (plus a
+    final drain batch), ready to feed to
+    :meth:`repro.eventtime.EventTimeIngestor.deliver`.  Pass a
+    dataset's ``.readings`` mapping directly.  The trace is a pure
+    function of the readings and ``config.seed``.
+    """
+    from repro.metering.scramble import scramble_series
+
+    cfg = config if config is not None else DeliveryLatencyConfig()
+    rng = np.random.default_rng(cfg.seed)
+    return scramble_series(readings, cfg.channel(), rng)

@@ -24,9 +24,15 @@ followed by length-prefixed, CRC-checked records::
     crc32   u32      CRC-32 of the payload
     payload          compact JSON, e.g. {"k":"cycle","t":412,"r":{...}}
 
-Two record kinds exist: ``cycle`` (one polling cycle of readings, the
-raw pre-firewall mapping) and ``mark`` (a checkpoint boundary, written
-so compaction evidence survives in the log itself).
+Four record kinds exist: ``cycle`` (one polling cycle of readings, the
+raw pre-firewall mapping), ``mark`` (a checkpoint boundary, written so
+compaction evidence survives in the log itself), ``delivery`` (one
+event-time delivery batch of ``[consumer, slot, value]`` stamped
+readings — ``t`` is the processing-time delivery index, each element's
+slot is its event time, so replay reproduces the exact watermark
+decisions of the live run), and ``finish`` (the event-time end-of-run
+flush, logged so replay drains the reorder buffer at the same point the
+live run did).
 
 Crash safety
 ------------
@@ -54,7 +60,7 @@ import os
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import IO, TYPE_CHECKING, Iterator, Mapping
+from typing import IO, TYPE_CHECKING, Iterable, Iterator, Mapping
 
 from repro.errors import ConfigurationError, WALCorruptionError, WALError
 from repro.quarantine.firewall import MeterReading
@@ -115,11 +121,18 @@ def list_segments(directory: str | os.PathLike) -> list[str]:
 
 @dataclass(frozen=True)
 class WALRecord:
-    """One decoded WAL record."""
+    """One decoded WAL record.
+
+    ``cycle`` is the polling-cycle index for ``cycle``/``mark`` records
+    and the processing-time delivery index for ``delivery``/``finish``
+    records.  ``deliveries`` carries a delivery batch's stamped readings
+    as ``(consumer_id, slot, value)`` triples.
+    """
 
     kind: str
     cycle: int
     readings: dict[str, float | MeterReading] | None = None
+    deliveries: tuple[tuple[str, int, float], ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -133,6 +146,15 @@ class WALReplay:
     def cycles(self) -> Iterator[WALRecord]:
         """The cycle records, in append order."""
         return (r for r in self.records if r.kind == "cycle")
+
+    def deliveries(self) -> Iterator[WALRecord]:
+        """The event-time delivery records, in append order."""
+        return (r for r in self.records if r.kind == "delivery")
+
+    @property
+    def finished(self) -> bool:
+        """Whether the event-time end-of-run flush was logged."""
+        return any(r.kind == "finish" for r in self.records)
 
     @property
     def last_cycle(self) -> int:
@@ -180,6 +202,11 @@ def _encode(record: WALRecord) -> bytes:
         payload["r"] = {
             str(cid): _pack_value(v) for cid, v in record.readings.items()
         }
+    if record.deliveries is not None:
+        payload["d"] = [
+            [str(cid), int(slot), _coerce(value)]
+            for cid, slot, value in record.deliveries
+        ]
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     header = _RECORD_HEADER.pack(len(body), zlib.crc32(body))
     return header + body
@@ -190,8 +217,17 @@ def _decode(payload: bytes) -> WALRecord:
     readings = obj.get("r")
     if readings is not None:
         readings = {str(cid): _unpack_value(v) for cid, v in readings.items()}
+    deliveries = obj.get("d")
+    if deliveries is not None:
+        deliveries = tuple(
+            (str(cid), int(slot), _coerce(value))
+            for cid, slot, value in deliveries
+        )
     return WALRecord(
-        kind=str(obj["k"]), cycle=int(obj["t"]), readings=readings
+        kind=str(obj["k"]),
+        cycle=int(obj["t"]),
+        readings=readings,
+        deliveries=deliveries,
     )
 
 
@@ -384,6 +420,33 @@ class WriteAheadLog:
     def mark_checkpoint(self, cycle: int) -> None:
         """Record that a service checkpoint covers cycles below ``cycle``."""
         self._append(WALRecord(kind="mark", cycle=int(cycle)))
+
+    def append_delivery(
+        self, index: int, deliveries: Iterable[tuple[str, int, float]]
+    ) -> None:
+        """Log one event-time delivery batch (must precede processing).
+
+        ``index`` is the processing-time delivery counter; each element
+        is a ``(consumer_id, slot, value)`` stamped reading.  Replaying
+        the delivery records in order through a fresh event-time
+        ingestor reproduces the live run's watermark decisions —
+        buffering, releases, reconciliations, and revisions —
+        bit-identically.
+        """
+        self._append(
+            WALRecord(
+                kind="delivery",
+                cycle=int(index),
+                deliveries=tuple(
+                    (str(cid), int(slot), float(value))
+                    for cid, slot, value in deliveries
+                ),
+            )
+        )
+
+    def append_finish(self, index: int) -> None:
+        """Log the event-time end-of-run flush decision."""
+        self._append(WALRecord(kind="finish", cycle=int(index)))
 
     def sync(self) -> None:
         """Flush and fsync: everything appended so far becomes durable."""

@@ -17,6 +17,7 @@ from repro.metering.ami import (
     UtilityHeadEnd,
 )
 from repro.metering.channel import LossyChannel, deliver_series
+from repro.metering.scramble import ScramblingChannel, scramble_series
 
 __all__ = [
     "AMINetwork",
@@ -26,6 +27,8 @@ __all__ = [
     "MeasurementErrorModel",
     "ReadingStore",
     "ResilientHeadEnd",
+    "ScramblingChannel",
+    "scramble_series",
     "SmartMeter",
     "TamperSeal",
     "UtilityHeadEnd",

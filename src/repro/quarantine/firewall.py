@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import ConfigurationError
+from repro.eventtime.clock import SlotClock
 from repro.quarantine.store import (
     QuarantinedReading,
     QuarantineReason,
@@ -91,6 +92,7 @@ class ReadingFirewall:
 
     policy: FirewallPolicy = field(default_factory=FirewallPolicy)
     store: QuarantineStore = field(default_factory=QuarantineStore)
+    clock: SlotClock = field(default_factory=SlotClock)
     screened_cycles: int = 0
 
     def screen(
@@ -198,18 +200,24 @@ class ReadingFirewall:
                 slot,
                 "ambiguous repeated DST fall-back slot",
             )
-        if slot is not None and slot < cycle:
-            return (
-                QuarantineReason.DUPLICATE,
-                value,
-                slot,
-                f"slot {slot} already ingested (current cycle {cycle})",
-            )
-        if slot is not None and slot > cycle:
-            return (
-                QuarantineReason.CLOCK_SKEW,
-                value,
-                slot,
-                f"meter clock ahead: declared slot {slot} > cycle {cycle}",
-            )
+        if slot is not None:
+            # Slot arithmetic delegates to the shared event-time clock so
+            # the firewall and the watermark layer agree on what "ahead"
+            # and "behind" mean (positive skew = meter clock runs ahead).
+            skew = self.clock.skew(slot, cycle)
+            if skew < 0:
+                return (
+                    QuarantineReason.DUPLICATE,
+                    value,
+                    slot,
+                    f"slot {slot} already ingested (current cycle {cycle})",
+                )
+            if skew > 0:
+                return (
+                    QuarantineReason.CLOCK_SKEW,
+                    value,
+                    slot,
+                    f"meter clock ahead: declared slot {slot} > cycle "
+                    f"{cycle} (skew {skew} slots)",
+                )
         return None

@@ -33,6 +33,9 @@ class QuarantineReason(enum.Enum):
     CLOCK_SKEW = "clock_skew"
     #: Reading from the repeated local-time hour of a DST fall-back.
     DST_FOLD = "dst_fold"
+    #: Late arrival past the event-time grace window: the slot's week is
+    #: already finalized, so the reading can no longer be reconciled.
+    TOO_LATE = "too_late"
 
 
 @dataclass(frozen=True)

@@ -41,7 +41,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: v3 added the reading-integrity firewall (policy + quarantine store).
 #: v4 added overload control (loadcontrol config; reports carry
 #: ``shed``).
-CHECKPOINT_VERSION = 4
+#: v5 added event-time state (EventTimeConfig, the revision log, and
+#: the per-week pinned scoring frameworks).
+CHECKPOINT_VERSION = 5
 
 _MAGIC = "fdeta-checkpoint"
 

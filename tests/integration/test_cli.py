@@ -322,3 +322,67 @@ class TestCommands:
         )
         assert code == 0
         assert "Table II" in capsys.readouterr().out
+
+
+class TestMonitorEventTime:
+    _base = [
+        "monitor",
+        "--consumers",
+        "3",
+        "--weeks",
+        "6",
+        "--min-training-weeks",
+        "3",
+        "--retrain-every-weeks",
+        "2",
+        "--eventtime",
+    ]
+
+    def test_usage_errors(self, tmp_path, capsys):
+        plain = ["monitor", "--consumers", "3", "--weeks", "6"]
+        assert main(plain + ["--revisions-out", str(tmp_path / "r.json")]) == 2
+        assert (
+            main(
+                self._base
+                + ["--shards", "2", "--wal-dir", str(tmp_path / "w")]
+            )
+            == 2
+        )
+        assert main(self._base + ["--max-queue", "8"]) == 2
+        assert (
+            main(self._base + ["--checkpoint", str(tmp_path / "c.bin")]) == 2
+        )
+        capsys.readouterr()
+
+    def test_eventtime_run_writes_revisions(self, tmp_path, capsys):
+        import json
+
+        revisions = tmp_path / "revisions.json"
+        code = main(
+            self._base
+            + ["--scramble-delay", "3", "--revisions-out", str(revisions)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final weekly verdicts:" in out
+        assert "monitored 3 consumers for 6 weeks (event-time)" in out
+        assert "verdict revisions:" in out
+        loaded = json.loads(revisions.read_text())
+        assert set(loaded) >= {"total", "by_kind", "revisions"}
+
+    def test_scrambled_final_verdicts_match_in_order(self, capsys):
+        def final_section(argv):
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            section = out.split("final weekly verdicts:\n", 1)[1]
+            # Drop the revision-count line: the paths there legitimately
+            # differ; everything else must match exactly.
+            return "\n".join(
+                line
+                for line in section.splitlines()
+                if not line.startswith("verdict revisions:")
+            )
+
+        in_order = final_section(self._base + ["--scramble-delay", "0"])
+        scrambled = final_section(self._base + ["--scramble-delay", "5"])
+        assert in_order == scrambled

@@ -17,6 +17,7 @@ SUBPACKAGES = (
     "repro.detectors",
     "repro.durability",
     "repro.evaluation",
+    "repro.eventtime",
     "repro.grid",
     "repro.loadcontrol",
     "repro.metering",
