@@ -1,0 +1,165 @@
+"""Benchmarks the elastic fleet at streamed-population scale.
+
+The question the capacity planner asks here: how does per-cycle ingest
+latency and resident memory grow as the metered population grows, and
+does a live shard add stay cheap at fleet scale?  The population is
+*streamed* (:class:`~repro.data.stream.StreamedCERPopulation` computes
+each half-hour cycle as a pure function of ``(seed, cycle)``), so the
+soak never materialises a ``meters x slots`` matrix — memory is the
+fleet's own per-meter state, nothing else.
+
+Each population size appends one record to ``BENCH_scaleout.json`` at
+the repository root; together the records are the scaling curve.
+
+Scale knobs (the acceptance-criterion soak is the default):
+
+* ``FDETA_SOAK_METERS``  (default 100_000) — largest population
+* ``FDETA_SOAK_CYCLES``  (default 12)      — cycles ingested per size
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+
+from repro.core.kld import KLDDetector
+from repro.core.online import TheftMonitoringService
+from repro.data.stream import StreamedCERPopulation
+from repro.data.synthetic import SyntheticCERConfig
+from repro.resilience import ResilienceConfig
+from repro.scaleout import ElasticFleet
+
+from benchmarks.conftest import BenchTimer, record_bench, write_artifact
+
+SOAK_METERS = int(os.environ.get("FDETA_SOAK_METERS", "100000"))
+SOAK_CYCLES = int(os.environ.get("FDETA_SOAK_CYCLES", "12"))
+
+_SHARDS = 4
+_SYNC_EVERY = 8
+#: Linear-memory ceiling for the soak.  Measured ~0.9 KiB/meter at
+#: 10^5 meters (service state + reading buffers + the streamed
+#: population's O(n) profile arrays); 4 KiB leaves headroom for
+#: allocator noise without letting a quadratic blow-up sneak past.
+_BYTES_PER_METER_BOUND = 4096
+
+
+def _detector_factory():
+    return KLDDetector(significance=0.05)
+
+
+def _service_factory(consumers):
+    return TheftMonitoringService(
+        detector_factory=_detector_factory,
+        min_training_weeks=2,
+        resilience=ResilienceConfig(),
+        population=consumers,
+    )
+
+
+def _soak(base_dir, meters: int, cycles: int):
+    """Build population + fleet, ingest ``cycles``, measure everything."""
+    tracemalloc.start()
+    with BenchTimer() as timer:
+        population = StreamedCERPopulation(
+            SyntheticCERConfig(n_consumers=meters, n_weeks=2)
+        )
+        fleet = ElasticFleet(
+            population.consumer_ids,
+            base_dir,
+            _service_factory,
+            _detector_factory,
+            n_shards=_SHARDS,
+            sync_every_cycles=_SYNC_EVERY,
+        )
+        try:
+            with BenchTimer() as ingest_timer:
+                for cycle in range(cycles):
+                    fleet.ingest_cycle(population.readings_at(cycle))
+            assert fleet.low_watermark == cycles - 1
+        finally:
+            fleet.close()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return timer.elapsed, ingest_timer.elapsed, peak
+
+
+def test_scaling_curve_streamed_population(tmp_path):
+    sizes = sorted({1_000, 10_000, SOAK_METERS})
+    curve = []
+    for meters in sizes:
+        total, ingest, peak = _soak(
+            tmp_path / f"n{meters}", meters, SOAK_CYCLES
+        )
+        ms_per_cycle = 1000.0 * ingest / SOAK_CYCLES
+        bytes_per_meter = peak / meters
+        record_bench(
+            "scaleout",
+            total,
+            meters=meters,
+            shards=_SHARDS,
+            cycles=SOAK_CYCLES,
+            sync_every_cycles=_SYNC_EVERY,
+            ingest_seconds=ingest,
+            ms_per_cycle=ms_per_cycle,
+            peak_bytes=peak,
+            bytes_per_meter=bytes_per_meter,
+        )
+        curve.append((meters, ms_per_cycle, peak, bytes_per_meter))
+        # Bounded memory: resident state stays linear in the population.
+        assert bytes_per_meter < _BYTES_PER_METER_BOUND
+
+    # The soak criterion proper: the largest size actually ran.
+    assert curve[-1][0] >= SOAK_METERS
+    # Linear, not quadratic: growing meters 100x may not grow the
+    # per-meter footprint (the slope of the memory curve) even 4x.
+    assert curve[-1][3] < 4 * max(curve[0][3], 1.0)
+
+    lines = ["meters  ms_per_cycle  peak_mb  bytes_per_meter"]
+    lines += [
+        f"{m:>6}  {ms:>12.1f}  {p / 1e6:>7.1f}  {bpm:>15.0f}"
+        for m, ms, p, bpm in curve
+    ]
+    write_artifact("scaleout_curve.txt", "\n".join(lines) + "\n")
+
+
+def test_live_shard_add_at_scale(tmp_path):
+    """A live grow on a 10^4-meter fleet: bounded movement, cheap."""
+    meters = min(10_000, SOAK_METERS)
+    population = StreamedCERPopulation(
+        SyntheticCERConfig(n_consumers=meters, n_weeks=2)
+    )
+    fleet = ElasticFleet(
+        population.consumer_ids,
+        tmp_path,
+        _service_factory,
+        _detector_factory,
+        n_shards=_SHARDS,
+        sync_every_cycles=_SYNC_EVERY,
+    )
+    try:
+        for cycle in range(6):
+            fleet.ingest_cycle(population.readings_at(cycle))
+        before = {w.name: set(w.consumers) for w in fleet.workers()}
+        with BenchTimer() as timer:
+            new_shard = fleet.add_shard()
+        after = {w.name: set(w.consumers) for w in fleet.workers()}
+        moved = sum(
+            len(before[name] - after[name]) for name in before
+        )
+        for cycle in range(6, SOAK_CYCLES):
+            fleet.ingest_cycle(population.readings_at(cycle))
+        assert fleet.low_watermark == SOAK_CYCLES - 1
+        assert len(after[new_shard]) == moved
+        # Fair-share movement: ~meters/new_shard_count, with slack.
+        assert moved <= 1.5 * meters / len(after)
+        record_bench(
+            "scaleout",
+            timer.elapsed,
+            event="add_shard",
+            meters=meters,
+            shards_before=len(before),
+            shards_after=len(after),
+            moved_consumers=moved,
+        )
+    finally:
+        fleet.close()

@@ -296,12 +296,33 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.grow_at_week is not None and not args.elastic:
+        print("--grow-at-week requires --elastic", file=sys.stderr)
+        return 2
+    if args.elastic:
+        if not args.wal_dir:
+            print(
+                "--elastic requires --wal-dir (the fleet manifest and "
+                "per-shard WALs/checkpoints live under it)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.checkpoint:
+            print(
+                "--elastic manages per-shard checkpoints under --wal-dir; "
+                "drop --checkpoint",
+                file=sys.stderr,
+            )
+            return 2
     if args.revisions_out and not args.eventtime:
         print("--revisions-out requires --eventtime", file=sys.stderr)
         return 2
     if args.eventtime:
-        if args.shards > 1:
-            print("--eventtime does not support --shards > 1", file=sys.stderr)
+        if args.shards > 1 or args.elastic:
+            print(
+                "--eventtime does not support --shards > 1 or --elastic",
+                file=sys.stderr,
+            )
             return 2
         if args.checkpoint or args.resume:
             print(
@@ -375,6 +396,17 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             ids=ids,
             series=series,
             weeks=weeks,
+            fresh_service=fresh_service,
+            events=events,
+        )
+
+    if args.elastic:
+        return _run_monitor_elastic(
+            args,
+            ids=ids,
+            series=series,
+            weeks=weeks,
+            factory=factory,
             fresh_service=fresh_service,
             events=events,
         )
@@ -916,6 +948,182 @@ def _run_monitor_sharded(
     )
 
 
+def _run_monitor_elastic(
+    args: argparse.Namespace,
+    ids,
+    series,
+    weeks: int,
+    factory,
+    fresh_service,
+    events,
+) -> int:
+    """``monitor --elastic``: the consistent-hash fleet path.
+
+    Shards are placed on a hash ring and each keeps its own WAL and
+    checkpoint under ``--wal-dir``; the fleet manifest there makes
+    recovery implicit, and ``--grow-at-week N`` performs a live
+    snapshot+WAL shard handoff at the start of week ``N``.
+    """
+    import os
+
+    import numpy as np
+
+    from repro.errors import ConfigurationError
+    from repro.metering.channel import LossyChannel
+    from repro.observability.metrics import MetricsRegistry
+    from repro.resilience import FaultInjector, FaultyChannel
+    from repro.scaleout import ElasticFleet
+    from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+    fleet_metrics = MetricsRegistry()
+    try:
+        fleet = ElasticFleet(
+            ids,
+            args.wal_dir,
+            lambda consumers: fresh_service(consumers),
+            factory,
+            n_shards=args.shards,
+            metrics=fleet_metrics,
+            events=events,
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    channel = FaultyChannel(
+        channel=LossyChannel(
+            drop_rate=args.drop_rate, outage_rate=args.outage_rate
+        ),
+        faults=FaultInjector(corrupt_rate=args.corrupt_rate),
+    )
+    start_slot = fleet.cycle
+    if start_slot:
+        print(
+            f"fleet resumed at cycle {start_slot} "
+            f"({len(fleet.shards)} shard(s) recovered from {args.wal_dir})",
+            file=sys.stderr,
+        )
+    grow_cycle = (
+        args.grow_at_week * SLOTS_PER_WEEK
+        if args.grow_at_week is not None
+        else None
+    )
+    ingested = 0
+    try:
+        for t in range(start_slot, weeks * SLOTS_PER_WEEK):
+            if grow_cycle is not None and t == grow_cycle:
+                before = {
+                    w.name: set(w.consumers) for w in fleet.workers()
+                }
+                new_shard = fleet.add_shard()
+                moved = sum(
+                    len(members - set(fleet._worker(name).consumers))
+                    for name, members in before.items()
+                )
+                print(
+                    f"live rebalance at cycle {t}: added {new_shard}, "
+                    f"moved {moved}/{len(ids)} consumers",
+                    file=sys.stderr,
+                )
+            cycle_rng = np.random.default_rng((args.seed + 1, t))
+            readings = {cid: float(series[cid][t]) for cid in ids}
+            delivered = channel.transmit(readings, cycle_rng)
+            result = fleet.ingest_cycle(delivered)
+            ingested += 1
+            if (
+                args.crash_after_cycle is not None
+                and ingested >= args.crash_after_cycle
+            ):
+                print(
+                    f"simulated crash after {ingested} cycle(s) (cycle {t})",
+                    file=sys.stderr,
+                )
+                sys.stdout.flush()
+                sys.stderr.flush()
+                os._exit(3)
+            shard_reports = [r for r in result.values() if r is not None]
+            if not shard_reports:
+                continue
+            week_index = shard_reports[0].week_index
+            alerts = [a for r in shard_reports for a in r.alerts]
+            coverage = [
+                value
+                for r in shard_reports
+                for value in r.coverage.values()
+            ]
+            mean_coverage = (
+                sum(coverage) / len(coverage) if coverage else float("nan")
+            )
+            quarantined = sum(len(r.quarantined) for r in shard_reports)
+            suppressed = sum(len(r.suppressed) for r in shard_reports)
+            print(
+                f"week {week_index:>3}: "
+                f"{len(alerts)} alert(s), "
+                f"coverage {mean_coverage:.1%}, "
+                f"{quarantined} quarantined, "
+                f"{suppressed} suppressed "
+                f"[{len(shard_reports)}/{len(fleet.shards)} shards]"
+            )
+            for r in shard_reports:
+                for alert in r.alerts:
+                    print(
+                        f"    {alert.consumer_id}: {alert.nature.value} "
+                        f"(severity {alert.severity:.2f}, "
+                        f"coverage {alert.coverage:.1%})"
+                    )
+        services = fleet.services()
+        # A consumer migrated mid-run appears in both its source and
+        # destination shard's histories; dedupe the fleet-wide verdicts.
+        attackers = sorted(
+            {
+                cid
+                for svc in services.values()
+                for cid in svc.suspected_attackers()
+            }
+        )
+        victims = sorted(
+            {
+                cid
+                for svc in services.values()
+                for cid in svc.suspected_victims()
+            }
+        )
+        merged = fleet.merged_reports()
+        total_alerts = sum(len(report.alerts) for report in merged)
+        print(
+            f"monitored {len(ids)} consumers for {len(merged)} weeks "
+            f"across {len(fleet.shards)} elastic shard(s)"
+        )
+        print(f"total alerts: {total_alerts}")
+        print(f"suspected attackers: {attackers or 'none'}")
+        print(f"suspected victims:   {victims or 'none'}")
+        quarantined_readings = sum(
+            len(svc.firewall.store)
+            for svc in services.values()
+            if svc.firewall is not None
+        )
+        print(f"quarantined readings: {quarantined_readings}")
+        print(f"fleet restarts: {fleet.restarts_total}")
+        print(
+            "shard epochs: "
+            + ", ".join(
+                f"{name}={fleet.epoch(name)}" for name in fleet.shards
+            )
+        )
+        shed_total = sum(
+            len(report.shed)
+            for svc in services.values()
+            for report in svc.reports
+        )
+        merged_metrics = fleet.merged_metrics()
+        merged_metrics.merge_snapshot(fleet_metrics.snapshot())
+        _write_observability_outputs(args, merged_metrics, None)
+    finally:
+        fleet.close()
+    if events is not None:
+        events.close()
+    return _monitor_exit_status(shed_total=shed_total, overruns=0)
+
+
 def _cmd_ablation(args: argparse.Namespace) -> int:
     dataset = _dataset_from_args(args)
     consumers = dataset.consumers()[: args.sample]
@@ -1101,6 +1309,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="run N supervised monitor shards (requires --wal-dir; "
         "each shard keeps its own WAL and checkpoint and is restarted "
         "from them if it dies)",
+    )
+    mon.add_argument(
+        "--elastic",
+        action="store_true",
+        help="place the shards on a consistent-hash ring and run them "
+        "as an elastic fleet (requires --wal-dir; the fleet manifest "
+        "there makes crash recovery implicit and shards can be added "
+        "live via snapshot+WAL handoff)",
+    )
+    mon.add_argument(
+        "--grow-at-week",
+        type=int,
+        default=None,
+        help="with --elastic: add one shard live at the start of week N "
+        "(a quiesce -> snapshot -> commit -> install -> finalize handoff)",
     )
     _add_observability_options(mon)
     mon.set_defaults(func=_cmd_monitor)

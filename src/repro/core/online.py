@@ -1123,6 +1123,176 @@ class TheftMonitoringService:
         return revision
 
     # ------------------------------------------------------------------
+    # Shard migration (scale-out)
+    # ------------------------------------------------------------------
+    #
+    # An elastic fleet (see :mod:`repro.scaleout`) moves individual
+    # consumers between shard services when the hash ring changes.  The
+    # contract: extract a self-contained state packet on the source,
+    # adopt it on a destination whose polling clock matches, and the
+    # merged fleet behaves bit-identically to one that never rebalanced.
+    # The framework is purely per-consumer (one detector + one weekly-
+    # mean distribution each), which is what makes a per-consumer packet
+    # complete.
+
+    @property
+    def roster(self) -> tuple[str, ...]:
+        """The fixed population, sorted (empty before it is known)."""
+        return self._roster
+
+    def clock_state(self) -> dict:
+        """The service's polling clock, for aligning a fresh shard."""
+        return {
+            "slot_count": self._slot_count,
+            "weeks_completed": self._weeks_completed,
+            "weeks_at_last_training": self._weeks_at_last_training,
+        }
+
+    def align_clock(self, clock: Mapping[str, int]) -> None:
+        """Fast-forward a *virgin* service's clock to a donor's.
+
+        A shard created mid-run must agree with the rest of the fleet on
+        how many cycles have elapsed and when training last happened —
+        otherwise its training cadence (and therefore its verdicts)
+        would diverge from an undisturbed fleet's.  Only an empty
+        service may be aligned; anything else would desynchronise the
+        slot-aligned series invariant.
+        """
+        if self._slot_count or self._weeks_completed or self.reports:
+            raise ConfigurationError(
+                "align_clock requires a service that has never ingested"
+            )
+        self._slot_count = int(clock["slot_count"])
+        self._weeks_completed = int(clock["weeks_completed"])
+        self._weeks_at_last_training = int(clock["weeks_at_last_training"])
+
+    def extract_consumer(self, consumer_id: str) -> dict:
+        """Copy one consumer's full migratable state (non-destructive).
+
+        The packet carries everything the weekly pipeline consults for
+        this consumer: the slot-aligned series, the circuit breaker, the
+        alert-quarantined training weeks, and the trained detector and
+        weekly-mean distribution (when the current framework has them).
+        Weekly reports stay behind — they are the *recording* shard's
+        history, merged later by the fleet plane.
+        """
+        if self.eventtime is not None:
+            raise ConfigurationError(
+                "consumer migration is not supported in event-time mode: "
+                "pinned per-week scoring frameworks cannot follow a "
+                "consumer across shards"
+            )
+        if self._population is None or consumer_id not in self._population:
+            raise DataError(f"unknown consumer {consumer_id!r}")
+        framework = self._framework
+        return {
+            "series": list(self.store._series.get(consumer_id, ())),
+            "breaker": (
+                self._breakers.breakers.get(consumer_id)
+                if self._breakers is not None
+                else None
+            ),
+            "quarantined_weeks": set(
+                self._quarantined_weeks.get(consumer_id, ())
+            ),
+            "framework_trained": framework is not None,
+            "triage_quantiles": (
+                framework.triage_quantiles if framework is not None else None
+            ),
+            "detector": (
+                framework._detectors.get(consumer_id)
+                if framework is not None
+                else None
+            ),
+            "mean_distribution": (
+                framework._mean_distributions.get(consumer_id)
+                if framework is not None
+                else None
+            ),
+        }
+
+    def release_consumer(self, consumer_id: str) -> dict:
+        """Extract one consumer's packet and drop them from this shard.
+
+        The service keeps running for its remaining consumers; a shard
+        drained of its last consumer becomes an empty (retiring) shard
+        whose ingest cycles are no-ops.
+        """
+        packet = self.extract_consumer(consumer_id)
+        remaining = tuple(
+            cid for cid in self._roster if cid != consumer_id
+        )
+        self._population = frozenset(remaining)
+        self._roster = remaining
+        self.store._series.pop(consumer_id, None)
+        if self._breakers is not None:
+            self._breakers.breakers.pop(consumer_id, None)
+        self._quarantined_weeks.pop(consumer_id, None)
+        if self._framework is not None:
+            self._framework._detectors.pop(consumer_id, None)
+            self._framework._mean_distributions.pop(consumer_id, None)
+        return packet
+
+    def adopt_consumer(self, consumer_id: str, packet: Mapping) -> None:
+        """Install a migrated consumer's packet into this shard.
+
+        Requires the destination clock to already match the source (the
+        handoff protocol quiesces the fleet first): the packet's series
+        must be exactly ``cycles_ingested`` slots long so every series
+        stays slot-aligned.  Idempotent handoff roll-forward is the
+        caller's job — adopting an already-present consumer raises.
+        """
+        if self.eventtime is not None:
+            raise ConfigurationError(
+                "consumer migration is not supported in event-time mode"
+            )
+        if self._population is not None and consumer_id in self._population:
+            raise ConfigurationError(
+                f"{consumer_id!r} is already on this shard"
+            )
+        series = [float(value) for value in packet["series"]]
+        if len(series) != self._slot_count:
+            raise DataError(
+                f"cannot adopt {consumer_id!r}: packet carries "
+                f"{len(series)} slots but this shard has ingested "
+                f"{self._slot_count} cycles (handoff must quiesce first)"
+            )
+        if self._population is None:
+            self._set_population((consumer_id,))
+        else:
+            self._set_population((*self._roster, consumer_id))
+        self.store._series[consumer_id] = series
+        breaker = packet.get("breaker")
+        if breaker is not None:
+            if self._breakers is None:
+                raise ConfigurationError(
+                    "packet carries a circuit breaker but this shard is "
+                    "not gap-tolerant; source and destination must run "
+                    "the same ingestion mode"
+                )
+            self._breakers.breakers[consumer_id] = breaker
+        quarantined = set(packet.get("quarantined_weeks", ()))
+        if quarantined:
+            self._quarantined_weeks[consumer_id] = quarantined
+        if packet.get("framework_trained") and self._framework is None:
+            # A shard created after the fleet first trained must enter
+            # the *assess* path at its next boundary, not the train
+            # path — otherwise its training cadence diverges from an
+            # undisturbed fleet.  Start an empty framework shell; the
+            # adopted detectors populate it below.
+            self._framework = FDetaFramework(
+                detector_factory=self.detector_factory,
+                triage_quantiles=packet["triage_quantiles"],
+            )
+        detector = packet.get("detector")
+        if detector is not None and self._framework is not None:
+            self._framework._detectors[consumer_id] = detector
+            if packet.get("mean_distribution") is not None:
+                self._framework._mean_distributions[consumer_id] = packet[
+                    "mean_distribution"
+                ]
+
+    # ------------------------------------------------------------------
     # Checkpoint / restore
     # ------------------------------------------------------------------
 

@@ -15,11 +15,13 @@ redistributable.  This subpackage provides:
 
 from repro.data.consumers import ConsumerProfile, ConsumerType
 from repro.data.dataset import SmartMeterDataset
+from repro.data.stream import StreamedCERPopulation
 from repro.data.synthetic import (
     DeliveryLatencyConfig,
     SyntheticCERConfig,
     generate_cer_like_dataset,
     generate_delivery_trace,
+    iter_cer_like_series,
 )
 from repro.data.loader import load_cer_file, save_cer_file
 from repro.data.preprocessing import (
@@ -54,9 +56,11 @@ __all__ = [
     "ConsumerType",
     "DeliveryLatencyConfig",
     "SmartMeterDataset",
+    "StreamedCERPopulation",
     "SyntheticCERConfig",
     "generate_cer_like_dataset",
     "generate_delivery_trace",
+    "iter_cer_like_series",
     "load_cer_file",
     "save_cer_file",
 ]

@@ -1,0 +1,225 @@
+"""Constant-memory per-cycle streaming of a synthetic CER population.
+
+The materialising generator (:func:`~repro.data.synthetic
+.generate_cer_like_dataset`) builds every consumer's full series up
+front — ``O(n_consumers * n_weeks * 336)`` floats — which caps how large
+a population the scale-out soaks can drive.  This module streams the
+*same family* of CER-like load shapes cycle by cycle instead:
+
+* :class:`StreamedCERPopulation` holds ``O(n_consumers)`` state (the
+  per-consumer profile arrays) and produces each polling cycle's
+  readings as a pure function of ``(config.seed, cycle)`` — calling
+  :meth:`~StreamedCERPopulation.readings_at` twice for the same cycle
+  returns identical values, which is exactly what chaos re-feeds after a
+  crash need;
+* the weekly template is never materialised per consumer: the diurnal
+  shapes of :mod:`repro.data.synthetic` are linear in each profile's
+  morning/evening/weekend weights, so both the slot value and the
+  week-mean normaliser reduce to a dot product against precomputed
+  48-slot Gaussian bases.
+
+The streamed values follow the same statistical family as the
+materialised generator (same templates, seasonality, lognormal slot
+noise with short-range smoothing, vacation weeks, party spikes) but are
+**not** bit-identical to :func:`generate_consumer_series`: exact replay
+would require the shared sequential RNG, which is what forces the whole
+population into memory.  For bit-exact streaming of the materialised
+dataset one consumer at a time, use
+:func:`~repro.data.synthetic.iter_cer_like_series`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.data.consumers import ConsumerType
+from repro.data.synthetic import SyntheticCERConfig, _assign_types
+from repro.errors import ConfigurationError
+from repro.timeseries.seasonal import SLOTS_PER_DAY, SLOTS_PER_WEEK
+
+__all__ = ["StreamedCERPopulation"]
+
+_HOURS = np.arange(SLOTS_PER_DAY) / 2.0
+
+# Residential weekday: base + morning_weight * G_MORNING + evening_weight
+# * G_EVENING (see synthetic._diurnal_template).
+_G_MORNING = np.exp(-0.5 * ((_HOURS - 7.8) / 1.2) ** 2)
+_G_EVENING_WD = np.exp(-0.5 * ((_HOURS - 19.5) / 2.4) ** 2)
+# Residential weekend: base + 0.7 * weekend_factor * G_MIDDAY +
+# evening_weight * G_EVENING_WE (see synthetic._weekend_template).
+_G_MIDDAY = np.exp(-0.5 * ((_HOURS - 13.0) / 3.5) ** 2)
+_G_EVENING_WE = np.exp(-0.5 * ((_HOURS - 20.0) / 2.2) ** 2)
+# SME shapes carry no profile weights at all.
+_SME_WEEKDAY = 0.25 + 1.6 / (1.0 + np.exp(-(_HOURS - 8.0) * 1.6)) * (
+    1.0 / (1.0 + np.exp((_HOURS - 18.0) * 1.6))
+)
+_SME_WEEKEND = 0.35 + 0.25 * np.exp(-0.5 * ((_HOURS - 12.0) / 3.0) ** 2)
+_SME_WEEK_MEAN = (
+    5.0 * _SME_WEEKDAY.sum() + 2.0 * _SME_WEEKEND.sum()
+) / SLOTS_PER_WEEK
+
+
+class StreamedCERPopulation:
+    """Streams one polling cycle of CER-like readings at a time.
+
+    Parameters come from the same :class:`~repro.data.synthetic
+    .SyntheticCERConfig` as the materialising generator; ``n_weeks``
+    only bounds :meth:`iter_cycles`' default length (``readings_at``
+    accepts any cycle index, so open-ended soaks just keep asking).
+    """
+
+    def __init__(self, config: SyntheticCERConfig | None = None) -> None:
+        cfg = config if config is not None else SyntheticCERConfig()
+        self.config = cfg
+        rng = np.random.default_rng((cfg.seed, 0x5EED))
+        kinds = _assign_types(cfg.n_consumers, rng)
+        n = cfg.n_consumers
+        self.consumer_ids: tuple[str, ...] = tuple(
+            str(cfg.first_consumer_id + i) for i in range(n)
+        )
+        self._sme = np.array(
+            [kind is ConsumerType.SME for kind in kinds], dtype=bool
+        )
+        self._kinds = tuple(kinds)
+        # Profile parameters, drawn vectorised with the same ranges as
+        # consumers.sample_profile (one array per field, O(n) memory).
+        log_mean = np.where(self._sme, np.log(4.0), np.log(0.8))
+        log_sigma = np.where(self._sme, 0.9, 0.55)
+        self._scale = rng.lognormal(mean=log_mean, sigma=log_sigma)
+        self._morning = rng.uniform(0.3, 0.9, size=n)
+        self._evening = rng.uniform(0.8, 1.3, size=n)
+        self._weekend = rng.uniform(1.0, 1.35, size=n)
+        self._noise_sigma = rng.uniform(0.15, 0.35, size=n)
+        self._vacation_rate = rng.uniform(0.0, 0.02, size=n)
+        self._party_rate = rng.uniform(0.0, 0.04, size=n)
+        self._season_phase = rng.uniform(0.0, 2.0 * np.pi, size=n)
+        # Analytic week-mean normaliser: the weekly template's mean is
+        # linear in the profile weights, so it never needs the 336-slot
+        # template materialised.
+        residential_mean = (
+            5.0
+            * (
+                0.2 * SLOTS_PER_DAY
+                + self._morning * _G_MORNING.sum()
+                + self._evening * _G_EVENING_WD.sum()
+            )
+            + 2.0
+            * (
+                0.25 * SLOTS_PER_DAY
+                + 0.7 * self._weekend * _G_MIDDAY.sum()
+                + self._evening * _G_EVENING_WE.sum()
+            )
+        ) / SLOTS_PER_WEEK
+        self._week_mean = np.where(
+            self._sme, _SME_WEEK_MEAN, residential_mean
+        )
+        self._anomaly_week = -1
+        self._anomaly_factor = np.ones(n)
+        self._party_day = np.full(n, -1)
+        self._party_mult = np.ones(n)
+
+    def __len__(self) -> int:
+        return self.config.n_consumers
+
+    def _template_at(self, slot_in_week: int) -> np.ndarray:
+        """Normalised weekly-template value at one slot, per consumer."""
+        day, slot = divmod(slot_in_week, SLOTS_PER_DAY)
+        if day < 5:
+            residential = (
+                0.2
+                + self._morning * _G_MORNING[slot]
+                + self._evening * _G_EVENING_WD[slot]
+            )
+            sme = _SME_WEEKDAY[slot]
+        else:
+            residential = (
+                0.25
+                + 0.7 * self._weekend * _G_MIDDAY[slot]
+                + self._evening * _G_EVENING_WE[slot]
+            )
+            sme = _SME_WEEKEND[slot]
+        return np.where(self._sme, sme, residential) / self._week_mean
+
+    def _noise_at(self, cycle: int) -> np.ndarray:
+        """Smoothed lognormal slot noise, a pure function of the cycle.
+
+        The materialised generator smooths adjacent draws (0.6/0.4);
+        replicating that without held state means re-drawing the
+        previous cycle's noise from its own seed — two vectorised draws
+        per cycle instead of one.
+        """
+        def raw(t: int) -> np.ndarray:
+            if t < 0:
+                t = 0
+            rng = np.random.default_rng((self.config.seed, 0xE95, t))
+            return rng.lognormal(
+                mean=0.0, sigma=self._noise_sigma, size=len(self._scale)
+            )
+
+        return 0.6 * raw(cycle) + 0.4 * raw(cycle - 1)
+
+    def _anomalies_for(self, week: int) -> None:
+        """(Re)compute the week's vacation/party draws; O(n), cached."""
+        if week == self._anomaly_week:
+            return
+        rng = np.random.default_rng((self.config.seed, 0xA70, week))
+        n = len(self._scale)
+        draw = rng.random(n)
+        vacation = draw < self._vacation_rate
+        party = ~vacation & (
+            draw < self._vacation_rate + self._party_rate
+        )
+        self._anomaly_factor = np.where(
+            vacation, rng.uniform(0.1, 0.3, size=n), 1.0
+        )
+        self._party_day = np.where(party, rng.integers(0, 7, size=n), -1)
+        self._party_mult = np.where(
+            party, rng.uniform(2.0, 3.5, size=n), 1.0
+        )
+        self._anomaly_week = week
+
+    def values_at(self, cycle: int) -> np.ndarray:
+        """All consumers' readings for one cycle, as an array in
+        ``consumer_ids`` order.  Pure function of ``(seed, cycle)``."""
+        if cycle < 0:
+            raise ConfigurationError(f"cycle must be >= 0, got {cycle}")
+        week, slot_in_week = divmod(cycle, SLOTS_PER_WEEK)
+        seasonal = 1.0 + 0.15 * np.cos(
+            2.0 * np.pi * week / 52.0 + self._season_phase
+        )
+        values = (
+            self._scale
+            * seasonal
+            * self._template_at(slot_in_week)
+            * self._noise_at(cycle)
+        )
+        self._anomalies_for(week)
+        values = values * self._anomaly_factor
+        start = self._party_day * SLOTS_PER_DAY + 36  # 6pm spikes
+        in_party = (
+            (self._party_day >= 0)
+            & (slot_in_week >= start)
+            & (slot_in_week < start + 10)
+        )
+        values = np.where(in_party, values * self._party_mult, values)
+        return np.maximum(values, 0.0)
+
+    def readings_at(self, cycle: int) -> dict[str, float]:
+        """One cycle's readings keyed by consumer id (head-end form)."""
+        values = self.values_at(cycle)
+        return {
+            cid: float(value)
+            for cid, value in zip(self.consumer_ids, values)
+        }
+
+    def iter_cycles(
+        self, n_cycles: int | None = None
+    ) -> Iterator[tuple[int, Mapping[str, float]]]:
+        """Yield ``(cycle, readings)`` pairs, ``config.n_weeks`` long by
+        default."""
+        if n_cycles is None:
+            n_cycles = self.config.n_weeks * SLOTS_PER_WEEK
+        for cycle in range(n_cycles):
+            yield cycle, self.readings_at(cycle)

@@ -170,19 +170,34 @@ def _assign_types(n: int, rng: np.random.Generator) -> list[ConsumerType]:
     return kinds
 
 
+def iter_cer_like_series(config: SyntheticCERConfig | None = None):
+    """Stream the synthetic dataset one consumer at a time.
+
+    Yields ``(consumer_id, consumer_type, series)`` tuples in id order,
+    drawing from the same shared sequential generator as
+    :func:`generate_cer_like_dataset` — consuming the whole iterator
+    produces bit-identical series to materialising the dataset, but
+    holds only one consumer's series at a time, so callers can shard,
+    filter, or spill a population far larger than memory.
+    """
+    cfg = config if config is not None else SyntheticCERConfig()
+    rng = np.random.default_rng(cfg.seed)
+    kinds = _assign_types(cfg.n_consumers, rng)
+    for i, kind in enumerate(kinds):
+        cid = str(cfg.first_consumer_id + i)
+        profile = sample_profile(cid, kind, rng)
+        yield cid, kind, generate_consumer_series(profile, cfg.n_weeks, rng)
+
+
 def generate_cer_like_dataset(
     config: SyntheticCERConfig | None = None,
 ) -> SmartMeterDataset:
     """Generate the full synthetic dataset described by ``config``."""
     cfg = config if config is not None else SyntheticCERConfig()
-    rng = np.random.default_rng(cfg.seed)
-    kinds = _assign_types(cfg.n_consumers, rng)
     readings: dict[str, np.ndarray] = {}
     types: dict[str, ConsumerType] = {}
-    for i, kind in enumerate(kinds):
-        cid = str(cfg.first_consumer_id + i)
-        profile = sample_profile(cid, kind, rng)
-        readings[cid] = generate_consumer_series(profile, cfg.n_weeks, rng)
+    for cid, kind, series in iter_cer_like_series(cfg):
+        readings[cid] = series
         types[cid] = kind
     return SmartMeterDataset(
         readings=readings,

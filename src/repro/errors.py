@@ -82,6 +82,21 @@ class WorkerCrashed(SupervisorError):
     """
 
 
+class HandoffError(SupervisorError):
+    """A shard handoff (quiesce → snapshot → commit → install) failed."""
+
+
+class StaleWriterError(HandoffError):
+    """A worker from a superseded ownership epoch tried to write.
+
+    Every shard carries a monotonically increasing *ownership epoch*;
+    handoffs and restarts bump it.  A worker fenced behind the current
+    epoch must not ingest — its shard has been handed to a newer
+    incarnation, and letting the stale writer through would fork the
+    shard's history.
+    """
+
+
 class DurabilityError(ResilienceError):
     """The durable-ingestion layer (WAL, recovery) failed."""
 

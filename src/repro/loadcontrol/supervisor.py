@@ -28,6 +28,7 @@ exported as ``fdeta_supervisor_workers{state=...}``.
 from __future__ import annotations
 
 import os
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
@@ -48,15 +49,22 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
 __all__ = ["ShardSpec", "Supervisor", "WorkerHandle", "make_shards", "shard_roster"]
 
 
-def shard_roster(
+def _ring_split(
     roster: Sequence[str], n_shards: int
 ) -> tuple[tuple[str, ...], ...]:
-    """Deterministic round-robin split of a consumer roster.
+    """Consistent-hash split of a roster into ``n_shards`` ordered shards.
 
-    Sharding is by sorted position, not hash, so the same roster always
-    produces the same shards — a restarted supervisor must route every
-    consumer to the shard whose WAL holds its history.
+    Placement is a pure function of the sorted roster and the shard
+    count (fixed ring seed), so the same roster always produces the
+    same shards — a restarted supervisor must route every consumer to
+    the shard whose WAL holds its history.  Unlike the old round-robin
+    split, growing ``n_shards`` by one moves only ~``1/n_shards`` of
+    the consumers, which is what lets an elastic fleet
+    (:class:`repro.scaleout.ElasticFleet`) rebalance without replaying
+    nearly every consumer's history.
     """
+    from repro.scaleout.ring import HashRing, balanced_assignments
+
     ids = sorted(roster)
     if n_shards < 1:
         raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
@@ -64,7 +72,31 @@ def shard_roster(
         raise ConfigurationError(
             f"cannot split {len(ids)} consumers into {n_shards} shards"
         )
-    return tuple(tuple(ids[i::n_shards]) for i in range(n_shards))
+    names = [f"shard-{i:04d}" for i in range(n_shards)]
+    assignment = balanced_assignments(HashRing(names), ids)
+    return tuple(assignment[name] for name in names)
+
+
+def shard_roster(
+    roster: Sequence[str], n_shards: int
+) -> tuple[tuple[str, ...], ...]:
+    """Deprecated alias for the consistent-hash roster split.
+
+    .. deprecated::
+        Use :class:`repro.scaleout.HashRing` with
+        :func:`repro.scaleout.balanced_assignments` (or just
+        :func:`make_shards`, which routes through the ring).  The split
+        delegates to the ring with its fixed default seed, so fixtures
+        written against this function keep routing identically.
+    """
+    warnings.warn(
+        "shard_roster is deprecated; use repro.scaleout.HashRing / "
+        "balanced_assignments (make_shards already routes through the "
+        "hash ring)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _ring_split(roster, n_shards)
 
 
 @dataclass(frozen=True)
@@ -89,7 +121,7 @@ def make_shards(
             wal_dir=os.path.join(base, f"shard-{i:04d}"),
             checkpoint_path=os.path.join(base, f"shard-{i:04d}.ckpt"),
         )
-        for i, members in enumerate(shard_roster(roster, n_shards))
+        for i, members in enumerate(_ring_split(roster, n_shards))
     )
 
 
@@ -193,9 +225,15 @@ class Supervisor:
             )
             for spec in shards
         }
-        for handle in self._handles.values():
-            handle.worker = self._build_worker(handle.spec, recover=False)
-            handle.last_cycle = handle.worker.service.cycles_ingested - 1
+        try:
+            for handle in self._handles.values():
+                handle.worker = self._build_worker(handle.spec, recover=False)
+                handle.last_cycle = handle.worker.service.cycles_ingested - 1
+        except BaseException:
+            # A failure building shard k must not leak the WAL handles
+            # of shards 0..k-1 (close() is safe on the partial fleet).
+            self.close()
+            raise
         # Resume dispatch where the fleet left off.  After a cold-start
         # recovery shards may sit at different cycles (a crash mid-
         # dispatch); resuming at the *minimum* lets the behind shards
@@ -487,10 +525,20 @@ class Supervisor:
             gauge.set(count, state=state)
 
     def close(self) -> None:
+        """Close every live worker; idempotent and safe mid-construction.
+
+        Detaches each worker before closing it and swallows per-worker
+        close failures, so a partially built or already-closed fleet
+        never raises during cleanup (``__exit__`` must not mask the
+        exception that is unwinding the stack).
+        """
         for handle in self._handles.values():
-            if handle.worker is not None:
-                handle.worker.close()
-                handle.worker = None
+            worker, handle.worker = handle.worker, None
+            if worker is not None:
+                try:
+                    worker.close()
+                except Exception:  # noqa: BLE001 - best-effort teardown
+                    pass
 
     def __enter__(self) -> "Supervisor":
         return self

@@ -1,0 +1,59 @@
+"""Elastic scale-out: consistent-hash placement, shard handoff, fleet.
+
+The :mod:`repro.scaleout` package grows the single-host worker fleet
+(:mod:`repro.loadcontrol.supervisor`) into an *elastic* one:
+
+* :mod:`~repro.scaleout.ring` — consistent-hash placement of consumers
+  onto shards (minimal movement when the shard set changes);
+* :mod:`~repro.scaleout.handoff` — the snapshot+WAL handoff protocol,
+  ownership-epoch fencing, and the atomic fleet manifest;
+* :mod:`~repro.scaleout.plane` — the merged fleet-wide verdict, metric,
+  and revision plane (bit-identical to an unsharded run);
+* :mod:`~repro.scaleout.fleet` — :class:`ElasticFleet`, which ties the
+  three together with per-shard watermarks and self-healing dispatch.
+"""
+
+from repro.scaleout.ring import (
+    DEFAULT_RING_SEED,
+    DEFAULT_VNODES,
+    HashRing,
+    balanced_assignments,
+    moved_consumers,
+)
+from repro.scaleout.handoff import (
+    HANDOFF_PHASES,
+    FencedMonitor,
+    HandoffRecord,
+    read_manifest,
+    write_manifest,
+)
+from repro.scaleout.plane import (
+    FleetWeekReport,
+    merge_metrics,
+    merge_revisions,
+    merge_weekly_reports,
+    merged_signature,
+    report_signature,
+)
+from repro.scaleout.fleet import ElasticFleet, ShardWorker
+
+__all__ = [
+    "DEFAULT_RING_SEED",
+    "DEFAULT_VNODES",
+    "ElasticFleet",
+    "FencedMonitor",
+    "FleetWeekReport",
+    "HANDOFF_PHASES",
+    "HandoffRecord",
+    "HashRing",
+    "ShardWorker",
+    "balanced_assignments",
+    "merge_metrics",
+    "merge_revisions",
+    "merge_weekly_reports",
+    "merged_signature",
+    "moved_consumers",
+    "read_manifest",
+    "report_signature",
+    "write_manifest",
+]

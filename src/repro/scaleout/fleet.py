@@ -1,0 +1,989 @@
+"""Elastic shard fleet: consistent-hash placement, live handoff, healing.
+
+:class:`ElasticFleet` is the scale-out successor to the fixed
+:class:`~repro.loadcontrol.supervisor.Supervisor`:
+
+* **placement** comes from a consistent-hash ring
+  (:class:`~repro.scaleout.ring.HashRing`), so adding or removing a
+  shard moves only ~``n/shards`` consumers instead of reshuffling the
+  whole roster away from the WALs that hold their history;
+* **elasticity**: :meth:`add_shard` / :meth:`remove_shard` rebalance a
+  *running* fleet through the snapshot+WAL handoff protocol
+  (quiesce → snapshot → commit → install → finalize, see
+  :mod:`repro.scaleout.handoff`) — per-consumer state packets migrate
+  between shard services without replaying full history, and the
+  atomically written ``fleet.json`` manifest makes a crash at any phase
+  roll back (before commit) or roll forward idempotently (after);
+* **ownership epochs** fence stale writers: every worker is wrapped in
+  a :class:`~repro.scaleout.handoff.FencedMonitor` pinned to the epoch
+  it was built under, and handoffs, restarts, and fleet cold starts
+  bump the shard's current epoch;
+* **per-shard watermarks** replace fleet lockstep: every shard has its
+  own pending queue and a
+  :class:`~repro.eventtime.watermark.WatermarkTracker` entry, so a
+  hung or dead shard lags alone (bounded by ``hang_tolerance_cycles``,
+  after which it is healed from checkpoint + WAL) while healthy shards
+  keep ingesting at the frontier;
+* the **merged plane** (:mod:`repro.scaleout.plane`) aggregates
+  per-shard verdicts, metrics, revisions, and reading stores into the
+  fleet-wide view, bit-identical to an unsharded run.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.durability.recovery import DurableTheftMonitor, recover_monitor
+from repro.durability.wal import WriteAheadLog
+from repro.errors import ConfigurationError, SupervisorError, WorkerCrashed
+from repro.eventtime.watermark import WatermarkTracker
+from repro.scaleout import plane  # noqa: F401 - package init imports plane first
+from repro.scaleout.handoff import (
+    FencedMonitor,
+    HandoffRecord,
+    read_manifest,
+    write_manifest,
+)
+from repro.scaleout.ring import (
+    DEFAULT_RING_SEED,
+    DEFAULT_VNODES,
+    HashRing,
+    balanced_assignments,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.online import MonitoringReport, TheftMonitoringService
+    from repro.detectors.base import WeeklyDetector
+    from repro.eventtime.revision import RevisionLog
+    from repro.grid.snapshot import DemandSnapshot
+    from repro.loadcontrol.deadline import Deadline
+    from repro.observability.events import EventLogger
+    from repro.observability.metrics import MetricsRegistry
+
+__all__ = ["ElasticFleet", "ShardWorker"]
+
+#: Called at the entry of each handoff phase; chaos tests raise here to
+#: simulate a coordinator crash mid-handoff.
+PhaseHook = Callable[[str], None]
+
+
+@dataclass
+class ShardWorker:
+    """Fleet-side view of one shard worker."""
+
+    name: str
+    wal_dir: str
+    checkpoint_path: str
+    consumers: tuple[str, ...]
+    monitor: FencedMonitor | None = None
+    pending: deque = field(default_factory=deque)
+    last_cycle: int = -1
+    beats: int = 0
+    restarts: int = 0
+    hung: bool = False
+
+    @property
+    def alive(self) -> bool:
+        return self.monitor is not None and not self.hung
+
+
+class ElasticFleet:
+    """Runs an elastic, self-healing fleet of shard monitor workers.
+
+    Parameters
+    ----------
+    roster:
+        The full consumer roster.
+    base_dir:
+        Directory holding the fleet manifest (``fleet.json``), each
+        shard's WAL directory and checkpoint, and retired-shard
+        archives.  Reopening a fleet over an existing ``base_dir``
+        recovers the persisted topology (including any half-finished
+        handoff, which is rolled forward) and every shard's durable
+        state — the ``roster``/``n_shards`` arguments are then ignored
+        in favour of the manifest.
+    service_factory:
+        ``service_factory(consumers)`` builds a fresh
+        :class:`~repro.core.online.TheftMonitoringService`; it must
+        pass ``population=consumers`` through, *including* when
+        ``consumers`` is ``None`` (a shard created mid-run starts with
+        a deferred population and adopts its consumers via handoff).
+    detector_factory:
+        Used for checkpoint restore during recovery.
+    n_shards:
+        Initial shard count (fresh fleets only).
+    hang_tolerance_cycles:
+        How many cycles a shard may lag the dispatch frontier before it
+        is declared hung and healed.  Also bounds each shard's pending
+        queue, so a wedged shard cannot grow memory without limit.
+    sync_every_cycles:
+        Per-shard WAL fsync cadence.
+    """
+
+    MANIFEST = "fleet.json"
+
+    def __init__(
+        self,
+        roster,
+        base_dir: str | os.PathLike,
+        service_factory: "Callable[[tuple[str, ...] | None], TheftMonitoringService]",
+        detector_factory: "Callable[[], WeeklyDetector]",
+        n_shards: int = 2,
+        vnodes: int = DEFAULT_VNODES,
+        ring_seed: int = DEFAULT_RING_SEED,
+        hang_tolerance_cycles: int = 2,
+        sync_every_cycles: int = 1,
+        metrics: "MetricsRegistry | None" = None,
+        events: "EventLogger | None" = None,
+    ) -> None:
+        if hang_tolerance_cycles < 1:
+            raise ConfigurationError(
+                f"hang_tolerance_cycles must be >= 1, got "
+                f"{hang_tolerance_cycles}"
+            )
+        self.base_dir = os.fspath(base_dir)
+        self.service_factory = service_factory
+        self.detector_factory = detector_factory
+        self.hang_tolerance_cycles = int(hang_tolerance_cycles)
+        self.sync_every_cycles = int(sync_every_cycles)
+        self.metrics = metrics
+        self.events = events
+        self.restarts_total = 0
+        self.handoffs_total = 0
+        self._closed = False
+        self._cycle = 0
+        self._fence: dict[str, int] = {}
+        self._workers: dict[str, ShardWorker] = {}
+        self._retired: dict[str, "TheftMonitoringService"] = {}
+        self._retired_checkpoints: dict[str, str] = {}
+        #: Per-shard ingestion watermarks (shard name -> last drained
+        #: cycle).  ``lateness_slots=0``: the frontier *is* the newest
+        #: drained cycle; a shard's lag is how far it trails it.
+        self.watermarks = WatermarkTracker(lateness_slots=0)
+        os.makedirs(self.base_dir, exist_ok=True)
+        manifest = read_manifest(self._manifest_path)
+        if manifest is None:
+            self._init_fresh(roster, n_shards, vnodes, ring_seed)
+        else:
+            self._init_from_manifest(manifest)
+        self._update_gauges()
+
+    # ------------------------------------------------------------------
+    # Construction / recovery
+    # ------------------------------------------------------------------
+
+    @property
+    def _manifest_path(self) -> str:
+        return os.path.join(self.base_dir, self.MANIFEST)
+
+    def _shard_paths(self, name: str) -> tuple[str, str]:
+        return (
+            os.path.join(self.base_dir, name),
+            os.path.join(self.base_dir, f"{name}.ckpt"),
+        )
+
+    def _init_fresh(
+        self, roster, n_shards: int, vnodes: int, ring_seed: int
+    ) -> None:
+        ids = tuple(sorted(roster or ()))
+        if not ids:
+            raise ConfigurationError("fleet needs a non-empty roster")
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        if n_shards > len(ids):
+            raise ConfigurationError(
+                f"cannot split {len(ids)} consumers into {n_shards} shards"
+            )
+        names = [f"shard-{i:04d}" for i in range(n_shards)]
+        self._next_index = n_shards
+        self._ring = HashRing(names, vnodes=vnodes, seed=ring_seed)
+        assignment = balanced_assignments(self._ring, ids)
+        for name in names:
+            wal_dir, checkpoint_path = self._shard_paths(name)
+            self._fence[name] = 1
+            worker = ShardWorker(
+                name=name,
+                wal_dir=wal_dir,
+                checkpoint_path=checkpoint_path,
+                consumers=assignment[name],
+            )
+            self._workers[name] = worker
+        try:
+            for worker in self._workers.values():
+                worker.monitor = self._build_worker(worker)
+                worker.last_cycle = (
+                    worker.monitor.service.cycles_ingested - 1
+                )
+        except BaseException:
+            self.close()
+            raise
+        self._cycle = min(
+            w.monitor.service.cycles_ingested
+            for w in self._workers.values()
+        )
+        self._persist()
+
+    def _init_from_manifest(self, manifest: Mapping) -> None:
+        ring_cfg = manifest["ring"]
+        self._next_index = int(manifest["next_shard_index"])
+        self._ring = HashRing(
+            manifest["shards"].keys(),
+            vnodes=int(ring_cfg["vnodes"]),
+            seed=int(ring_cfg["seed"]),
+        )
+        # A fresh incarnation owns every shard anew: bump every epoch so
+        # any worker object surviving from the previous incarnation is
+        # fenced out.
+        for name, entry in manifest["shards"].items():
+            self._fence[name] = int(entry["epoch"]) + 1
+            wal_dir, checkpoint_path = self._shard_paths(name)
+            self._workers[name] = ShardWorker(
+                name=name,
+                wal_dir=wal_dir,
+                checkpoint_path=checkpoint_path,
+                consumers=tuple(entry["consumers"]),
+            )
+        for name, entry in manifest.get("retired", {}).items():
+            self._restore_retired(name, entry["checkpoint_path"])
+        pending = manifest.get("pending")
+        record = (
+            HandoffRecord.from_json(pending) if pending is not None else None
+        )
+        try:
+            for worker in self._workers.values():
+                if (
+                    record is not None
+                    and worker.name in record.added
+                    and not self._has_state(worker)
+                ):
+                    # A shard the interrupted handoff was adding but
+                    # never checkpointed: starting it fresh here would
+                    # give it a virgin clock at cycle 0.  Leave it to
+                    # the roll-forward, which aligns its clock to a
+                    # quiesced move source.
+                    continue
+                worker.monitor = self._build_worker(worker)
+                worker.last_cycle = (
+                    worker.monitor.service.cycles_ingested - 1
+                )
+            if record is not None:
+                self._roll_forward(record)
+        except BaseException:
+            self.close()
+            raise
+        self._cycle = min(
+            w.monitor.service.cycles_ingested
+            for w in self._workers.values()
+        )
+        self._persist()
+
+    def _restore_retired(self, name: str, checkpoint_path: str) -> None:
+        from repro.core.online import TheftMonitoringService
+
+        self._retired[name] = TheftMonitoringService.restore(
+            checkpoint_path, self.detector_factory, events=self.events
+        )
+        self._retired_checkpoints[name] = checkpoint_path
+
+    def _fresh_service(
+        self, consumers: tuple[str, ...] | None
+    ) -> "TheftMonitoringService":
+        service = self.service_factory(consumers)
+        if service.eventtime is not None:
+            raise ConfigurationError(
+                "ElasticFleet does not support event-time services: "
+                "pinned per-week scoring frameworks cannot migrate "
+                "between shards"
+            )
+        return service
+
+    @staticmethod
+    def _has_state(worker: ShardWorker) -> bool:
+        return bool(
+            os.path.exists(worker.checkpoint_path)
+            or (
+                os.path.isdir(worker.wal_dir)
+                and any(
+                    entry.startswith("wal-")
+                    for entry in os.listdir(worker.wal_dir)
+                )
+            )
+        )
+
+    def _build_worker(self, worker: ShardWorker) -> FencedMonitor:
+        """Build (or rebuild) one shard worker from its durable state.
+
+        Cold start and restart are the same code path: when the shard's
+        directory holds a checkpoint or WAL segments the worker is
+        recovered from them, otherwise it starts fresh.
+        """
+        if self._has_state(worker):
+            consumers = worker.consumers
+            result = recover_monitor(
+                worker.wal_dir,
+                detector_factory=self.detector_factory,
+                checkpoint_path=worker.checkpoint_path,
+                service_factory=lambda: self._fresh_service(consumers),
+                events=self.events,
+            )
+            service = result.service
+        else:
+            service = self._fresh_service(worker.consumers)
+        return self._wrap(service, worker)
+
+    def _wrap(
+        self, service: "TheftMonitoringService", worker: ShardWorker
+    ) -> FencedMonitor:
+        wal = WriteAheadLog(worker.wal_dir, metrics=service.metrics)
+        inner = DurableTheftMonitor(
+            service,
+            wal,
+            checkpoint_path=worker.checkpoint_path,
+            sync_every_cycles=self.sync_every_cycles,
+        )
+        return FencedMonitor(inner, worker.name, self._fence[worker.name], self._fence)
+
+    def _persist(self, pending: HandoffRecord | None = None) -> None:
+        write_manifest(
+            self._manifest_path,
+            {
+                "ring": {
+                    "seed": self._ring.seed,
+                    "vnodes": self._ring.vnodes,
+                },
+                "next_shard_index": self._next_index,
+                "cycle": self._cycle,
+                "shards": {
+                    name: {
+                        "consumers": list(w.consumers),
+                        "epoch": self._fence[name],
+                    }
+                    for name, w in sorted(self._workers.items())
+                },
+                "retired": {
+                    name: {"checkpoint_path": path}
+                    for name, path in sorted(
+                        self._retired_checkpoints.items()
+                    )
+                },
+                "pending": pending.to_json() if pending is not None else None,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch (per-shard queues, no lockstep)
+    # ------------------------------------------------------------------
+
+    @property
+    def cycle(self) -> int:
+        """The next cycle index the fleet will dispatch."""
+        return self._cycle
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        return tuple(sorted(self._workers))
+
+    @property
+    def frontier(self) -> int:
+        """Newest cycle any shard has drained (-1 before the first)."""
+        return self.watermarks.frontier
+
+    @property
+    def low_watermark(self) -> int:
+        """Newest cycle *every* shard has drained (-1 before the first).
+
+        The fleet-wide completeness promise: merged weekly verdicts at
+        or below this cycle are final with respect to every shard.
+        """
+        marks = [
+            self.watermarks.high_marks.get(name, -1)
+            for name in self._workers
+        ]
+        return min(marks, default=-1)
+
+    def shard_lag(self, name: str) -> int:
+        """How many cycles ``name`` trails the fleet frontier."""
+        self._worker(name)
+        return self.watermarks.consumer_lag(name)
+
+    def lagging_shards(self, threshold: int = 0) -> tuple[str, ...]:
+        return self.watermarks.lagging(threshold)
+
+    @staticmethod
+    def _subset(worker: ShardWorker, reported: Mapping) -> dict:
+        members = frozenset(worker.consumers)
+        return {
+            cid: value
+            for cid, value in reported.items()
+            if cid in members
+        }
+
+    def ingest_cycle(
+        self,
+        reported: Mapping,
+        snapshot: "DemandSnapshot | None" = None,
+        deadline: "Deadline | None" = None,
+    ) -> dict[str, "MonitoringReport | None"]:
+        """Queue one polling cycle to every shard and drain the queues.
+
+        Unlike the lockstep supervisor, each shard owns a pending queue
+        and drains independently: a hung shard simply accumulates
+        pending cycles (bounded by ``hang_tolerance_cycles``, after
+        which it is healed and catches up), while every healthy shard
+        ingests at the frontier.  Returns the per-shard weekly report
+        completed by this drain (``None`` off week boundaries).
+        """
+        if self._closed:
+            raise SupervisorError("fleet is closed")
+        cycle = self._cycle
+        reports: dict[str, "MonitoringReport | None"] = {}
+        for name in sorted(self._workers):
+            worker = self._workers[name]
+            worker.pending.append(
+                (cycle, self._subset(worker, reported), snapshot)
+            )
+            reports[name] = self._drain(worker, deadline)
+        self._cycle += 1
+        self._update_gauges()
+        return reports
+
+    def _drain(
+        self, worker: ShardWorker, deadline: "Deadline | None" = None
+    ) -> "MonitoringReport | None":
+        if worker.hung:
+            # A wedged worker neither ingests nor beats; it is healed
+            # only once its backlog exceeds the hang tolerance (a slow
+            # shard is not a dead one).  The pending bound is what
+            # keeps a wedged shard's memory finite.
+            if len(worker.pending) <= self.hang_tolerance_cycles:
+                return None
+            worker.hung = False
+            self._restart(worker, reason="hang")
+        if worker.monitor is None:
+            self._restart(worker, reason="killed")
+        assert worker.monitor is not None
+        report: "MonitoringReport | None" = None
+        while worker.pending:
+            cycle, sub, snapshot = worker.pending[0]
+            if cycle < worker.monitor.service.cycles_ingested:
+                # Recovery already covers this cycle (a re-fed overlap
+                # after a cold start); dropping it here keeps counters
+                # serial-equal instead of counting absorbed duplicates.
+                worker.pending.popleft()
+                continue
+            try:
+                out = worker.monitor.ingest_cycle(
+                    sub, snapshot, cycle_index=cycle, deadline=deadline
+                )
+            except WorkerCrashed:
+                self._restart(worker, reason="crash")
+                assert worker.monitor is not None
+                out = worker.monitor.ingest_cycle(
+                    sub, snapshot, cycle_index=cycle, deadline=deadline
+                )
+            worker.pending.popleft()
+            worker.last_cycle = cycle
+            worker.beats += 1
+            self.watermarks.observe(worker.name, cycle)
+            if out is not None:
+                report = out
+        return report
+
+    def _restart(self, worker: ShardWorker, reason: str) -> None:
+        """Heal one shard: fence the old incarnation, recover a new one."""
+        old = worker.monitor
+        worker.monitor = None
+        if old is not None:
+            try:
+                old.close()
+            except Exception:  # noqa: BLE001 - a dead worker may not close
+                pass
+        # Bump the ownership epoch *before* building the successor: any
+        # stale reference to the previous wrapper is fenced from here on.
+        self._fence[worker.name] += 1
+        worker.monitor = self._build_worker(worker)
+        worker.restarts += 1
+        self.restarts_total += 1
+        self._persist()
+        if self.metrics is not None:
+            self.metrics.counter(
+                "fdeta_fleet_restarts_total",
+                "Elastic-fleet worker restarts, by failure reason.",
+                labels=("reason",),
+            ).inc(reason=reason)
+        if self.events is not None:
+            self.events.warning(
+                "fleet_worker_restarted",
+                shard=worker.name,
+                reason=reason,
+                epoch=self._fence[worker.name],
+                recovered_cycle=worker.monitor.service.cycles_ingested,
+                cycle=self._cycle,
+            )
+
+    # ------------------------------------------------------------------
+    # Elasticity: add/remove shards via the handoff protocol
+    # ------------------------------------------------------------------
+
+    def _roster_all(self) -> tuple[str, ...]:
+        return tuple(
+            sorted(
+                cid
+                for worker in self._workers.values()
+                for cid in worker.consumers
+            )
+        )
+
+    def add_shard(
+        self, name: str | None = None, on_phase: PhaseHook | None = None
+    ) -> str:
+        """Grow the fleet by one shard, migrating its ring arc to it.
+
+        Returns the new shard's name.  ``on_phase`` is the chaos hook:
+        it is invoked at the entry of every handoff phase (see
+        :data:`~repro.scaleout.handoff.HANDOFF_PHASES`); raising from it
+        simulates a coordinator crash at that point.  After such a
+        crash the fleet object is unusable — close it and reopen the
+        ``base_dir``, which rolls the handoff back (crash before
+        commit) or forward (after).
+        """
+        if name is None:
+            name = f"shard-{self._next_index:04d}"
+            self._next_index += 1
+        elif name in self._workers or name in self._retired:
+            raise ConfigurationError(f"shard {name!r} already exists")
+        roster = self._roster_all()
+        if len(roster) < len(self._workers) + 1:
+            raise ConfigurationError(
+                f"cannot grow to {len(self._workers) + 1} shards with "
+                f"only {len(roster)} consumers"
+            )
+        self._quiesce(on_phase)
+        old_assignment = {
+            shard: worker.consumers
+            for shard, worker in self._workers.items()
+        }
+        self._ring.add_shard(name)
+        new_assignment = balanced_assignments(self._ring, roster)
+        self._rebalance(
+            old_assignment,
+            new_assignment,
+            added=(name,),
+            retiring=(),
+            on_phase=on_phase,
+        )
+        return name
+
+    def remove_shard(
+        self, name: str, on_phase: PhaseHook | None = None
+    ) -> None:
+        """Retire one shard, migrating its consumers to the survivors.
+
+        The retired shard's weekly reports remain part of the merged
+        plane (archived with the fleet manifest), so history survives
+        the topology change.
+        """
+        self._worker(name)
+        if len(self._workers) < 2:
+            raise ConfigurationError("cannot remove the last shard")
+        self._quiesce(on_phase)
+        old_assignment = {
+            shard: worker.consumers
+            for shard, worker in self._workers.items()
+        }
+        self._ring.remove_shard(name)
+        roster = self._roster_all()
+        new_assignment = balanced_assignments(self._ring, roster)
+        self._rebalance(
+            old_assignment,
+            new_assignment,
+            added=(),
+            retiring=(name,),
+            on_phase=on_phase,
+        )
+
+    def _phase(self, on_phase: PhaseHook | None, phase: str) -> None:
+        if on_phase is not None:
+            on_phase(phase)
+
+    def _quiesce(self, on_phase: PhaseHook | None = None) -> None:
+        """Heal every worker and drain every queue to the same cycle."""
+        self._phase(on_phase, "quiesce")
+        for name in sorted(self._workers):
+            worker = self._workers[name]
+            if worker.hung:
+                worker.hung = False
+                self._restart(worker, reason="hang")
+            self._drain(worker)
+            assert worker.monitor is not None
+            if worker.monitor.service.cycles_ingested != self._cycle:
+                raise SupervisorError(
+                    f"shard {name!r} failed to quiesce at cycle "
+                    f"{self._cycle} (sits at "
+                    f"{worker.monitor.service.cycles_ingested})"
+                )
+        self._update_gauges()
+
+    def _rebalance(
+        self,
+        old_assignment: Mapping[str, tuple[str, ...]],
+        new_assignment: Mapping[str, tuple[str, ...]],
+        added: tuple[str, ...],
+        retiring: tuple[str, ...],
+        on_phase: PhaseHook | None,
+    ) -> None:
+        new_owner = {
+            cid: shard
+            for shard, members in new_assignment.items()
+            for cid in members
+        }
+        moves = tuple(
+            (cid, src, new_owner[cid])
+            for src, members in sorted(old_assignment.items())
+            for cid in members
+            if new_owner[cid] != src
+        )
+        # --- snapshot: every shard durable & self-contained at _cycle
+        self._phase(on_phase, "snapshot")
+        for name in sorted(self._workers):
+            monitor = self._workers[name].monitor
+            assert monitor is not None
+            monitor.checkpoint_now()
+        # --- commit: bump epochs, persist new topology + pending record
+        self._phase(on_phase, "commit")
+        record = HandoffRecord(
+            moves=moves,
+            added=added,
+            retiring=retiring,
+            cycle=self._cycle,
+            retiring_dirs=tuple(
+                (name, *self._shard_paths(name)) for name in retiring
+            ),
+        )
+        touched = set(added) | set(retiring)
+        for cid, src, dst in moves:
+            touched.add(src)
+            touched.add(dst)
+        for name in added:
+            wal_dir, checkpoint_path = self._shard_paths(name)
+            self._fence.setdefault(name, 0)
+            self._workers[name] = ShardWorker(
+                name=name,
+                wal_dir=wal_dir,
+                checkpoint_path=checkpoint_path,
+                consumers=(),
+            )
+        for name in touched:
+            self._fence[name] = self._fence.get(name, 0) + 1
+        for name, members in new_assignment.items():
+            self._workers[name].consumers = tuple(members)
+        # Re-wrap the live workers of every touched active shard at the
+        # new epoch; the previous wrappers become stale writers.
+        for name in sorted(touched):
+            worker = self._workers.get(name)
+            if worker is not None and worker.monitor is not None:
+                worker.monitor = FencedMonitor(
+                    worker.monitor.inner,
+                    name,
+                    self._fence[name],
+                    self._fence,
+                )
+        self._persist(pending=record)
+        # --- install + finalize (shared with crash roll-forward)
+        self._apply_record(record, on_phase)
+        self.handoffs_total += 1
+        if self.metrics is not None:
+            kind = "add" if added else ("remove" if retiring else "rebalance")
+            self.metrics.counter(
+                "fdeta_fleet_handoffs_total",
+                "Completed shard handoffs, by kind.",
+                labels=("kind",),
+            ).inc(kind=kind)
+            self.metrics.counter(
+                "fdeta_fleet_moved_consumers_total",
+                "Consumers migrated between shards by handoffs.",
+            ).inc(len(moves))
+        if self.events is not None:
+            self.events.info(
+                "fleet_rebalanced",
+                added=list(added),
+                retired=list(retiring),
+                moved=len(moves),
+                cycle=self._cycle,
+                shards=len(self._workers),
+            )
+        self._update_gauges()
+
+    def _apply_record(
+        self, record: HandoffRecord, on_phase: PhaseHook | None = None
+    ) -> None:
+        """Install a committed handoff record (live path and recovery).
+
+        Idempotent: a mover already present on its destination is
+        skipped, a mover already released from its source is not
+        released again — so a crash anywhere inside install resumes
+        cleanly when the record is re-applied.
+        """
+        self._phase(on_phase, "install")
+        # Build workers for added shards that do not exist yet (live
+        # path) or have no durable state (crash before their first
+        # checkpoint): a virgin service whose clock is aligned to the
+        # quiesced fleet.
+        donor_clock = None
+        for name in record.added:
+            worker = self._workers.get(name)
+            if worker is None:
+                wal_dir, checkpoint_path = self._shard_paths(name)
+                worker = ShardWorker(
+                    name=name,
+                    wal_dir=wal_dir,
+                    checkpoint_path=checkpoint_path,
+                    consumers=(),
+                )
+                self._workers[name] = worker
+            if worker.monitor is None:
+                if os.path.exists(worker.checkpoint_path):
+                    worker.monitor = self._build_worker(worker)
+                else:
+                    if donor_clock is None:
+                        donor_clock = self._donor_clock(record)
+                    service = self._fresh_service(None)
+                    service.align_clock(donor_clock)
+                    worker.monitor = self._wrap(service, worker)
+            worker.last_cycle = record.cycle - 1
+        # Recover retiring shards that have already left the active set
+        # (crash roll-forward); live retiring shards are still active
+        # workers at this point.
+        sources: dict[str, "TheftMonitoringService"] = {}
+        for name, worker in self._workers.items():
+            assert worker.monitor is not None
+            sources[name] = worker.monitor.service
+        recovered_retiring: dict[str, "TheftMonitoringService"] = {}
+        for name, wal_dir, checkpoint_path in record.retiring_dirs:
+            if name in sources or name in self._retired:
+                continue
+            result = recover_monitor(
+                wal_dir,
+                detector_factory=self.detector_factory,
+                checkpoint_path=checkpoint_path,
+                events=self.events,
+            )
+            recovered_retiring[name] = result.service
+            sources[name] = result.service
+        # Adopt movers on their destinations (skip already-installed).
+        for cid, src, dst in record.moves:
+            dst_service = sources[dst]
+            if cid in dst_service.roster:
+                continue
+            packet = sources[src].extract_consumer(cid)
+            dst_service.adopt_consumer(cid, packet)
+        # Destinations first: after this point the movers' new homes are
+        # durable, so a crash resolves every mover to its destination.
+        destinations = sorted({dst for _, _, dst in record.moves})
+        for name in destinations:
+            worker = self._workers.get(name)
+            if worker is not None and worker.monitor is not None:
+                worker.monitor.checkpoint_now()
+        # Release movers from their sources, then make that durable too.
+        for cid, src, dst in record.moves:
+            src_service = sources[src]
+            if cid in src_service.roster:
+                src_service.release_consumer(cid)
+        for name in sorted({src for _, src, _ in record.moves}):
+            worker = self._workers.get(name)
+            if worker is not None and worker.monitor is not None:
+                worker.monitor.checkpoint_now()
+        # Archive retiring shards: their reports stay in the merged
+        # plane, their workers leave the fleet.
+        for name in record.retiring:
+            service = None
+            worker = self._workers.pop(name, None)
+            if worker is not None and worker.monitor is not None:
+                service = worker.monitor.service
+                try:
+                    worker.monitor.close()
+                except Exception:  # noqa: BLE001 - retiring best-effort
+                    pass
+            elif name in recovered_retiring:
+                service = recovered_retiring[name]
+            if service is not None and name not in self._retired:
+                retired_dir = os.path.join(self.base_dir, "retired")
+                os.makedirs(retired_dir, exist_ok=True)
+                archive = os.path.join(retired_dir, f"{name}.ckpt")
+                service.checkpoint(archive)
+                self._retired[name] = service
+                self._retired_checkpoints[name] = archive
+            self._fence.pop(name, None)
+            self.watermarks.high_marks.pop(name, None)
+        self._phase(on_phase, "finalize")
+        self._persist(pending=None)
+
+    def _donor_clock(self, record: HandoffRecord) -> dict:
+        """Clock for a virgin shard, taken from a quiesced move source."""
+        for _, src, _ in record.moves:
+            worker = self._workers.get(src)
+            if worker is not None and worker.monitor is not None:
+                return worker.monitor.service.clock_state()
+        raise SupervisorError(
+            "handoff record has no recoverable source shard to align a "
+            "new shard's clock from"
+        )
+
+    def _roll_forward(self, record: HandoffRecord) -> None:
+        """Complete a handoff interrupted by a crash (cold start)."""
+        if self.events is not None:
+            self.events.warning(
+                "fleet_handoff_roll_forward",
+                moves=len(record.moves),
+                added=list(record.added),
+                retiring=list(record.retiring),
+                cycle=record.cycle,
+            )
+        self._apply_record(record, on_phase=None)
+
+    # ------------------------------------------------------------------
+    # Fault-injection hooks (chaos tests)
+    # ------------------------------------------------------------------
+
+    def kill(self, name: str) -> None:
+        """Hard-kill one shard: its in-memory state is gone."""
+        worker = self._worker(name)
+        monitor = worker.monitor
+        worker.monitor = None
+        worker.hung = False
+        if monitor is not None:
+            try:
+                monitor.close()
+            except Exception:  # noqa: BLE001 - dying worker may not close
+                pass
+        self._update_gauges()
+
+    def hang(self, name: str) -> None:
+        """Wedge one shard: it stops draining its pending queue."""
+        self._worker(name).hung = True
+        self._update_gauges()
+
+    # ------------------------------------------------------------------
+    # Queries / merged plane
+    # ------------------------------------------------------------------
+
+    def _worker(self, name: str) -> ShardWorker:
+        try:
+            return self._workers[name]
+        except KeyError:
+            raise SupervisorError(f"no shard {name!r}") from None
+
+    def workers(self) -> tuple[ShardWorker, ...]:
+        return tuple(
+            self._workers[name] for name in sorted(self._workers)
+        )
+
+    def epoch(self, name: str) -> int:
+        """The current ownership epoch of one active shard."""
+        self._worker(name)
+        return self._fence[name]
+
+    def service(self, name: str) -> "TheftMonitoringService":
+        worker = self._worker(name)
+        if worker.monitor is None:
+            raise SupervisorError(f"shard {name!r} is dead")
+        return worker.monitor.service
+
+    def services(self) -> dict[str, "TheftMonitoringService"]:
+        return {
+            name: self.service(name)
+            for name in sorted(self._workers)
+            if self._workers[name].monitor is not None
+        }
+
+    def weekly_reports(self) -> dict[str, list["MonitoringReport"]]:
+        """Per-shard report streams, retired shards included."""
+        streams = {
+            name: list(service.reports)
+            for name, service in self.services().items()
+        }
+        for name, service in self._retired.items():
+            streams[name] = list(service.reports)
+        return streams
+
+    def merged_reports(self) -> list[plane.FleetWeekReport]:
+        """Fleet-wide weekly reports (see :mod:`repro.scaleout.plane`)."""
+        return plane.merge_weekly_reports(
+            self.weekly_reports(), roster=self._roster_all()
+        )
+
+    def merged_signature(self) -> tuple:
+        """Byte-comparable signature of the merged weekly history."""
+        return plane.merged_signature(self.weekly_reports())
+
+    def merged_metrics(self) -> "MetricsRegistry":
+        """Fleet-wide metrics registry (shards + retired, folded)."""
+        registries = [
+            service.metrics for service in self.services().values()
+        ]
+        registries.extend(
+            service.metrics for service in self._retired.values()
+        )
+        return plane.merge_metrics(registries)
+
+    def merged_revisions(self) -> "RevisionLog":
+        """Fleet-wide revision log (shards + retired, merged)."""
+        logs = [service.revisions for service in self.services().values()]
+        logs.extend(service.revisions for service in self._retired.values())
+        return plane.merge_revisions(logs)
+
+    def reading_series(self) -> dict[str, list[float]]:
+        """Union of every active shard's reading store, by consumer."""
+        out: dict[str, list[float]] = {}
+        for service in self.services().values():
+            for cid, series in service.store._series.items():
+                out[cid] = list(series)
+        return out
+
+    def _update_gauges(self) -> None:
+        if self.metrics is None:
+            return
+        gauge = self.metrics.gauge(
+            "fdeta_fleet_workers",
+            "Elastic-fleet shard workers in each health state.",
+            labels=("state",),
+        )
+        counts = {"running": 0, "hung": 0, "dead": 0}
+        for worker in self._workers.values():
+            if worker.monitor is None:
+                counts["dead"] += 1
+            elif worker.hung:
+                counts["hung"] += 1
+            else:
+                counts["running"] += 1
+        for state, count in counts.items():
+            gauge.set(count, state=state)
+        lag = self.metrics.gauge(
+            "fdeta_fleet_shard_lag_cycles",
+            "How many cycles each shard trails the dispatch frontier.",
+            labels=("shard",),
+        )
+        for name in self._workers:
+            lag.set(float(self.shard_lag(name)), shard=name)
+
+    def close(self) -> None:
+        """Shut the fleet down; idempotent and safe on partial builds."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers.values():
+            monitor, worker.monitor = worker.monitor, None
+            if monitor is not None:
+                try:
+                    monitor.close()
+                except Exception:  # noqa: BLE001 - best-effort teardown
+                    pass
+
+    def __enter__(self) -> "ElasticFleet":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

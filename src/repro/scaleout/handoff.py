@@ -1,0 +1,214 @@
+"""Snapshot+WAL shard handoff: ownership epochs and the fleet manifest.
+
+Moving consumers between shards must never replay full history and must
+never let two workers both believe they own a shard.  The protocol (run
+by :class:`~repro.scaleout.fleet.ElasticFleet`) is:
+
+1. **quiesce** — heal every worker and drain every per-shard queue so
+   the whole fleet sits at the same cycle;
+2. **snapshot** — fsync every WAL and checkpoint every shard at the
+   quiesced cycle, so each shard's durable state is self-contained;
+3. **commit** — bump the ownership epoch of every shard the handoff
+   touches and atomically write the fleet manifest with the *new*
+   topology plus a ``pending`` handoff record.  The manifest write is
+   the commit point: a crash before it rolls the handoff back (nothing
+   moved yet), a crash after it rolls forward (recovery re-applies the
+   record idempotently);
+4. **install** — extract each mover's state packet from its source
+   service and adopt it on the destination, then checkpoint
+   destinations before sources (if a crash interleaves, the mover
+   exists on both checkpoints and recovery resolves in favour of the
+   destination);
+5. **finalize** — clear the pending record.
+
+Ownership epochs are the fencing token: every live worker is wrapped in
+a :class:`FencedMonitor` pinned to the epoch it was built under, and the
+fleet's fence map holds each shard's *current* epoch.  Handoffs and
+restarts bump the fence, so a stale wrapper — a worker the supervisor
+already replaced, or a pre-handoff owner — raises
+:class:`~repro.errors.StaleWriterError` instead of forking the shard's
+history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, MutableMapping
+
+from repro.errors import HandoffError, StaleWriterError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.online import MonitoringReport, TheftMonitoringService
+    from repro.durability.recovery import DurableTheftMonitor
+    from repro.grid.snapshot import DemandSnapshot
+    from repro.loadcontrol.deadline import Deadline
+
+__all__ = [
+    "HANDOFF_PHASES",
+    "FencedMonitor",
+    "HandoffRecord",
+    "read_manifest",
+    "write_manifest",
+]
+
+#: Protocol phases in order; chaos hooks key off these names.
+HANDOFF_PHASES = ("quiesce", "snapshot", "commit", "install", "finalize")
+
+_MANIFEST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class HandoffRecord:
+    """The pending-handoff record committed in the fleet manifest.
+
+    ``moves`` lists ``(consumer_id, source_shard, destination_shard)``;
+    ``added``/``retiring`` name shards entering/leaving the fleet;
+    ``cycle`` is the quiesced cycle every shard sat at when the record
+    was committed.  ``retiring_dirs`` keeps each retiring shard's
+    durable locations so roll-forward can still recover its state after
+    the shard has left the active topology.
+    """
+
+    moves: tuple[tuple[str, str, str], ...]
+    added: tuple[str, ...]
+    retiring: tuple[str, ...]
+    cycle: int
+    retiring_dirs: tuple[tuple[str, str, str], ...] = ()
+
+    def to_json(self) -> dict:
+        return {
+            "moves": [list(move) for move in self.moves],
+            "added": list(self.added),
+            "retiring": list(self.retiring),
+            "cycle": self.cycle,
+            "retiring_dirs": [list(entry) for entry in self.retiring_dirs],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "HandoffRecord":
+        return cls(
+            moves=tuple(
+                (str(c), str(s), str(d)) for c, s, d in payload["moves"]
+            ),
+            added=tuple(str(name) for name in payload["added"]),
+            retiring=tuple(str(name) for name in payload["retiring"]),
+            cycle=int(payload["cycle"]),
+            retiring_dirs=tuple(
+                (str(n), str(w), str(c))
+                for n, w, c in payload.get("retiring_dirs", ())
+            ),
+        )
+
+
+def write_manifest(path: str | os.PathLike, state: Mapping) -> None:
+    """Atomically persist the fleet manifest (topology + epochs).
+
+    Written tmp-then-rename with an fsync in between, so a crash leaves
+    either the old manifest or the new one — never a torn file.  The
+    rename is the handoff protocol's commit point.
+    """
+    path = os.fspath(path)
+    payload = {"version": _MANIFEST_VERSION, **state}
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def read_manifest(path: str | os.PathLike) -> dict | None:
+    """Load the fleet manifest, or ``None`` when none exists."""
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise HandoffError(
+                f"fleet manifest {path!r} is corrupt: {exc}; the atomic "
+                "rename contract was violated"
+            ) from exc
+    version = payload.get("version")
+    if version != _MANIFEST_VERSION:
+        raise HandoffError(
+            f"fleet manifest {path!r} has unsupported version {version!r}"
+        )
+    return payload
+
+
+class FencedMonitor:
+    """A shard worker pinned to the ownership epoch it was built under.
+
+    Wraps a :class:`~repro.durability.recovery.DurableTheftMonitor`.
+    Every write-path call first checks the live fence map: if the
+    shard's current epoch has moved past this wrapper's, the wrapper is
+    a *stale writer* — a superseded incarnation that must not touch the
+    shard's WAL — and raises :class:`~repro.errors.StaleWriterError`.
+    """
+
+    def __init__(
+        self,
+        inner: "DurableTheftMonitor",
+        shard: str,
+        epoch: int,
+        fence: MutableMapping[str, int],
+    ) -> None:
+        self.inner = inner
+        self.shard = shard
+        self.epoch = int(epoch)
+        self._fence = fence
+
+    @property
+    def service(self) -> "TheftMonitoringService":
+        return self.inner.service
+
+    @property
+    def redelivered_cycles(self) -> int:
+        return self.inner.redelivered_cycles
+
+    def _check_fence(self) -> None:
+        current = self._fence.get(self.shard)
+        if current != self.epoch:
+            raise StaleWriterError(
+                f"worker for shard {self.shard!r} holds epoch "
+                f"{self.epoch} but ownership has moved to epoch "
+                f"{current}; refusing to write"
+            )
+
+    def ingest_cycle(
+        self,
+        reported: Mapping,
+        snapshot: "DemandSnapshot | None" = None,
+        cycle_index: int | None = None,
+        deadline: "Deadline | None" = None,
+    ) -> "MonitoringReport | None":
+        self._check_fence()
+        return self.inner.ingest_cycle(
+            reported, snapshot, cycle_index=cycle_index, deadline=deadline
+        )
+
+    def checkpoint_now(self) -> None:
+        """Sync the WAL and checkpoint the service at the current cycle.
+
+        The snapshot phase of a handoff: after this, the shard's durable
+        state is self-contained up to the quiesced cycle and the WAL has
+        been compacted to it.
+        """
+        self._check_fence()
+        inner = self.inner
+        if inner.checkpoint_path is None:
+            raise HandoffError(
+                f"shard {self.shard!r} has no checkpoint path; snapshot "
+                "handoff requires checkpointing workers"
+            )
+        inner.wal.sync()
+        inner.service.checkpoint(inner.checkpoint_path)
+        inner.wal.mark_checkpoint(inner.service.cycles_ingested)
+        inner.wal.compact(inner.service.cycles_ingested)
+
+    def close(self) -> None:
+        self.inner.close()

@@ -324,6 +324,125 @@ class TestCommands:
         assert "Table II" in capsys.readouterr().out
 
 
+class TestMonitorElastic:
+    _base = [
+        "monitor",
+        "--consumers",
+        "4",
+        "--weeks",
+        "8",
+        "--min-training-weeks",
+        "4",
+    ]
+
+    def test_usage_errors(self, tmp_path, capsys):
+        assert main(self._base + ["--grow-at-week", "5"]) == 2
+        assert main(self._base + ["--elastic"]) == 2  # needs --wal-dir
+        assert (
+            main(
+                self._base
+                + [
+                    "--elastic",
+                    "--wal-dir",
+                    str(tmp_path / "fleet"),
+                    "--checkpoint",
+                    str(tmp_path / "x.ckpt"),
+                ]
+            )
+            == 2
+        )
+        assert (
+            main(
+                self._base
+                + [
+                    "--eventtime",
+                    "--elastic",
+                    "--wal-dir",
+                    str(tmp_path / "w"),
+                ]
+            )
+            == 2
+        )
+        capsys.readouterr()
+
+    def test_elastic_grow_matches_single_service_verdicts(
+        self, tmp_path, capsys
+    ):
+        """A live mid-run shard add leaves the verdicts untouched."""
+        assert main(self._base) == 0
+        single = capsys.readouterr().out
+
+        assert (
+            main(
+                self._base
+                + [
+                    "--elastic",
+                    "--shards",
+                    "2",
+                    "--grow-at-week",
+                    "5",
+                    "--wal-dir",
+                    str(tmp_path / "fleet"),
+                    "--metrics-out",
+                    str(tmp_path / "fleet.prom"),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "live rebalance at cycle 1680" in captured.err
+        assert "[3/3 shards]" in captured.out
+        assert (
+            "monitored 4 consumers for 8 weeks across 3 elastic shard(s)"
+            in captured.out
+        )
+
+        import ast
+
+        def extract(out, prefix):
+            value = next(
+                line.split(":", 1)[1].strip()
+                for line in out.splitlines()
+                if line.startswith(prefix)
+            )
+            if value.startswith("["):
+                return set(ast.literal_eval(value))
+            return value
+
+        for prefix in (
+            "total alerts",
+            "suspected attackers",
+            "suspected victims",
+        ):
+            assert extract(single, prefix) == extract(captured.out, prefix)
+
+        from repro.observability.metrics import parse_prometheus
+
+        series = parse_prometheus((tmp_path / "fleet.prom").read_text())
+        assert "fdeta_fleet_handoffs_total" in series
+        assert "fdeta_wal_appends_total" in series
+
+    def test_elastic_reopen_resumes_from_manifest(self, tmp_path, capsys):
+        argv = self._base + [
+            "--elastic",
+            "--shards",
+            "2",
+            "--wal-dir",
+            str(tmp_path / "fleet"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # Second run over the same base_dir: the manifest says every
+        # cycle is already ingested, so it resumes straight to the end.
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "fleet resumed at cycle 2688" in captured.err
+        assert (
+            "monitored 4 consumers for 8 weeks across 2 elastic shard(s)"
+            in captured.out
+        )
+
+
 class TestMonitorEventTime:
     _base = [
         "monitor",

@@ -19,6 +19,7 @@ QUICK_EXAMPLES = (
     "adr_price_attack.py",
     "layered_defense.py",
     "attack_planning.py",
+    "fleet_rebalance.py",
 )
 
 

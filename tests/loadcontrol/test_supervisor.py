@@ -5,6 +5,8 @@ crashes) mid-week is rebuilt from checkpoint + WAL replay and produces
 **identical** weekly reports to a fleet that was never disturbed.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -89,25 +91,88 @@ def _run_fleet(base_dir, chaos=None, metrics=None, worker_factory=None):
 
 
 class TestShardRoster:
-    def test_round_robin_over_sorted_ids(self):
-        assert shard_roster(("b", "d", "a", "c"), 2) == (("a", "c"), ("b", "d"))
+    def test_split_is_order_insensitive(self):
+        with pytest.warns(DeprecationWarning):
+            split = shard_roster(("b", "d", "a", "c"), 2)
+        with pytest.warns(DeprecationWarning):
+            assert split == shard_roster(("a", "b", "c", "d"), 2)
+        assert sorted(cid for shard in split for cid in shard) == [
+            "a",
+            "b",
+            "c",
+            "d",
+        ]
+
+    def test_deprecated_shim_matches_ring(self):
+        """shard_roster delegates to the hash ring with the fixed seed."""
+        from repro.scaleout import HashRing, balanced_assignments
+
+        names = [f"shard-{i:04d}" for i in range(2)]
+        assignment = balanced_assignments(HashRing(names), sorted(CONSUMERS))
+        with pytest.warns(DeprecationWarning):
+            split = shard_roster(CONSUMERS, 2)
+        assert split == tuple(assignment[name] for name in names)
+
+    def test_pinned_30_consumer_fixture_routing(self):
+        """Historical fixtures must keep routing identically forever."""
+        thirty = tuple(f"m{i:03d}" for i in range(30))
+        with pytest.warns(DeprecationWarning):
+            split = shard_roster(thirty, 3)
+        assert split == (
+            (
+                "m006", "m007", "m009", "m012", "m014", "m015",
+                "m017", "m019", "m024", "m027", "m029",
+            ),
+            (
+                "m001", "m002", "m004", "m010", "m011", "m013",
+                "m016", "m018", "m020", "m022", "m023", "m026",
+            ),
+            ("m000", "m003", "m005", "m008", "m021", "m025", "m028"),
+        )
 
     def test_single_shard_keeps_everyone(self):
-        assert shard_roster(CONSUMERS, 1) == (CONSUMERS,)
+        with pytest.warns(DeprecationWarning):
+            assert shard_roster(CONSUMERS, 1) == (CONSUMERS,)
 
     def test_invalid_shard_counts(self):
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError), pytest.warns(
+            DeprecationWarning
+        ):
             shard_roster(CONSUMERS, 0)
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError), pytest.warns(
+            DeprecationWarning
+        ):
             shard_roster(("a", "b"), 3)
 
     def test_make_shards_layout(self, tmp_path):
         shards = make_shards(CONSUMERS, 2, tmp_path)
         assert [s.shard_id for s in shards] == [0, 1]
-        assert shards[0].consumers == ("c1", "c3", "c5")
-        assert shards[1].consumers == ("c2", "c4", "c6")
+        assert shards[0].consumers == ("c1", "c3", "c4", "c6")
+        assert shards[1].consumers == ("c2", "c5")
         assert shards[0].wal_dir.endswith("shard-0000")
         assert shards[1].checkpoint_path.endswith("shard-0001.ckpt")
+
+    def test_make_shards_does_not_warn(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            make_shards(CONSUMERS, 2, tmp_path)
+
+    def test_growth_moves_few_consumers(self):
+        """The reason for the ring: growth must not reshuffle everyone."""
+        from repro.scaleout import (
+            HashRing,
+            balanced_assignments,
+            moved_consumers,
+        )
+
+        roster = tuple(f"m{i:03d}" for i in range(120))
+        ring = HashRing([f"shard-{i:04d}" for i in range(3)])
+        before = balanced_assignments(ring, roster)
+        ring.add_shard("shard-0003")
+        after = balanced_assignments(ring, roster)
+        moved = moved_consumers(before, after)
+        # Minimal-movement bound: about n/shards, never almost all.
+        assert 0 < len(moved) <= int(len(roster) / 4 * 1.5)
 
 
 class TestSupervisorValidation:
@@ -141,6 +206,71 @@ class TestSupervisorValidation:
                 supervisor.kill(99)
             with pytest.raises(SupervisorError):
                 supervisor.service(99)
+
+
+class TestLifecycleHardening:
+    def test_close_is_idempotent(self, tmp_path):
+        shards = make_shards(CONSUMERS, 2, tmp_path)
+        supervisor = Supervisor(shards, _service_factory, _factory)
+        supervisor.ingest_cycle(_readings(0))
+        supervisor.close()
+        supervisor.close()  # second close must be a no-op, not a crash
+        assert all(h.worker is None for h in supervisor.handles())
+
+    def test_exit_after_close_does_not_raise(self, tmp_path):
+        shards = make_shards(CONSUMERS, 2, tmp_path)
+        with Supervisor(shards, _service_factory, _factory) as supervisor:
+            supervisor.close()
+
+    def test_partial_build_failure_closes_built_workers(self, tmp_path):
+        """A factory blowing up on shard 1 must not leak shard 0's WAL."""
+        built = []
+
+        def wrapping_factory(service, wal, spec):
+            built.append(wal)
+            from repro.durability.recovery import DurableTheftMonitor
+
+            return DurableTheftMonitor(
+                service, wal, checkpoint_path=spec.checkpoint_path
+            )
+
+        def exploding_factory(spec):
+            if spec.shard_id == 1:
+                raise RuntimeError("boom while building shard 1")
+            return _service_factory(spec)
+
+        shards = make_shards(CONSUMERS, 2, tmp_path)
+        with pytest.raises(RuntimeError, match="boom"):
+            Supervisor(
+                shards,
+                exploding_factory,
+                _factory,
+                worker_factory=wrapping_factory,
+            )
+        assert len(built) == 1  # shard 0 was built before the failure
+        assert all(wal._closed for wal in built)
+        # The directory is fully released: a fresh fleet starts cleanly.
+        with Supervisor(shards, _service_factory, _factory) as retry:
+            retry.ingest_cycle(_readings(0))
+
+    def test_close_survives_worker_close_failure(self, tmp_path):
+        shards = make_shards(CONSUMERS, 2, tmp_path)
+        supervisor = Supervisor(shards, _service_factory, _factory)
+        handle = supervisor.handles()[0]
+
+        class ExplodingClose:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+            def close(self):
+                raise OSError("disk pulled mid-close")
+
+        handle.worker = ExplodingClose(handle.worker)
+        supervisor.close()  # must swallow the failure, close the rest
+        assert all(h.worker is None for h in supervisor.handles())
 
 
 class TestLockstepDispatch:

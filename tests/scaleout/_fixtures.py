@@ -1,0 +1,39 @@
+"""Shared fixtures for the elastic-fleet suites.
+
+A 6-consumer, 3-week world: readings are a pure function of the cycle
+index (so chaos tests can re-feed any cycle after a crash), and ``c1``
+starts under-reporting in week 2 so scored weeks have a known thief.
+"""
+
+import numpy as np
+
+from repro.core.kld import KLDDetector
+from repro.core.online import TheftMonitoringService
+from repro.resilience.config import ResilienceConfig
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+CONSUMERS = tuple(f"c{i}" for i in range(1, 7))
+WEEKS = 3
+THEFT_START = 2 * SLOTS_PER_WEEK
+
+
+def detector_factory():
+    return KLDDetector(significance=0.05)
+
+
+def service_factory(consumers):
+    """An ElasticFleet factory: ``consumers is None`` defers population."""
+    return TheftMonitoringService(
+        detector_factory=detector_factory,
+        min_training_weeks=2,
+        resilience=ResilienceConfig(),
+        population=consumers,
+    )
+
+
+def readings(t):
+    rng = np.random.default_rng((17, t))
+    out = {cid: float(rng.gamma(2.0, 0.5)) for cid in CONSUMERS}
+    if t >= THEFT_START:
+        out["c1"] *= 0.05
+    return out

@@ -1,0 +1,130 @@
+"""Consistent-hash ring: determinism, balance, minimal movement."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scaleout import (
+    HashRing,
+    balanced_assignments,
+    moved_consumers,
+)
+
+ROSTER = tuple(f"m{i:04d}" for i in range(200))
+SHARDS = tuple(f"shard-{i:04d}" for i in range(4))
+
+
+class TestRingMembership:
+    def test_shards_sorted_and_order_insensitive(self):
+        a = HashRing(("b", "a", "c"))
+        b = HashRing(("c", "b", "a"))
+        assert a.shards == b.shards == ("a", "b", "c")
+        assert len(a) == 3 and "b" in a and "z" not in a
+
+    def test_duplicate_and_empty_names_rejected(self):
+        ring = HashRing(("a",))
+        with pytest.raises(ConfigurationError):
+            ring.add_shard("a")
+        with pytest.raises(ConfigurationError):
+            ring.add_shard("")
+        with pytest.raises(ConfigurationError):
+            HashRing((), vnodes=0)
+
+    def test_remove_unknown_shard_raises(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(("a",)).remove_shard("b")
+
+    def test_owner_requires_shards(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(()).owner("m0001")
+
+
+class TestPlacementDeterminism:
+    def test_pure_function_of_seed_and_membership(self):
+        one = HashRing(SHARDS).assignments(ROSTER)
+        two = HashRing(tuple(reversed(SHARDS))).assignments(ROSTER)
+        assert one == two
+
+    def test_different_seed_different_placement(self):
+        base = HashRing(SHARDS).assignments(ROSTER)
+        other = HashRing(SHARDS, seed=7).assignments(ROSTER)
+        assert base != other
+
+    def test_add_then_remove_round_trips(self):
+        ring = HashRing(SHARDS)
+        before = ring.assignments(ROSTER)
+        ring.add_shard("shard-0099")
+        ring.remove_shard("shard-0099")
+        assert ring.assignments(ROSTER) == before
+
+    def test_every_shard_keyed_even_when_empty(self):
+        ring = HashRing(SHARDS)
+        assignment = ring.assignments(("m0000",))
+        assert set(assignment) == set(SHARDS)
+        assert sum(len(v) for v in assignment.values()) == 1
+
+
+class TestBalance:
+    def test_roster_partitioned_exactly(self):
+        assignment = balanced_assignments(HashRing(SHARDS), ROSTER)
+        everyone = sorted(
+            cid for members in assignment.values() for cid in members
+        )
+        assert everyone == sorted(ROSTER)
+
+    def test_vnodes_keep_imbalance_bounded(self):
+        assignment = balanced_assignments(HashRing(SHARDS), ROSTER)
+        sizes = [len(members) for members in assignment.values()]
+        mean = len(ROSTER) / len(SHARDS)
+        # 64 vnodes/shard keeps every shard within ~2x of fair share.
+        assert min(sizes) >= mean * 0.4
+        assert max(sizes) <= mean * 2.0
+
+    def test_no_shard_left_empty(self):
+        # Tiny rosters can leave raw ring arcs empty; the correction
+        # must fill every shard deterministically.
+        roster = ("a", "b", "c", "d", "e")
+        ring = HashRing(SHARDS)
+        one = balanced_assignments(ring, roster)
+        two = balanced_assignments(HashRing(SHARDS), roster)
+        assert one == two
+        assert all(len(members) >= 1 for members in one.values())
+
+    def test_validation(self):
+        ring = HashRing(SHARDS)
+        with pytest.raises(ConfigurationError):
+            balanced_assignments(ring, ("a", "a", "b", "c", "d"))
+        with pytest.raises(ConfigurationError):
+            balanced_assignments(HashRing(()), ROSTER)
+        with pytest.raises(ConfigurationError):
+            balanced_assignments(ring, ("a", "b"))
+
+
+class TestMinimalMovement:
+    def test_single_shard_add_moves_at_most_fair_share(self):
+        """The acceptance bound: one shard added moves <= ceil(n/shards)
+        * (1 + eps) consumers."""
+        ring = HashRing(SHARDS)
+        before = balanced_assignments(ring, ROSTER)
+        ring.add_shard("shard-0004")
+        after = balanced_assignments(ring, ROSTER)
+        moved = moved_consumers(before, after)
+        bound = math.ceil(len(ROSTER) / 5) * 1.5
+        assert 0 < len(moved) <= bound
+        # Every mover landed on the new shard; nobody else changed home.
+        assert set(moved) == set(after["shard-0004"])
+
+    def test_single_shard_remove_moves_only_its_consumers(self):
+        ring = HashRing(SHARDS)
+        before = balanced_assignments(ring, ROSTER)
+        ring.remove_shard("shard-0002")
+        after = balanced_assignments(ring, ROSTER)
+        moved = moved_consumers(before, after)
+        assert set(moved) == set(before["shard-0002"])
+        bound = math.ceil(len(ROSTER) / len(SHARDS)) * 1.5
+        assert len(moved) <= bound
+
+    def test_moved_consumers_requires_same_roster(self):
+        with pytest.raises(ConfigurationError):
+            moved_consumers({"a": ("x",)}, {"a": ("x", "y")})
