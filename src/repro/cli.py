@@ -25,7 +25,11 @@ Subcommands:
 The ``evaluate`` and ``monitor`` subcommands accept observability
 flags: ``--metrics-out`` (Prometheus text, or a JSON snapshot when the
 path ends in ``.json``), ``--trace-out`` (span-tree JSON), and
-``--log-json`` (structured JSONL event log).
+``--log-json`` (structured JSONL event log).  ``monitor`` additionally
+exports ops-plane state — ``--health-out`` (per-shard liveness/
+readiness), ``--slo-out`` (error-budget burn rates), and
+``--profile-out`` (hot-path stage profile) — and ``status`` renders
+those exports plus the fleet manifest as an operator dashboard.
 """
 
 from __future__ import annotations
@@ -91,6 +95,29 @@ def _add_observability_options(parser: argparse.ArgumentParser) -> None:
         type=str,
         default=None,
         help="append structured JSONL events here",
+    )
+
+
+def _add_ops_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--health-out",
+        type=str,
+        default=None,
+        help="write the fleet health report (JSON) here (requires "
+        "--elastic or --shards > 1)",
+    )
+    parser.add_argument(
+        "--slo-out",
+        type=str,
+        default=None,
+        help="write the SLO burn-rate report (JSON) here (requires "
+        "--elastic)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        type=str,
+        default=None,
+        help="write the hot-path stage profile (JSON) here",
     )
 
 
@@ -317,6 +344,15 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     if args.revisions_out and not args.eventtime:
         print("--revisions-out requires --eventtime", file=sys.stderr)
         return 2
+    if args.slo_out and not args.elastic:
+        print("--slo-out requires --elastic", file=sys.stderr)
+        return 2
+    if args.health_out and not (args.elastic or args.shards > 1):
+        print(
+            "--health-out requires --elastic or --shards > 1",
+            file=sys.stderr,
+        )
+        return 2
     if args.eventtime:
         if args.shards > 1 or args.elastic:
             print(
@@ -462,10 +498,16 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     else:
         service = fresh_service()
 
+    profiler = None
+    if args.profile_out:
+        from repro.observability.ops import StageProfiler
+
+        profiler = StageProfiler()
+        service.profiler = profiler
     if args.wal_dir:
         wal = WriteAheadLog(args.wal_dir, metrics=service.metrics)
         monitor = DurableTheftMonitor(
-            service, wal, checkpoint_path=args.checkpoint
+            service, wal, checkpoint_path=args.checkpoint, profiler=profiler
         )
         ingest = monitor.ingest_cycle
     else:
@@ -569,6 +611,9 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             )
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint}")
+    if profiler is not None:
+        profiler.write(args.profile_out)
+        print(f"wrote stage profile to {args.profile_out}", file=sys.stderr)
     _write_observability_outputs(args, service.metrics, service.tracer)
     if events is not None:
         events.close()
@@ -685,12 +730,21 @@ def _run_monitor_eventtime(
         batches.append(scramble.pop_due(t))
     batches.append(scramble.drain())
 
+    profiler = None
+    if args.profile_out:
+        from repro.observability.ops import StageProfiler
+
+        profiler = StageProfiler()
     start_batch = 0
     if args.recover:
         result = replay_eventtime(args.wal_dir, service_factory, resume=True)
         ingestor, replay = result
         service = ingestor.service
         start_batch = ingestor.deliveries
+        if profiler is not None:
+            # Attach after replay so replayed batches are not profiled.
+            ingestor.profiler = profiler
+            service.profiler = profiler
         print(
             f"recovered from {args.wal_dir}: {start_batch} delivery "
             "batch(es) replayed"
@@ -704,7 +758,7 @@ def _run_monitor_eventtime(
             if args.wal_dir
             else None
         )
-        ingestor = EventTimeIngestor(service, wal=wal)
+        ingestor = EventTimeIngestor(service, wal=wal, profiler=profiler)
 
     delivered_batches = 0
     for batch in batches[start_batch:]:
@@ -773,6 +827,9 @@ def _run_monitor_eventtime(
     if args.revisions_out:
         service.revisions.write_report(args.revisions_out)
         print(f"wrote revision report to {args.revisions_out}", file=sys.stderr)
+    if profiler is not None:
+        profiler.write(args.profile_out)
+        print(f"wrote stage profile to {args.profile_out}", file=sys.stderr)
     _write_observability_outputs(args, service.metrics, service.tracer)
     if events is not None:
         events.close()
@@ -822,6 +879,14 @@ def _run_monitor_sharded(
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    profiler = None
+    if args.profile_out:
+        from repro.observability.ops import StageProfiler
+
+        profiler = StageProfiler()
+        for svc in supervisor.services().values():
+            if svc.profiler is None:
+                svc.profiler = profiler
     ingest = supervisor.ingest_cycle
     ingestor = None
     if loadcontrol is not None:
@@ -936,6 +1001,17 @@ def _run_monitor_sharded(
     )
     print(f"quarantined readings: {quarantined_readings}")
     print(f"supervisor restarts: {supervisor.restarts_total}")
+    if args.health_out:
+        import json
+
+        with open(args.health_out, "w", encoding="utf-8") as handle:
+            json.dump(
+                supervisor.health_snapshot(), handle, indent=2, sort_keys=True
+            )
+        print(f"wrote health report to {args.health_out}", file=sys.stderr)
+    if profiler is not None:
+        profiler.write(args.profile_out)
+        print(f"wrote stage profile to {args.profile_out}", file=sys.stderr)
     supervisor.close()
     for svc in services.values():
         fleet_metrics.merge_snapshot(svc.metrics.snapshot())
@@ -976,6 +1052,12 @@ def _run_monitor_elastic(
     from repro.timeseries.seasonal import SLOTS_PER_WEEK
 
     fleet_metrics = MetricsRegistry()
+    fleet_tracer = Tracer(name="fleet") if args.trace_out else None
+    slo = None
+    if args.slo_out:
+        from repro.observability.ops import SLOTracker, default_fleet_objectives
+
+        slo = SLOTracker(default_fleet_objectives())
     try:
         fleet = ElasticFleet(
             ids,
@@ -985,10 +1067,32 @@ def _run_monitor_elastic(
             n_shards=args.shards,
             metrics=fleet_metrics,
             events=events,
+            tracer=fleet_tracer,
+            slo=slo,
         )
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    profiler = None
+
+    def _attach_profiler() -> None:
+        # Shared across shards and attached to both layers: the durable
+        # wrapper charges wal_append/wal_sync/checkpoint, the service
+        # charges firewall/ingest/scoring — one profile, whole path.
+        for w in fleet.workers():
+            if w.monitor is None:
+                continue
+            inner = w.monitor.inner
+            if inner.profiler is None:
+                inner.profiler = profiler
+            if inner.service.profiler is None:
+                inner.service.profiler = profiler
+
+    if args.profile_out:
+        from repro.observability.ops import StageProfiler
+
+        profiler = StageProfiler()
+        _attach_profiler()
     channel = FaultyChannel(
         channel=LossyChannel(
             drop_rate=args.drop_rate, outage_rate=args.outage_rate
@@ -1024,10 +1128,19 @@ def _run_monitor_elastic(
                     f"moved {moved}/{len(ids)} consumers",
                     file=sys.stderr,
                 )
+                if profiler is not None:
+                    _attach_profiler()
             cycle_rng = np.random.default_rng((args.seed + 1, t))
             readings = {cid: float(series[cid][t]) for cid in ids}
             delivered = channel.transmit(readings, cycle_rng)
             result = fleet.ingest_cycle(delivered)
+            if slo is not None and any(
+                r is not None for r in result.values()
+            ):
+                # One SLO observation per completed week: enough points
+                # for the burn-rate windows without paying a fleet-wide
+                # registry merge on every polling cycle.
+                fleet.observe_slo()
             ingested += 1
             if (
                 args.crash_after_cycle is not None
@@ -1114,6 +1227,33 @@ def _run_monitor_elastic(
             for svc in services.values()
             for report in svc.reports
         )
+        if args.health_out:
+            fleet.health_report().write(args.health_out)
+            print(
+                f"wrote health report to {args.health_out}", file=sys.stderr
+            )
+        if slo is not None:
+            fleet.observe_slo()
+            fleet.slo_report().write(args.slo_out)
+            print(f"wrote SLO report to {args.slo_out}", file=sys.stderr)
+        if profiler is not None:
+            profiler.write(args.profile_out)
+            print(
+                f"wrote stage profile to {args.profile_out}", file=sys.stderr
+            )
+        if args.trace_out and fleet_tracer is not None:
+            import json
+
+            from repro.observability.tracing import stitch_traces
+
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {"spans": stitch_traces(fleet.tracers())},
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+            print(f"wrote trace to {args.trace_out}", file=sys.stderr)
         merged_metrics = fleet.merged_metrics()
         merged_metrics.merge_snapshot(fleet_metrics.snapshot())
         _write_observability_outputs(args, merged_metrics, None)
@@ -1122,6 +1262,81 @@ def _run_monitor_elastic(
     if events is not None:
         events.close()
     return _monitor_exit_status(shed_total=shed_total, overruns=0)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """``status``: render the fleet ops dashboard from exported state.
+
+    Everything is read from files — the fleet manifest (topology +
+    epochs + pending handoff) plus the JSON reports the ``monitor``
+    subcommand exports via ``--health-out``/``--slo-out``/
+    ``--profile-out`` — so the dashboard works on a live fleet's
+    directory or on artifacts uploaded from a finished run.
+    """
+    import json
+    import os
+
+    from repro.errors import HandoffError
+    from repro.observability.ops import render_status
+    from repro.scaleout.handoff import read_manifest
+
+    def _load(path: str | None, label: str):
+        if not path:
+            return None
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read {label} {path!r}: {exc}", file=sys.stderr)
+            raise SystemExit(2) from exc
+
+    manifest = None
+    if args.fleet_dir:
+        manifest_path = args.fleet_dir
+        if os.path.isdir(manifest_path):
+            manifest_path = os.path.join(manifest_path, "fleet.json")
+        try:
+            manifest = read_manifest(manifest_path)
+        except HandoffError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if manifest is None:
+            print(f"no fleet manifest at {manifest_path!r}", file=sys.stderr)
+            return 2
+    health = _load(args.health, "health report")
+    slo = _load(args.slo, "SLO report")
+    profile = _load(args.profile, "stage profile")
+    if manifest is None and health is None and slo is None and profile is None:
+        print(
+            "nothing to show: pass --fleet-dir and/or --health/--slo/"
+            "--profile",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "manifest": manifest,
+                    "health": health,
+                    "slo": slo,
+                    "profile": profile,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            render_status(
+                manifest=manifest,
+                health=health,
+                slo=slo,
+                profile=profile,
+                top=args.top,
+            )
+        )
+    return 0
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
@@ -1326,7 +1541,36 @@ def build_parser() -> argparse.ArgumentParser:
         "(a quiesce -> snapshot -> commit -> install -> finalize handoff)",
     )
     _add_observability_options(mon)
+    _add_ops_options(mon)
     mon.set_defaults(func=_cmd_monitor)
+
+    st = sub.add_parser(
+        "status",
+        help="render the fleet ops dashboard from a manifest and "
+        "exported health/SLO/profile reports",
+    )
+    st.add_argument(
+        "--fleet-dir",
+        type=str,
+        default=None,
+        help="fleet directory (reads fleet.json) or manifest file path",
+    )
+    st.add_argument(
+        "--health", type=str, default=None, help="health report JSON"
+    )
+    st.add_argument("--slo", type=str, default=None, help="SLO report JSON")
+    st.add_argument(
+        "--profile", type=str, default=None, help="stage profile JSON"
+    )
+    st.add_argument(
+        "--top", type=int, default=10, help="hot stages shown (default 10)"
+    )
+    st.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the merged raw JSON instead of the rendered dashboard",
+    )
+    st.set_defaults(func=_cmd_status)
 
     ab = sub.add_parser("ablation", help="histogram bin-count sweep")
     _add_dataset_options(ab)

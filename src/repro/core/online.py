@@ -67,6 +67,10 @@ from repro.timeseries.seasonal import SLOTS_PER_WEEK
 #: How many consumer ids a population-mismatch error spells out.
 _MISMATCH_IDS_SHOWN = 10
 
+#: Shared no-op profiler stage; ``nullcontext`` is stateless, so the
+#: same instance can be open in several nested stages at once.
+_NULL_STAGE = contextlib.nullcontext()
+
 #: Alert severity (score / threshold) bands used as a metric label, so
 #: alert counters stay low-cardinality instead of carrying raw floats.
 _SEVERITY_BANDS = ((1.5, "marginal"), (3.0, "elevated"))
@@ -282,6 +286,12 @@ class TheftMonitoringService:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = events
         self.tracer = tracer
+        #: Optional :class:`~repro.observability.ops.StageProfiler`
+        #: attached after construction (by a DurableTheftMonitor, an
+        #: EventTimeIngestor, or directly).  Deliberately not a
+        #: constructor argument: profilers are run-scoped diagnostics
+        #: and never ride checkpoints.
+        self.profiler = None
         self.firewall = firewall
         self.loadcontrol = loadcontrol
         self.eventtime = eventtime
@@ -366,6 +376,17 @@ class TheftMonitoringService:
             return contextlib.nullcontext()
         return self.tracer.span(name, **fields)
 
+    def _profile(self, name: str):
+        """A profiler stage window, or a shared no-op when unprofiled.
+
+        Unlike ``_span`` this is hot-path safe: spans accumulate one
+        object per call forever, while the sampling profiler keeps
+        O(stages) state no matter how many cycles run.
+        """
+        if self.profiler is None:
+            return _NULL_STAGE
+        return self.profiler.stage(name)
+
     def ingest_cycle(
         self,
         reported: Mapping[str, float | MeterReading],
@@ -409,14 +430,14 @@ class TheftMonitoringService:
         if self._population is None:
             self._set_population(reported)
         if self.firewall is not None:
-            with deadline.stage("firewall"):
+            with self._profile("firewall"), deadline.stage("firewall"):
                 reported = self.firewall.screen(
                     reported,
                     cycle=self._slot_count,
                     metrics=self.metrics,
                     events=self.events,
                 )
-        with deadline.stage("ingest"):
+        with self._profile("ingest"), deadline.stage("ingest"):
             if self.resilience is None:
                 self._ingest_strict(reported)
             else:
@@ -430,7 +451,7 @@ class TheftMonitoringService:
             # registry; route them into this service's registry for the
             # duration of the weekly processing.
             with use_registry(self.metrics):
-                with deadline.stage("scoring"):
+                with self._profile("scoring"), deadline.stage("scoring"):
                     report = self._complete_week(deadline)
         self.metrics.counter(
             "fdeta_ingest_cycles_total", "Polling cycles ingested."

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Mapping
 
@@ -41,6 +42,15 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.observability.tracing import Tracer
 
 __all__ = ["DurableTheftMonitor", "RecoveryResult", "recover_monitor"]
+
+#: Shared no-op stage; ``nullcontext`` is stateless, so one instance is
+#: safely re-entered from nested stages.
+_NULL_STAGE = nullcontext()
+
+
+def _maybe_stage(profiler, name: str):
+    """``profiler.stage(name)`` or a no-op when profiling is off."""
+    return profiler.stage(name) if profiler is not None else _NULL_STAGE
 
 
 @dataclass(frozen=True)
@@ -155,6 +165,12 @@ class DurableTheftMonitor:
     sync_every_cycles:
         fsync cadence; ``1`` (default) makes every acknowledged cycle
         durable, larger values trade the crash window for throughput.
+    profiler:
+        Optional :class:`~repro.observability.ops.StageProfiler`.  The
+        durable hot path charges its ``wal_append``, ``wal_sync``, and
+        ``checkpoint`` windows to it, and the profiler is shared with
+        the wrapped service (which charges ``firewall``, ``ingest``,
+        and ``scoring``) so one profile covers the whole write path.
     """
 
     def __init__(
@@ -163,6 +179,7 @@ class DurableTheftMonitor:
         wal: WriteAheadLog,
         checkpoint_path: str | os.PathLike | None = None,
         sync_every_cycles: int = 1,
+        profiler: "object | None" = None,
     ) -> None:
         if sync_every_cycles < 1:
             raise ConfigurationError(
@@ -174,6 +191,9 @@ class DurableTheftMonitor:
             os.fspath(checkpoint_path) if checkpoint_path is not None else None
         )
         self.sync_every_cycles = int(sync_every_cycles)
+        self.profiler = profiler
+        if profiler is not None and service.profiler is None:
+            service.profiler = profiler
         self._cycles_since_sync = 0
         self.redelivered_cycles = 0
 
@@ -220,19 +240,22 @@ class DurableTheftMonitor:
                 f"cycle {cycle_index} delivered but the service expects "
                 f"cycle {expected}; the head-end skipped ahead"
             )
-        if deadline is not None:
-            with deadline.stage("wal_append"):
+        with _maybe_stage(self.profiler, "wal_append"):
+            if deadline is not None:
+                with deadline.stage("wal_append"):
+                    self._append(cycle_index, reported)
+            else:
                 self._append(cycle_index, reported)
-        else:
-            self._append(cycle_index, reported)
         report = self.service.ingest_cycle(reported, snapshot, deadline=deadline)
         if report is not None and self.checkpoint_path is not None:
             # Order matters: sync the WAL first so the checkpoint never
             # claims coverage of cycles the log could still lose, then
             # compact segments the checkpoint has made redundant.
-            self.wal.sync()
+            with _maybe_stage(self.profiler, "wal_sync"):
+                self.wal.sync()
             self._cycles_since_sync = 0
-            self.service.checkpoint(self.checkpoint_path)
+            with _maybe_stage(self.profiler, "checkpoint"):
+                self.service.checkpoint(self.checkpoint_path)
             self.wal.mark_checkpoint(self.service.cycles_ingested)
             self.wal.compact(self.service.cycles_ingested)
         return report

@@ -30,6 +30,7 @@ attached to the service, closing the loop with load shedding.
 from __future__ import annotations
 
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable
 
@@ -47,6 +48,15 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
 #: :class:`~repro.loadcontrol.queue.BoundedCycleQueue`'s hysteresis.
 _HIGH_WATERMARK = 0.8
 _LOW_WATERMARK = 0.3
+
+#: Shared no-op stage; ``nullcontext`` is stateless, so one instance is
+#: safely re-entered from nested stages.
+_NULL_STAGE = nullcontext()
+
+
+def _maybe_stage(profiler, name: str):
+    """``profiler.stage(name)`` or a no-op when profiling is off."""
+    return profiler.stage(name) if profiler is not None else _NULL_STAGE
 
 
 @dataclass(frozen=True)
@@ -105,12 +115,20 @@ class EventTimeIngestor:
         Optional :class:`~repro.durability.wal.WriteAheadLog`; delivery
         batches are appended before processing and synced at week
         boundaries, so a crashed run replays to the same state.
+    profiler:
+        Optional :class:`~repro.observability.ops.StageProfiler`.  The
+        delivery path charges ``route``, ``release``, ``wal_append``,
+        and ``finish`` windows to it, and the profiler is shared with
+        the wrapped service (which charges ``firewall``, ``ingest``,
+        and ``scoring``) so one profile covers the whole event-time
+        pipeline.
     """
 
     def __init__(
         self,
         service: "TheftMonitoringService",
         wal: "WriteAheadLog | None" = None,
+        profiler: "object | None" = None,
     ) -> None:
         config = service.eventtime
         if config is None:
@@ -127,6 +145,9 @@ class EventTimeIngestor:
         self.service = service
         self.config = config
         self.wal = wal
+        self.profiler = profiler
+        if profiler is not None and service.profiler is None:
+            service.profiler = profiler
         self.buffer = ReorderBuffer(max_pending=config.max_pending_readings)
         self.tracker = WatermarkTracker(lateness_slots=config.lateness_slots)
         self.signal = BackpressureSignal(
@@ -165,15 +186,18 @@ class EventTimeIngestor:
             # Append-before-process: the batch must be durable before it
             # can mutate watermark or service state, so replay sees
             # exactly the deliveries the live run acted on.
-            self.wal.append_delivery(
-                index,
-                ((r.consumer_id, r.slot, r.value) for r in readings),
-            )
+            with _maybe_stage(self.profiler, "wal_append"):
+                self.wal.append_delivery(
+                    index,
+                    ((r.consumer_id, r.slot, r.value) for r in readings),
+                )
         self.deliveries += 1
         counts = _Counts()
-        for reading in readings:
-            self._route(reading, counts)
-        self._release(counts)
+        with _maybe_stage(self.profiler, "route"):
+            for reading in readings:
+                self._route(reading, counts)
+        with _maybe_stage(self.profiler, "release"):
+            self._release(counts)
         self._publish_telemetry()
         if self.wal is not None and counts.reports:
             self.wal.sync()
@@ -191,11 +215,12 @@ class EventTimeIngestor:
             self.wal.append_finish(self.deliveries)
         self.finished = True
         counts = _Counts()
-        for slot, released in self.buffer.flush():
-            counts.released_slots += 1
-            report = self.service.ingest_cycle(released)
-            if report is not None:
-                counts.reports.append(report)
+        with _maybe_stage(self.profiler, "finish"):
+            for slot, released in self.buffer.flush():
+                counts.released_slots += 1
+                report = self.service.ingest_cycle(released)
+                if report is not None:
+                    counts.reports.append(report)
         self._publish_telemetry()
         if self.wal is not None:
             self.wal.sync()

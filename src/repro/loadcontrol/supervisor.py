@@ -505,6 +505,48 @@ class Supervisor:
             for shard_id, service in self.services().items()
         }
 
+    def health_snapshot(self) -> dict:
+        """Per-shard liveness/readiness view for the ops plane.
+
+        Mirrors the shape :class:`repro.observability.ops.HealthReport`
+        renders for an elastic fleet, so a plain supervised fleet can
+        feed the same ``status`` dashboard: a shard is *live* when a
+        worker exists, *ready* when it is live, not hung, and its
+        heartbeat lag is within ``hang_tolerance_cycles``.
+        """
+        shards = []
+        for shard_id in sorted(self._handles):
+            handle = self._handles[shard_id]
+            if handle.worker is None:
+                state = "dead"
+            elif handle.hung:
+                state = "hung"
+            else:
+                state = "running"
+            lag = max(0, (self._cycle - 1) - handle.last_cycle)
+            live = handle.worker is not None
+            ready = state == "running" and lag <= self.hang_tolerance_cycles
+            shards.append(
+                {
+                    "shard": handle.spec.shard_id,
+                    "state": state,
+                    "live": live,
+                    "ready": ready,
+                    "lag_cycles": lag,
+                    "last_cycle": handle.last_cycle,
+                    "restarts": handle.restarts,
+                    "beats": handle.beats,
+                    "consumers": len(handle.members),
+                }
+            )
+        return {
+            "cycle": self._cycle,
+            "fleet_live": all(s["live"] for s in shards),
+            "fleet_ready": all(s["ready"] for s in shards),
+            "restarts_total": self.restarts_total,
+            "shards": shards,
+        }
+
     def _update_gauges(self) -> None:
         if self.metrics is None:
             return

@@ -15,7 +15,12 @@ three classic signals, dependency-free:
 * :mod:`repro.observability.tracing` — nested ``perf_counter`` spans
   exportable as a trace tree;
 * :mod:`repro.observability.bench` — appendable ``BENCH_<name>.json``
-  performance records for the benchmark harness.
+  performance records for the benchmark harness, stamped with git SHA
+  and schema version, plus :func:`bench_diff` regression gating;
+* :mod:`repro.observability.ops` — the fleet operations plane:
+  per-shard health/readiness rollups, SLO error-budget burn rates, a
+  sampling hot-path :class:`~repro.observability.ops.StageProfiler`,
+  and the ``repro-monitor status`` text dashboard.
 
 Instrumented components: :class:`~repro.core.online.TheftMonitoringService`
 (cycle latency, weekly reports, alerts, coverage, breaker transitions),
@@ -27,6 +32,7 @@ registry snapshots merged across the process boundary).
 
 from repro.observability.bench import (
     BenchTimer,
+    bench_diff,
     read_bench_records,
     write_bench_record,
 )
@@ -43,7 +49,29 @@ from repro.observability.metrics import (
     set_global_registry,
     use_registry,
 )
-from repro.observability.tracing import Span, Tracer, trace
+from repro.observability.tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    stitch_traces,
+    trace,
+)
+
+# The ops plane reaches back into durability (WAL segment sizes), so it
+# must load after the core submodules above: re-entrant imports of
+# repro.observability.metrics/events from that chain then resolve to
+# already-initialised modules.
+from repro.observability.ops import (  # noqa: E402
+    FleetHealthPlane,
+    HealthReport,
+    SLObjective,
+    SLOReport,
+    SLOTracker,
+    ShardHealth,
+    StageProfiler,
+    default_fleet_objectives,
+    render_status,
+)
 
 __all__ = [
     "BenchTimer",
@@ -51,16 +79,28 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "EventLogger",
     "FRACTION_BUCKETS",
+    "FleetHealthPlane",
     "Gauge",
+    "HealthReport",
     "Histogram",
     "MetricsRegistry",
+    "SLObjective",
+    "SLOReport",
+    "SLOTracker",
+    "ShardHealth",
     "Span",
+    "StageProfiler",
     "StdlibBridgeHandler",
+    "TraceContext",
     "Tracer",
+    "bench_diff",
+    "default_fleet_objectives",
     "global_registry",
     "parse_prometheus",
     "read_bench_records",
+    "render_status",
     "set_global_registry",
+    "stitch_traces",
     "trace",
     "use_registry",
     "write_bench_record",

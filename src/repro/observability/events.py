@@ -93,6 +93,7 @@ class EventLogger:
         if isinstance(forward_to, str):
             forward_to = logging.getLogger(forward_to)
         self._forward = forward_to
+        self._bridge_handlers: list["StdlibBridgeHandler"] = []
         self.events_written = 0
 
     # ------------------------------------------------------------------
@@ -149,10 +150,31 @@ class EventLogger:
         return self._stream
 
     def close(self) -> None:
-        if self._stream is not None and self._owns_stream:
-            if not isinstance(self._stream, io.StringIO):
-                self._stream.close()
-                self._stream = None
+        """Flush and release the sink; safe to call more than once.
+
+        Any bridge handler minted by :meth:`stdlib_handler` is detached
+        from every stdlib logger it was attached to, so a closed logger
+        leaves no handler behind to write into a dead stream (the
+        classic cross-test leak).  A caller-owned stream is flushed but
+        stays open (the caller owns its lifetime); the in-memory
+        StringIO fallback stays readable after close so tests can
+        inspect what was logged.
+        """
+        for handler in self._bridge_handlers:
+            _detach_everywhere(handler)
+            handler.close()
+        self._bridge_handlers = []
+        stream = self._stream
+        if stream is None:
+            return
+        try:
+            stream.flush()
+        except (ValueError, OSError):  # already closed / broken sink
+            pass
+        if self._owns_stream and not isinstance(stream, io.StringIO):
+            stream.close()
+            self._stream = None
+            self._owns_stream = False
 
     def __enter__(self) -> "EventLogger":
         return self
@@ -167,8 +189,25 @@ class EventLogger:
     def stdlib_handler(self, level: int = logging.INFO) -> "StdlibBridgeHandler":
         """A ``logging.Handler`` that routes stdlib records through this
         logger — attach it to any stdlib logger to capture third-party
-        log traffic in the same JSONL stream."""
-        return StdlibBridgeHandler(self, level=level)
+        log traffic in the same JSONL stream.  Handlers minted here are
+        tracked and detached from every logger when this event logger
+        closes, so no bridge outlives its sink."""
+        handler = StdlibBridgeHandler(self, level=level)
+        self._bridge_handlers.append(handler)
+        return handler
+
+
+def _detach_everywhere(handler: logging.Handler) -> None:
+    """Remove ``handler`` from the root logger and every named logger."""
+    loggers: list[logging.Logger] = [logging.getLogger()]
+    manager = logging.Logger.manager
+    for name in list(manager.loggerDict):
+        existing = manager.loggerDict[name]
+        if isinstance(existing, logging.Logger):
+            loggers.append(existing)
+    for logger in loggers:
+        if handler in logger.handlers:
+            logger.removeHandler(handler)
 
 
 class StdlibBridgeHandler(logging.Handler):

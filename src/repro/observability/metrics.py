@@ -565,9 +565,30 @@ _LABEL_PAIR_RE = re.compile(
 
 
 def _unescape_label_value(value: str) -> str:
-    return (
-        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
-    )
+    """Invert :func:`_escape_label_value`, scanning left to right.
+
+    Sequential ``str.replace`` passes corrupt nested escapes — a label
+    holding a literal backslash-then-n escapes to ``\\\\n``, which a
+    ``\\n``-first replace would wrongly turn into backslash-newline —
+    so each escape sequence must be consumed exactly once, in order.
+    """
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
 
 
 def parse_prometheus(text: str) -> dict[str, list[tuple[dict[str, str], float]]]:

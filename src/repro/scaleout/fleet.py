@@ -40,6 +40,7 @@ from repro.durability.recovery import DurableTheftMonitor, recover_monitor
 from repro.durability.wal import WriteAheadLog
 from repro.errors import ConfigurationError, SupervisorError, WorkerCrashed
 from repro.eventtime.watermark import WatermarkTracker
+from repro.observability.tracing import Tracer
 from repro.scaleout import plane  # noqa: F401 - package init imports plane first
 from repro.scaleout.handoff import (
     FencedMonitor,
@@ -121,6 +122,19 @@ class ElasticFleet:
         queue, so a wedged shard cannot grow memory without limit.
     sync_every_cycles:
         Per-shard WAL fsync cadence.
+    tracer:
+        Optional fleet-level :class:`~repro.observability.tracing.Tracer`.
+        When set, every handoff records a ``shard_handoff`` root span
+        with one child per protocol phase, per-shard extract/adopt work
+        is recorded on each shard service's own tracer (created
+        per-shard when the service has none) parented to the install
+        phase, and crash roll-forwards link back to the originating
+        handoff's trace via the manifest.  Stitch the fleet's tracers
+        with :func:`~repro.observability.tracing.stitch_traces`.
+    slo:
+        Optional :class:`~repro.observability.ops.SLOTracker`; call
+        :meth:`observe_slo` at a meaningful cadence (each cycle or each
+        week boundary) to record compliance points.
     """
 
     MANIFEST = "fleet.json"
@@ -138,6 +152,8 @@ class ElasticFleet:
         sync_every_cycles: int = 1,
         metrics: "MetricsRegistry | None" = None,
         events: "EventLogger | None" = None,
+        tracer: Tracer | None = None,
+        slo: "object | None" = None,
     ) -> None:
         if hang_tolerance_cycles < 1:
             raise ConfigurationError(
@@ -151,6 +167,15 @@ class ElasticFleet:
         self.sync_every_cycles = int(sync_every_cycles)
         self.metrics = metrics
         self.events = events
+        #: Fleet-level tracer: handoff roots and phase spans land here;
+        #: per-shard work lands on each service's own tracer, stitched
+        #: back together via TraceContext links (see ``tracers()``).
+        self.tracer = tracer
+        #: Optional :class:`~repro.observability.ops.SLOTracker`; feed
+        #: it via :meth:`observe_slo` at a meaningful cadence.
+        self.slo = slo
+        self._handoff_span = None
+        self._phase_span = None
         self.restarts_total = 0
         self.handoffs_total = 0
         self._closed = False
@@ -337,6 +362,10 @@ class ElasticFleet:
     def _wrap(
         self, service: "TheftMonitoringService", worker: ShardWorker
     ) -> FencedMonitor:
+        if self.tracer is not None and service.tracer is None:
+            # Per-shard tracers get the shard's name as their id
+            # namespace, so stitched traces never collide across shards.
+            service.tracer = Tracer(name=worker.name)
         wal = WriteAheadLog(worker.wal_dir, metrics=service.metrics)
         inner = DurableTheftMonitor(
             service,
@@ -561,20 +590,24 @@ class ElasticFleet:
                 f"cannot grow to {len(self._workers) + 1} shards with "
                 f"only {len(roster)} consumers"
             )
-        self._quiesce(on_phase)
-        old_assignment = {
-            shard: worker.consumers
-            for shard, worker in self._workers.items()
-        }
-        self._ring.add_shard(name)
-        new_assignment = balanced_assignments(self._ring, roster)
-        self._rebalance(
-            old_assignment,
-            new_assignment,
-            added=(name,),
-            retiring=(),
-            on_phase=on_phase,
-        )
+        self._trace_handoff_start("add", shard=name)
+        try:
+            self._quiesce(on_phase)
+            old_assignment = {
+                shard: worker.consumers
+                for shard, worker in self._workers.items()
+            }
+            self._ring.add_shard(name)
+            new_assignment = balanced_assignments(self._ring, roster)
+            self._rebalance(
+                old_assignment,
+                new_assignment,
+                added=(name,),
+                retiring=(),
+                on_phase=on_phase,
+            )
+        finally:
+            self._trace_handoff_end()
         return name
 
     def remove_shard(
@@ -589,23 +622,68 @@ class ElasticFleet:
         self._worker(name)
         if len(self._workers) < 2:
             raise ConfigurationError("cannot remove the last shard")
-        self._quiesce(on_phase)
-        old_assignment = {
-            shard: worker.consumers
-            for shard, worker in self._workers.items()
-        }
-        self._ring.remove_shard(name)
-        roster = self._roster_all()
-        new_assignment = balanced_assignments(self._ring, roster)
-        self._rebalance(
-            old_assignment,
-            new_assignment,
-            added=(),
-            retiring=(name,),
-            on_phase=on_phase,
+        self._trace_handoff_start("remove", shard=name)
+        try:
+            self._quiesce(on_phase)
+            old_assignment = {
+                shard: worker.consumers
+                for shard, worker in self._workers.items()
+            }
+            self._ring.remove_shard(name)
+            roster = self._roster_all()
+            new_assignment = balanced_assignments(self._ring, roster)
+            self._rebalance(
+                old_assignment,
+                new_assignment,
+                added=(),
+                retiring=(name,),
+                on_phase=on_phase,
+            )
+        finally:
+            self._trace_handoff_end()
+
+    # -- handoff tracing -------------------------------------------------
+
+    def _trace_handoff_start(self, kind: str, **fields: object) -> None:
+        if self.tracer is None:
+            return
+        self._handoff_span = self.tracer.start_span(
+            "shard_handoff", kind=kind, **fields
         )
 
+    def _trace_handoff_end(self) -> None:
+        if self.tracer is None or self._handoff_span is None:
+            return
+        if self._phase_span is not None:
+            self.tracer.end_span(self._phase_span)
+            self._phase_span = None
+        self.tracer.end_span(self._handoff_span)
+        self._handoff_span = None
+
+    def _handoff_trace_payload(self) -> tuple[tuple[str, str], ...] | None:
+        """The active handoff span's context, manifest-serializable."""
+        if self._handoff_span is None:
+            return None
+        context = self._handoff_span.context
+        if context is None:
+            return None
+        return tuple(sorted(context.to_dict().items()))
+
+    def _install_context(self):
+        """Parent context for per-shard install work (or ``None``)."""
+        if self._phase_span is None:
+            return None
+        return self._phase_span.context
+
     def _phase(self, on_phase: PhaseHook | None, phase: str) -> None:
+        # Trace before invoking the chaos hook: a simulated coordinator
+        # crash still leaves the attempted phase on the trace.
+        if self.tracer is not None and self._handoff_span is not None:
+            if self._phase_span is not None:
+                self.tracer.end_span(self._phase_span)
+            self._phase_span = self.tracer.start_span(
+                phase, cycle=self._cycle
+            )
         if on_phase is not None:
             on_phase(phase)
 
@@ -662,6 +740,7 @@ class ElasticFleet:
             retiring_dirs=tuple(
                 (name, *self._shard_paths(name)) for name in retiring
             ),
+            trace=self._handoff_trace_payload(),
         )
         touched = set(added) | set(retiring)
         for cid, src, dst in moves:
@@ -774,12 +853,36 @@ class ElasticFleet:
             recovered_retiring[name] = result.service
             sources[name] = result.service
         # Adopt movers on their destinations (skip already-installed).
+        # With tracing on, the extract/adopt pair is recorded on the
+        # *shard services'* own tracers, parented to the fleet's
+        # install-phase span — the cross-tracer links stitch_traces
+        # follows to rebuild one handoff tree across monitors.
+        install_ctx = self._install_context()
         for cid, src, dst in record.moves:
             dst_service = sources[dst]
             if cid in dst_service.roster:
                 continue
-            packet = sources[src].extract_consumer(cid)
-            dst_service.adopt_consumer(cid, packet)
+            src_service = sources[src]
+            if install_ctx is not None and src_service.tracer is not None:
+                with src_service.tracer.span(
+                    "extract_consumer",
+                    parent=install_ctx,
+                    consumer=cid,
+                    shard=src,
+                ):
+                    packet = src_service.extract_consumer(cid)
+            else:
+                packet = src_service.extract_consumer(cid)
+            if install_ctx is not None and dst_service.tracer is not None:
+                with dst_service.tracer.span(
+                    "adopt_consumer",
+                    parent=install_ctx,
+                    consumer=cid,
+                    shard=dst,
+                ):
+                    dst_service.adopt_consumer(cid, packet)
+            else:
+                dst_service.adopt_consumer(cid, packet)
         # Destinations first: after this point the movers' new homes are
         # durable, so a crash resolves every mover to its destination.
         destinations = sorted({dst for _, _, dst in record.moves})
@@ -842,7 +945,20 @@ class ElasticFleet:
                 retiring=list(record.retiring),
                 cycle=record.cycle,
             )
-        self._apply_record(record, on_phase=None)
+        if self.tracer is not None:
+            # Parent the recovery to the interrupted handoff's trace
+            # (carried in the manifest), so one stitched tree covers
+            # both the crashed attempt and its completion.
+            self._handoff_span = self.tracer.start_span(
+                "handoff_roll_forward",
+                parent=record.trace_context(),
+                moves=len(record.moves),
+                cycle=record.cycle,
+            )
+        try:
+            self._apply_record(record, on_phase=None)
+        finally:
+            self._trace_handoff_end()
 
     # ------------------------------------------------------------------
     # Fault-injection hooks (chaos tests)
@@ -942,6 +1058,63 @@ class ElasticFleet:
             for cid, series in service.store._series.items():
                 out[cid] = list(series)
         return out
+
+    def tracers(self) -> list:
+        """Every tracer with fleet spans: the fleet's own plus each
+        shard service's (retired included) — the input to
+        :func:`~repro.observability.tracing.stitch_traces`."""
+        out = []
+        if self.tracer is not None:
+            out.append(self.tracer)
+        for service in self.services().values():
+            if service.tracer is not None:
+                out.append(service.tracer)
+        for service in self._retired.values():
+            if service.tracer is not None:
+                out.append(service.tracer)
+        return out
+
+    def health_plane(self, ready_lag_cycles: int | None = None):
+        """A :class:`~repro.observability.ops.FleetHealthPlane` over
+        this fleet (fresh each call; the plane itself is stateless)."""
+        from repro.observability.ops.health import FleetHealthPlane
+
+        return FleetHealthPlane(self, ready_lag_cycles=ready_lag_cycles)
+
+    def health_report(self, ready_lag_cycles: int | None = None):
+        """One-shot fleet :class:`~repro.observability.ops.HealthReport`
+        (also refreshes the health gauges on ``metrics``)."""
+        return self.health_plane(ready_lag_cycles).report()
+
+    def observability_registry(self) -> "MetricsRegistry":
+        """Merged shard metrics plus the fleet's own gauges."""
+        registries = [
+            service.metrics for service in self.services().values()
+        ]
+        registries.extend(
+            service.metrics for service in self._retired.values()
+        )
+        return plane.merge_observability(registries, self.metrics)
+
+    def observe_slo(self) -> None:
+        """Record one SLO compliance point (no-op without a tracker).
+
+        Reads the merged observability registry, so objectives can mix
+        per-shard series (cycle latency, reading outcomes) with
+        fleet-level ones (shard lag).  Burn gauges are mirrored onto
+        the fleet registry when one is attached.
+        """
+        if self.slo is None:
+            return
+        self.slo.observe(self.observability_registry())
+        if self.metrics is not None:
+            self.slo.export(self.metrics)
+
+    def slo_report(self):
+        """The tracker's current :class:`~repro.observability.ops.SLOReport`."""
+        if self.slo is None:
+            raise ConfigurationError("fleet has no SLO tracker attached")
+        return self.slo.report()
 
     def _update_gauges(self) -> None:
         if self.metrics is None:

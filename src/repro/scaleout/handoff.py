@@ -68,7 +68,11 @@ class HandoffRecord:
     ``cycle`` is the quiesced cycle every shard sat at when the record
     was committed.  ``retiring_dirs`` keeps each retiring shard's
     durable locations so roll-forward can still recover its state after
-    the shard has left the active topology.
+    the shard has left the active topology.  ``trace`` optionally
+    carries the originating handoff span's serialized
+    :class:`~repro.observability.tracing.TraceContext`, so a crash
+    roll-forward in a *new process* still stitches into the trace of
+    the handoff it completes.
     """
 
     moves: tuple[tuple[str, str, str], ...]
@@ -76,18 +80,23 @@ class HandoffRecord:
     retiring: tuple[str, ...]
     cycle: int
     retiring_dirs: tuple[tuple[str, str, str], ...] = ()
+    trace: tuple[tuple[str, str], ...] | None = None
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "moves": [list(move) for move in self.moves],
             "added": list(self.added),
             "retiring": list(self.retiring),
             "cycle": self.cycle,
             "retiring_dirs": [list(entry) for entry in self.retiring_dirs],
         }
+        if self.trace is not None:
+            payload["trace"] = {k: v for k, v in self.trace}
+        return payload
 
     @classmethod
     def from_json(cls, payload: Mapping) -> "HandoffRecord":
+        trace = payload.get("trace")
         return cls(
             moves=tuple(
                 (str(c), str(s), str(d)) for c, s, d in payload["moves"]
@@ -99,7 +108,20 @@ class HandoffRecord:
                 (str(n), str(w), str(c))
                 for n, w, c in payload.get("retiring_dirs", ())
             ),
+            trace=(
+                tuple(sorted((str(k), str(v)) for k, v in trace.items()))
+                if isinstance(trace, Mapping)
+                else None
+            ),
         )
+
+    def trace_context(self):
+        """The originating span's context, or ``None``."""
+        if self.trace is None:
+            return None
+        from repro.observability.tracing import TraceContext
+
+        return TraceContext.from_dict(dict(self.trace))
 
 
 def write_manifest(path: str | os.PathLike, state: Mapping) -> None:

@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
 __all__ = [
     "FleetWeekReport",
     "merge_metrics",
+    "merge_observability",
     "merge_revisions",
     "merge_weekly_reports",
     "merged_signature",
@@ -172,6 +173,24 @@ def merge_metrics(registries: Iterable[MetricsRegistry]) -> MetricsRegistry:
     merged = MetricsRegistry()
     for registry in registries:
         merged.merge_snapshot(registry.snapshot())
+    return merged
+
+
+def merge_observability(
+    shard_registries: Iterable[MetricsRegistry],
+    fleet_registry: MetricsRegistry | None = None,
+) -> MetricsRegistry:
+    """One registry for the ops plane: shard telemetry + fleet gauges.
+
+    SLO objectives read both per-shard series (cycle latency, reading
+    outcomes) and fleet-level series (shard lag gauges, which live on
+    the coordinator's registry, not any shard's).  This folds them into
+    one queryable registry; the fleet registry merges last, so its
+    gauges — levels, merged last-write-wins — land unclobbered.
+    """
+    merged = merge_metrics(shard_registries)
+    if fleet_registry is not None:
+        merged.merge_snapshot(fleet_registry.snapshot())
     return merged
 
 

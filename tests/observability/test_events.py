@@ -102,6 +102,73 @@ class TestSinks:
         assert not stream.closed
 
 
+class TestClose:
+    def test_close_is_idempotent_for_path_sinks(self, tmp_path):
+        logger = EventLogger(path=tmp_path / "events.jsonl")
+        logger.info("x")
+        logger.close()
+        logger.close()  # must not raise on the already-released sink
+
+    def test_close_flushes_and_closes_an_owned_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        logger = EventLogger(path=path)
+        logger.info("durable")
+        stream = logger._stream
+        logger.close()
+        assert stream.closed
+        assert "durable" in path.read_text()
+
+    def test_closed_logger_can_reopen_its_path(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        logger = EventLogger(path=path)
+        logger.info("first")
+        logger.close()
+        logger.info("second")  # lazily reopens in append mode
+        logger.close()
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["event"] for e in events] == ["first", "second"]
+
+    def test_in_memory_buffer_stays_readable_after_close(self):
+        logger = EventLogger()
+        logger.info("kept")
+        logger.close()
+        assert "kept" in logger._stream.getvalue()
+        logger.close()  # still idempotent
+
+    def test_close_survives_a_caller_closed_stream(self, tmp_path):
+        stream = open(tmp_path / "x.jsonl", "w", encoding="utf-8")
+        logger = EventLogger(stream=stream)
+        logger.info("y")
+        stream.close()  # caller closes its own stream first
+        logger.close()  # flush on the dead stream must not raise
+
+    def test_close_detaches_bridge_handlers_everywhere(self):
+        stream = io.StringIO()
+        events = EventLogger(stream=stream)
+        handler = events.stdlib_handler()
+        named = logging.getLogger("test.observability.bridge.detach")
+        named.propagate = False
+        named.addHandler(handler)
+        logging.getLogger().addHandler(handler)
+        try:
+            events.close()
+            assert handler not in named.handlers
+            assert handler not in logging.getLogger().handlers
+            # A post-close record must not resurrect writes to the sink.
+            before = stream.getvalue()
+            named.warning("orphaned")
+            assert stream.getvalue() == before
+        finally:
+            named.removeHandler(handler)
+            logging.getLogger().removeHandler(handler)
+
+    def test_close_forgets_detached_handlers(self):
+        events = EventLogger(stream=io.StringIO())
+        events.stdlib_handler()
+        events.close()
+        assert events._bridge_handlers == []
+
+
 class TestStdlibBridge:
     def test_stdlib_records_route_into_jsonl(self):
         stream = io.StringIO()

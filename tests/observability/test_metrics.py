@@ -295,6 +295,78 @@ class TestParser:
         with pytest.raises(ValueError, match=r"\+Inf"):
             parse_prometheus(text)
 
+    def test_rejects_histogram_with_no_series_at_all(self):
+        text = "# TYPE lat histogram\nlat_sum 1.0\n"
+        with pytest.raises(ValueError, match="missing series"):
+            parse_prometheus(text)
+
+    def test_rejects_bucket_without_le_label(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{shard="a"} 1\n'
+            "lat_sum 1.0\n"
+            "lat_count 1\n"
+        )
+        with pytest.raises(ValueError, match="missing le"):
+            parse_prometheus(text)
+
+    def test_rejects_bucket_labelset_without_count(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{shard="a",le="+Inf"} 1\n'
+            'lat_sum{shard="a"} 1.0\n'
+            'lat_count{shard="b"} 1\n'
+        )
+        with pytest.raises(ValueError, match="no _count"):
+            parse_prometheus(text)
+
+
+class TestLabelEscapeRoundTrip:
+    """Exposition -> parse must invert escaping for any label value."""
+
+    # The nasty cases: literal backslash-n (NOT a newline), nested
+    # escapes, quotes, and trailing backslashes.  A sequential
+    # str.replace unescaper corrupts several of these.
+    VALUES = (
+        "plain",
+        "with space",
+        'quo"ted',
+        "new\nline",
+        "back\\slash",
+        "a\\nb",  # literal backslash then 'n'
+        "a\\\nb",  # literal backslash then a real newline
+        '\\"',  # backslash then quote
+        "trailing\\",
+        "\\\\n",
+    )
+
+    @pytest.mark.parametrize("value", VALUES)
+    def test_round_trips_through_exposition(self, value):
+        registry = MetricsRegistry()
+        registry.counter("fdeta_roundtrip_total", labels=("tag",)).inc(
+            tag=value
+        )
+        parsed = parse_prometheus(registry.to_prometheus())
+        ((labels, count),) = parsed["fdeta_roundtrip_total"]
+        assert labels["tag"] == value
+        assert count == 1.0
+
+    def test_distinct_tricky_values_stay_distinct(self):
+        # "a\nb" (newline) and "a\\nb" (backslash-n) must not collide
+        # after an escape/unescape cycle.
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "fdeta_roundtrip_total", labels=("tag",)
+        )
+        counter.inc(tag="a\nb")
+        counter.inc(2, tag="a\\nb")
+        parsed = parse_prometheus(registry.to_prometheus())
+        by_tag = {
+            labels["tag"]: value
+            for labels, value in parsed["fdeta_roundtrip_total"]
+        }
+        assert by_tag == {"a\nb": 1.0, "a\\nb": 2.0}
+
 
 class TestSnapshotMerge:
     def _populated(self):

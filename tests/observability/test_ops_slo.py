@@ -1,0 +1,241 @@
+"""Tests for SLO objectives, burn rates, and the tracker/report plane."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.ops import (
+    SLObjective,
+    SLOTracker,
+    default_fleet_objectives,
+)
+
+
+def _latency_objective(threshold=0.25, target=0.99):
+    return SLObjective(
+        name="latency",
+        description="cycles complete in time",
+        target=target,
+        kind="latency",
+        metric="fdeta_ingest_cycle_seconds",
+        threshold=threshold,
+    )
+
+
+def _availability_objective(target=0.999):
+    return SLObjective(
+        name="availability",
+        description="readings arrive",
+        target=target,
+        kind="availability",
+        metric="fdeta_readings_total",
+        bad_labels=(("status", "gap"),),
+    )
+
+
+def _staleness_objective(threshold=2.0, target=0.99):
+    return SLObjective(
+        name="staleness",
+        description="shards keep up",
+        target=target,
+        kind="staleness",
+        metric="fdeta_fleet_shard_lag_cycles",
+        threshold=threshold,
+    )
+
+
+class TestObjectiveValidation:
+    def test_target_must_be_a_fraction(self):
+        with pytest.raises(ConfigurationError, match="target"):
+            _latency_objective(target=1.0)
+        with pytest.raises(ConfigurationError, match="target"):
+            _latency_objective(target=0.0)
+
+    def test_kind_must_be_known(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            SLObjective(
+                name="x",
+                description="",
+                target=0.9,
+                kind="throughput",
+                metric="m",
+            )
+
+    def test_error_budget_is_the_complement(self):
+        assert _availability_objective().error_budget == pytest.approx(0.001)
+
+
+class TestObjectiveCounts:
+    def test_latency_good_counts_observations_within_threshold(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "fdeta_ingest_cycle_seconds", buckets=(0.1, 0.25, 1.0)
+        )
+        for value in (0.05, 0.2, 0.24, 0.5, 2.0):
+            histogram.observe(value)
+        good, total = _latency_objective(threshold=0.25).counts(registry)
+        assert (good, total) == (3.0, 5.0)
+
+    def test_availability_bad_labels_spend_budget(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "fdeta_readings_total", labels=("status",)
+        )
+        counter.inc(97, status="ok")
+        counter.inc(3, status="gap")
+        good, total = _availability_objective().counts(registry)
+        assert (good, total) == (97.0, 100.0)
+
+    def test_staleness_checks_each_label_set_once(self):
+        registry = MetricsRegistry()
+        lag = registry.gauge(
+            "fdeta_fleet_shard_lag_cycles", labels=("shard",)
+        )
+        lag.set(0, shard="a")
+        lag.set(5, shard="b")
+        good, total = _staleness_objective(threshold=2.0).counts(registry)
+        assert (good, total) == (1.0, 2.0)
+
+    def test_missing_family_counts_nothing(self):
+        assert _latency_objective().counts(MetricsRegistry()) == (0.0, 0.0)
+
+
+class TestTracker:
+    def test_needs_objectives_and_valid_windows(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            SLOTracker(())
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            SLOTracker((_latency_objective(), _latency_objective()))
+        with pytest.raises(ConfigurationError, match="window"):
+            SLOTracker(
+                (_latency_objective(),), short_window=10, long_window=5
+            )
+
+    def test_clean_registry_reports_healthy(self):
+        registry = MetricsRegistry()
+        registry.counter("fdeta_readings_total", labels=("status",)).inc(
+            100, status="ok"
+        )
+        tracker = SLOTracker((_availability_objective(),))
+        tracker.observe(registry)
+        report = tracker.report()
+        assert report.healthy
+        entry = report.objective("availability")
+        assert entry["compliance"] == pytest.approx(1.0)
+        assert entry["burn_rate_short"] == pytest.approx(0.0)
+        assert entry["budget_remaining"] == pytest.approx(1.0)
+
+    def test_burn_rate_reflects_window_bad_fraction(self):
+        # 1% gaps against a 0.1% budget burns at 10x in every window.
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "fdeta_readings_total", labels=("status",)
+        )
+        tracker = SLOTracker((_availability_objective(),))
+        for _ in range(5):
+            counter.inc(99, status="ok")
+            counter.inc(1, status="gap")
+            tracker.observe(registry)
+        entry = tracker.report().objective("availability")
+        assert entry["burn_rate_short"] == pytest.approx(10.0)
+        assert entry["burn_rate_long"] == pytest.approx(10.0)
+        assert entry["violated"]
+        assert not tracker.report().healthy
+
+    def test_short_window_catches_a_recent_burn_the_long_confirms_slowly(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "fdeta_readings_total", labels=("status",)
+        )
+        tracker = SLOTracker(
+            (_availability_objective(target=0.9),),
+            short_window=2,
+            long_window=20,
+        )
+        for _ in range(10):  # clean history
+            counter.inc(100, status="ok")
+            tracker.observe(registry)
+        for _ in range(2):  # sudden total outage
+            counter.inc(100, status="gap")
+            tracker.observe(registry)
+        entry = tracker.report().objective("availability")
+        # Short window: all bad -> burn 1/0.1 = 10x. Long window dilutes.
+        assert entry["burn_rate_short"] == pytest.approx(10.0)
+        assert entry["burn_rate_long"] < entry["burn_rate_short"]
+
+    def test_staleness_accumulates_across_observations(self):
+        registry = MetricsRegistry()
+        lag = registry.gauge(
+            "fdeta_fleet_shard_lag_cycles", labels=("shard",)
+        )
+        tracker = SLOTracker((_staleness_objective(),))
+        lag.set(0, shard="a")
+        tracker.observe(registry)
+        lag.set(9, shard="a")
+        tracker.observe(registry)
+        entry = tracker.report().objective("staleness")
+        assert entry["total"] == pytest.approx(2.0)
+        assert entry["good"] == pytest.approx(1.0)
+
+    def test_export_mirrors_standing_onto_gauges(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "fdeta_readings_total", labels=("status",)
+        )
+        tracker = SLOTracker((_availability_objective(),))
+        tracker.observe(registry)  # baseline point
+        counter.inc(50, status="gap")
+        tracker.observe(registry)
+        out = MetricsRegistry()
+        tracker.export(out)
+        burn = out.gauge(
+            "fdeta_slo_burn_rate", labels=("objective", "window")
+        )
+        assert burn.value(objective="availability", window="short") > 1.0
+        remaining = out.gauge(
+            "fdeta_slo_budget_remaining", labels=("objective",)
+        )
+        assert remaining.value(objective="availability") < 0.0
+
+    def test_report_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        tracker = SLOTracker((_availability_objective(),))
+        tracker.observe(registry)
+        payload = json.loads(tracker.report().to_json())
+        assert payload["healthy"] is True
+        assert payload["objectives"][0]["name"] == "availability"
+
+    def test_report_write(self, tmp_path):
+        tracker = SLOTracker((_availability_objective(),))
+        path = tmp_path / "slo.json"
+        tracker.report().write(path)
+        assert json.loads(path.read_text())["short_window"] == 12
+
+    def test_unknown_objective_lookup_raises(self):
+        tracker = SLOTracker((_availability_objective(),))
+        with pytest.raises(KeyError, match="nope"):
+            tracker.report().objective("nope")
+
+
+class TestDefaultObjectives:
+    def test_stock_objectives_cover_the_three_kinds(self):
+        objectives = default_fleet_objectives()
+        assert [o.kind for o in objectives] == [
+            "latency",
+            "availability",
+            "staleness",
+        ]
+        assert {o.metric for o in objectives} == {
+            "fdeta_ingest_cycle_seconds",
+            "fdeta_readings_total",
+            "fdeta_fleet_shard_lag_cycles",
+        }
+
+    def test_thresholds_are_tunable(self):
+        latency, _, staleness = default_fleet_objectives(
+            cycle_latency_s=1.5, staleness_cycles=7.0
+        )
+        assert latency.threshold == 1.5
+        assert staleness.threshold == 7.0
