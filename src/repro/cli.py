@@ -30,6 +30,16 @@ exports ops-plane state — ``--health-out`` (per-shard liveness/
 readiness), ``--slo-out`` (error-budget burn rates), and
 ``--profile-out`` (hot-path stage profile) — and ``status`` renders
 those exports plus the fleet manifest as an operator dashboard.
+
+Storage-fault robustness: ``monitor --storage-faults`` arms a
+deterministic fault schedule (ENOSPC, EIO, torn writes, lying fsync,
+at-rest bit-rot) against every durable write site, with the injection
+evidence written via ``--fault-ledger-out``; ``--scrub`` verifies and
+repairs checkpoint generations before starting (pair with
+``--checkpoint-generations 2`` so the WAL still covers the generation
+gap).  A disk-full WAL write flips the monitor into degraded read-only
+mode: ingestion stops, committed verdicts stay servable, and the run
+exits 4.
 """
 
 from __future__ import annotations
@@ -127,20 +137,44 @@ def _event_logger_from_args(args: argparse.Namespace) -> EventLogger | None:
     return EventLogger(path=args.log_json)
 
 
+def _safe_export(label: str, path: str, write) -> None:
+    """Run one export, degrading a storage failure to a logged warning.
+
+    Exports are evidence, not state: by the time they are written the
+    verdicts are already committed and printed, so a full or failing
+    disk must never turn a completed run into a crash.
+    """
+    from repro.errors import StorageError
+
+    try:
+        write()
+    except (StorageError, OSError) as exc:
+        print(
+            f"warning: could not write {label} to {path!r}: {exc}",
+            file=sys.stderr,
+        )
+        return
+    print(f"wrote {label} to {path}", file=sys.stderr)
+
+
 def _write_observability_outputs(
     args: argparse.Namespace,
     metrics: MetricsRegistry,
     tracer: Tracer | None = None,
 ) -> None:
     if args.metrics_out:
-        if args.metrics_out.endswith(".json"):
-            metrics.write_json(args.metrics_out)
-        else:
-            metrics.write_prometheus(args.metrics_out)
-        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+        writer = (
+            metrics.write_json
+            if args.metrics_out.endswith(".json")
+            else metrics.write_prometheus
+        )
+        _safe_export(
+            "metrics", args.metrics_out, lambda: writer(args.metrics_out)
+        )
     if args.trace_out and tracer is not None:
-        tracer.write(args.trace_out)
-        print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+        _safe_export(
+            "trace", args.trace_out, lambda: tracer.write(args.trace_out)
+        )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -279,6 +313,68 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
+    """Arm storage-fault injection (if requested) around the monitor run.
+
+    The schedule is installed process-wide before any durable write and
+    uninstalled afterwards; the injection ledger is written with plain
+    stdlib IO so the schedule can never fault its own evidence.
+    """
+    from repro.errors import ConfigurationError
+    from repro.storage import FaultSchedule, FaultyIO, StorageIO, install_io
+
+    if args.fault_ledger_out and not args.storage_faults:
+        print("--fault-ledger-out requires --storage-faults", file=sys.stderr)
+        return 2
+    schedule = None
+    if args.storage_faults:
+        try:
+            schedule = FaultSchedule.parse(",".join(args.storage_faults))
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        install_io(FaultyIO(schedule))
+        print(
+            f"storage-fault injection armed: {len(schedule.events)} "
+            "scheduled fault(s)",
+            file=sys.stderr,
+        )
+    try:
+        return _monitor_command(args)
+    finally:
+        if schedule is not None:
+            install_io(StorageIO())
+            print(
+                f"storage faults injected: {schedule.injected}/"
+                f"{len(schedule.events)}",
+                file=sys.stderr,
+            )
+            if args.fault_ledger_out:
+                import json
+
+                try:
+                    with open(
+                        args.fault_ledger_out, "w", encoding="utf-8"
+                    ) as handle:
+                        json.dump(
+                            schedule.to_dict(),
+                            handle,
+                            indent=2,
+                            sort_keys=True,
+                        )
+                except OSError as exc:
+                    print(
+                        "warning: could not write fault ledger to "
+                        f"{args.fault_ledger_out!r}: {exc}",
+                        file=sys.stderr,
+                    )
+                else:
+                    print(
+                        f"wrote fault ledger to {args.fault_ledger_out}",
+                        file=sys.stderr,
+                    )
+
+
+def _monitor_command(args: argparse.Namespace) -> int:
     import os
 
     import numpy as np
@@ -290,7 +386,12 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         WriteAheadLog,
         recover_monitor,
     )
-    from repro.errors import ConfigurationError
+    from repro.errors import (
+        ConfigurationError,
+        DurabilityError,
+        StorageDegradedError,
+        StorageError,
+    )
     from repro.loadcontrol import (
         BufferedIngestor,
         LoadControlConfig,
@@ -322,6 +423,17 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             "drop --checkpoint",
             file=sys.stderr,
         )
+        return 2
+    if args.scrub and not (args.wal_dir and args.checkpoint):
+        print(
+            "--scrub requires --wal-dir and --checkpoint (it verifies "
+            "the checkpoint generations and rebuilds a corrupt one from "
+            "the WAL)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint_generations < 1:
+        print("--checkpoint-generations must be >= 1", file=sys.stderr)
         return 2
     if args.grow_at_week is not None and not args.elastic:
         print("--grow-at-week requires --elastic", file=sys.stderr)
@@ -459,16 +571,54 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             events=events,
         )
 
-    resumed = False
-    if args.recover:
-        result = recover_monitor(
+    if args.scrub:
+        from repro.errors import ScrubError
+        from repro.storage.scrub import CheckpointScrubber
+
+        scrubber = CheckpointScrubber(
+            args.checkpoint,
             args.wal_dir,
             detector_factory=factory,
-            checkpoint_path=args.checkpoint,
             service_factory=fresh_service,
             events=events,
-            tracer=tracer,
         )
+        try:
+            scrub_report = scrubber.scrub()
+        except ScrubError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        for finding in scrub_report.findings:
+            line = (
+                f"scrub: {finding.generation} checkpoint {finding.path}: "
+                f"{finding.status}"
+            )
+            if finding.action != "none":
+                line += f" ({finding.action}"
+                if finding.detail:
+                    line += f": {finding.detail}"
+                line += ")"
+            print(line, file=sys.stderr)
+        print(
+            f"scrub: {scrub_report.checked} generation(s) checked, "
+            f"{scrub_report.corrupt} corrupt, "
+            f"{scrub_report.repaired} repaired",
+            file=sys.stderr,
+        )
+
+    resumed = False
+    if args.recover:
+        try:
+            result = recover_monitor(
+                args.wal_dir,
+                detector_factory=factory,
+                checkpoint_path=args.checkpoint,
+                service_factory=fresh_service,
+                events=events,
+                tracer=tracer,
+            )
+        except DurabilityError as exc:
+            print(f"recovery failed: {exc}", file=sys.stderr)
+            return 2
         service = result.service
         resumed = result.restored_from_checkpoint or result.replayed_cycles > 0
         print(
@@ -507,7 +657,11 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     if args.wal_dir:
         wal = WriteAheadLog(args.wal_dir, metrics=service.metrics)
         monitor = DurableTheftMonitor(
-            service, wal, checkpoint_path=args.checkpoint, profiler=profiler
+            service,
+            wal,
+            checkpoint_path=args.checkpoint,
+            profiler=profiler,
+            checkpoint_generations=args.checkpoint_generations,
         )
         ingest = monitor.ingest_cycle
     else:
@@ -532,6 +686,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     )
     start_slot = service.cycles_ingested
     ingested = 0
+    storage_degraded = False
     for t in range(start_slot, weeks * SLOTS_PER_WEEK):
         # One rng per cycle, keyed by (seed, cycle): a crashed-and-
         # recovered run resumes at cycle t with the exact noise a
@@ -540,16 +695,33 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         cycle_rng = np.random.default_rng((args.seed + 1, t))
         readings = {cid: float(series[cid][t]) for cid in ids}
         delivered = channel.transmit(readings, cycle_rng)
-        if ingestor is not None:
-            if not ingestor.submit(delivered):
-                # Queue full: this replay driver is also the consumer,
-                # so "hold and re-offer" means drain one cycle first.
-                ingestor.drain(max_cycles=1)
-                ingestor.submit(delivered)
-            drained = ingestor.drain()
-            report = drained[-1] if drained else None
-        else:
-            report = ingest(delivered)
+        try:
+            if ingestor is not None:
+                if not ingestor.submit(delivered):
+                    # Queue full: this replay driver is also the
+                    # consumer, so "hold and re-offer" means drain one
+                    # cycle first.
+                    ingestor.drain(max_cycles=1)
+                    ingestor.submit(delivered)
+                drained = ingestor.drain()
+                report = drained[-1] if drained else None
+            else:
+                report = ingest(delivered)
+        except StorageDegradedError as exc:
+            # Disk full: the monitor refused the cycle *before* any
+            # byte landed, so nothing acknowledged is lost.  Committed
+            # verdicts below stay servable; ingestion stops here.
+            print(f"storage degraded at cycle {t}: {exc}", file=sys.stderr)
+            storage_degraded = True
+            break
+        except StorageError as exc:
+            print(
+                f"unrecoverable storage failure at cycle {t}: {exc}",
+                file=sys.stderr,
+            )
+            if events is not None:
+                events.close()
+            return 1
         ingested += 1
         if (
             args.crash_after_cycle is not None
@@ -588,9 +760,22 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
                 f"coverage {alert.coverage:.1%})"
             )
         if args.checkpoint and monitor is None:
-            service.checkpoint(args.checkpoint)
+            try:
+                service.checkpoint(args.checkpoint)
+            except (StorageError, OSError) as exc:
+                # Resumability is lost but the run's verdicts are not;
+                # warn and keep monitoring.
+                print(
+                    f"warning: checkpoint write failed: {exc}",
+                    file=sys.stderr,
+                )
     if monitor is not None:
-        monitor.close()
+        try:
+            monitor.close()
+        except StorageError as exc:
+            print(
+                f"warning: final WAL sync failed: {exc}", file=sys.stderr
+            )
     attackers = service.suspected_attackers()
     victims = service.suspected_victims()
     total_alerts = sum(len(report.alerts) for report in service.reports)
@@ -604,36 +789,47 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     if service.firewall is not None:
         print(f"quarantined readings: {len(service.firewall.store)}")
         if args.quarantine_report:
-            service.firewall.store.write_report(args.quarantine_report)
-            print(
-                f"wrote quarantine report to {args.quarantine_report}",
-                file=sys.stderr,
+            _safe_export(
+                "quarantine report",
+                args.quarantine_report,
+                lambda: service.firewall.store.write_report(
+                    args.quarantine_report
+                ),
             )
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint}")
     if profiler is not None:
-        profiler.write(args.profile_out)
-        print(f"wrote stage profile to {args.profile_out}", file=sys.stderr)
+        _safe_export(
+            "stage profile",
+            args.profile_out,
+            lambda: profiler.write(args.profile_out),
+        )
     _write_observability_outputs(args, service.metrics, service.tracer)
     if events is not None:
         events.close()
     return _monitor_exit_status(
         shed_total=sum(len(report.shed) for report in service.reports),
         overruns=ingestor.deadlines_overrun if ingestor is not None else 0,
+        storage_degraded=storage_degraded,
     )
 
 
-def _monitor_exit_status(shed_total: int, overruns: int) -> int:
-    """0 for a clean run; 4 when the run only completed by shedding
-    load or overrunning its cycle deadline (distinct from hard failure:
-    the weekly reports are valid, but coverage was deliberately
-    sacrificed and capacity should be revisited)."""
-    if shed_total > 0 or overruns > 0:
-        print(
-            f"completed in degraded mode: {shed_total} consumer-week(s) "
-            f"shed, {overruns} deadline overrun(s)",
-            file=sys.stderr,
+def _monitor_exit_status(
+    shed_total: int, overruns: int, storage_degraded: bool = False
+) -> int:
+    """0 for a clean run; 4 when the run completed only by shedding
+    load, overrunning its cycle deadline, or entering storage
+    degraded read-only mode (distinct from hard failure: the weekly
+    reports are valid, but coverage or continued ingestion was
+    deliberately sacrificed and capacity should be revisited)."""
+    if shed_total > 0 or overruns > 0 or storage_degraded:
+        detail = (
+            f"{shed_total} consumer-week(s) shed, "
+            f"{overruns} deadline overrun(s)"
         )
+        if storage_degraded:
+            detail += ", storage went read-only (disk full)"
+        print(f"completed in degraded mode: {detail}", file=sys.stderr)
         return 4
     return 0
 
@@ -819,17 +1015,25 @@ def _run_monitor_eventtime(
         f"(too_late: {too_late})"
     )
     if args.quarantine_report:
-        service.firewall.store.write_report(args.quarantine_report)
-        print(
-            f"wrote quarantine report to {args.quarantine_report}",
-            file=sys.stderr,
+        _safe_export(
+            "quarantine report",
+            args.quarantine_report,
+            lambda: service.firewall.store.write_report(
+                args.quarantine_report
+            ),
         )
     if args.revisions_out:
-        service.revisions.write_report(args.revisions_out)
-        print(f"wrote revision report to {args.revisions_out}", file=sys.stderr)
+        _safe_export(
+            "revision report",
+            args.revisions_out,
+            lambda: service.revisions.write_report(args.revisions_out),
+        )
     if profiler is not None:
-        profiler.write(args.profile_out)
-        print(f"wrote stage profile to {args.profile_out}", file=sys.stderr)
+        _safe_export(
+            "stage profile",
+            args.profile_out,
+            lambda: profiler.write(args.profile_out),
+        )
     _write_observability_outputs(args, service.metrics, service.tracer)
     if events is not None:
         events.close()
@@ -859,7 +1063,7 @@ def _run_monitor_sharded(
 
     import numpy as np
 
-    from repro.errors import ConfigurationError
+    from repro.errors import ConfigurationError, StorageDegradedError
     from repro.loadcontrol import BufferedIngestor, Supervisor, make_shards
     from repro.metering.channel import LossyChannel
     from repro.observability.metrics import MetricsRegistry
@@ -907,18 +1111,24 @@ def _run_monitor_sharded(
             file=sys.stderr,
         )
     ingested = 0
+    storage_degraded = False
     for t in range(start_slot, weeks * SLOTS_PER_WEEK):
         cycle_rng = np.random.default_rng((args.seed + 1, t))
         readings = {cid: float(series[cid][t]) for cid in ids}
         delivered = channel.transmit(readings, cycle_rng)
-        if ingestor is not None:
-            if not ingestor.submit(delivered):
-                ingestor.drain(max_cycles=1)
-                ingestor.submit(delivered)
-            drained = ingestor.drain()
-            result = drained[-1] if drained else None
-        else:
-            result = ingest(delivered)
+        try:
+            if ingestor is not None:
+                if not ingestor.submit(delivered):
+                    ingestor.drain(max_cycles=1)
+                    ingestor.submit(delivered)
+                drained = ingestor.drain()
+                result = drained[-1] if drained else None
+            else:
+                result = ingest(delivered)
+        except StorageDegradedError as exc:
+            print(f"storage degraded at cycle {t}: {exc}", file=sys.stderr)
+            storage_degraded = True
+            break
         ingested += 1
         if (
             args.crash_after_cycle is not None
@@ -1002,16 +1212,24 @@ def _run_monitor_sharded(
     print(f"quarantined readings: {quarantined_readings}")
     print(f"supervisor restarts: {supervisor.restarts_total}")
     if args.health_out:
-        import json
+        from repro.storage import atomic_write_json
 
-        with open(args.health_out, "w", encoding="utf-8") as handle:
-            json.dump(
-                supervisor.health_snapshot(), handle, indent=2, sort_keys=True
-            )
-        print(f"wrote health report to {args.health_out}", file=sys.stderr)
+        _safe_export(
+            "health report",
+            args.health_out,
+            lambda: atomic_write_json(
+                args.health_out,
+                supervisor.health_snapshot(),
+                site="export.health",
+                sort_keys=True,
+            ),
+        )
     if profiler is not None:
-        profiler.write(args.profile_out)
-        print(f"wrote stage profile to {args.profile_out}", file=sys.stderr)
+        _safe_export(
+            "stage profile",
+            args.profile_out,
+            lambda: profiler.write(args.profile_out),
+        )
     supervisor.close()
     for svc in services.values():
         fleet_metrics.merge_snapshot(svc.metrics.snapshot())
@@ -1021,6 +1239,7 @@ def _run_monitor_sharded(
     return _monitor_exit_status(
         shed_total=shed_total,
         overruns=ingestor.deadlines_overrun if ingestor is not None else 0,
+        storage_degraded=storage_degraded,
     )
 
 
@@ -1227,33 +1446,44 @@ def _run_monitor_elastic(
             for svc in services.values()
             for report in svc.reports
         )
+        storage_degraded = any(
+            getattr(w.monitor, "read_only", False)
+            for w in fleet.workers()
+            if w.monitor is not None
+        )
         if args.health_out:
-            fleet.health_report().write(args.health_out)
-            print(
-                f"wrote health report to {args.health_out}", file=sys.stderr
+            _safe_export(
+                "health report",
+                args.health_out,
+                lambda: fleet.health_report().write(args.health_out),
             )
         if slo is not None:
             fleet.observe_slo()
-            fleet.slo_report().write(args.slo_out)
-            print(f"wrote SLO report to {args.slo_out}", file=sys.stderr)
+            _safe_export(
+                "SLO report",
+                args.slo_out,
+                lambda: fleet.slo_report().write(args.slo_out),
+            )
         if profiler is not None:
-            profiler.write(args.profile_out)
-            print(
-                f"wrote stage profile to {args.profile_out}", file=sys.stderr
+            _safe_export(
+                "stage profile",
+                args.profile_out,
+                lambda: profiler.write(args.profile_out),
             )
         if args.trace_out and fleet_tracer is not None:
-            import json
-
             from repro.observability.tracing import stitch_traces
+            from repro.storage import atomic_write_json
 
-            with open(args.trace_out, "w", encoding="utf-8") as handle:
-                json.dump(
+            _safe_export(
+                "trace",
+                args.trace_out,
+                lambda: atomic_write_json(
+                    args.trace_out,
                     {"spans": stitch_traces(fleet.tracers())},
-                    handle,
-                    indent=2,
+                    site="export.trace",
                     sort_keys=True,
-                )
-            print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+                ),
+            )
         merged_metrics = fleet.merged_metrics()
         merged_metrics.merge_snapshot(fleet_metrics.snapshot())
         _write_observability_outputs(args, merged_metrics, None)
@@ -1261,7 +1491,11 @@ def _run_monitor_elastic(
         fleet.close()
     if events is not None:
         events.close()
-    return _monitor_exit_status(shed_total=shed_total, overruns=0)
+    return _monitor_exit_status(
+        shed_total=shed_total,
+        overruns=0,
+        storage_degraded=storage_degraded,
+    )
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -1479,6 +1713,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-cycle time budget in milliseconds; an exhausted "
         "budget sheds the rest of the weekly scoring pass",
+    )
+    mon.add_argument(
+        "--storage-faults",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic storage faults: comma-separated "
+        "SITE:OP@N=KIND entries (e.g. 'wal.append:write@3=torn'); "
+        "sites glob (wal.*, export.*), ops are "
+        "open/write/fsync/replace/fsync_dir/*, kinds are "
+        "enospc/eio/torn/lying_fsync/bitrot; repeatable",
+    )
+    mon.add_argument(
+        "--fault-ledger-out",
+        type=str,
+        default=None,
+        help="write the injected-fault ledger (JSON) here "
+        "(requires --storage-faults)",
+    )
+    mon.add_argument(
+        "--scrub",
+        action="store_true",
+        help="verify every checkpoint generation before starting and "
+        "rebuild a corrupt current one from the previous generation "
+        "plus WAL replay (requires --wal-dir and --checkpoint)",
+    )
+    mon.add_argument(
+        "--checkpoint-generations",
+        type=int,
+        default=1,
+        help="checkpoint generations WAL compaction lags behind; 2 "
+        "keeps enough log to rebuild a corrupt checkpoint from its "
+        ".prev generation (see --scrub)",
     )
     mon.add_argument(
         "--eventtime",

@@ -28,7 +28,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.durability.wal import WriteAheadLog, replay_wal
-from repro.errors import ConfigurationError, RecoveryError
+from repro.errors import (
+    ConfigurationError,
+    DiskFullError,
+    RecoveryError,
+    StorageDegradedError,
+    TransientStorageError,
+)
 from repro.quarantine.firewall import MeterReading
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -113,6 +119,16 @@ def recover_monitor(
                 "service_factory to build a fresh service"
             )
         service = service_factory()
+    wal_path = os.fspath(wal_dir)
+    if not restored and not os.path.isdir(wal_path):
+        # Without a checkpoint the WAL *is* the state; silently
+        # replaying an absent directory would hand back a fresh service
+        # and erase the history the caller asked to recover.
+        raise RecoveryError(
+            f"WAL directory {wal_path!r} does not exist and no checkpoint "
+            f"was restored — there is nothing to recover from; check the "
+            f"WAL path, or start without recovery to begin fresh"
+        )
     replay = replay_wal(wal_dir)
     expected = service.cycles_ingested
     replayed = 0
@@ -171,6 +187,23 @@ class DurableTheftMonitor:
         ``checkpoint`` windows to it, and the profiler is shared with
         the wrapped service (which charges ``firewall``, ``ingest``,
         and ``scoring``) so one profile covers the whole write path.
+    checkpoint_generations:
+        How many checkpoint generations the WAL must stay able to
+        repair.  ``1`` (default) compacts to the current checkpoint as
+        before; ``2`` lags compaction one checkpoint behind, keeping
+        enough log that the scrubber can rebuild a corrupt current
+        checkpoint from ``<path>.prev`` plus WAL replay.
+
+    Disk-full degraded mode
+    -----------------------
+    A :class:`~repro.errors.DiskFullError` from the WAL flips the
+    monitor into **degraded read-only mode**: the failed cycle was never
+    acknowledged (the producer still holds it), subsequent ingests are
+    refused up front with :class:`~repro.errors.StorageDegradedError`,
+    the attached :class:`~repro.loadcontrol.queue.BackpressureSignal`
+    engages so admission stops accepting readings, and already-committed
+    state keeps serving verdicts.  :meth:`try_resume` probes the volume
+    and re-opens ingestion once space is back.
     """
 
     def __init__(
@@ -180,10 +213,16 @@ class DurableTheftMonitor:
         checkpoint_path: str | os.PathLike | None = None,
         sync_every_cycles: int = 1,
         profiler: "object | None" = None,
+        checkpoint_generations: int = 1,
     ) -> None:
         if sync_every_cycles < 1:
             raise ConfigurationError(
                 f"sync_every_cycles must be >= 1, got {sync_every_cycles}"
+            )
+        if checkpoint_generations < 1:
+            raise ConfigurationError(
+                f"checkpoint_generations must be >= 1, got "
+                f"{checkpoint_generations}"
             )
         self.service = service
         self.wal = wal
@@ -194,8 +233,12 @@ class DurableTheftMonitor:
         self.profiler = profiler
         if profiler is not None and service.profiler is None:
             service.profiler = profiler
+        self.checkpoint_generations = int(checkpoint_generations)
+        self._checkpoint_cycles: list[int] = []
         self._cycles_since_sync = 0
         self.redelivered_cycles = 0
+        self.read_only = False
+        self.degraded_reason: str | None = None
 
     @property
     def backpressure(self) -> "BackpressureSignal | None":
@@ -228,6 +271,12 @@ class DurableTheftMonitor:
         service, so durability cost shows up in the same per-stage
         accounting as screening and scoring.
         """
+        if self.read_only:
+            raise StorageDegradedError(
+                f"monitor is in degraded read-only mode "
+                f"({self.degraded_reason}); the cycle was not accepted — "
+                f"re-deliver after try_resume() succeeds"
+            )
         expected = self.service.cycles_ingested
         if cycle_index is None:
             cycle_index = expected
@@ -240,25 +289,114 @@ class DurableTheftMonitor:
                 f"cycle {cycle_index} delivered but the service expects "
                 f"cycle {expected}; the head-end skipped ahead"
             )
-        with _maybe_stage(self.profiler, "wal_append"):
-            if deadline is not None:
-                with deadline.stage("wal_append"):
+        try:
+            with _maybe_stage(self.profiler, "wal_append"):
+                if deadline is not None:
+                    with deadline.stage("wal_append"):
+                        self._append(cycle_index, reported)
+                else:
                     self._append(cycle_index, reported)
-            else:
-                self._append(cycle_index, reported)
+        except DiskFullError as exc:
+            # The append rolled back cleanly (no partial record) and the
+            # cycle was never acknowledged; stop accepting and keep
+            # serving verdicts from committed state.
+            self._enter_degraded(f"WAL write hit disk-full: {exc}")
+            raise StorageDegradedError(
+                f"cycle {cycle_index} rejected: volume is full and the "
+                f"monitor entered degraded read-only mode — the producer "
+                f"must re-deliver it after space is freed"
+            ) from exc
         report = self.service.ingest_cycle(reported, snapshot, deadline=deadline)
         if report is not None and self.checkpoint_path is not None:
-            # Order matters: sync the WAL first so the checkpoint never
-            # claims coverage of cycles the log could still lose, then
-            # compact segments the checkpoint has made redundant.
-            with _maybe_stage(self.profiler, "wal_sync"):
-                self.wal.sync()
-            self._cycles_since_sync = 0
-            with _maybe_stage(self.profiler, "checkpoint"):
-                self.service.checkpoint(self.checkpoint_path)
-            self.wal.mark_checkpoint(self.service.cycles_ingested)
-            self.wal.compact(self.service.cycles_ingested)
+            try:
+                # Order matters: sync the WAL first so the checkpoint
+                # never claims coverage of cycles the log could still
+                # lose, then compact segments every retained checkpoint
+                # generation has made redundant.
+                with _maybe_stage(self.profiler, "wal_sync"):
+                    self.wal.sync()
+                self._cycles_since_sync = 0
+                with _maybe_stage(self.profiler, "checkpoint"):
+                    self.service.checkpoint(self.checkpoint_path)
+                self.wal.mark_checkpoint(self.service.cycles_ingested)
+                self._checkpoint_cycles.append(self.service.cycles_ingested)
+                self.wal.compact(self._compaction_horizon())
+            except DiskFullError as exc:
+                # The cycle itself is safely in the WAL (appended and,
+                # at the default cadence, synced); only the checkpoint
+                # could not land.  The old checkpoint plus the log still
+                # reconstruct everything, so acknowledge the report and
+                # degrade instead of failing an already-durable cycle.
+                self._enter_degraded(
+                    f"weekly checkpoint hit disk-full: {exc}"
+                )
         return report
+
+    def _compaction_horizon(self) -> int:
+        """The cycle below which every retained generation is covered."""
+        if len(self._checkpoint_cycles) < self.checkpoint_generations:
+            return 0
+        return self._checkpoint_cycles[-self.checkpoint_generations]
+
+    def _enter_degraded(self, reason: str) -> None:
+        if self.read_only:
+            return
+        self.read_only = True
+        self.degraded_reason = reason
+        metrics = getattr(self.service, "metrics", None)
+        if metrics is not None:
+            metrics.gauge(
+                "fdeta_storage_degraded",
+                "1 while the durable monitor is in read-only degraded mode.",
+            ).set(1.0)
+            metrics.counter(
+                "fdeta_storage_degraded_entries_total",
+                "Times the durable monitor entered read-only degraded mode.",
+            ).inc()
+        signal = self.service.backpressure
+        if signal is not None:
+            signal.engage(depth=1, capacity=1)
+        if self.service.events is not None:
+            self.service.events.warning(
+                "storage_degraded",
+                reason=reason,
+                cycle=self.service.cycles_ingested,
+                read_only=True,
+            )
+
+    def try_resume(self) -> bool:
+        """Probe the volume; leave degraded mode if a durable write lands.
+
+        The probe is a real durable write (a WAL checkpoint-mark plus
+        fsync), not a free-space guess — only evidence that bytes reach
+        the platter re-opens ingestion.  Returns ``True`` when the
+        monitor is (back) in normal mode.
+        """
+        if not self.read_only:
+            return True
+        try:
+            self.wal.mark_checkpoint(self.service.cycles_ingested)
+            self.wal.sync()
+        except (DiskFullError, TransientStorageError):
+            return False
+        self.read_only = False
+        self.degraded_reason = None
+        metrics = getattr(self.service, "metrics", None)
+        if metrics is not None:
+            metrics.gauge(
+                "fdeta_storage_degraded",
+                "1 while the durable monitor is in read-only degraded mode.",
+            ).set(0.0)
+        signal = self.service.backpressure
+        if signal is not None:
+            signal.release(depth=0, capacity=1)
+        if self.service.events is not None:
+            self.service.events.info(
+                "storage_resumed",
+                cycle=self.service.cycles_ingested,
+                read_only=False,
+            )
+        return True
 
     def _append(
         self,

@@ -62,8 +62,20 @@ import zlib
 from dataclasses import dataclass
 from typing import IO, TYPE_CHECKING, Iterable, Iterator, Mapping
 
-from repro.errors import ConfigurationError, WALCorruptionError, WALError
+from repro.errors import (
+    ConfigurationError,
+    StorageError,
+    WALCorruptionError,
+    WALError,
+)
 from repro.quarantine.firewall import MeterReading
+from repro.resilience.retry import RetryPolicy
+from repro.storage.io import (
+    StorageIO,
+    classify_storage_error,
+    current_io,
+    retry_io,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.observability.metrics import MetricsRegistry
@@ -289,10 +301,21 @@ def replay_wal(directory: str | os.PathLike) -> WALReplay:
     records: list[WALRecord] = []
     torn_tail = False
     for i, path in enumerate(segments):
+        final = i == len(segments) - 1
+        if os.path.getsize(path) == 0 and not final:
+            # A zero-length *final* segment is a legitimate crash
+            # artifact (died between creating the file and syncing its
+            # header); a zero-length segment followed by newer ones can
+            # only mean external truncation — its records are gone.
+            raise WALCorruptionError(
+                f"WAL segment {path!r} is zero-length but is not the "
+                f"final segment; its records were lost to truncation "
+                f"or at-rest corruption"
+            )
         segment_records, valid_bytes, torn = _scan_segment(path)
         records.extend(segment_records)
         if torn:
-            if i != len(segments) - 1:
+            if not final:
                 raise WALCorruptionError(
                     f"WAL segment {path!r} is corrupt at byte "
                     f"{valid_bytes} but is not the final segment"
@@ -319,6 +342,14 @@ class WriteAheadLog:
         (synced + closed) and a new one opened.
     metrics:
         Optional registry receiving append/sync/rotation counters.
+    io:
+        The :class:`~repro.storage.io.StorageIO` implementation for
+        every byte-level operation; defaults to the process-wide
+        :func:`~repro.storage.io.current_io` (which a chaos harness may
+        have replaced with a fault injector).
+    retry:
+        Bounded :class:`~repro.resilience.retry.RetryPolicy` for
+        transient (``EIO``-class) append/sync failures.
     """
 
     def __init__(
@@ -326,6 +357,8 @@ class WriteAheadLog:
         directory: str | os.PathLike,
         segment_max_bytes: int = 1 << 20,
         metrics: "MetricsRegistry | None" = None,
+        io: StorageIO | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if segment_max_bytes < 256:
             raise ConfigurationError(
@@ -334,10 +367,20 @@ class WriteAheadLog:
         self.directory = os.fspath(directory)
         self.segment_max_bytes = int(segment_max_bytes)
         self.metrics = metrics
+        self._io = io if io is not None else current_io()
+        self.retry = retry if retry is not None else RetryPolicy()
         os.makedirs(self.directory, exist_ok=True)
         existing = list_segments(self.directory)
         if existing:
             self._repair_tail(existing[-1])
+            # A zero-length final segment (crash between creating the
+            # file and persisting its header, or a header-torn repair)
+            # holds no records; removing it keeps "zero-length and not
+            # final" an unambiguous corruption signal for replay.
+            if os.path.exists(existing[-1]) and (
+                os.path.getsize(existing[-1]) == 0
+            ):
+                os.unlink(existing[-1])
         last_seq = 0
         for path in existing:
             seq = _segment_seq(os.path.basename(path))
@@ -371,15 +414,45 @@ class WriteAheadLog:
         path = os.path.join(self.directory, _segment_name(self._next_seq))
         if os.path.exists(path):  # pragma: no cover - defensive
             raise WALError(f"segment {path!r} already exists")
-        self._next_seq += 1
-        self._handle = open(path, "wb")
+        try:
+            handle = self._io.open(path, "wb", site="wal.open")
+        except OSError as exc:
+            raise classify_storage_error(exc, "wal.open") from exc
+        self._handle = handle
         self._segment_bytes = 0
-        self._write(_HEADER.pack(_MAGIC, WAL_VERSION, max(base_cycle, 0)))
+        try:
+            self._write(_HEADER.pack(_MAGIC, WAL_VERSION, max(base_cycle, 0)))
+        except OSError as exc:
+            # A torn or failed header must not leave a half-born segment
+            # behind: later appends would land after the garbage and
+            # poison replay with a bad-magic corruption.  Remove the
+            # file entirely so a retry recreates it from scratch.
+            self._handle = None
+            try:
+                handle.close()
+            except OSError:  # pragma: no cover - device beyond help
+                pass
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - device beyond help
+                pass
+            raise classify_storage_error(exc, "wal.open") from exc
+        self._next_seq += 1
 
     def _rotate(self, base_cycle: int) -> None:
         self.sync()
         assert self._handle is not None
-        self._handle.close()
+        old = self._handle
+        # Drop the sealed handle first: if closing or reopening fails,
+        # the WAL is left handle-less (everything so far synced) and the
+        # next append simply opens a fresh segment instead of writing
+        # into a corpse.
+        self._handle = None
+        self._segment_bytes = 0
+        try:
+            old.close()
+        except OSError as exc:
+            raise classify_storage_error(exc, "wal.rotate") from exc
         self._open_segment(base_cycle)
         self.rotations += 1
         self._count("fdeta_wal_rotations_total", "WAL segment rotations.")
@@ -391,15 +464,59 @@ class WriteAheadLog:
     def _write(self, data: bytes) -> None:
         """Single byte-level write hook (overridden by the crash harness)."""
         assert self._handle is not None
-        self._handle.write(data)
+        self._io.write(self._handle, data, site="wal.append")
         self._segment_bytes += len(data)
+
+    def _rollback_partial(self) -> None:
+        """Discard a failed append's partial bytes so a retry lands clean.
+
+        ``_segment_bytes`` only advances when :meth:`_write` returns, so
+        it is always the last known-good end of the segment; truncating
+        back to it removes whatever a torn or interrupted write left in
+        the buffer or on disk.
+        """
+        if self._handle is None:
+            return
+        try:
+            self._handle.flush()
+        except OSError:  # the flush of a doomed buffer may fail too
+            pass
+        try:
+            self._handle.truncate(self._segment_bytes)
+            self._handle.seek(self._segment_bytes)
+        except OSError:  # pragma: no cover - device beyond help
+            pass
 
     def _append(self, record: WALRecord) -> None:
         if self._closed:
             raise WALError("write-ahead log is closed")
-        if self._segment_bytes >= self.segment_max_bytes:
+        if self._handle is None:
+            # A previous rotation or header write failed and rolled
+            # back; everything already appended was synced before the
+            # old segment closed, so just start a fresh segment here.
+            self._open_segment(base_cycle=record.cycle)
+        elif self._segment_bytes >= self.segment_max_bytes:
             self._rotate(base_cycle=record.cycle)
-        self._write(_encode(record))
+        data = _encode(record)
+
+        def _attempt() -> None:
+            try:
+                self._write(data)
+            except OSError:
+                self._rollback_partial()
+                raise
+
+        try:
+            retry_io(
+                _attempt,
+                policy=self.retry,
+                site="wal.append",
+                metrics=self.metrics,
+            )
+        except StorageError:
+            self._op_outcome("wal.append", "error")
+            raise
+        self._op_outcome("wal.append", "ok")
         self.records_appended += 1
         if record.cycle > self.last_appended_cycle:
             self.last_appended_cycle = record.cycle
@@ -449,12 +566,36 @@ class WriteAheadLog:
         self._append(WALRecord(kind="finish", cycle=int(index)))
 
     def sync(self) -> None:
-        """Flush and fsync: everything appended so far becomes durable."""
+        """Flush and fsync: everything appended so far becomes durable.
+
+        Raw :class:`OSError` never escapes: failures surface as the
+        typed :class:`~repro.errors.StorageError` hierarchy, with
+        transient (``EIO``-class) ones retried under :attr:`retry`.
+        """
         if self._closed:
             raise WALError("write-ahead log is closed")
-        assert self._handle is not None
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        if self._handle is None:
+            # A failed rotation left no active segment; the sealed
+            # segments were synced before they closed, so there is
+            # nothing volatile to flush.
+            self.last_synced_cycle = self.last_appended_cycle
+            return
+
+        def _attempt() -> None:
+            assert self._handle is not None
+            self._io.fsync(self._handle, site="wal.sync")
+
+        try:
+            retry_io(
+                _attempt,
+                policy=self.retry,
+                site="wal.sync",
+                metrics=self.metrics,
+            )
+        except StorageError:
+            self._op_outcome("wal.sync", "error")
+            raise
+        self._op_outcome("wal.sync", "ok")
         self.syncs += 1
         self.last_synced_cycle = self.last_appended_cycle
         self._count("fdeta_wal_syncs_total", "WAL fsync points.")
@@ -520,3 +661,12 @@ class WriteAheadLog:
     def _count(self, name: str, help: str, amount: int = 1) -> None:
         if self.metrics is not None:
             self.metrics.counter(name, help).inc(amount)
+
+    def _op_outcome(self, site: str, outcome: str) -> None:
+        """Feed the ``storage_availability`` SLO: one op, one outcome."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                "fdeta_storage_ops_total",
+                "Durable storage operations at WAL sites, by outcome.",
+                labels=("site", "outcome"),
+            ).inc(site=site, outcome=outcome)

@@ -111,3 +111,46 @@ class WALCorruptionError(WALError):
 
 class RecoveryError(DurabilityError):
     """Crash recovery could not reconcile the WAL with the checkpoint."""
+
+
+class StorageError(DurabilityError):
+    """A durable-storage operation failed at the filesystem layer.
+
+    This is the typed face of a raw :class:`OSError` escaping a durable
+    write site (WAL append/sync, checkpoint replace, manifest rename,
+    report export).  Subclasses distinguish the operator's three very
+    different responses: retry (:class:`TransientStorageError`), stop
+    accepting writes (:class:`DiskFullError`), or investigate.
+    """
+
+
+class TransientStorageError(StorageError):
+    """A storage operation failed in a way worth retrying (``EIO``-class).
+
+    Media hiccups, interrupted syscalls, and momentary controller
+    resets usually succeed on the next attempt; the caller retries
+    under a bounded :class:`~repro.resilience.retry.RetryPolicy` before
+    escalating.
+    """
+
+
+class DiskFullError(StorageError):
+    """The volume is out of space (``ENOSPC``/``EDQUOT``).
+
+    Retrying cannot help until an operator frees space, so the durable
+    monitor responds by entering degraded read-only mode instead.
+    """
+
+
+class StorageDegradedError(StorageError):
+    """The monitor is in degraded read-only mode and refused a write.
+
+    Raised *before* any bytes are appended, so the rejected cycle was
+    never acknowledged — the producer still holds it and must re-deliver
+    once :meth:`~repro.durability.recovery.DurableTheftMonitor.try_resume`
+    succeeds.
+    """
+
+
+class ScrubError(StorageError):
+    """The checkpoint scrubber could not verify or repair a generation."""

@@ -147,17 +147,19 @@ class RevisionLog:
         }
 
     def write_report(self, path: str | os.PathLike) -> None:
-        """Write :meth:`report` as JSON (NaN/inf rendered as strings)."""
+        """Atomically write :meth:`report` as JSON (NaN/inf as strings)."""
+        from repro.storage.io import atomic_write_json
 
         def _default(value: object) -> object:
             return str(value)
 
-        rendered = json.dumps(
-            self.report(), indent=2, default=_default, allow_nan=True
+        atomic_write_json(
+            path,
+            self.report(),
+            site="export.revisions",
+            default=_default,
+            allow_nan=True,
         )
-        with open(os.fspath(path), "w", encoding="utf-8") as handle:
-            handle.write(rendered)
-            handle.write("\n")
 
     def state_dict(self) -> dict:
         return {"report": self.report()}

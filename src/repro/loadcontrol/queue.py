@@ -26,7 +26,11 @@ from collections import deque
 from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Mapping
 
-from repro.errors import ConfigurationError, QueueDrainedError
+from repro.errors import (
+    ConfigurationError,
+    QueueDrainedError,
+    StorageError,
+)
 from repro.loadcontrol.config import LoadControlConfig
 from repro.loadcontrol.deadline import Deadline
 
@@ -196,6 +200,20 @@ class BoundedCycleQueue:
         self._update_telemetry()
         return item
 
+    def requeue_front(self, item: object) -> None:
+        """Put a taken-but-unprocessed cycle back at the head.
+
+        Used when the consumer refuses the cycle *without* having
+        committed it (e.g. storage went read-only mid-drain): the cycle
+        was acknowledged at :meth:`offer` time, so dropping it here
+        would lose an accepted reading.  Re-queueing at the front
+        preserves delivery order; the un-take keeps ``taken`` an honest
+        count of cycles actually consumed.
+        """
+        self._items.appendleft(item)
+        self.taken -= 1
+        self._update_telemetry()
+
 
 class BufferedIngestor:
     """A bounded buffer in front of any cycle-ingesting callable.
@@ -264,19 +282,31 @@ class BufferedIngestor:
         from the configured budget; completed weekly reports are
         returned in order.  The backpressure streak advances once per
         ``drain`` call.
+
+        A cycle the consumer refuses with a
+        :class:`~repro.errors.StorageError` (storage degraded or beyond
+        its retry budget) is **re-queued at the front** before the
+        error propagates — it was acknowledged when accepted into the
+        queue, so it must survive for the next drain after recovery.
         """
         self.signal.tick()
         reports: list["MonitoringReport"] = []
         drained = 0
         while self.queue.depth and (max_cycles is None or drained < max_cycles):
-            reported, snapshot = self.queue.take()
+            item = self.queue.take()
+            reported, snapshot = item
             deadline = Deadline(
                 self.config.cycle_deadline_s,
                 clock=self._clock if self._clock is not None else perf_counter,
                 metrics=self.metrics,
                 events=self.events,
             )
-            report = self.ingest(reported, snapshot, deadline=deadline)
+            try:
+                report = self.ingest(reported, snapshot, deadline=deadline)
+            except StorageError:
+                self.queue.requeue_front(item)
+                self.cycles_drained += drained
+                raise
             if deadline.overran:
                 self.deadlines_overrun += 1
             if report is not None:

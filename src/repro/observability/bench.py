@@ -154,9 +154,9 @@ def write_bench_record(
             "meta": dict(meta) if meta else {},
         }
     )
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    from repro.storage.io import atomic_write_json
+
+    atomic_write_json(path, payload, site="bench.record")
     return path
 
 

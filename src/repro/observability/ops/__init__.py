@@ -31,6 +31,7 @@ from repro.observability.ops.slo import (
     SLOReport,
     SLOTracker,
     default_fleet_objectives,
+    storage_objective,
 )
 from repro.observability.ops.status import render_status
 
@@ -43,5 +44,6 @@ __all__ = [
     "ShardHealth",
     "StageProfiler",
     "default_fleet_objectives",
+    "storage_objective",
     "render_status",
 ]

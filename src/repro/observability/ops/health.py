@@ -49,6 +49,9 @@ class ShardHealth:
     last_cycle: int
     consumers: int
     reasons: tuple[str, ...]
+    #: True while the shard's durable monitor is in storage-degraded
+    #: read-only mode (disk full: serving verdicts, refusing ingests).
+    storage_degraded: bool = False
 
 
 @dataclass(frozen=True)
@@ -87,9 +90,9 @@ class HealthReport:
         return json.dumps(self.to_dict(), indent=indent)
 
     def write(self, path: str | os.PathLike) -> None:
-        with open(os.fspath(path), "w", encoding="utf-8") as handle:
-            handle.write(self.to_json())
-            handle.write("\n")
+        from repro.storage.io import atomic_write_json
+
+        atomic_write_json(path, self.to_dict(), site="export.health")
 
 
 def _wal_bytes(wal_dir: str) -> int:
@@ -152,8 +155,18 @@ class FleetHealthPlane:
                 f"lag {lag} cycles exceeds readiness bound "
                 f"{self.ready_lag_cycles}"
             )
+        degraded = bool(getattr(worker.monitor, "read_only", False))
+        if degraded:
+            reasons.append(
+                "storage degraded: disk-full read-only mode "
+                "(serving committed verdicts, refusing new readings)"
+            )
         live = worker.monitor is not None
-        ready = state == "running" and lag <= self.ready_lag_cycles
+        ready = (
+            state == "running"
+            and lag <= self.ready_lag_cycles
+            and not degraded
+        )
         return ShardHealth(
             name=worker.name,
             state=state,
@@ -167,6 +180,7 @@ class FleetHealthPlane:
             last_cycle=worker.last_cycle,
             consumers=len(worker.consumers),
             reasons=tuple(reasons),
+            storage_degraded=degraded,
         )
 
     def report(self) -> HealthReport:
@@ -213,10 +227,18 @@ class FleetHealthPlane:
             "On-disk WAL segment bytes, per shard.",
             labels=("shard",),
         )
+        degraded = metrics.gauge(
+            "fdeta_fleet_shard_storage_degraded",
+            "1 while the shard is in disk-full read-only mode.",
+            labels=("shard",),
+        )
         for shard in report.shards:
             ready.set(1.0 if shard.ready else 0.0, shard=shard.name)
             backlog.set(float(shard.pending_cycles), shard=shard.name)
             wal.set(float(shard.wal_bytes), shard=shard.name)
+            degraded.set(
+                1.0 if shard.storage_degraded else 0.0, shard=shard.name
+            )
         metrics.gauge(
             "fdeta_fleet_ready",
             "1 when every shard in the fleet is ready.",

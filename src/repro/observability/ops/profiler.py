@@ -142,9 +142,9 @@ class StageProfiler:
         return json.dumps(self.to_dict(top), indent=indent)
 
     def write(self, path: str | os.PathLike, top: int = 10) -> None:
-        with open(os.fspath(path), "w", encoding="utf-8") as handle:
-            handle.write(self.to_json(top=top))
-            handle.write("\n")
+        from repro.storage.io import atomic_write_json
+
+        atomic_write_json(path, self.to_dict(top), site="export.profile")
 
     def reset(self) -> None:
         """Drop accumulated stats (open stages keep timing coherently)."""

@@ -45,6 +45,7 @@ __all__ = [
     "SLOReport",
     "SLOTracker",
     "default_fleet_objectives",
+    "storage_objective",
 ]
 
 _KINDS = ("latency", "availability", "staleness")
@@ -149,9 +150,9 @@ class SLOReport:
         return json.dumps(self.to_dict(), indent=indent)
 
     def write(self, path: str | os.PathLike) -> None:
-        with open(os.fspath(path), "w", encoding="utf-8") as handle:
-            handle.write(self.to_json())
-            handle.write("\n")
+        from repro.storage.io import atomic_write_json
+
+        atomic_write_json(path, self.to_dict(), site="export.slo")
 
 
 @dataclass
@@ -331,4 +332,27 @@ def default_fleet_objectives(
             metric="fdeta_fleet_shard_lag_cycles",
             threshold=staleness_cycles,
         ),
+    )
+
+
+def storage_objective(target: float = 0.999) -> SLObjective:
+    """The storage-availability objective (opt-in, not in the stock set).
+
+    Counts the WAL's durable operations
+    (``fdeta_storage_ops_total{site,outcome}``): an append or sync that
+    exhausts its transient-retry budget or hits disk-full lands with
+    ``outcome="error"`` and spends error budget.  Append it to
+    :func:`default_fleet_objectives` when running with storage-fault
+    injection or on suspect volumes.
+    """
+    return SLObjective(
+        name="storage_availability",
+        description=(
+            "Durable WAL operations (append/fsync) complete without a "
+            "storage error."
+        ),
+        target=target,
+        kind="availability",
+        metric="fdeta_storage_ops_total",
+        bad_labels=(("outcome", "error"),),
     )

@@ -16,18 +16,32 @@ the optional balance ``auditor``, and the optional ``events`` logger
 *are* state and round-trip with the checkpoint, so a resumed run's
 counters continue from where the checkpointed run stopped.
 
-Writes are atomic (temp file + ``os.replace``) so a crash during
-checkpointing leaves the previous checkpoint intact.
+Writes are atomic (temp file + fsync + ``os.replace`` + parent-directory
+fsync, all through the pluggable :mod:`repro.storage` I/O layer) so a
+crash — or an injected fault — during checkpointing leaves the previous
+checkpoint intact.  Each file ends with a SHA-256 integrity footer
+(``pickle.load`` reads exactly one object and ignores trailing bytes,
+so the format stays loadable by structure while at-rest bit-rot becomes
+*detectable*: a flipped byte fails verification instead of silently
+restoring a forged history).  Saving also preserves the previous
+checkpoint at ``<path>.prev`` — the generation the scrubber repairs
+from when the current one is corrupt.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io as _io
 import os
 import pickle
-import tempfile
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import CheckpointError
+from repro.storage.io import (
+    atomic_write_bytes,
+    classify_storage_error,
+    current_io,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.online import TheftMonitoringService
@@ -47,29 +61,100 @@ CHECKPOINT_VERSION = 5
 
 _MAGIC = "fdeta-checkpoint"
 
+#: Integrity footer: 8-byte magic + SHA-256 of every preceding byte.
+#: ``pickle.load`` stops at the end of the pickled object, so the
+#: footer is invisible to loading and only consulted by verification.
+_FOOTER_MAGIC = b"FDETASUM"
+_FOOTER_LEN = len(_FOOTER_MAGIC) + hashlib.sha256().digest_size
 
-def save_checkpoint(service: "TheftMonitoringService", path: str | os.PathLike) -> None:
-    """Atomically serialize the full service state to ``path``."""
+#: Where :func:`save_checkpoint` preserves the previous generation.
+PREVIOUS_SUFFIX = ".prev"
+
+
+def previous_generation_path(path: str | os.PathLike) -> str:
+    """The on-disk location of the preserved previous checkpoint."""
+    return os.fspath(path) + PREVIOUS_SUFFIX
+
+
+def _seal(data: bytes) -> bytes:
+    """Append the integrity footer to serialized checkpoint bytes."""
+    return data + _FOOTER_MAGIC + hashlib.sha256(data).digest()
+
+
+def verify_checkpoint_bytes(data: bytes) -> str:
+    """Integrity verdict for raw checkpoint bytes.
+
+    Returns ``"ok"`` (footer present and digest matches), ``"legacy"``
+    (no footer — written before integrity sealing, unverifiable but not
+    evidence of corruption), or ``"corrupt"`` (footer present, digest
+    mismatch: the file changed after it was sealed).
+    """
+    if len(data) < _FOOTER_LEN:
+        return "legacy"
+    body, footer = data[:-_FOOTER_LEN], data[-_FOOTER_LEN:]
+    if not footer.startswith(_FOOTER_MAGIC):
+        return "legacy"
+    digest = footer[len(_FOOTER_MAGIC):]
+    return "ok" if hashlib.sha256(body).digest() == digest else "corrupt"
+
+
+def verify_checkpoint(path: str | os.PathLike) -> str:
+    """Integrity verdict for a checkpoint file.
+
+    ``"missing"`` when the file does not exist; otherwise the
+    :func:`verify_checkpoint_bytes` verdict (``"ok"`` / ``"legacy"`` /
+    ``"corrupt"``).
+    """
+    try:
+        with open(os.fspath(path), "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return "missing"
+    return verify_checkpoint_bytes(data)
+
+
+def save_checkpoint(
+    service: "TheftMonitoringService",
+    path: str | os.PathLike,
+    *,
+    keep_previous: bool = True,
+) -> None:
+    """Atomically serialize the full service state to ``path``.
+
+    When ``keep_previous`` is true (the default) and a checkpoint
+    already exists, its bytes are first preserved at ``<path>.prev`` —
+    a generation the scrubber can repair from — via its own atomic
+    write, so no crash window ever leaves the tree without at least one
+    complete checkpoint.
+    """
     payload = {
         "magic": _MAGIC,
         "version": CHECKPOINT_VERSION,
         "state": service._state_dict(),
     }
-    path = os.fspath(path)
-    directory = os.path.dirname(path) or "."
-    fd, tmp_path = tempfile.mkstemp(
-        dir=directory, prefix=".checkpoint-", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp_path, path)
-    except BaseException:
+    target = os.fspath(path)
+    data = _seal(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    io = current_io()
+    if keep_previous:
         try:
-            os.unlink(tmp_path)
+            with open(target, "rb") as handle:
+                current = handle.read()
         except OSError:
-            pass
-        raise
+            current = None
+        # Only promote a *verifiably sane* current file to .prev — a
+        # corrupt current must never overwrite the good generation the
+        # scrubber would repair from.
+        if current is not None and verify_checkpoint_bytes(current) != "corrupt":
+            atomic_write_bytes(
+                previous_generation_path(target),
+                current,
+                site="checkpoint.prev",
+                io=io,
+            )
+    try:
+        atomic_write_bytes(target, data, site="checkpoint", io=io)
+    except OSError as exc:  # pragma: no cover - classified by atomic write
+        raise classify_storage_error(exc, "checkpoint") from exc
 
 
 def load_checkpoint(
@@ -86,15 +171,28 @@ def load_checkpoint(
     detectors are restored as-is, the factory is only used for future
     retraining.  ``events`` attaches a fresh event logger; ``tracer``
     overrides the checkpointed trace state when provided.
+
+    A checkpoint whose integrity footer does not match its contents is
+    **never** loaded — bit-rot surfaces as :class:`CheckpointError`
+    (mentioning the scrubber) instead of silently restoring a forged
+    history.
     """
     from repro.core.online import TheftMonitoringService
 
     path = os.fspath(path)
     try:
         with open(path, "rb") as handle:
-            payload = pickle.load(handle)
+            data = handle.read()
     except FileNotFoundError:
         raise CheckpointError(f"no checkpoint at {path!r}") from None
+    if verify_checkpoint_bytes(data) == "corrupt":
+        raise CheckpointError(
+            f"checkpoint {path!r} failed integrity verification (at-rest "
+            f"corruption); run the checkpoint scrubber to repair from the "
+            f"previous generation plus WAL replay"
+        )
+    try:
+        payload = pickle.load(_io.BytesIO(data))
     except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
         raise CheckpointError(f"checkpoint {path!r} is corrupt: {exc}") from exc
     if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:

@@ -38,7 +38,13 @@ from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.durability.recovery import DurableTheftMonitor, recover_monitor
 from repro.durability.wal import WriteAheadLog
-from repro.errors import ConfigurationError, SupervisorError, WorkerCrashed
+from repro.errors import (
+    ConfigurationError,
+    StorageDegradedError,
+    SupervisorError,
+    TransientStorageError,
+    WorkerCrashed,
+)
 from repro.eventtime.watermark import WatermarkTracker
 from repro.observability.tracing import Tracer
 from repro.scaleout import plane  # noqa: F401 - package init imports plane first
@@ -509,6 +515,22 @@ class ElasticFleet:
                 )
             except WorkerCrashed:
                 self._restart(worker, reason="crash")
+                assert worker.monitor is not None
+                out = worker.monitor.ingest_cycle(
+                    sub, snapshot, cycle_index=cycle, deadline=deadline
+                )
+            except StorageDegradedError:
+                # The shard's volume is full: the cycle was refused
+                # before any byte landed, so leave it queued (bounded by
+                # the pending cap) and keep serving committed verdicts.
+                # The health plane reports the shard unready until a
+                # try_resume() probe succeeds.
+                break
+            except TransientStorageError:
+                # Retries under the WAL's policy were already exhausted;
+                # a restart-from-checkpoint+WAL is the safe escalation
+                # (the refused cycle stays pending and is re-fed).
+                self._restart(worker, reason="storage")
                 assert worker.monitor is not None
                 out = worker.monitor.ingest_cycle(
                     sub, snapshot, cycle_index=cycle, deadline=deadline

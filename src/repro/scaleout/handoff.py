@@ -38,12 +38,14 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, MutableMapping
 
 from repro.errors import HandoffError, StaleWriterError
+from repro.storage.io import atomic_write_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.online import MonitoringReport, TheftMonitoringService
     from repro.durability.recovery import DurableTheftMonitor
     from repro.grid.snapshot import DemandSnapshot
     from repro.loadcontrol.deadline import Deadline
+    from repro.observability.events import EventLogger
 
 __all__ = [
     "HANDOFF_PHASES",
@@ -127,22 +129,54 @@ class HandoffRecord:
 def write_manifest(path: str | os.PathLike, state: Mapping) -> None:
     """Atomically persist the fleet manifest (topology + epochs).
 
-    Written tmp-then-rename with an fsync in between, so a crash leaves
-    either the old manifest or the new one — never a torn file.  The
-    rename is the handoff protocol's commit point.
+    Written tmp-then-rename with fsyncs of both the file and its parent
+    directory (through the pluggable :mod:`repro.storage` layer), so a
+    crash leaves either the old manifest or the new one — never a torn
+    file.  The rename is the handoff protocol's commit point.
+
+    **Double-write protection**: before replacing, the last manifest —
+    if it parses — is preserved at ``<path>.prev`` so that even a
+    storage layer that violates the atomic-rename contract (torn
+    rename, at-rest rot) leaves a good copy to roll back to.  A current
+    file that does *not* parse is never promoted: garbage must not
+    overwrite the last good generation.
     """
     path = os.fspath(path)
     payload = {"version": _MANIFEST_VERSION, **state}
-    tmp = f"{path}.tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
+    current = _read_manifest_bytes(path)
+    if current is not None:
+        atomic_write_bytes(f"{path}.prev", current, site="manifest.prev")
+    rendered = json.dumps(payload, indent=2, sort_keys=True)
+    atomic_write_bytes(
+        path, (rendered + "\n").encode("utf-8"), site="manifest"
+    )
 
 
-def read_manifest(path: str | os.PathLike) -> dict | None:
-    """Load the fleet manifest, or ``None`` when none exists."""
+def _read_manifest_bytes(path: str) -> bytes | None:
+    """The current manifest's bytes, only if they parse as JSON."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError:
+        return None
+    try:
+        json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return data
+
+
+def read_manifest(
+    path: str | os.PathLike, events: "EventLogger | None" = None
+) -> dict | None:
+    """Load the fleet manifest, or ``None`` when none exists.
+
+    A torn/corrupt manifest **rolls back** to the ``<path>.prev``
+    generation preserved by :func:`write_manifest` (announced on
+    ``events`` when a logger is given); only when no valid previous
+    generation exists does corruption raise
+    :class:`~repro.errors.HandoffError`.
+    """
     path = os.fspath(path)
     if not os.path.exists(path):
         return None
@@ -150,15 +184,41 @@ def read_manifest(path: str | os.PathLike) -> dict | None:
         try:
             payload = json.load(handle)
         except json.JSONDecodeError as exc:
+            previous = _load_previous_manifest(path)
+            if previous is not None:
+                if events is not None:
+                    events.warning(
+                        "manifest_rollback",
+                        path=path,
+                        reason=str(exc),
+                        rolled_back_to=f"{path}.prev",
+                    )
+                return previous
             raise HandoffError(
                 f"fleet manifest {path!r} is corrupt: {exc}; the atomic "
-                "rename contract was violated"
+                "rename contract was violated and no previous generation "
+                "survives to roll back to"
             ) from exc
     version = payload.get("version")
     if version != _MANIFEST_VERSION:
         raise HandoffError(
             f"fleet manifest {path!r} has unsupported version {version!r}"
         )
+    return payload
+
+
+def _load_previous_manifest(path: str) -> dict | None:
+    """The ``.prev`` generation, when it exists, parses, and versions."""
+    try:
+        with open(f"{path}.prev", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != _MANIFEST_VERSION
+    ):
+        return None
     return payload
 
 
@@ -191,6 +251,11 @@ class FencedMonitor:
     @property
     def redelivered_cycles(self) -> int:
         return self.inner.redelivered_cycles
+
+    @property
+    def read_only(self) -> bool:
+        """Whether the inner monitor is in storage-degraded mode."""
+        return self.inner.read_only
 
     def _check_fence(self) -> None:
         current = self._fence.get(self.shard)
@@ -230,7 +295,8 @@ class FencedMonitor:
         inner.wal.sync()
         inner.service.checkpoint(inner.checkpoint_path)
         inner.wal.mark_checkpoint(inner.service.cycles_ingested)
-        inner.wal.compact(inner.service.cycles_ingested)
+        inner._checkpoint_cycles.append(inner.service.cycles_ingested)
+        inner.wal.compact(inner._compaction_horizon())
 
     def close(self) -> None:
         self.inner.close()

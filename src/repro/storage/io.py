@@ -1,0 +1,256 @@
+"""Pluggable durable-I/O layer: every byte the pipeline persists goes here.
+
+The durability story built in PRs 3–7 assumed the filesystem is
+faithful: ``write`` stores every byte, ``fsync`` means durable,
+``os.replace`` is atomic and sticks.  Commodity disks violate all of
+those often enough that a system meant to run for years must prove it
+survives them.  This module gives every durable write site a single
+seam — :class:`StorageIO` — so the fault-injecting
+:class:`~repro.storage.faults.FaultyIO` can deterministically break any
+individual operation while production runs pay one extra method call.
+
+Three things live here:
+
+* :class:`StorageIO` and the process-wide :func:`current_io` /
+  :func:`install_io` registry — the seam itself;
+* :func:`classify_storage_error` and :func:`retry_io` — the typed
+  ``errno`` triage (disk-full vs. transient vs. unknown) and the
+  bounded retry loop riding the existing
+  :class:`~repro.resilience.retry.RetryPolicy`;
+* :func:`atomic_write_json` / :func:`atomic_write_bytes` — the one
+  shared implementation of the write-temp → fsync → rename →
+  fsync-parent-directory pattern (the parent-dir fsync is what makes
+  the *rename itself* durable; without it a crash can resurrect the
+  old file even though ``os.replace`` returned).
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import threading
+from typing import IO, TYPE_CHECKING, Callable, TypeVar
+
+from repro.errors import (
+    DiskFullError,
+    StorageError,
+    TransientStorageError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.observability.metrics import MetricsRegistry
+    from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "StorageIO",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "classify_storage_error",
+    "current_io",
+    "install_io",
+    "retry_io",
+]
+
+_T = TypeVar("_T")
+
+# errno sets behind the typed triage.  EDQUOT is "disk full for you";
+# EINTR/EAGAIN are interrupted syscalls; EIO is the classic transient
+# media error (and also how lying controllers surface later failures).
+_DISK_FULL_ERRNOS = frozenset(
+    code
+    for code in (errno.ENOSPC, getattr(errno, "EDQUOT", None))
+    if code is not None
+)
+_TRANSIENT_ERRNOS = frozenset((errno.EIO, errno.EAGAIN, errno.EINTR))
+
+
+class StorageIO:
+    """The real filesystem, one thin method per durable operation.
+
+    Every method takes a ``site`` keyword — a dotted name like
+    ``"wal.append"`` or ``"checkpoint"`` identifying *which* durable
+    write path is executing.  The real implementation ignores it; the
+    fault injector keys its schedule on it.
+    """
+
+    name = "real"
+
+    def open(self, path: str, mode: str, *, site: str) -> IO[bytes]:
+        return open(path, mode)
+
+    def write(self, handle: IO[bytes], data: bytes, *, site: str) -> int:
+        return handle.write(data)
+
+    def fsync(self, handle: IO[bytes], *, site: str) -> None:
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def replace(self, src: str, dst: str, *, site: str) -> None:
+        os.replace(src, dst)
+
+    def fsync_dir(self, path: str, *, site: str) -> None:
+        """Flush a directory entry so a completed rename survives a crash.
+
+        Best-effort: some platforms refuse ``open(2)`` on directories
+        (notably Windows); there the rename durability is the OS's
+        problem and we skip silently rather than fail the write.
+        """
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)
+
+
+_LOCK = threading.Lock()
+_ACTIVE: StorageIO = StorageIO()
+
+
+def current_io() -> StorageIO:
+    """The process-wide I/O implementation durable writers resolve at use."""
+    return _ACTIVE
+
+
+def install_io(io: StorageIO | None) -> StorageIO:
+    """Install ``io`` (``None`` restores the real one); returns the previous.
+
+    Installation is process-wide on purpose: a fault schedule must
+    reach every write site — WAL, checkpoints, manifest, exports —
+    without each call site threading a handle through.
+    """
+    global _ACTIVE
+    with _LOCK:
+        previous = _ACTIVE
+        _ACTIVE = io if io is not None else StorageIO()
+        return previous
+
+
+def classify_storage_error(exc: OSError, site: str) -> StorageError:
+    """Map a raw :class:`OSError` to the typed storage hierarchy.
+
+    Returns (never raises) the wrapped error so callers can decide to
+    ``raise classify_storage_error(exc, site) from exc`` and keep the
+    original traceback chained.
+    """
+    if isinstance(exc, StorageError):
+        return exc
+    detail = f"storage failure at {site}: {exc}"
+    if exc.errno in _DISK_FULL_ERRNOS:
+        error: StorageError = DiskFullError(detail)
+    elif exc.errno in _TRANSIENT_ERRNOS:
+        error = TransientStorageError(detail)
+    else:
+        error = StorageError(detail)
+    # Chain the raw OSError here so the original errno and traceback
+    # survive even when a caller raises without ``from exc``.
+    error.__cause__ = exc
+    return error
+
+
+def retry_io(
+    operation: Callable[[], _T],
+    *,
+    policy: "RetryPolicy",
+    site: str,
+    metrics: "MetricsRegistry | None" = None,
+    sleep: Callable[[float], None] | None = None,
+) -> _T:
+    """Run ``operation``, retrying transient storage errors under ``policy``.
+
+    Only :class:`TransientStorageError`-class failures are retried —
+    ``ENOSPC`` cannot succeed on a retry and unknown errors should not
+    be hammered.  ``policy.max_attempts`` bounds the retries and
+    ``policy.attempt_cost`` shapes the backoff; ``sleep`` defaults to
+    no wall-clock waiting because the pipeline is simulation-clocked
+    (pass ``time.sleep`` in a real deployment).
+    """
+    attempt = 0
+    while True:
+        try:
+            return operation()
+        except OSError as exc:
+            wrapped = classify_storage_error(exc, site)
+            if (
+                not isinstance(wrapped, TransientStorageError)
+                or attempt + 1 >= policy.max_attempts
+            ):
+                raise wrapped from exc
+            attempt += 1
+            if metrics is not None:
+                metrics.counter(
+                    "fdeta_storage_retries_total",
+                    "Transient storage errors retried, by write site.",
+                    labels=("site",),
+                ).inc(site=site)
+            if sleep is not None:
+                sleep(policy.attempt_cost(attempt))
+
+
+def atomic_write_bytes(
+    path: str | os.PathLike,
+    data: bytes,
+    *,
+    site: str,
+    io: StorageIO | None = None,
+) -> str:
+    """Atomically publish ``data`` at ``path`` (temp → fsync → rename → dir).
+
+    Raises the typed :class:`StorageError` hierarchy, never a raw
+    :class:`OSError`; a failed attempt removes its temp file so retries
+    and callers never see droppings.
+    """
+    io = io if io is not None else current_io()
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    tmp = f"{target}.tmp"
+    try:
+        handle = io.open(tmp, "wb", site=site)
+        try:
+            io.write(handle, data, site=site)
+            io.fsync(handle, site=site)
+        finally:
+            handle.close()
+        io.replace(tmp, target, site=site)
+        io.fsync_dir(directory, site=site)
+    except OSError as exc:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise classify_storage_error(exc, site) from exc
+    return target
+
+
+def atomic_write_json(
+    path: str | os.PathLike,
+    payload: object,
+    *,
+    site: str,
+    indent: int | None = 2,
+    default: Callable[[object], object] | None = None,
+    allow_nan: bool = False,
+    sort_keys: bool = False,
+    io: StorageIO | None = None,
+) -> str:
+    """JSON-encode ``payload`` and :func:`atomic_write_bytes` it.
+
+    This is the single shared implementation of every JSON export in
+    the tree (quarantine/revision reports, health/SLO/profile dumps,
+    bench records, the fleet manifest) — the temp+rename+dir-fsync
+    pattern exists in exactly one place.
+    """
+    rendered = json.dumps(
+        payload,
+        indent=indent,
+        default=default,
+        allow_nan=allow_nan,
+        sort_keys=sort_keys,
+    )
+    data = (rendered + "\n").encode("utf-8")
+    return atomic_write_bytes(path, data, site=site, io=io)

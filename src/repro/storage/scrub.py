@@ -1,0 +1,246 @@
+"""Checkpoint scrub-and-repair: verify generations, rebuild from the log.
+
+Checkpoints are read rarely (only at recovery) — exactly the access
+pattern where at-rest bit-rot hides for months and then surfaces at the
+worst possible moment, as a failed restore during an outage.  The
+scrubber closes that window: it is a background verification pass over
+every checkpoint generation (the current file and its preserved
+``.prev``), using the integrity footer
+:func:`~repro.resilience.checkpoint.verify_checkpoint` seals into each
+file.  A corrupt *current* checkpoint is repaired by restoring the
+previous generation and replaying the WAL forward — which is why
+:class:`~repro.durability.recovery.DurableTheftMonitor` with
+``checkpoint_generations=2`` lags compaction one checkpoint behind: the
+log must still cover the gap between generations.
+
+The repaired checkpoint is bit-equivalent in effect: a service restored
+from it serves the same verdicts as one that never saw the corruption
+(the chaos suites assert exactly that).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import RecoveryError, ScrubError
+from repro.resilience.checkpoint import (
+    previous_generation_path,
+    verify_checkpoint,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.online import TheftMonitoringService
+    from repro.detectors.base import WeeklyDetector
+    from repro.observability.events import EventLogger
+    from repro.observability.metrics import MetricsRegistry
+
+__all__ = ["CheckpointScrubber", "ScrubFinding", "ScrubReport"]
+
+
+@dataclass(frozen=True)
+class ScrubFinding:
+    """One generation's verification verdict and what was done about it."""
+
+    path: str
+    generation: str  # "current" | "previous"
+    status: str  # "ok" | "legacy" | "missing" | "corrupt"
+    action: str  # "none" | "repaired" | "unrepairable"
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """Outcome of one scrub pass over a checkpoint's generations."""
+
+    checked: int
+    corrupt: int
+    repaired: int
+    findings: tuple[ScrubFinding, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """True when every corruption found was repaired."""
+        return self.corrupt == self.repaired
+
+    def to_dict(self) -> dict:
+        return {
+            "checked": self.checked,
+            "corrupt": self.corrupt,
+            "repaired": self.repaired,
+            "ok": self.ok,
+            "findings": [
+                {
+                    "path": f.path,
+                    "generation": f.generation,
+                    "status": f.status,
+                    "action": f.action,
+                    "detail": f.detail,
+                }
+                for f in self.findings
+            ],
+        }
+
+
+class CheckpointScrubber:
+    """Verifies checkpoint generations; repairs a corrupt current one.
+
+    Parameters
+    ----------
+    checkpoint_path:
+        The live checkpoint file; its previous generation is looked up
+        at ``<path>.prev`` (where ``save_checkpoint`` preserves it).
+    wal_dir:
+        The WAL directory covering at least the span since the previous
+        generation (guaranteed by ``checkpoint_generations=2``).
+    detector_factory:
+        Rebuilds detectors when restoring a generation.
+    service_factory:
+        Optional: enables repair even when *both* generations are lost,
+        by rebuilding from a fresh service plus full WAL replay.
+    """
+
+    def __init__(
+        self,
+        checkpoint_path: str | os.PathLike,
+        wal_dir: str | os.PathLike,
+        detector_factory: "Callable[[], WeeklyDetector]",
+        service_factory: "Callable[[], TheftMonitoringService] | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+        events: "EventLogger | None" = None,
+    ) -> None:
+        self.checkpoint_path = os.fspath(checkpoint_path)
+        self.wal_dir = os.fspath(wal_dir)
+        self.detector_factory = detector_factory
+        self.service_factory = service_factory
+        self.metrics = metrics
+        self.events = events
+        self.scrubs = 0
+
+    # -- verification ---------------------------------------------------
+
+    def _generations(self) -> list[tuple[str, str]]:
+        return [
+            ("current", self.checkpoint_path),
+            ("previous", previous_generation_path(self.checkpoint_path)),
+        ]
+
+    def scrub(self, repair: bool = True) -> ScrubReport:
+        """One pass: verify every generation, repair a corrupt current.
+
+        A corrupt *previous* generation is reported but not repaired
+        (it exists only as repair material; the next checkpoint rotates
+        a fresh copy in).  A corrupt *current* is rebuilt from the
+        previous generation plus WAL replay — or, failing that, from a
+        fresh service plus full WAL replay when ``service_factory``
+        allows.  Never raises on corruption it can repair; raises
+        :class:`~repro.errors.ScrubError` only when ``repair`` was
+        requested and impossible.
+        """
+        self.scrubs += 1
+        findings: list[ScrubFinding] = []
+        checked = corrupt = repaired = 0
+        for generation, path in self._generations():
+            status = verify_checkpoint(path)
+            if status == "missing" and generation == "previous":
+                continue
+            checked += 1
+            action = "none"
+            detail = ""
+            if status == "corrupt":
+                corrupt += 1
+                self._count(
+                    "fdeta_storage_checkpoint_corruptions_total",
+                    "Checkpoint generations that failed scrub verification.",
+                )
+                if generation == "current" and repair:
+                    try:
+                        detail = self._repair()
+                        action = "repaired"
+                        repaired += 1
+                        self._count(
+                            "fdeta_storage_checkpoint_repairs_total",
+                            "Corrupt checkpoints rebuilt from a previous "
+                            "generation plus WAL replay.",
+                        )
+                    except (ScrubError, RecoveryError) as exc:
+                        action = "unrepairable"
+                        detail = str(exc)
+            findings.append(
+                ScrubFinding(
+                    path=path,
+                    generation=generation,
+                    status=status,
+                    action=action,
+                    detail=detail,
+                )
+            )
+        self._count(
+            "fdeta_storage_scrubs_total",
+            "Checkpoint scrub passes completed.",
+        )
+        report = ScrubReport(
+            checked=checked,
+            corrupt=corrupt,
+            repaired=repaired,
+            findings=tuple(findings),
+        )
+        if self.events is not None:
+            log = self.events.info if report.ok else self.events.warning
+            log("checkpoint_scrub", **report.to_dict())
+        if repair and corrupt > repaired:
+            bad = [f for f in findings if f.action == "unrepairable"]
+            if bad:
+                why = "; ".join(
+                    f.detail or "no repair source available" for f in bad
+                )
+                raise ScrubError(
+                    "could not repair corrupt checkpoint(s) "
+                    f"{[f.path for f in bad]}: {why}"
+                )
+        return report
+
+    # -- repair ---------------------------------------------------------
+
+    def _repair(self) -> str:
+        """Rebuild the current checkpoint; returns a human description."""
+        from repro.durability.recovery import recover_monitor
+        from repro.resilience.checkpoint import save_checkpoint
+
+        previous = previous_generation_path(self.checkpoint_path)
+        source: str | None = None
+        if verify_checkpoint(previous) in ("ok", "legacy"):
+            source = previous
+        elif self.service_factory is None:
+            raise ScrubError(
+                f"checkpoint {self.checkpoint_path!r} is corrupt and no "
+                f"valid previous generation exists at {previous!r}; "
+                f"repair needs a service_factory to rebuild from the WAL"
+            )
+        try:
+            result = recover_monitor(
+                self.wal_dir,
+                detector_factory=self.detector_factory,
+                checkpoint_path=source,
+                service_factory=self.service_factory,
+                events=self.events,
+            )
+        except RecoveryError as exc:
+            raise ScrubError(
+                f"repairing {self.checkpoint_path!r} from "
+                f"{source or 'a fresh service'} failed: {exc}; the WAL no "
+                f"longer covers the generation gap (run the monitor with "
+                f"checkpoint_generations >= 2 so compaction lags one "
+                f"generation behind)"
+            ) from exc
+        save_checkpoint(result.service, self.checkpoint_path)
+        return (
+            f"rebuilt from "
+            f"{'previous generation' if source else 'fresh service'} + "
+            f"{result.replayed_cycles} replayed WAL cycle(s)"
+        )
+
+    def _count(self, name: str, help: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, help).inc()

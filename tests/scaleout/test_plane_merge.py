@@ -102,6 +102,7 @@ class TestFleetMetricsMerge:
         loop) and WAL/fleet plumbing are inherently per-worker."""
         structural = (
             "fdeta_wal_",
+            "fdeta_storage_",
             "fdeta_fleet_",
             "fdeta_recovery_",
             "fdeta_ingest_cycle",
@@ -143,7 +144,12 @@ class TestFleetMetricsMerge:
                 key: value
                 for key, value in totals.items()
                 if not key[0].startswith(
-                    ("fdeta_wal_", "fdeta_fleet_", "fdeta_recovery_")
+                    (
+                        "fdeta_wal_",
+                        "fdeta_storage_",
+                        "fdeta_fleet_",
+                        "fdeta_recovery_",
+                    )
                 )
                 and "latency" not in key[0]
             }

@@ -1,0 +1,146 @@
+"""FaultyIO semantics: each fault kind lies exactly the way disks do."""
+
+import errno
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry
+from repro.storage import FaultSchedule, FaultyIO
+
+
+def _io(spec, metrics=None):
+    return FaultyIO(FaultSchedule.parse(spec), metrics=metrics)
+
+
+class TestScheduleStepping:
+    def test_fires_on_exact_occurrence_and_only_once(self):
+        schedule = FaultSchedule.parse("wal.append:write@3=eio")
+        assert schedule.step("wal.append", "write") is None
+        assert schedule.step("wal.append", "write") is None
+        fired = schedule.step("wal.append", "write")
+        assert fired is not None and fired.kind == "eio"
+        assert schedule.step("wal.append", "write") is None
+        assert schedule.exhausted
+
+    def test_site_glob_and_op_wildcard(self):
+        schedule = FaultSchedule.parse("export.*:*@2=enospc")
+        assert schedule.step("export.health", "open") is None
+        fired = schedule.step("export.slo", "write")
+        assert fired is not None
+
+    def test_other_sites_do_not_advance_the_counter(self):
+        schedule = FaultSchedule.parse("checkpoint:write@1=eio")
+        assert schedule.step("wal.append", "write") is None
+        assert schedule.step("checkpoint", "fsync") is None
+        assert schedule.step("checkpoint", "write") is not None
+
+    def test_ledger_records_every_injection(self):
+        schedule = FaultSchedule.parse("a:write@1=eio,b:write@1=torn")
+        schedule.step("a", "write")
+        schedule.step("b", "write")
+        assert schedule.injected == 2
+        assert [entry["kind"] for entry in schedule.ledger] == ["eio", "torn"]
+        payload = schedule.to_dict()
+        assert payload["injected"] == 2
+        assert all(event["fired"] for event in payload["events"])
+
+
+class TestFaultKinds:
+    def test_enospc_on_open(self, tmp_path):
+        io = _io("site:open@1=enospc")
+        with pytest.raises(OSError) as excinfo:
+            io.open(str(tmp_path / "f"), "wb", site="site")
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_torn_write_lands_half_the_buffer(self, tmp_path):
+        io = _io("site:write@1=torn")
+        path = str(tmp_path / "f")
+        handle = open(path, "wb")
+        try:
+            with pytest.raises(OSError) as excinfo:
+                io.write(handle, b"0123456789", site="site")
+            assert excinfo.value.errno == errno.EIO
+            handle.flush()
+        finally:
+            handle.close()
+        with open(path, "rb") as check:
+            assert check.read() == b"01234"
+
+    def test_bitrot_flips_one_byte_after_a_complete_write(self, tmp_path):
+        io = _io("site:write@1=bitrot")
+        path = str(tmp_path / "f")
+        handle = open(path, "wb")
+        try:
+            io.write(handle, b"\x00" * 10, site="site")
+        finally:
+            handle.close()
+        with open(path, "rb") as check:
+            data = check.read()
+        assert len(data) == 10
+        assert data.count(b"\xff") == 1
+
+    def test_torn_replace_truncates_the_destination(self, tmp_path):
+        io = _io("site:replace@1=torn")
+        src, dst = str(tmp_path / "src"), str(tmp_path / "dst")
+        with open(src, "wb") as handle:
+            handle.write(b"x" * 100)
+        io.replace(src, dst, site="site")
+        import os
+
+        assert os.path.getsize(dst) == 50
+
+    def test_metrics_count_injections(self, tmp_path):
+        metrics = MetricsRegistry()
+        io = _io("site:open@1=eio", metrics=metrics)
+        with pytest.raises(OSError):
+            io.open(str(tmp_path / "f"), "wb", site="site")
+        totals = metrics.totals()
+        assert (
+            totals[("fdeta_storage_faults_injected_total", ("eio", "open"))]
+            == 1.0
+        )
+
+
+class TestLyingFsync:
+    def test_power_loss_truncates_to_last_true_sync(self, tmp_path):
+        io = _io("site:fsync@2=lying_fsync")
+        path = str(tmp_path / "f")
+        handle = io.open(path, "wb", site="site")
+        try:
+            io.write(handle, b"durable", site="site")
+            io.fsync(handle, site="site")  # real: 7 bytes on the platter
+            io.write(handle, b"-volatile", site="site")
+            io.fsync(handle, site="site")  # the lie: reports ok, syncs nothing
+        finally:
+            handle.close()
+        with open(path, "rb") as check:
+            assert check.read() == b"durable-volatile"
+        truncated = io.simulate_power_loss()
+        assert truncated == [(path, 7, 9)]
+        with open(path, "rb") as check:
+            assert check.read() == b"durable"
+
+    def test_power_loss_is_a_noop_when_every_sync_was_honest(self, tmp_path):
+        io = _io("other:fsync@1=lying_fsync")
+        path = str(tmp_path / "f")
+        handle = io.open(path, "wb", site="site")
+        try:
+            io.write(handle, b"data", site="site")
+            io.fsync(handle, site="site")
+        finally:
+            handle.close()
+        assert io.simulate_power_loss() == []
+
+    def test_replace_transfers_the_synced_watermark(self, tmp_path):
+        io = _io("other:fsync@1=lying_fsync")
+        tmp, target = str(tmp_path / "t.tmp"), str(tmp_path / "t")
+        handle = io.open(tmp, "wb", site="site")
+        try:
+            io.write(handle, b"abcdef", site="site")
+            io.fsync(handle, site="site")
+        finally:
+            handle.close()
+        io.replace(tmp, target, site="site")
+        assert io.simulate_power_loss() == []
+        with open(target, "rb") as check:
+            assert check.read() == b"abcdef"

@@ -1,0 +1,219 @@
+"""The storage seam: typed errno triage, bounded retry, atomic writes."""
+
+import errno
+import json
+import os
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DiskFullError,
+    StorageError,
+    TransientStorageError,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.resilience.retry import RetryPolicy
+from repro.storage import (
+    FaultSchedule,
+    FaultyIO,
+    StorageIO,
+    atomic_write_bytes,
+    atomic_write_json,
+    classify_storage_error,
+    current_io,
+    install_io,
+    retry_io,
+)
+
+
+class TestStorageIO:
+    def test_roundtrip_write_fsync_replace(self, tmp_path):
+        io = StorageIO()
+        tmp = str(tmp_path / "x.tmp")
+        target = str(tmp_path / "x")
+        handle = io.open(tmp, "wb", site="test")
+        try:
+            assert io.write(handle, b"payload", site="test") == len(b"payload")
+            io.fsync(handle, site="test")
+        finally:
+            handle.close()
+        io.replace(tmp, target, site="test")
+        io.fsync_dir(str(tmp_path), site="test")
+        with open(target, "rb") as check:
+            assert check.read() == b"payload"
+
+    def test_fsync_dir_tolerates_missing_platform_support(self, tmp_path):
+        # Must never raise for a plain directory, whatever the platform.
+        StorageIO().fsync_dir(str(tmp_path), site="test")
+
+
+class TestInstallCurrent:
+    def test_default_is_plain_storage_io(self):
+        assert type(current_io()) is StorageIO
+
+    def test_install_swaps_and_restores(self):
+        faulty = FaultyIO(FaultSchedule.parse("never:open@1=eio"))
+        install_io(faulty)
+        try:
+            assert current_io() is faulty
+        finally:
+            install_io(StorageIO())
+        assert type(current_io()) is StorageIO
+
+
+class TestClassify:
+    @pytest.mark.parametrize("code", [errno.ENOSPC, errno.EDQUOT])
+    def test_disk_full_errnos(self, code):
+        exc = classify_storage_error(OSError(code, "full"), site="wal.append")
+        assert isinstance(exc, DiskFullError)
+        assert "wal.append" in str(exc)
+
+    @pytest.mark.parametrize(
+        "code", [errno.EIO, errno.EAGAIN, errno.EINTR]
+    )
+    def test_transient_errnos(self, code):
+        exc = classify_storage_error(OSError(code, "io"), site="checkpoint")
+        assert isinstance(exc, TransientStorageError)
+
+    def test_unknown_errno_is_plain_storage_error(self):
+        exc = classify_storage_error(
+            OSError(errno.EPERM, "denied"), site="manifest"
+        )
+        assert isinstance(exc, StorageError)
+        assert not isinstance(exc, (DiskFullError, TransientStorageError))
+
+    def test_chains_the_original_oserror(self):
+        original = OSError(errno.ENOSPC, "full")
+        exc = classify_storage_error(original, site="s")
+        assert exc.__cause__ is original
+
+
+class TestRetryIO:
+    def test_transient_failures_are_retried_to_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError(errno.EIO, "blip")
+            return "done"
+
+        waits = []
+        metrics = MetricsRegistry()
+        result = retry_io(
+            flaky,
+            policy=RetryPolicy(max_attempts=4),
+            site="wal.sync",
+            metrics=metrics,
+            sleep=waits.append,
+        )
+        assert result == "done"
+        assert len(calls) == 3
+        assert len(waits) == 2
+        totals = metrics.totals()
+        assert totals[("fdeta_storage_retries_total", ("wal.sync",))] == 2.0
+
+    def test_exhausted_budget_raises_typed_error(self):
+        def always():
+            raise OSError(errno.EIO, "dead disk")
+
+        with pytest.raises(TransientStorageError):
+            retry_io(
+                always,
+                policy=RetryPolicy(max_attempts=3),
+                site="wal.append",
+                sleep=lambda _: None,
+            )
+
+    def test_total_attempts_equal_policy_budget(self):
+        calls = []
+
+        def always():
+            calls.append(1)
+            raise OSError(errno.EIO, "dead")
+
+        with pytest.raises(TransientStorageError):
+            retry_io(
+                always,
+                policy=RetryPolicy(max_attempts=3),
+                site="s",
+                sleep=lambda _: None,
+            )
+        assert len(calls) == 3
+
+    def test_disk_full_is_never_retried(self):
+        calls = []
+
+        def full():
+            calls.append(1)
+            raise OSError(errno.ENOSPC, "full")
+
+        with pytest.raises(DiskFullError):
+            retry_io(
+                full, policy=RetryPolicy(max_attempts=5), site="s"
+            )
+        assert len(calls) == 1
+
+
+class TestAtomicWrite:
+    def test_publishes_bytes_and_leaves_no_droppings(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"abc", site="test")
+        assert target.read_bytes() == b"abc"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_json_roundtrip_with_sorted_keys(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(
+            target, {"b": 2, "a": 1}, site="test", sort_keys=True
+        )
+        text = target.read_text()
+        assert text.index('"a"') < text.index('"b"')
+        assert json.loads(text) == {"a": 1, "b": 2}
+
+    def test_failed_write_raises_typed_and_cleans_tmp(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("survivor")
+        io = FaultyIO(FaultSchedule.parse("test:write@1=enospc"))
+        with pytest.raises(DiskFullError):
+            atomic_write_bytes(target, b"new", site="test", io=io)
+        # The old content survives and no temp file is left behind.
+        assert target.read_text() == "survivor"
+        assert not os.path.exists(f"{target}.tmp")
+
+    def test_failed_replace_keeps_previous_content(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"v": 1}, site="test")
+        io = FaultyIO(FaultSchedule.parse("test:replace@1=eio"))
+        with pytest.raises(StorageError):
+            atomic_write_json(target, {"v": 2}, site="test", io=io)
+        assert json.loads(target.read_text()) == {"v": 1}
+
+
+class TestFaultScheduleParse:
+    def test_parses_multiple_events(self):
+        schedule = FaultSchedule.parse(
+            "wal.append:write@3=torn, checkpoint:replace@1=bitrot"
+        )
+        assert [e.spec() for e in schedule.events] == [
+            "wal.append:write@3=torn",
+            "checkpoint:replace@1=bitrot",
+        ]
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "   ",
+            "wal.append",
+            "wal.append:write=torn",
+            "wal.append:write@x=torn",
+            "wal.append:write@3=made_up",
+            "wal.append:poke@3=eio",
+            "wal.append:write@0=eio",
+        ],
+    )
+    def test_bad_specs_raise_configuration_error(self, spec):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.parse(spec)
