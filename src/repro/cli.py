@@ -40,6 +40,15 @@ repairs checkpoint generations before starting (pair with
 gap).  A disk-full WAL write flips the monitor into degraded read-only
 mode: ingestion stops, committed verdicts stay servable, and the run
 exits 4.
+
+Network-fault robustness: ``monitor --elastic --network-faults`` arms
+a deterministic transport fault schedule (drop, delay, dup, reorder,
+garble, partition, heal) against the coordinator-to-shard message
+seam, with the injection evidence written via
+``--transport-ledger-out``.  A partitioned shard degrades (its cycles
+buffer for replay) instead of failing the run; before the final
+summary every link is healed and the backlog drained, so the merged
+verdicts match an undisturbed run bit for bit.
 """
 
 from __future__ import annotations
@@ -453,6 +462,18 @@ def _monitor_command(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.network_faults and not args.elastic:
+        print("--network-faults requires --elastic", file=sys.stderr)
+        return 2
+    if args.transport_ledger_out and not args.network_faults:
+        print(
+            "--transport-ledger-out requires --network-faults",
+            file=sys.stderr,
+        )
+        return 2
+    if args.lease_ttl_cycles < 1:
+        print("--lease-ttl-cycles must be >= 1", file=sys.stderr)
+        return 2
     if args.revisions_out and not args.eventtime:
         print("--revisions-out requires --eventtime", file=sys.stderr)
         return 2
@@ -1269,7 +1290,24 @@ def _run_monitor_elastic(
     from repro.resilience import FaultInjector, FaultyChannel
     from repro.scaleout import ElasticFleet
     from repro.timeseries.seasonal import SLOTS_PER_WEEK
+    from repro.transport import FaultyTransport, NetworkFaultSchedule
 
+    transport = None
+    net_schedule = None
+    if args.network_faults:
+        try:
+            net_schedule = NetworkFaultSchedule.parse(
+                ",".join(args.network_faults)
+            )
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        transport = FaultyTransport(net_schedule)
+        print(
+            f"network-fault injection armed: {len(net_schedule.events)} "
+            "scheduled fault(s)",
+            file=sys.stderr,
+        )
     fleet_metrics = MetricsRegistry()
     fleet_tracer = Tracer(name="fleet") if args.trace_out else None
     slo = None
@@ -1288,6 +1326,8 @@ def _run_monitor_elastic(
             events=events,
             tracer=fleet_tracer,
             slo=slo,
+            transport=transport,
+            lease_ttl_cycles=args.lease_ttl_cycles,
         )
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
@@ -1402,6 +1442,17 @@ def _run_monitor_elastic(
                         f"(severity {alert.severity:.2f}, "
                         f"coverage {alert.coverage:.1%})"
                     )
+        if transport is not None:
+            # Heal every severed link and replay the partition buffers
+            # so the final verdicts converge before they are merged.
+            transport.heal_all()
+            replayed = fleet.drain_backlog()
+            if replayed:
+                print(
+                    f"partition healed: replayed {replayed} buffered "
+                    "cycle(s)",
+                    file=sys.stderr,
+                )
         services = fleet.services()
         # A consumer migrated mid-run appears in both its source and
         # destination shard's histories; dedupe the fleet-wide verdicts.
@@ -1489,6 +1540,39 @@ def _run_monitor_elastic(
         _write_observability_outputs(args, merged_metrics, None)
     finally:
         fleet.close()
+        if net_schedule is not None:
+            print(
+                f"network faults injected: {net_schedule.injected}/"
+                f"{len(net_schedule.events)}",
+                file=sys.stderr,
+            )
+            if args.transport_ledger_out:
+                import json
+
+                # Plain stdlib IO: the transport ledger must never
+                # route through the seam it documents.
+                try:
+                    with open(
+                        args.transport_ledger_out, "w", encoding="utf-8"
+                    ) as handle:
+                        json.dump(
+                            net_schedule.to_dict(),
+                            handle,
+                            indent=2,
+                            sort_keys=True,
+                        )
+                except OSError as exc:
+                    print(
+                        "warning: could not write transport ledger to "
+                        f"{args.transport_ledger_out!r}: {exc}",
+                        file=sys.stderr,
+                    )
+                else:
+                    print(
+                        "wrote transport ledger to "
+                        f"{args.transport_ledger_out}",
+                        file=sys.stderr,
+                    )
     if events is not None:
         events.close()
     return _monitor_exit_status(
@@ -1731,6 +1815,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the injected-fault ledger (JSON) here "
         "(requires --storage-faults)",
+    )
+    mon.add_argument(
+        "--network-faults",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic transport faults into the elastic "
+        "fleet's message seam: comma-separated SHARD:OP@N=KIND entries "
+        "(e.g. 'shard-0000:ingest@40=partition'); shards glob "
+        "(shard-*), ops are ingest/heartbeat/checkpoint/extract/adopt/"
+        "lease.acquire/*, kinds are drop/delay/dup/reorder/garble/"
+        "partition/heal; requires --elastic; repeatable",
+    )
+    mon.add_argument(
+        "--transport-ledger-out",
+        type=str,
+        default=None,
+        help="write the injected network-fault ledger (JSON) here "
+        "(requires --network-faults)",
+    )
+    mon.add_argument(
+        "--lease-ttl-cycles",
+        type=int,
+        default=8,
+        help="shard ownership lease TTL in ingest cycles for the "
+        "elastic fleet (default 8); writes renew the lease, so only a "
+        "silent coordinator can lose one",
     )
     mon.add_argument(
         "--scrub",

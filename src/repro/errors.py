@@ -97,6 +97,58 @@ class StaleWriterError(HandoffError):
     """
 
 
+class TransportError(ResilienceError):
+    """A control-plane message between coordinator and shard failed.
+
+    The typed face of the network between the fleet coordinator and its
+    shard workers (:mod:`repro.transport`).  Subclasses distinguish the
+    caller's three responses: retry (:class:`TransportTimeout`,
+    :class:`CorruptEnvelopeError`), degrade and buffer
+    (:class:`UnreachableShardError`), or stand down
+    (:class:`StaleLeaseError`).
+    """
+
+
+class TransportTimeout(TransportError):
+    """A request's reply window elapsed; delivery is *unknown*.
+
+    The request may never have arrived (dropped) or may have executed
+    with its reply lost (delayed) — the caller cannot tell, which is
+    exactly why every envelope carries a deterministic request id: the
+    retry is either re-executed or absorbed as a duplicate, never
+    applied twice.
+    """
+
+
+class CorruptEnvelopeError(TransportError):
+    """An envelope's payload checksum failed verification on delivery.
+
+    The endpoint rejects the frame before executing anything, so the
+    caller can safely retry with a fresh copy of the same request.
+    """
+
+
+class UnreachableShardError(TransportError):
+    """The link to a shard is severed (network partition).
+
+    Retrying immediately cannot help; the coordinator responds by
+    marking the shard unreachable, buffering its pending cycles, and
+    probing for reconnection on later drains.
+    """
+
+
+class StaleLeaseError(StaleWriterError):
+    """A coordinator without the shard's current lease tried to write.
+
+    The lease is the cross-process face of the ownership epoch: it
+    lives on the shard's transport endpoint, so even a *zombie*
+    coordinator — an old in-process fleet whose fence map was never
+    bumped by its successor — is refused at the wire.  Being a
+    :class:`StaleWriterError`, every existing fencing defense catches
+    it unchanged.
+    """
+
+
 class DurabilityError(ResilienceError):
     """The durable-ingestion layer (WAL, recovery) failed."""
 

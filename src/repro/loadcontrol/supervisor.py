@@ -168,6 +168,13 @@ class Supervisor:
         hung worker's missed cycles would be unrecoverable.
     sync_every_cycles:
         fsync cadence of each shard's WAL (1 = every cycle durable).
+    transport:
+        Optional :class:`~repro.transport.Transport`: when set, cycle
+        dispatch travels as idempotent request-id-tagged envelopes
+        instead of direct method calls (lease-less — the fixed fleet
+        has exactly one coordinator by construction; the elastic fleet
+        adds lease fencing on top).  Defaults to ``None`` = direct
+        calls, bit-identical to the pre-transport supervisor.
     """
 
     def __init__(
@@ -181,6 +188,7 @@ class Supervisor:
         sync_every_cycles: int = 1,
         metrics: "MetricsRegistry | None" = None,
         events: "EventLogger | None" = None,
+        transport: "object | None" = None,
     ) -> None:
         if not shards:
             raise ConfigurationError("supervisor needs at least one shard")
@@ -215,6 +223,8 @@ class Supervisor:
         self.sync_every_cycles = int(sync_every_cycles)
         self.metrics = metrics
         self.events = events
+        self.transport = transport
+        self._clients: dict[int, object] = {}
         self.restarts_total = 0
         self._cycle = 0
         self._backpressure: "BackpressureSignal | None" = None
@@ -268,13 +278,87 @@ class Supervisor:
         service.backpressure = self._backpressure
         wal = WriteAheadLog(spec.wal_dir, metrics=service.metrics)
         if self.worker_factory is not None:
-            return self.worker_factory(service, wal, spec)
-        return DurableTheftMonitor(
-            service,
-            wal,
-            checkpoint_path=spec.checkpoint_path,
-            sync_every_cycles=self.sync_every_cycles,
+            worker = self.worker_factory(service, wal, spec)
+        else:
+            worker = DurableTheftMonitor(
+                service,
+                wal,
+                checkpoint_path=spec.checkpoint_path,
+                sync_every_cycles=self.sync_every_cycles,
+            )
+        self._bind_endpoint(spec, worker)
+        return worker
+
+    @staticmethod
+    def _shard_name(spec: ShardSpec) -> str:
+        return f"shard-{spec.shard_id:04d}"
+
+    def _bind_endpoint(self, spec: ShardSpec, worker: DurableTheftMonitor) -> None:
+        """Attach the (re)built worker to the transport, if one is set."""
+        if self.transport is None:
+            return
+        from repro.transport import ShardEndpoint
+
+        name = self._shard_name(spec)
+        endpoint = self.transport.endpoint_or_none(name)
+        if endpoint is None:
+            endpoint = self.transport.register(ShardEndpoint(name))
+        endpoint.bind(
+            {
+                "ingest": lambda p: worker.ingest_cycle(
+                    p["reported"],
+                    p["snapshot"],
+                    cycle_index=p["cycle"],
+                    deadline=p["deadline"],
+                ),
+                "heartbeat": lambda p: worker.service.cycles_ingested,
+            }
         )
+
+    def _ingest(
+        self,
+        handle: WorkerHandle,
+        cycle: int,
+        sub: Mapping,
+        snapshot: "DemandSnapshot | None",
+        deadline: "Deadline | None",
+    ) -> "MonitoringReport | None":
+        """One cycle into one shard: transport-routed when configured.
+
+        The fixed supervisor has no partition-degradation machinery —
+        a transport failure that survives the client's bounded retries
+        propagates and fails the dispatch loudly (use the elastic
+        fleet for graceful partition tolerance).
+        """
+        if self.transport is None:
+            assert handle.worker is not None
+            return handle.worker.ingest_cycle(
+                sub, snapshot, cycle_index=cycle, deadline=deadline
+            )
+        from repro.transport import ShardClient
+
+        shard_id = handle.spec.shard_id
+        client = self._clients.get(shard_id)
+        if client is None:
+            client = ShardClient(
+                self.transport,
+                self._shard_name(handle.spec),
+                metrics=self.metrics,
+            )
+            self._clients[shard_id] = client
+        name = self._shard_name(handle.spec)
+        reply = client.call(
+            "ingest",
+            {
+                "reported": sub,
+                "snapshot": snapshot,
+                "cycle": cycle,
+                "deadline": deadline,
+            },
+            seq=cycle,
+            request_id=f"{name}:ingest:{cycle}",
+        )
+        return reply.value
 
     def _build_worker(
         self, spec: ShardSpec, recover: bool
@@ -428,15 +512,11 @@ class Supervisor:
         assert handle.worker is not None
         sub = self._subset(handle, reported)
         try:
-            report = handle.worker.ingest_cycle(
-                sub, snapshot, cycle_index=cycle, deadline=deadline
-            )
+            report = self._ingest(handle, cycle, sub, snapshot, deadline)
         except WorkerCrashed:
             self._restart(handle, cycle, reason="crash")
             assert handle.worker is not None
-            report = handle.worker.ingest_cycle(
-                sub, snapshot, cycle_index=cycle, deadline=deadline
-            )
+            report = self._ingest(handle, cycle, sub, snapshot, deadline)
         handle.last_cycle = cycle
         handle.beats += 1
         return report

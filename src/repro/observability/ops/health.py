@@ -38,7 +38,7 @@ class ShardHealth:
     """One shard's health verdict and the evidence behind it."""
 
     name: str
-    state: str  # "running" | "hung" | "dead"
+    state: str  # "running" | "hung" | "dead" | "unreachable"
     live: bool
     ready: bool
     lag_cycles: int
@@ -52,6 +52,15 @@ class ShardHealth:
     #: True while the shard's durable monitor is in storage-degraded
     #: read-only mode (disk full: serving verdicts, refusing ingests).
     storage_degraded: bool = False
+    #: True while the shard's transport link is severed (suspected
+    #: network partition).  Distinct from hung: the worker may be
+    #: perfectly healthy on the far side, so it is *not* restarted;
+    #: cycles buffer for replay and reconnection probes heal it.
+    unreachable: bool = False
+    #: The coordinator currently holding this shard's ownership lease
+    #: over the wire (``None`` when the endpoint holds no lease, e.g.
+    #: a plain in-process fleet that never leased).
+    lease_holder: str | None = None
 
 
 @dataclass(frozen=True)
@@ -142,14 +151,37 @@ class FleetHealthPlane:
         fleet = self.fleet
         lag = fleet.shard_lag(worker.name)
         reasons: list[str] = []
+        unreachable = bool(getattr(worker, "unreachable", False))
         if worker.monitor is None:
             state = "dead"
             reasons.append("no running monitor")
+        elif unreachable:
+            state = "unreachable"
+            reasons.append(
+                "shard unreachable over the transport (suspected "
+                f"network partition); {len(worker.pending)} cycle(s) "
+                "buffered for replay"
+            )
         elif worker.hung:
             state = "hung"
             reasons.append("worker is wedged")
         else:
             state = "running"
+        lease = (
+            fleet.shard_lease(worker.name)
+            if hasattr(fleet, "shard_lease")
+            else None
+        )
+        lease_holder = lease.holder if lease is not None else None
+        if (
+            lease_holder is not None
+            and getattr(fleet, "holder", None) is not None
+            and lease_holder != fleet.holder
+        ):
+            reasons.append(
+                f"shard is leased out to {lease_holder!r} (this "
+                "coordinator no longer owns it)"
+            )
         if lag > self.ready_lag_cycles:
             reasons.append(
                 f"lag {lag} cycles exceeds readiness bound "
@@ -181,6 +213,8 @@ class FleetHealthPlane:
             consumers=len(worker.consumers),
             reasons=tuple(reasons),
             storage_degraded=degraded,
+            unreachable=unreachable,
+            lease_holder=lease_holder,
         )
 
     def report(self) -> HealthReport:
@@ -189,7 +223,7 @@ class FleetHealthPlane:
         shards = tuple(
             self._shard_health(worker) for worker in fleet.workers()
         )
-        states = {"running": 0, "hung": 0, "dead": 0}
+        states = {"running": 0, "hung": 0, "dead": 0, "unreachable": 0}
         for shard in shards:
             states[shard.state] += 1
         report = HealthReport(
@@ -232,12 +266,20 @@ class FleetHealthPlane:
             "1 while the shard is in disk-full read-only mode.",
             labels=("shard",),
         )
+        unreachable = metrics.gauge(
+            "fdeta_fleet_shard_unreachable",
+            "1 while the shard's transport link is severed.",
+            labels=("shard",),
+        )
         for shard in report.shards:
             ready.set(1.0 if shard.ready else 0.0, shard=shard.name)
             backlog.set(float(shard.pending_cycles), shard=shard.name)
             wal.set(float(shard.wal_bytes), shard=shard.name)
             degraded.set(
                 1.0 if shard.storage_degraded else 0.0, shard=shard.name
+            )
+            unreachable.set(
+                1.0 if shard.unreachable else 0.0, shard=shard.name
             )
         metrics.gauge(
             "fdeta_fleet_ready",

@@ -68,6 +68,11 @@ def _render_manifest(manifest: Mapping) -> list[str]:
 
 def _render_health(health: Mapping) -> list[str]:
     verdict = "READY" if health.get("fleet_ready") else "NOT READY"
+    unreachable = health.get("states", {}).get("unreachable", 0)
+    if unreachable:
+        # A partition is a different emergency from a hung worker:
+        # nothing to restart, everything to wait out (or reroute).
+        verdict += f"  ({unreachable} shard(s) UNREACHABLE — partition?)"
     lines = [
         f"FLEET HEALTH: {verdict}",
         f"  frontier: {health.get('frontier', '?')}"

@@ -30,7 +30,7 @@ from repro.resilience.checkpoint import (
 from repro.resilience.circuit import BreakerBoard, BreakerState, CircuitBreaker
 from repro.resilience.config import ResilienceConfig
 from repro.resilience.faults import FaultInjector, FaultyChannel
-from repro.resilience.retry import RetryPolicy
+from repro.resilience.retry import RetryPolicy, retry_call
 
 __all__ = [
     "BreakerBoard",
@@ -42,5 +42,6 @@ __all__ = [
     "ResilienceConfig",
     "RetryPolicy",
     "load_checkpoint",
+    "retry_call",
     "save_checkpoint",
 ]

@@ -26,11 +26,24 @@
   keep ingesting at the frontier;
 * the **merged plane** (:mod:`repro.scaleout.plane`) aggregates
   per-shard verdicts, metrics, revisions, and reading stores into the
-  fleet-wide view, bit-identical to an unsharded run.
+  fleet-wide view, bit-identical to an unsharded run;
+* the **transport seam** (:mod:`repro.transport`): every control-plane
+  mutation — ingest dispatch, reconnection heartbeats, handoff
+  checkpoints, extract/adopt migration — travels as an idempotent
+  request-id-tagged envelope through a pluggable
+  :class:`~repro.transport.Transport`.  Write kinds are **lease-fenced**
+  at the shard endpoint (ownership survives the coordinator that
+  granted it, closing the zombie-coordinator gap in the in-process
+  fence maps), and a shard whose link is severed degrades gracefully:
+  it is marked *unreachable*, its cycles buffer in the pending queue,
+  and reconnection probes heal it with bounded replay — duplicates are
+  absorbed by request id, so the merged verdicts after a heal are
+  bit-identical to an undisturbed run.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 from collections import deque
 from dataclasses import dataclass, field
@@ -43,6 +56,8 @@ from repro.errors import (
     StorageDegradedError,
     SupervisorError,
     TransientStorageError,
+    TransportTimeout,
+    UnreachableShardError,
     WorkerCrashed,
 )
 from repro.eventtime.watermark import WatermarkTracker
@@ -60,6 +75,7 @@ from repro.scaleout.ring import (
     HashRing,
     balanced_assignments,
 )
+from repro.transport import InProcTransport, ShardClient, Transport
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.online import MonitoringReport, TheftMonitoringService
@@ -76,6 +92,10 @@ __all__ = ["ElasticFleet", "ShardWorker"]
 #: simulate a coordinator crash mid-handoff.
 PhaseHook = Callable[[str], None]
 
+#: Distinct default holder names per coordinator incarnation, so two
+#: fleets sharing a transport (the zombie scenario) never collide.
+_COORDINATOR_IDS = itertools.count(1)
+
 
 @dataclass
 class ShardWorker:
@@ -91,6 +111,11 @@ class ShardWorker:
     beats: int = 0
     restarts: int = 0
     hung: bool = False
+    #: The shard's transport link is severed (network partition): the
+    #: worker process may be perfectly healthy, but the coordinator
+    #: cannot reach it.  Cycles buffer in ``pending`` until a
+    #: reconnection probe succeeds.
+    unreachable: bool = False
 
     @property
     def alive(self) -> bool:
@@ -141,6 +166,22 @@ class ElasticFleet:
         Optional :class:`~repro.observability.ops.SLOTracker`; call
         :meth:`observe_slo` at a meaningful cadence (each cycle or each
         week boundary) to record compliance points.
+    transport:
+        The :class:`~repro.transport.Transport` carrying every
+        control-plane mutation (defaults to a private
+        :class:`~repro.transport.InProcTransport`).  Pass a
+        :class:`~repro.transport.FaultyTransport` to chaos-test the
+        fleet, or share one transport between two fleet incarnations to
+        exercise the zombie-coordinator fences.
+    lease_ttl_cycles:
+        How many cycles of holder silence before a shard lease can be
+        claimed by a lower-epoch requester.  Renewed implicitly by
+        every accepted write, so a live coordinator never loses a shard
+        it is driving.
+    holder:
+        This coordinator's lease identity; defaults to a fresh
+        ``coordinator-N`` per fleet instance so incarnations sharing a
+        transport are distinguishable.
     """
 
     MANIFEST = "fleet.json"
@@ -160,11 +201,18 @@ class ElasticFleet:
         events: "EventLogger | None" = None,
         tracer: Tracer | None = None,
         slo: "object | None" = None,
+        transport: Transport | None = None,
+        lease_ttl_cycles: int = 8,
+        holder: str | None = None,
     ) -> None:
         if hang_tolerance_cycles < 1:
             raise ConfigurationError(
                 f"hang_tolerance_cycles must be >= 1, got "
                 f"{hang_tolerance_cycles}"
+            )
+        if lease_ttl_cycles < 1:
+            raise ConfigurationError(
+                f"lease_ttl_cycles must be >= 1, got {lease_ttl_cycles}"
             )
         self.base_dir = os.fspath(base_dir)
         self.service_factory = service_factory
@@ -186,6 +234,19 @@ class ElasticFleet:
         self.handoffs_total = 0
         self._closed = False
         self._cycle = 0
+        #: The control-plane wire.  Endpoints are get-or-registered per
+        #: shard so a lease granted to a previous incarnation survives
+        #: into this one (and fences it out, if it is still writing).
+        self.transport = transport if transport is not None else InProcTransport()
+        self.lease_ttl_cycles = int(lease_ttl_cycles)
+        self.holder = (
+            holder
+            if holder is not None
+            else f"coordinator-{next(_COORDINATOR_IDS)}"
+        )
+        self._clients: dict[str, ShardClient] = {}
+        self._probe_seq = 0
+        self._ckpt_seq = 0
         self._fence: dict[str, int] = {}
         self._workers: dict[str, ShardWorker] = {}
         self._retired: dict[str, "TheftMonitoringService"] = {}
@@ -379,7 +440,174 @@ class ElasticFleet:
             checkpoint_path=worker.checkpoint_path,
             sync_every_cycles=self.sync_every_cycles,
         )
-        return FencedMonitor(inner, worker.name, self._fence[worker.name], self._fence)
+        fenced = FencedMonitor(
+            inner, worker.name, self._fence[worker.name], self._fence
+        )
+        self._bind_endpoint(worker, fenced)
+        return fenced
+
+    # ------------------------------------------------------------------
+    # Transport plumbing
+    # ------------------------------------------------------------------
+
+    def _client(self, name: str) -> ShardClient:
+        client = self._clients.get(name)
+        if client is None:
+            client = ShardClient(
+                self.transport,
+                name,
+                holder=self.holder,
+                metrics=self.metrics,
+            )
+            self._clients[name] = client
+        return client
+
+    def _bind_endpoint(self, worker: ShardWorker, fenced: FencedMonitor) -> None:
+        """Attach ``worker`` to the wire at its current ownership epoch.
+
+        Order is load-bearing: the lease is (re)acquired *before* the
+        handlers are rebound, so a zombie coordinator rebuilding a
+        worker gets :class:`~repro.errors.StaleLeaseError` here and
+        never overwrites its successor's handlers.  An unreachable
+        shard degrades instead of failing the build — the endpoint may
+        simply be on the far side of a partition; reconnection probes
+        will finish the acquisition.
+        """
+        from repro.transport import ShardEndpoint
+
+        name = worker.name
+        endpoint = self.transport.endpoint_or_none(name)
+        if endpoint is None:
+            endpoint = self.transport.register(ShardEndpoint(name))
+        try:
+            self._client(name).acquire_lease(
+                epoch=self._fence[name],
+                seq=self._cycle,
+                ttl=self.lease_ttl_cycles,
+            )
+        except (UnreachableShardError, TransportTimeout):
+            self._mark_unreachable(worker)
+            return
+        worker.unreachable = False
+        endpoint.bind(
+            {
+                "ingest": lambda p: fenced.ingest_cycle(
+                    p["reported"],
+                    p["snapshot"],
+                    cycle_index=p["cycle"],
+                    deadline=p["deadline"],
+                ),
+                "checkpoint": lambda p: fenced.checkpoint_now(),
+                "heartbeat": lambda p: fenced.service.cycles_ingested,
+                "health": lambda p: {
+                    "cycles_ingested": fenced.service.cycles_ingested,
+                    "weeks_completed": len(fenced.service.reports),
+                },
+                "extract": lambda p: fenced.service.extract_consumer(p),
+                "adopt": lambda p: fenced.service.adopt_consumer(
+                    p["consumer"], p["packet"]
+                ),
+            }
+        )
+
+    def _ingest(
+        self,
+        worker: ShardWorker,
+        cycle: int,
+        reported: Mapping,
+        snapshot: "DemandSnapshot | None",
+        deadline: "Deadline | None",
+    ):
+        """Dispatch one cycle to one shard over the transport.
+
+        The request id is the logical identity ``shard:ingest:cycle``:
+        a retry whose first attempt executed (reply lost) is absorbed
+        by the endpoint's cache instead of double-ingesting the cycle.
+        """
+        reply = self._client(worker.name).call(
+            "ingest",
+            {
+                "reported": reported,
+                "snapshot": snapshot,
+                "cycle": cycle,
+                "deadline": deadline,
+            },
+            seq=cycle,
+            lease_epoch=self._fence[worker.name],
+            request_id=f"{worker.name}:ingest:{cycle}",
+        )
+        return reply.value
+
+    def _checkpoint(self, worker: ShardWorker) -> None:
+        """Checkpoint one shard over the transport (handoff phases)."""
+        self._ckpt_seq += 1
+        self._client(worker.name).call(
+            "checkpoint",
+            None,
+            seq=self._cycle,
+            lease_epoch=self._fence.get(worker.name, 0),
+            request_id=f"{worker.name}:checkpoint:{self._ckpt_seq}",
+        )
+
+    def _mark_unreachable(self, worker: ShardWorker) -> None:
+        if worker.unreachable:
+            return
+        worker.unreachable = True
+        if self.metrics is not None:
+            self.metrics.counter(
+                "fdeta_fleet_unreachable_total",
+                "Times a shard's transport link was found severed.",
+                labels=("shard",),
+            ).inc(shard=worker.name)
+        if self.events is not None:
+            self.events.warning(
+                "fleet_shard_unreachable",
+                shard=worker.name,
+                cycle=self._cycle,
+                backlog=len(worker.pending),
+            )
+
+    def _probe(self, worker: ShardWorker) -> bool:
+        """One reconnection attempt against an unreachable shard.
+
+        Re-runs the endpoint binding: the lease re-acquisition is the
+        liveness probe (it needs no bound handlers), and on success the
+        handlers are rebound and a heartbeat verifies the full RPC
+        path.  The endpoint may have leased the shard to another
+        coordinator while we were partitioned away, in which case
+        :class:`~repro.errors.StaleLeaseError` propagates and this
+        coordinator must stand down.  Heartbeat request ids are unique
+        per probe — a probe is not an idempotent logical request; each
+        one genuinely asks "can you hear me *now*?".
+        """
+        if worker.monitor is None:
+            # Killed *and* partitioned: rebuild the local worker; the
+            # rebuild's own endpoint binding completes the reconnection
+            # if the link is back.
+            self._restart(worker, reason="killed")
+            return not worker.unreachable
+        self._bind_endpoint(worker, worker.monitor)
+        if worker.unreachable:
+            return False
+        self._probe_seq += 1
+        try:
+            self._client(worker.name).call(
+                "heartbeat",
+                None,
+                seq=self._cycle,
+                request_id=f"{worker.name}:heartbeat:{self._probe_seq}",
+            )
+        except (UnreachableShardError, TransportTimeout):
+            self._mark_unreachable(worker)
+            return False
+        if self.events is not None:
+            self.events.info(
+                "fleet_shard_reconnected",
+                shard=worker.name,
+                cycle=self._cycle,
+                backlog=len(worker.pending),
+            )
+        return True
 
     def _persist(self, pending: HandoffRecord | None = None) -> None:
         write_manifest(
@@ -488,6 +716,12 @@ class ElasticFleet:
     def _drain(
         self, worker: ShardWorker, deadline: "Deadline | None" = None
     ) -> "MonitoringReport | None":
+        if worker.unreachable and not self._probe(worker):
+            # Still partitioned away: cycles keep buffering in the
+            # pending queue (the partition buffer) and the health plane
+            # reports the shard unreachable.  No restart — the worker
+            # process itself may be perfectly healthy on the far side.
+            return None
         if worker.hung:
             # A wedged worker neither ingests nor beats; it is healed
             # only once its backlog exceeds the hang tolerance (a slow
@@ -510,15 +744,29 @@ class ElasticFleet:
                 worker.pending.popleft()
                 continue
             try:
-                out = worker.monitor.ingest_cycle(
-                    sub, snapshot, cycle_index=cycle, deadline=deadline
-                )
+                out = self._ingest(worker, cycle, sub, snapshot, deadline)
+            except UnreachableShardError:
+                # The link is severed.  Leave the cycle (and everything
+                # behind it) buffered for replay after reconnection.
+                self._mark_unreachable(worker)
+                break
+            except TransportTimeout:
+                # Bounded retries exhausted without an acknowledgement:
+                # delivery is unknown, so treat the shard as unreachable
+                # and keep the cycle queued — the request id makes the
+                # post-reconnection replay absorb any attempt that did
+                # land.
+                self._mark_unreachable(worker)
+                break
             except WorkerCrashed:
                 self._restart(worker, reason="crash")
-                assert worker.monitor is not None
-                out = worker.monitor.ingest_cycle(
-                    sub, snapshot, cycle_index=cycle, deadline=deadline
-                )
+                if worker.unreachable:
+                    break
+                try:
+                    out = self._ingest(worker, cycle, sub, snapshot, deadline)
+                except (UnreachableShardError, TransportTimeout):
+                    self._mark_unreachable(worker)
+                    break
             except StorageDegradedError:
                 # The shard's volume is full: the cycle was refused
                 # before any byte landed, so leave it queued (bounded by
@@ -531,10 +779,13 @@ class ElasticFleet:
                 # a restart-from-checkpoint+WAL is the safe escalation
                 # (the refused cycle stays pending and is re-fed).
                 self._restart(worker, reason="storage")
-                assert worker.monitor is not None
-                out = worker.monitor.ingest_cycle(
-                    sub, snapshot, cycle_index=cycle, deadline=deadline
-                )
+                if worker.unreachable:
+                    break
+                try:
+                    out = self._ingest(worker, cycle, sub, snapshot, deadline)
+                except (UnreachableShardError, TransportTimeout):
+                    self._mark_unreachable(worker)
+                    break
             worker.pending.popleft()
             worker.last_cycle = cycle
             worker.beats += 1
@@ -718,6 +969,14 @@ class ElasticFleet:
                 worker.hung = False
                 self._restart(worker, reason="hang")
             self._drain(worker)
+            if worker.unreachable:
+                # A handoff moves consumer state between shards; doing
+                # that across a partition would fork ownership.  Refuse
+                # and let the operator retry once the link heals.
+                raise SupervisorError(
+                    f"shard {name!r} is unreachable (network partition); "
+                    "cannot rebalance across a partition"
+                )
             assert worker.monitor is not None
             if worker.monitor.service.cycles_ingested != self._cycle:
                 raise SupervisorError(
@@ -749,9 +1008,9 @@ class ElasticFleet:
         # --- snapshot: every shard durable & self-contained at _cycle
         self._phase(on_phase, "snapshot")
         for name in sorted(self._workers):
-            monitor = self._workers[name].monitor
-            assert monitor is not None
-            monitor.checkpoint_now()
+            worker = self._workers[name]
+            assert worker.monitor is not None
+            self._checkpoint(worker)
         # --- commit: bump epochs, persist new topology + pending record
         self._phase(on_phase, "commit")
         record = HandoffRecord(
@@ -782,7 +1041,9 @@ class ElasticFleet:
         for name, members in new_assignment.items():
             self._workers[name].consumers = tuple(members)
         # Re-wrap the live workers of every touched active shard at the
-        # new epoch; the previous wrappers become stale writers.
+        # new epoch; the previous wrappers become stale writers.  The
+        # endpoint rebinding also re-acquires each lease at the bumped
+        # epoch, so wire-level ownership tracks the fence map.
         for name in sorted(touched):
             worker = self._workers.get(name)
             if worker is not None and worker.monitor is not None:
@@ -792,6 +1053,7 @@ class ElasticFleet:
                     self._fence[name],
                     self._fence,
                 )
+                self._bind_endpoint(worker, worker.monitor)
         self._persist(pending=record)
         # --- install + finalize (shared with crash roll-forward)
         self._apply_record(record, on_phase)
@@ -892,9 +1154,11 @@ class ElasticFleet:
                     consumer=cid,
                     shard=src,
                 ):
-                    packet = src_service.extract_consumer(cid)
+                    packet = self._route_extract(
+                        src, src_service, cid, record.cycle
+                    )
             else:
-                packet = src_service.extract_consumer(cid)
+                packet = self._route_extract(src, src_service, cid, record.cycle)
             if install_ctx is not None and dst_service.tracer is not None:
                 with dst_service.tracer.span(
                     "adopt_consumer",
@@ -902,16 +1166,16 @@ class ElasticFleet:
                     consumer=cid,
                     shard=dst,
                 ):
-                    dst_service.adopt_consumer(cid, packet)
+                    self._route_adopt(dst, dst_service, cid, packet, record.cycle)
             else:
-                dst_service.adopt_consumer(cid, packet)
+                self._route_adopt(dst, dst_service, cid, packet, record.cycle)
         # Destinations first: after this point the movers' new homes are
         # durable, so a crash resolves every mover to its destination.
         destinations = sorted({dst for _, _, dst in record.moves})
         for name in destinations:
             worker = self._workers.get(name)
             if worker is not None and worker.monitor is not None:
-                worker.monitor.checkpoint_now()
+                self._checkpoint(worker)
         # Release movers from their sources, then make that durable too.
         for cid, src, dst in record.moves:
             src_service = sources[src]
@@ -920,7 +1184,7 @@ class ElasticFleet:
         for name in sorted({src for _, src, _ in record.moves}):
             worker = self._workers.get(name)
             if worker is not None and worker.monitor is not None:
-                worker.monitor.checkpoint_now()
+                self._checkpoint(worker)
         # Archive retiring shards: their reports stay in the merged
         # plane, their workers leave the fleet.
         for name in record.retiring:
@@ -943,8 +1207,68 @@ class ElasticFleet:
                 self._retired_checkpoints[name] = archive
             self._fence.pop(name, None)
             self.watermarks.high_marks.pop(name, None)
+            self.transport.unregister(name)
+            self._clients.pop(name, None)
         self._phase(on_phase, "finalize")
         self._persist(pending=None)
+
+    def _route_extract(
+        self,
+        shard: str,
+        service: "TheftMonitoringService",
+        cid: str,
+        cycle: int,
+    ):
+        """Extract a mover's state packet, over the wire when possible.
+
+        Handoff sources can be services with no live endpoint (retiring
+        shards recovered during a crash roll-forward); those are called
+        directly.  Active workers go through the transport, so the
+        migration inherits duplicate absorption: a retried extract
+        returns the cached packet instead of extracting twice.
+        """
+        worker = self._workers.get(shard)
+        if (
+            worker is not None
+            and worker.monitor is not None
+            and worker.monitor.service is service
+            and self.transport.endpoint_or_none(shard) is not None
+        ):
+            reply = self._client(shard).call(
+                "extract",
+                cid,
+                seq=cycle,
+                lease_epoch=self._fence.get(shard, 0),
+                request_id=f"{shard}:extract:{cid}@{cycle}",
+            )
+            return reply.value
+        return service.extract_consumer(cid)
+
+    def _route_adopt(
+        self,
+        shard: str,
+        service: "TheftMonitoringService",
+        cid: str,
+        packet,
+        cycle: int,
+    ) -> None:
+        """Adopt a mover on its destination, over the wire when possible."""
+        worker = self._workers.get(shard)
+        if (
+            worker is not None
+            and worker.monitor is not None
+            and worker.monitor.service is service
+            and self.transport.endpoint_or_none(shard) is not None
+        ):
+            self._client(shard).call(
+                "adopt",
+                {"consumer": cid, "packet": packet},
+                seq=cycle,
+                lease_epoch=self._fence.get(shard, 0),
+                request_id=f"{shard}:adopt:{cid}@{cycle}",
+            )
+            return
+        service.adopt_consumer(cid, packet)
 
     def _donor_clock(self, record: HandoffRecord) -> dict:
         """Clock for a virgin shard, taken from a quiesced move source."""
@@ -1003,6 +1327,44 @@ class ElasticFleet:
         """Wedge one shard: it stops draining its pending queue."""
         self._worker(name).hung = True
         self._update_gauges()
+
+    # ------------------------------------------------------------------
+    # Partition recovery
+    # ------------------------------------------------------------------
+
+    def drain_backlog(self) -> int:
+        """Probe every unreachable shard and drain all backlogs now.
+
+        The per-cycle dispatch already probes and drains lazily; call
+        this after healing a partition (or before reading final merged
+        verdicts) to force the replay immediately instead of waiting
+        for the next cycle.  Returns the number of buffered cycles
+        drained across the fleet.
+        """
+        if self._closed:
+            raise SupervisorError("fleet is closed")
+        drained = 0
+        for name in sorted(self._workers):
+            worker = self._workers[name]
+            before = len(worker.pending)
+            self._drain(worker)
+            drained += before - len(worker.pending)
+        self._update_gauges()
+        return drained
+
+    def unreachable_shards(self) -> tuple[str, ...]:
+        """Shards currently marked unreachable over the transport."""
+        return tuple(
+            name
+            for name in sorted(self._workers)
+            if self._workers[name].unreachable
+        )
+
+    def shard_lease(self, name: str):
+        """The wire-side :class:`~repro.transport.ShardLease` for one
+        shard (``None`` when its endpoint holds no lease)."""
+        endpoint = self.transport.endpoint_or_none(name)
+        return None if endpoint is None else endpoint.lease
 
     # ------------------------------------------------------------------
     # Queries / merged plane
@@ -1146,10 +1508,12 @@ class ElasticFleet:
             "Elastic-fleet shard workers in each health state.",
             labels=("state",),
         )
-        counts = {"running": 0, "hung": 0, "dead": 0}
+        counts = {"running": 0, "hung": 0, "dead": 0, "unreachable": 0}
         for worker in self._workers.values():
             if worker.monitor is None:
                 counts["dead"] += 1
+            elif worker.unreachable:
+                counts["unreachable"] += 1
             elif worker.hung:
                 counts["hung"] += 1
             else:

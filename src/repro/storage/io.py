@@ -165,31 +165,37 @@ def retry_io(
 
     Only :class:`TransientStorageError`-class failures are retried —
     ``ENOSPC`` cannot succeed on a retry and unknown errors should not
-    be hammered.  ``policy.max_attempts`` bounds the retries and
-    ``policy.attempt_cost`` shapes the backoff; ``sleep`` defaults to
-    no wall-clock waiting because the pipeline is simulation-clocked
-    (pass ``time.sleep`` in a real deployment).
+    be hammered.  A thin storage-flavoured shim over the shared
+    :func:`repro.resilience.retry.retry_call` loop (the same one the
+    transport's :class:`~repro.transport.ShardClient` uses): this layer
+    adds only the ``errno`` triage and the per-site retry counter.
+    ``sleep`` defaults to no wall-clock waiting because the pipeline is
+    simulation-clocked (pass ``time.sleep`` in a real deployment).
     """
-    attempt = 0
-    while True:
+    from repro.resilience.retry import retry_call
+
+    def classified() -> _T:
         try:
             return operation()
         except OSError as exc:
-            wrapped = classify_storage_error(exc, site)
-            if (
-                not isinstance(wrapped, TransientStorageError)
-                or attempt + 1 >= policy.max_attempts
-            ):
-                raise wrapped from exc
-            attempt += 1
-            if metrics is not None:
-                metrics.counter(
-                    "fdeta_storage_retries_total",
-                    "Transient storage errors retried, by write site.",
-                    labels=("site",),
-                ).inc(site=site)
-            if sleep is not None:
-                sleep(policy.attempt_cost(attempt))
+            raise classify_storage_error(exc, site) from exc
+
+    def count_retry(attempt: int, exc: BaseException) -> None:
+        if metrics is not None:
+            metrics.counter(
+                "fdeta_storage_retries_total",
+                "Transient storage errors retried, by write site.",
+                labels=("site",),
+            ).inc(site=site)
+
+    return retry_call(
+        classified,
+        policy=policy,
+        retryable=TransientStorageError,
+        label=site,
+        on_retry=count_retry,
+        sleep=sleep,
+    )
 
 
 def atomic_write_bytes(

@@ -1,0 +1,113 @@
+"""Idempotent request envelopes: the unit the control plane ships.
+
+Every coordinator→shard call travels as one :class:`Envelope` and comes
+back as one :class:`Reply`.  Two fields carry the whole fault-tolerance
+story:
+
+* ``request_id`` — a *deterministic* identity for the logical request
+  (``"shard-0001:ingest:42"``), reused verbatim by every retry.  The
+  endpoint keeps a bounded cache of replies by request id, so a retry
+  whose original attempt actually executed (reply lost in flight) is
+  absorbed as a duplicate instead of being applied twice.  This is what
+  makes *at-least-once* delivery safe over non-idempotent operations
+  like ``extract``.
+* ``checksum`` — a fingerprint of the payload taken when the envelope
+  is sealed.  The endpoint verifies it before executing anything, so a
+  garbled frame is NACKed (:class:`~repro.errors.CorruptEnvelopeError`)
+  and retried rather than half-applied.
+
+``holder``/``lease_epoch`` identify the coordinator for lease-fenced
+write kinds (see :mod:`repro.transport.lease`); ``attempt`` counts
+retries for observability only — it deliberately does *not* participate
+in the request identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, replace
+
+__all__ = ["Envelope", "Reply", "payload_fingerprint"]
+
+
+def payload_fingerprint(payload: object) -> str:
+    """A short stable fingerprint of ``payload`` for checksum checks.
+
+    Hashes the pickled bytes (an order of magnitude cheaper than
+    ``repr`` for the reading dicts that dominate ingest traffic),
+    falling back to ``repr`` for payloads pickle refuses.  Either way
+    the digest is stable for the lifetime of the objects being shipped,
+    which is exactly the window between sealing an envelope and
+    delivering it in-process.  This is integrity against *transit*
+    corruption (the ``garble`` fault), not a serialization format.
+    """
+    try:
+        data = pickle.dumps(payload, protocol=5)
+    except Exception:
+        data = repr(payload).encode("utf-8", "backslashreplace")
+    return hashlib.blake2b(data, digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One request frame: identity, routing, payload, and provenance."""
+
+    request_id: str
+    kind: str
+    shard: str
+    seq: int
+    payload: object = None
+    holder: str = ""
+    lease_epoch: int = 0
+    attempt: int = 0
+    checksum: str = ""
+
+    @classmethod
+    def seal(
+        cls,
+        *,
+        request_id: str,
+        kind: str,
+        shard: str,
+        seq: int,
+        payload: object = None,
+        holder: str = "",
+        lease_epoch: int = 0,
+        attempt: int = 0,
+    ) -> "Envelope":
+        """Build an envelope with its payload checksum stamped in."""
+        return cls(
+            request_id=request_id,
+            kind=kind,
+            shard=shard,
+            seq=seq,
+            payload=payload,
+            holder=holder,
+            lease_epoch=lease_epoch,
+            attempt=attempt,
+            checksum=payload_fingerprint(payload),
+        )
+
+    def verify(self) -> bool:
+        """Whether the payload still matches the sealed checksum."""
+        return self.checksum == payload_fingerprint(self.payload)
+
+    def garbled(self) -> "Envelope":
+        """A copy whose checksum no longer matches (the garble fault)."""
+        flipped = ("0" if self.checksum[:1] != "0" else "f") + self.checksum[1:]
+        return replace(self, checksum=flipped)
+
+
+@dataclass(frozen=True)
+class Reply:
+    """One response frame, tagged with the request it answers.
+
+    ``duplicate`` is true when the endpoint answered from its reply
+    cache — the request had already executed and this reply merely
+    re-delivers the lost acknowledgement.
+    """
+
+    request_id: str
+    value: object = None
+    duplicate: bool = False

@@ -1,0 +1,73 @@
+"""Shard ownership leases: epoch fencing that survives the coordinator.
+
+The fleet's in-process fencing (:class:`~repro.scaleout.handoff.FencedMonitor`)
+pins each worker wrapper to the ownership epoch it was built under —
+but the fence *map* lives inside one ``ElasticFleet`` instance.  A
+**zombie coordinator** — an old fleet object still alive after a new
+incarnation reopened the same ``base_dir`` — holds its own fence map,
+which nobody ever bumps, so its wrappers would happily keep writing.
+
+The lease closes that gap by moving ownership to the shard side of the
+wire: each :class:`~repro.transport.base.ShardEndpoint` holds at most
+one :class:`ShardLease` naming the coordinator allowed to send write
+kinds.  The rules:
+
+* a lease is **granted** (``lease.acquire``) when the shard has none,
+  the requester already holds it, the requester presents a strictly
+  higher epoch, or the current lease has expired (its holder stopped
+  renewing for ``ttl`` sequence steps);
+* every accepted write from the holder **renews** the lease
+  (``expires_seq = seq + ttl``), so a live coordinator never loses a
+  shard it is actively driving;
+* a write from anyone else raises
+  :class:`~repro.errors.StaleLeaseError` — ownership changes *only*
+  through ``lease.acquire``, never as a side effect of a write, which
+  is what makes "exactly one owner at all times" a checkable invariant:
+  the holder field of the single lease record is the owner, full stop.
+
+Epochs are the same ownership epochs the fence map carries (restarts,
+handoffs, and fleet reopenings bump them), so lease precedence and
+:class:`FencedMonitor` precedence can never disagree about ordering.
+Sequence numbers are fleet cycles — the system is simulation-clocked,
+so lease expiry is measured in cycles of silence, not wall seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ShardLease"]
+
+
+@dataclass
+class ShardLease:
+    """One shard's current ownership grant."""
+
+    holder: str
+    epoch: int
+    expires_seq: int
+    ttl: int
+
+    def __post_init__(self) -> None:
+        if not self.holder:
+            raise ConfigurationError("lease holder must be non-empty")
+        if self.ttl < 1:
+            raise ConfigurationError(f"lease ttl must be >= 1, got {self.ttl}")
+
+    def expired(self, seq: int) -> bool:
+        """Whether the holder has gone ``ttl`` sequence steps silent."""
+        return seq > self.expires_seq
+
+    def renew(self, seq: int) -> None:
+        """Push expiry out to ``seq + ttl`` (never backwards)."""
+        self.expires_seq = max(self.expires_seq, seq + self.ttl)
+
+    def to_dict(self) -> dict:
+        return {
+            "holder": self.holder,
+            "epoch": self.epoch,
+            "expires_seq": self.expires_seq,
+            "ttl": self.ttl,
+        }

@@ -1,0 +1,111 @@
+"""CLI network-fault robustness: injection, partition heal, ledger."""
+
+import json
+
+from repro.cli import main
+
+_BASE = [
+    "monitor",
+    "--consumers",
+    "4",
+    "--weeks",
+    "5",
+    "--min-training-weeks",
+    "2",
+    "--retrain-every-weeks",
+    "4",
+]
+
+
+def _elastic(tmp_path, name, *extra):
+    return _BASE + [
+        "--elastic",
+        "--shards",
+        "2",
+        "--wal-dir",
+        str(tmp_path / name),
+        *extra,
+    ]
+
+
+def _final_summary(out):
+    return [
+        line
+        for line in out.splitlines()
+        if line.startswith(
+            ("total alerts:", "suspected attackers:", "suspected victims:")
+        )
+    ]
+
+
+class TestUsageErrors:
+    def test_network_faults_require_elastic(self, capsys):
+        code = main(_BASE + ["--network-faults", "shard-0000:ingest@5=drop"])
+        assert code == 2
+        assert "--network-faults requires --elastic" in capsys.readouterr().err
+
+    def test_ledger_requires_network_faults(self, tmp_path, capsys):
+        code = main(
+            _elastic(
+                tmp_path, "w", "--transport-ledger-out", str(tmp_path / "l")
+            )
+        )
+        assert code == 2
+        assert "--network-faults" in capsys.readouterr().err
+
+    def test_bad_spec_and_bad_ttl_exit_2(self, tmp_path, capsys):
+        assert (
+            main(_elastic(tmp_path, "w", "--network-faults", "nonsense")) == 2
+        )
+        assert "bad network fault spec" in capsys.readouterr().err
+        assert main(_elastic(tmp_path, "w", "--lease-ttl-cycles", "0")) == 2
+        assert "--lease-ttl-cycles" in capsys.readouterr().err
+
+
+class TestPartitionHealRun:
+    def test_partition_heals_to_clean_run_verdicts(self, tmp_path, capsys):
+        assert main(_elastic(tmp_path, "clean")) == 0
+        baseline = _final_summary(capsys.readouterr().out)
+
+        ledger_path = tmp_path / "ledger.json"
+        code = main(
+            _elastic(
+                tmp_path,
+                "chaos",
+                "--network-faults",
+                "shard-0000:ingest@40=partition,shard-*:ingest@90=drop",
+                "--transport-ledger-out",
+                str(ledger_path),
+            )
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "network-fault injection armed: 2 scheduled fault(s)" in (
+            captured.err
+        )
+        assert "partition healed: replayed" in captured.err
+        assert "network faults injected: 2/2" in captured.err
+        # The merged verdicts converge to the undisturbed run's.
+        assert _final_summary(captured.out) == baseline
+
+        ledger = json.loads(ledger_path.read_text())
+        assert ledger["injected"] == 2
+        assert {e["kind"] for e in ledger["ledger"]} == {"partition", "drop"}
+
+    def test_transient_faults_invisible(self, tmp_path, capsys):
+        assert main(_elastic(tmp_path, "clean")) == 0
+        baseline = capsys.readouterr().out
+        code = main(
+            _elastic(
+                tmp_path,
+                "chaos",
+                "--network-faults",
+                "shard-*:ingest@13=delay,shard-*:ingest@57=garble,"
+                "shard-*:ingest@101=dup",
+            )
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # Absorbed faults never surface in stdout — byte-for-byte clean.
+        assert captured.out == baseline
+        assert "network faults injected: 3/3" in captured.err

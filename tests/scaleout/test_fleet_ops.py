@@ -66,7 +66,12 @@ class TestHealthVerdicts:
             assert "no running monitor" in shard.reasons
             assert report.unready() == ("shard-0000",)
             assert not report.fleet_live and not report.fleet_ready
-            assert report.states == {"running": 1, "hung": 0, "dead": 1}
+            assert report.states == {
+                "running": 1,
+                "hung": 0,
+                "dead": 1,
+                "unreachable": 0,
+            }
             ready_gauge = fleet.metrics.gauge(
                 "fdeta_fleet_shard_ready", labels=("shard",)
             )

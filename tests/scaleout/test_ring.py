@@ -128,3 +128,56 @@ class TestMinimalMovement:
     def test_moved_consumers_requires_same_roster(self):
         with pytest.raises(ConfigurationError):
             moved_consumers({"a": ("x",)}, {"a": ("x", "y")})
+
+
+class TestEdgeCases:
+    """Degenerate fleets: empty ring, one shard, removing the last shard."""
+
+    def test_empty_ring_has_no_shards_and_refuses_placement(self):
+        ring = HashRing(())
+        assert ring.shards == () and len(ring) == 0
+        with pytest.raises(ConfigurationError, match="no shards"):
+            ring.owner("m0001")
+        with pytest.raises(ConfigurationError, match="no shards"):
+            balanced_assignments(ring, ROSTER)
+        with pytest.raises(ConfigurationError, match="no shards"):
+            ring.assignments(ROSTER)
+        # Only the empty roster has a (vacuous) placement on no shards.
+        assert ring.assignments(()) == {}
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(("only",))
+        assign = balanced_assignments(ring, ROSTER)
+        assert assign == {"only": tuple(sorted(ROSTER))}
+        assert all(ring.owner(cid) == "only" for cid in ROSTER[:10])
+
+    def test_remove_last_shard_leaves_a_working_empty_ring(self):
+        ring = HashRing(("only",))
+        ring.remove_shard("only")
+        assert ring.shards == () and "only" not in ring
+        with pytest.raises(ConfigurationError, match="no shards"):
+            ring.owner("m0001")
+        # The emptied ring is still a live object: re-adding restores
+        # the exact placement a fresh ring would produce.
+        ring.add_shard("only")
+        assert ring.assignments(ROSTER) == HashRing(("only",)).assignments(
+            ROSTER
+        )
+
+    def test_single_consumer_single_shard(self):
+        ring = HashRing(("only",))
+        assert balanced_assignments(ring, ("m0001",)) == {"only": ("m0001",)}
+
+    def test_fewer_consumers_than_shards_refused(self):
+        ring = HashRing(SHARDS)
+        with pytest.raises(ConfigurationError, match="at least one consumer"):
+            balanced_assignments(ring, ("m0001", "m0002"))
+
+    def test_consumers_equal_shards_places_one_each(self):
+        ring = HashRing(SHARDS)
+        assign = balanced_assignments(ring, ROSTER[: len(SHARDS)])
+        assert sorted(len(v) for v in assign.values()) == [1, 1, 1, 1]
+
+    def test_empty_roster_on_empty_ring_still_refused(self):
+        with pytest.raises(ConfigurationError, match="no shards"):
+            balanced_assignments(HashRing(()), ())

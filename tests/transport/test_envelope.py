@@ -1,0 +1,56 @@
+"""Envelope identity, checksums, and the garble helper."""
+
+from repro.transport import Envelope, Reply, payload_fingerprint
+
+
+class TestFingerprint:
+    def test_deterministic_for_equal_payloads(self):
+        a = payload_fingerprint({"cycle": 3, "reported": {"c1": 1.5}})
+        b = payload_fingerprint({"cycle": 3, "reported": {"c1": 1.5}})
+        assert a == b
+
+    def test_distinguishes_payloads(self):
+        assert payload_fingerprint({"cycle": 3}) != payload_fingerprint(
+            {"cycle": 4}
+        )
+
+    def test_none_payload_supported(self):
+        assert payload_fingerprint(None) == payload_fingerprint(None)
+
+
+class TestEnvelope:
+    def test_seal_stamps_matching_checksum(self):
+        env = Envelope.seal(
+            request_id="s:ingest:0",
+            kind="ingest",
+            shard="s",
+            seq=0,
+            payload={"cycle": 0},
+        )
+        assert env.verify()
+
+    def test_garbled_copy_fails_verify_but_original_passes(self):
+        env = Envelope.seal(
+            request_id="s:ingest:0", kind="ingest", shard="s", seq=0
+        )
+        bad = env.garbled()
+        assert not bad.verify()
+        assert env.verify()
+        assert bad.request_id == env.request_id
+
+    def test_attempt_not_part_of_identity(self):
+        first = Envelope.seal(
+            request_id="s:ingest:0", kind="ingest", shard="s", seq=0, attempt=0
+        )
+        retry = Envelope.seal(
+            request_id="s:ingest:0", kind="ingest", shard="s", seq=0, attempt=1
+        )
+        assert first.request_id == retry.request_id
+        assert first.checksum == retry.checksum
+
+
+class TestReply:
+    def test_defaults(self):
+        reply = Reply(request_id="r")
+        assert reply.value is None
+        assert not reply.duplicate

@@ -1,0 +1,100 @@
+"""Lease semantics: grant rules, renewal, expiry, exactly-one-owner."""
+
+import pytest
+
+from repro.errors import ConfigurationError, StaleLeaseError, StaleWriterError
+from repro.transport import Envelope, ShardEndpoint, ShardLease
+
+
+def _write(holder, request_id, seq=0):
+    return Envelope.seal(
+        request_id=request_id,
+        kind="ingest",
+        shard="s1",
+        seq=seq,
+        holder=holder,
+    )
+
+
+class TestShardLease:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardLease(holder="", epoch=1, expires_seq=4, ttl=4)
+        with pytest.raises(ConfigurationError):
+            ShardLease(holder="c", epoch=1, expires_seq=4, ttl=0)
+
+    def test_expiry_is_strictly_after_expires_seq(self):
+        lease = ShardLease(holder="c", epoch=1, expires_seq=4, ttl=4)
+        assert not lease.expired(4)
+        assert lease.expired(5)
+
+    def test_renew_never_moves_expiry_backwards(self):
+        lease = ShardLease(holder="c", epoch=1, expires_seq=10, ttl=4)
+        lease.renew(2)
+        assert lease.expires_seq == 10
+        lease.renew(9)
+        assert lease.expires_seq == 13
+
+    def test_stale_lease_is_a_stale_writer(self):
+        # Existing fencing defenses (except StaleWriterError) catch the
+        # wire-level refusal too.
+        assert issubclass(StaleLeaseError, StaleWriterError)
+
+
+class TestAcquisition:
+    def test_first_acquire_granted(self):
+        endpoint = ShardEndpoint("s1")
+        lease = endpoint.acquire_lease("coordA", epoch=1, seq=0, ttl=4)
+        assert lease.holder == "coordA" and lease.expires_seq == 4
+
+    def test_holder_reacquire_keeps_highest_epoch(self):
+        endpoint = ShardEndpoint("s1")
+        endpoint.acquire_lease("coordA", epoch=3, seq=0, ttl=4)
+        lease = endpoint.acquire_lease("coordA", epoch=1, seq=2, ttl=4)
+        assert lease.epoch == 3 and lease.expires_seq == 6
+
+    def test_higher_epoch_takes_over(self):
+        endpoint = ShardEndpoint("s1")
+        endpoint.acquire_lease("coordA", epoch=1, seq=0, ttl=4)
+        lease = endpoint.acquire_lease("coordB", epoch=2, seq=1, ttl=4)
+        assert lease.holder == "coordB"
+
+    def test_equal_or_lower_epoch_refused_while_fresh(self):
+        endpoint = ShardEndpoint("s1")
+        endpoint.acquire_lease("coordA", epoch=2, seq=0, ttl=4)
+        with pytest.raises(StaleLeaseError):
+            endpoint.acquire_lease("coordB", epoch=2, seq=1, ttl=4)
+        with pytest.raises(StaleLeaseError):
+            endpoint.acquire_lease("coordB", epoch=1, seq=1, ttl=4)
+
+    def test_expired_lease_claimable_at_any_epoch(self):
+        endpoint = ShardEndpoint("s1")
+        endpoint.acquire_lease("coordA", epoch=5, seq=0, ttl=2)
+        # coordA went silent past seq 2; coordB may claim with epoch 1.
+        lease = endpoint.acquire_lease("coordB", epoch=1, seq=3, ttl=2)
+        assert lease.holder == "coordB"
+
+
+class TestWriteFencing:
+    def test_holder_write_renews(self):
+        endpoint = ShardEndpoint("s1")
+        endpoint.bind({"ingest": lambda p: "ok"})
+        endpoint.acquire_lease("coordA", epoch=1, seq=0, ttl=4)
+        endpoint.deliver(_write("coordA", "r1", seq=6))
+        assert endpoint.lease.expires_seq == 10
+
+    def test_non_holder_write_always_refused(self):
+        """Ownership changes only through lease.acquire, never as a
+        side effect of a write — the exactly-one-owner invariant."""
+        endpoint = ShardEndpoint("s1")
+        endpoint.bind({"ingest": lambda p: "ok"})
+        endpoint.acquire_lease("coordA", epoch=1, seq=0, ttl=2)
+        # Even far past expiry the write is refused: the usurper must
+        # acquire first, so ownership transfer is always explicit.
+        with pytest.raises(StaleLeaseError):
+            endpoint.deliver(_write("coordB", "r1", seq=50))
+
+    def test_leaseless_endpoint_accepts_writes(self):
+        endpoint = ShardEndpoint("s1")
+        endpoint.bind({"ingest": lambda p: "ok"})
+        assert endpoint.deliver(_write("anyone", "r1")).value == "ok"
