@@ -1,0 +1,187 @@
+"""Benchmarks the training-integrity plane's hot-path cost.
+
+Two records land in ``BENCH_integrity.json``:
+
+* ``sentinel_overhead`` — end-to-end online monitoring with the
+  integrity plane armed, alongside a bare twin run on the same cycles.
+  The drift-sentinel screening itself is timed via an instrumented
+  sentinel, and its share of the armed run's wall clock is gated at 5%:
+  screening every consumer at every retraining must stay a rounding
+  error next to ingestion and scoring.
+* ``canary_gate`` — the promotion gate's latency on a trained
+  framework.  The gate is gated (sic) at the cost of the retraining it
+  guards: a canary evaluation that costs more than the training it
+  vets would invert the economics of gated promotion.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+
+from repro.core.framework import FDetaFramework
+from repro.core.kld import KLDDetector
+from repro.core.online import TheftMonitoringService
+from repro.integrity import CanaryGate, DriftSentinel, IntegrityConfig
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+from benchmarks.conftest import BENCH_CONSUMERS, BENCH_SEED, BenchTimer, record_bench
+
+_WEEKS = 12
+_MIN_TRAINING = 6
+_RETRAIN_EVERY = 4
+_REPS = 5
+_MAX_SENTINEL_SHARE = 0.05
+
+
+class _TimedSentinel(DriftSentinel):
+    """A sentinel that accumulates its own screening wall clock."""
+
+    def __init__(self, config):
+        super().__init__(config)
+        self.elapsed = 0.0
+        self.calls = 0
+
+    def screen(self, matrix, week_indices):
+        started = time.perf_counter()
+        try:
+            return super().screen(matrix, week_indices)
+        finally:
+            self.elapsed += time.perf_counter() - started
+            self.calls += 1
+
+
+def _population(n=BENCH_CONSUMERS):
+    profile = 0.4 * (
+        1.0 + 0.5 * np.sin(np.linspace(0.0, 2.0 * np.pi, SLOTS_PER_WEEK)) ** 2
+    )
+    rng = np.random.default_rng(BENCH_SEED)
+    return {
+        f"c{i:04d}": np.clip(
+            profile[None, :]
+            * rng.normal(1.0, 0.05, (_WEEKS, SLOTS_PER_WEEK)),
+            0.0,
+            None,
+        ).ravel()
+        for i in range(n)
+    }
+
+
+def _run(series, integrity, sentinel=None):
+    service = TheftMonitoringService(
+        detector_factory=lambda: KLDDetector(significance=0.05),
+        min_training_weeks=_MIN_TRAINING,
+        retrain_every_weeks=_RETRAIN_EVERY,
+        integrity=integrity,
+    )
+    if sentinel is not None:
+        service.sentinel = sentinel
+    ids = list(series)
+    with BenchTimer() as timer:
+        for slot in range(_WEEKS * SLOTS_PER_WEEK):
+            service.ingest_cycle(
+                {cid: float(series[cid][slot]) for cid in ids}
+            )
+    assert service.weeks_completed == _WEEKS
+    if integrity is not None:
+        assert service.model_version() is not None
+    return timer.elapsed, service
+
+
+def test_sentinel_overhead_under_bound():
+    """Screening every retrain stays under 5% of the armed run."""
+    series = _population()
+    config = IntegrityConfig()
+
+    # Warmup pair, then interleaved measurement (cancels drift).
+    _run(series, None)
+    _run(series, config)
+
+    bare_runs, armed_runs, screen_shares = [], [], []
+    sentinel = None
+    for _ in range(_REPS):
+        bare_runs.append(_run(series, None)[0])
+        sentinel = _TimedSentinel(config)
+        elapsed, _service = _run(series, config, sentinel=sentinel)
+        armed_runs.append(elapsed)
+        screen_shares.append(sentinel.elapsed / elapsed)
+    bare = statistics.median(bare_runs)
+    armed = statistics.median(armed_runs)
+    share = statistics.median(screen_shares)
+
+    expected_screens = len(series) * (
+        1 + (_WEEKS - _MIN_TRAINING - 1) // _RETRAIN_EVERY
+    )
+    assert sentinel.calls == expected_screens
+
+    record_bench(
+        "integrity",
+        armed,
+        stage="sentinel_overhead",
+        weeks=_WEEKS,
+        reps=_REPS,
+        retrain_every=_RETRAIN_EVERY,
+        bare_seconds=bare,
+        armed_over_bare=armed / max(bare, 1e-9),
+        sentinel_seconds=sentinel.elapsed,
+        sentinel_share=share,
+        screens=sentinel.calls,
+    )
+
+    assert share < _MAX_SENTINEL_SHARE, (
+        f"sentinel screening is {share:.1%} of the armed run "
+        f"(bound {_MAX_SENTINEL_SHARE:.0%}; bare {bare:.3f}s, "
+        f"armed {armed:.3f}s)"
+    )
+
+
+def test_canary_gate_cheaper_than_the_training_it_guards():
+    """Gate latency must stay below one retraining's cost."""
+    series = _population()
+    matrices = {
+        cid: values.reshape(_WEEKS, SLOTS_PER_WEEK)
+        for cid, values in series.items()
+    }
+    config = IntegrityConfig()
+    references = {cid: matrix[0] for cid, matrix in matrices.items()}
+
+    def train():
+        framework = FDetaFramework(
+            detector_factory=lambda: KLDDetector(significance=0.05)
+        )
+        with BenchTimer() as timer:
+            framework.train(matrices)
+        return timer.elapsed, framework
+
+    train_times, gate_times = [], []
+    _elapsed, framework = train()
+    gate = CanaryGate(config)
+    report = gate.evaluate(framework, references, seed=0)
+    assert report.passed
+    for rep in range(_REPS):
+        elapsed, framework = train()
+        train_times.append(elapsed)
+        with BenchTimer() as timer:
+            report = gate.evaluate(framework, references, seed=rep)
+        gate_times.append(timer.elapsed)
+        assert report.passed
+    train_median = statistics.median(train_times)
+    gate_median = statistics.median(gate_times)
+
+    record_bench(
+        "integrity",
+        gate_median,
+        stage="canary_gate",
+        reps=_REPS,
+        train_seconds=train_median,
+        gate_over_train=gate_median / max(train_median, 1e-9),
+        sampled_consumers=min(config.canary_sample, BENCH_CONSUMERS),
+        factors=len(config.canary_factors),
+    )
+
+    assert gate_median < train_median, (
+        f"canary gate {gate_median:.4f}s costs more than the "
+        f"retraining it guards ({train_median:.4f}s)"
+    )

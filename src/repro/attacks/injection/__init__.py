@@ -6,6 +6,7 @@ from repro.attacks.injection.base import (
     InjectionContext,
 )
 from repro.attacks.injection.naive import ScalingAttack, ZeroReportAttack
+from repro.attacks.injection.ramp import BoilingFrogRampAttack
 from repro.attacks.injection.arima_attack import ARIMAAttack
 from repro.attacks.injection.integrated_arima import IntegratedARIMAAttack
 from repro.attacks.injection.optimal_swap import OptimalSwapAttack
@@ -18,6 +19,7 @@ __all__ = [
     "CombinationAttack",
     "AttackInjector",
     "AttackVector",
+    "BoilingFrogRampAttack",
     "InjectionContext",
     "IntegratedARIMAAttack",
     "OptimalSwapAttack",

@@ -397,7 +397,9 @@ def _monitor_command(args: argparse.Namespace) -> int:
     )
     from repro.errors import (
         ConfigurationError,
+        DataError,
         DurabilityError,
+        InjectionError,
         StorageDegradedError,
         StorageError,
     )
@@ -477,6 +479,37 @@ def _monitor_command(args: argparse.Namespace) -> int:
     if args.revisions_out and not args.eventtime:
         print("--revisions-out requires --eventtime", file=sys.stderr)
         return 2
+    if args.canary_floor is not None and not args.integrity:
+        print("--canary-floor requires --integrity", file=sys.stderr)
+        return 2
+    if args.lineage_out and not args.integrity:
+        print("--lineage-out requires --integrity", file=sys.stderr)
+        return 2
+    if args.lineage_out and (args.eventtime or args.elastic or args.shards > 1):
+        print(
+            "--lineage-out needs the single-service monitor "
+            "(drop --eventtime/--elastic/--shards)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.model_rollback is not None:
+        if not args.integrity:
+            print("--model-rollback requires --integrity", file=sys.stderr)
+            return 2
+        if not (args.resume or args.recover):
+            print(
+                "--model-rollback requires --resume or --recover (the "
+                "registry holding the target version lives in the "
+                "checkpoint)",
+                file=sys.stderr,
+            )
+            return 2
+    if args.training_window is not None and args.training_window < 2:
+        print("--training-window must be >= 2", file=sys.stderr)
+        return 2
+    if args.ramp_attack is not None and args.ramp_start_week < 0:
+        print("--ramp-start-week must be >= 0", file=sys.stderr)
+        return 2
     if args.slo_out and not args.elastic:
         print("--slo-out requires --elastic", file=sys.stderr)
         return 2
@@ -532,10 +565,50 @@ def _monitor_command(args: argparse.Namespace) -> int:
             print(str(exc), file=sys.stderr)
             return 2
 
+    integrity = None
+    if args.integrity:
+        from repro.integrity import IntegrityConfig
+
+        overrides = {}
+        if args.canary_floor is not None:
+            overrides["canary_floor"] = args.canary_floor
+        try:
+            integrity = IntegrityConfig(**overrides)
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
     dataset = _dataset_from_args(args)
     ids = dataset.consumers()
     series = {cid: dataset.series(cid) for cid in ids}
     weeks = dataset.n_weeks
+
+    if args.ramp_attack is not None:
+        from repro.attacks.injection.ramp import BoilingFrogRampAttack
+
+        if args.ramp_attack not in series:
+            print(
+                f"--ramp-attack: unknown consumer {args.ramp_attack!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            ramp = BoilingFrogRampAttack(
+                weekly_decay=args.ramp_decay, floor=args.ramp_floor
+            )
+        except InjectionError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        series[args.ramp_attack] = ramp.poison_series(
+            series[args.ramp_attack],
+            start_slot=args.ramp_start_week * SLOTS_PER_WEEK,
+        )
+        print(
+            f"ramp attack armed on {args.ramp_attack}: "
+            f"x{args.ramp_decay:g}/week from week {args.ramp_start_week} "
+            f"to floor {args.ramp_floor:g}",
+            file=sys.stderr,
+        )
 
     def factory():
         return KLDDetector(significance=args.significance)
@@ -557,6 +630,8 @@ def _monitor_command(args: argparse.Namespace) -> int:
             ),
             loadcontrol=loadcontrol,
             eventtime=eventtime,
+            integrity=integrity,
+            training_window_weeks=args.training_window,
         )
 
     if args.eventtime:
@@ -668,6 +743,18 @@ def _monitor_command(args: argparse.Namespace) -> int:
             )
     else:
         service = fresh_service()
+
+    if args.model_rollback is not None:
+        try:
+            restored = service.rollback_model(args.model_rollback)
+        except (ConfigurationError, DataError) as exc:
+            print(f"model rollback failed: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"rolled the active model back to v{restored.version} "
+            f"(promoted at week {restored.week})",
+            file=sys.stderr,
+        )
 
     profiler = None
     if args.profile_out:
@@ -816,6 +903,30 @@ def _monitor_command(args: argparse.Namespace) -> int:
                 lambda: service.firewall.store.write_report(
                     args.quarantine_report
                 ),
+            )
+    if service.model_registry is not None:
+        registry = service.model_registry
+        active = registry.active_version
+        print(
+            "model: "
+            + (
+                f"v{active} active"
+                if active is not None
+                else "no promoted version"
+            )
+            + f", {len(registry.versions())} version(s) in the registry"
+        )
+        last = registry.last_event
+        if last is not None:
+            print(
+                f"last model event: {last.kind} v{last.version} "
+                f"(week {last.week})"
+            )
+        if args.lineage_out:
+            _safe_export(
+                "model lineage",
+                args.lineage_out,
+                lambda: registry.write_report(args.lineage_out),
             )
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint}")
@@ -1917,6 +2028,76 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="with --elastic: add one shard live at the start of week N "
         "(a quiesce -> snapshot -> commit -> install -> finalize handoff)",
+    )
+    mon.add_argument(
+        "--integrity",
+        action="store_true",
+        help="arm the training-integrity defenses: per-consumer drift "
+        "sentinels screen suspect weeks out of every retraining, fits "
+        "are winsorized, and each retrained model becomes a registry "
+        "candidate that must pass the canary gate before promotion",
+    )
+    mon.add_argument(
+        "--canary-floor",
+        type=float,
+        default=None,
+        help="minimum canary detection rate a candidate model must "
+        "reach to be promoted (requires --integrity; default 0.7)",
+    )
+    mon.add_argument(
+        "--training-window",
+        type=int,
+        default=None,
+        metavar="WEEKS",
+        help="retrain on at most the most recent WEEKS eligible weeks "
+        "instead of the full history",
+    )
+    mon.add_argument(
+        "--model-rollback",
+        type=int,
+        default=None,
+        metavar="VERSION",
+        help="after --resume/--recover with --integrity: roll the "
+        "active model back to registry VERSION before continuing "
+        "(one command; subsequent verdicts are bit-identical to a run "
+        "that never promoted the newer versions)",
+    )
+    mon.add_argument(
+        "--lineage-out",
+        type=str,
+        default=None,
+        help="write the model registry lineage report (JSON) here "
+        "(requires --integrity)",
+    )
+    mon.add_argument(
+        "--ramp-attack",
+        type=str,
+        default=None,
+        metavar="CONSUMER",
+        help="poison CONSUMER's reported series with a boiling-frog "
+        "ramp: consumption shaved by --ramp-decay per week from "
+        "--ramp-start-week down to --ramp-floor, slow enough that "
+        "naive retraining absorbs the theft into the baseline",
+    )
+    mon.add_argument(
+        "--ramp-start-week",
+        type=int,
+        default=8,
+        help="week the ramp attack starts (default 8)",
+    )
+    mon.add_argument(
+        "--ramp-decay",
+        type=float,
+        default=0.97,
+        help="multiplicative per-week ramp factor in (0, 1) "
+        "(default 0.97; closer to 1 evades longer)",
+    )
+    mon.add_argument(
+        "--ramp-floor",
+        type=float,
+        default=0.45,
+        help="terminal fraction of actual consumption the ramp holds "
+        "at once reached (default 0.45)",
     )
     _add_observability_options(mon)
     _add_ops_options(mon)

@@ -136,7 +136,13 @@ class FDetaFramework:
         """Fit one detector per consumer on its training matrix."""
         if not train_matrices:
             raise DataError("no training matrices supplied")
-        for cid, matrix in train_matrices.items():
+        # Canonical (sorted) iteration: each consumer's fit is
+        # independent, but detector factories may share hidden state
+        # (an rng, a registry) and the model-lineage fingerprints hash
+        # insertion order — training must be invariant to the caller's
+        # dict ordering.
+        for cid in sorted(train_matrices):
+            matrix = train_matrices[cid]
             detector = self.detector_factory()
             detector.fit(matrix)
             self._detectors[cid] = detector

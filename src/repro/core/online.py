@@ -47,6 +47,7 @@ from repro.eventtime.config import EventTimeConfig
 from repro.eventtime.revision import RevisionKind, RevisionLog, VerdictRevision
 from repro.grid.balance import BalanceAuditor
 from repro.grid.snapshot import DemandSnapshot
+from repro.integrity.config import IntegrityConfig
 from repro.loadcontrol.config import LoadControlConfig, ShedPolicy
 from repro.loadcontrol.deadline import Deadline
 from repro.loadcontrol.queue import BackpressureSignal
@@ -246,6 +247,8 @@ class TheftMonitoringService:
         firewall: ReadingFirewall | None = None,
         loadcontrol: LoadControlConfig | None = None,
         eventtime: EventTimeConfig | None = None,
+        integrity: "IntegrityConfig | None" = None,
+        training_window_weeks: int | None = None,
     ) -> None:
         if eventtime is not None and (resilience is None or firewall is None):
             raise ConfigurationError(
@@ -278,9 +281,27 @@ class TheftMonitoringService:
             raise ConfigurationError(
                 f"retrain_every_weeks must be >= 1, got {retrain_every_weeks}"
             )
+        if training_window_weeks is not None and training_window_weeks < 2:
+            raise ConfigurationError(
+                "training_window_weeks must be >= 2 (a detector cannot "
+                f"fit on fewer rows), got {training_window_weeks}"
+            )
         self.detector_factory = detector_factory
         self.min_training_weeks = int(min_training_weeks)
         self.retrain_every_weeks = int(retrain_every_weeks)
+        #: Bound on how many (newest) clean weeks each retraining fits
+        #: on.  ``None`` keeps the historical grow-forever behaviour.
+        #: A sliding window is what production deployments run — it
+        #: bounds memory and tracks seasonal drift — but it is also the
+        #: boiling-frog ramp's attack surface: the baseline follows
+        #: whatever the window holds.  ``repro.integrity`` exists to
+        #: close exactly that hole (the drift sentinels are anchored on
+        #: each consumer's earliest history, *outside* the window).
+        self.training_window_weeks = (
+            int(training_window_weeks)
+            if training_window_weeks is not None
+            else None
+        )
         self.auditor = auditor
         self.resilience = resilience
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -295,6 +316,36 @@ class TheftMonitoringService:
         self.firewall = firewall
         self.loadcontrol = loadcontrol
         self.eventtime = eventtime
+        #: Training-integrity defenses (``repro.integrity``): drift
+        #: sentinels screening training weeks, winsorized fitting, and
+        #: canary-gated promotion through a versioned model registry.
+        #: ``None`` keeps the historical train-and-swap behaviour
+        #: bit-for-bit.
+        self.integrity = integrity
+        self.model_registry = None
+        #: The drift sentinel is stateless, so one instance serves
+        #: every screening; it is an attribute (not rebuilt per call)
+        #: so benches and tests can install an instrumented subclass.
+        self.sentinel = None
+        if integrity is not None:
+            # Local import: the registry pulls in the attack-injection
+            # taxonomy (for the canary gate), which plain monitoring
+            # deployments should not pay for.
+            from repro.integrity import DriftSentinel, ModelRegistry
+
+            self.sentinel = DriftSentinel(integrity)
+            self.model_registry = ModelRegistry()
+        #: Training weeks excluded by the drift sentinels, per consumer.
+        #: Distinct from ``_quarantined_weeks`` (alert weeks): suspicion
+        #: is monotone — a week convicted of drift never re-enters
+        #: training, even if later weeks look calm.
+        self._suspect_weeks: dict[str, set[int]] = {}
+        #: Each consumer's anchored honest exemplar: the earliest kept
+        #: training week, captured at the consumer's *first* training
+        #: and never replaced.  The canary gate scores candidates
+        #: against this anchor — a sliding training window drifts with
+        #: a ramp, the anchor cannot.
+        self._canary_reference: dict[str, np.ndarray] = {}
         #: Audited record of post-publication verdict changes (event-time
         #: mode); rendered by the CLI's ``--revisions-out``.
         self.revisions = RevisionLog()
@@ -525,13 +576,17 @@ class TheftMonitoringService:
     # Week boundary processing
     # ------------------------------------------------------------------
 
-    def _training_matrix(self, consumer_id: str) -> np.ndarray:
+    def _training_rows(
+        self, consumer_id: str
+    ) -> tuple[np.ndarray, list[int]]:
         matrix = self.store.week_matrix(consumer_id)
         quarantined = self._quarantined_weeks.get(consumer_id, set())
+        suspect = self._suspect_weeks.get(consumer_id, set())
         keep = [
             i
             for i in range(matrix.shape[0])
             if i not in quarantined
+            and i not in suspect
             and bool(np.isfinite(matrix[i]).all())
             # Event-time mode: only *finalized* weeks may train.  A week
             # still inside its grace window can be revised by a late
@@ -543,13 +598,81 @@ class TheftMonitoringService:
                 or self.eventtime.finalization_slot(i) <= self._slot_count
             )
         ]
-        return matrix[keep]
+        return matrix[keep], keep
+
+    def _training_matrix(self, consumer_id: str) -> np.ndarray:
+        matrix, _ = self._training_rows(consumer_id)
+        return matrix
+
+    def _screen_consumer(
+        self, consumer_id: str, matrix: np.ndarray, weeks: list[int]
+    ) -> tuple[np.ndarray, list[int]]:
+        """Run the drift sentinel; exclude and record suspect weeks."""
+        from repro.quarantine.store import (
+            QuarantinedReading,
+            QuarantineReason,
+        )
+
+        result = self.sentinel.screen(matrix, weeks)
+        if not result.suspects:
+            return matrix, weeks
+        marked = self._suspect_weeks.setdefault(consumer_id, set())
+        suspects = self.metrics.counter(
+            "fdeta_integrity_suspect_weeks_total",
+            "Training weeks excluded by the drift sentinels.",
+        )
+        for verdict in result.suspects:
+            marked.add(verdict.week)
+            suspects.inc()
+            self._emit(
+                "warning",
+                "training_week_suspect",
+                consumer=consumer_id,
+                week=verdict.week,
+                psi=round(verdict.psi, 4),
+                cusum_low=round(verdict.cusum_low, 3),
+                cusum_high=round(verdict.cusum_high, 3),
+                reasons="; ".join(verdict.reasons),
+            )
+            if self.firewall is not None:
+                # The evidence locker: the whole week lands in the
+                # quarantine report as one POISON_SUSPECT record whose
+                # value is the week's mean reading.
+                self.firewall.store.add(
+                    QuarantinedReading(
+                        consumer_id=consumer_id,
+                        value=float(
+                            matrix[weeks.index(verdict.week)].mean()
+                        ),
+                        cycle=self._slot_count,
+                        reason=QuarantineReason.POISON_SUSPECT,
+                        declared_slot=verdict.week,
+                        detail="; ".join(verdict.reasons),
+                    )
+                )
+        kept = set(result.kept_weeks)
+        rows = [i for i, week in enumerate(weeks) if week in kept]
+        return matrix[rows], [weeks[i] for i in rows]
 
     def _train(self) -> None:
         with self._span("train", week=self._weeks_completed - 1):
-            matrices = {}
+            matrices: dict[str, np.ndarray] = {}
+            lineage: dict[str, tuple[int, ...]] = {}
             for cid in self.store.consumers():
-                matrix = self._training_matrix(cid)
+                matrix, weeks = self._training_rows(cid)
+                if self.integrity is not None and matrix.shape[0] >= 2:
+                    with self._profile("integrity_screen"):
+                        matrix, weeks = self._screen_consumer(
+                            cid, matrix, weeks
+                        )
+                # The sentinel screens the *full* kept history (its
+                # reference and CUSUM must stay anchored on the earliest
+                # honest weeks); the window then bounds what the fit
+                # actually sees.  Windowing first would let a slow ramp
+                # re-anchor the sentinel every retraining.
+                if self.training_window_weeks is not None:
+                    matrix = matrix[-self.training_window_weeks :]
+                    weeks = weeks[-self.training_window_weeks :]
                 if matrix.shape[0] < 2:
                     if self.resilience is None:
                         raise DataError(
@@ -560,11 +683,37 @@ class TheftMonitoringService:
                     # later retraining once its record recovers.
                     continue
                 matrices[cid] = matrix
+                lineage[cid] = tuple(weeks)
+                if self.integrity is not None:
+                    # Anchor the canary exemplar on the consumer's
+                    # first-ever training: it must never slide with the
+                    # training window, or a ramp could drag it along.
+                    self._canary_reference.setdefault(
+                        cid, np.array(matrix[0], dtype=float)
+                    )
             if not matrices:
                 return
+            fit_matrices = matrices
+            if (
+                self.integrity is not None
+                and self.integrity.winsorize is not None
+            ):
+                from repro.integrity import winsorize_matrix
+
+                fit_matrices = {
+                    cid: winsorize_matrix(m, self.integrity.winsorize)
+                    for cid, m in matrices.items()
+                }
             framework = FDetaFramework(detector_factory=self.detector_factory)
-            framework.train(matrices)
-            self._framework = framework
+            framework.train(fit_matrices)
+            if self.integrity is None:
+                self._framework = framework
+            else:
+                self._gate_candidate(framework, matrices, lineage)
+            # A canary-rejected candidate still advances the training
+            # clock: retraining cadence is a property of the service,
+            # not of promotion outcomes, so poisoned and clean runs
+            # retrain on the same weeks.
             self._weeks_at_last_training = self._weeks_completed
         self.metrics.counter(
             "fdeta_trainings_total", "Detector (re)training rounds."
@@ -575,6 +724,185 @@ class TheftMonitoringService:
             week=self._weeks_completed - 1,
             consumers_trained=len(matrices),
             consumers_skipped=len(self.store.consumers()) - len(matrices),
+        )
+
+    def _gate_candidate(
+        self,
+        framework: FDetaFramework,
+        matrices: Mapping[str, np.ndarray],
+        lineage: Mapping[str, tuple[int, ...]],
+    ) -> None:
+        """Submit a retrained framework and promote it iff canaries pass."""
+        from repro.integrity import CanaryGate
+
+        assert self.model_registry is not None
+        candidate = self.model_registry.submit(
+            framework,
+            lineage,
+            week=self._weeks_completed - 1,
+            cycle=self._slot_count,
+        )
+        with self._profile("canary_gate"):
+            report = CanaryGate(self.integrity).evaluate(
+                framework,
+                # Anchored honest exemplars (earliest kept week at each
+                # consumer's first training) — deliberately NOT the
+                # current window's first row, which a ramp drags along.
+                {
+                    cid: self._canary_reference.get(cid, matrices[cid][0])
+                    for cid in matrices
+                },
+                seed=candidate.version,
+            )
+        self.metrics.counter(
+            "fdeta_integrity_canary_runs_total",
+            "Canary-gate evaluations of candidate models, by outcome.",
+            labels=("outcome",),
+        ).inc(outcome="pass" if report.passed else "fail")
+        if report.passed:
+            self.model_registry.promote(candidate.version, report)
+            self._framework = framework
+            self.metrics.counter(
+                "fdeta_model_promotions_total",
+                "Candidate models promoted to active.",
+            ).inc()
+            self._set_model_gauge()
+            self._emit(
+                "info",
+                "model_promoted",
+                version=candidate.version,
+                week=candidate.week,
+                canary_detected=report.detected,
+                canary_total=report.total,
+            )
+        else:
+            self.model_registry.reject(candidate.version, report)
+            # The previously promoted model (or no model at all, before
+            # the first promotion) keeps scoring; nothing is installed.
+            self._emit(
+                "warning",
+                "model_rejected",
+                version=candidate.version,
+                week=candidate.week,
+                canary_detected=report.detected,
+                canary_total=report.total,
+                canary_floor=report.floor,
+                misses=len(report.misses),
+                clean_failures=list(report.clean_failures),
+            )
+
+    def _set_model_gauge(self) -> None:
+        if self.model_registry is None:
+            return
+        self.metrics.gauge(
+            "fdeta_model_active_version",
+            "Version number of the active (promoted) model; 0 before "
+            "the first promotion.",
+        ).set(float(self.model_registry.active_version or 0))
+
+    # ------------------------------------------------------------------
+    # Model lifecycle (integrity mode)
+    # ------------------------------------------------------------------
+
+    def _require_integrity(self, what: str):
+        if self.integrity is None or self.model_registry is None:
+            raise ConfigurationError(
+                f"{what} requires integrity mode (pass an IntegrityConfig)"
+            )
+        return self.model_registry
+
+    def model_version(self) -> int | None:
+        """The active model version, or ``None`` outside integrity mode
+        (and before the first promotion)."""
+        if self.model_registry is None:
+            return None
+        return self.model_registry.active_version
+
+    def rollback_model(self, version: int):
+        """One-command rollback: restore a previously promoted version.
+
+        The restored framework is rebuilt from the registry's stored
+        state (deep-copied both ways), so subsequent verdicts are
+        bit-identical to a run in which the versions after ``version``
+        were never promoted.
+        """
+        registry = self._require_integrity("rollback_model")
+        target = registry.rollback(
+            version, week=self._weeks_completed, cycle=self._slot_count
+        )
+        self._framework = registry.build_framework(
+            version, self.detector_factory
+        )
+        self.metrics.counter(
+            "fdeta_model_rollbacks_total", "Model rollbacks performed."
+        ).inc()
+        self._set_model_gauge()
+        self._emit(
+            "warning",
+            "model_rolled_back",
+            version=version,
+            week=self._weeks_completed,
+            fingerprint=target.fingerprint[:12],
+        )
+        return target
+
+    def excise_week(
+        self,
+        consumer_id: str,
+        week_index: int,
+        reason: str = "verdict revision convicted a trained week",
+    ):
+        """Retroactively excise a convicted week from the model line.
+
+        Marks the week as permanently barred from training, walks the
+        registry lineage for every version that consumed it, and — when
+        the *active* model is tainted — retrains from the clean prefix
+        through the normal canary gate.  If the clean retrain fails its
+        canary, the newest untainted promoted version is restored
+        instead, so a tainted model never keeps scoring.
+        """
+        from repro.integrity import ExcisionReport
+
+        registry = self._require_integrity("excise_week")
+        if self._population is not None and (
+            consumer_id not in self._population
+        ):
+            raise DataError(f"unknown consumer {consumer_id!r}")
+        if week_index < 0:
+            raise DataError(f"week_index must be >= 0, got {week_index}")
+        self._quarantined_weeks.setdefault(consumer_id, set()).add(week_index)
+        tainted = registry.tainted_by(consumer_id, week_index)
+        self.metrics.counter(
+            "fdeta_integrity_excisions_total",
+            "Training weeks retroactively excised after conviction.",
+        ).inc()
+        self._emit(
+            "warning",
+            "training_week_excised",
+            consumer=consumer_id,
+            week=week_index,
+            reason=reason,
+            tainted_versions=list(tainted),
+        )
+        retrained = False
+        rolled_back_to = None
+        if registry.active_version in tainted:
+            self._train()
+            retrained = True
+            if registry.active_version in tainted:
+                # The clean-prefix candidate failed its canary; fall
+                # back to the newest promoted version with no taint.
+                fallback = registry.newest_clean_restore_point(tainted)
+                if fallback is not None:
+                    self.rollback_model(fallback)
+                    rolled_back_to = fallback
+        return ExcisionReport(
+            consumer_id=consumer_id,
+            week_index=week_index,
+            tainted_versions=tainted,
+            retrained=retrained,
+            active_after=registry.active_version,
+            rolled_back_to=rolled_back_to,
         )
 
     def _complete_week(
@@ -1141,6 +1469,19 @@ class TheftMonitoringService:
             score_before=revision.score_before,
             score_after=revision.score_after,
         )
+        if (
+            kind is RevisionKind.UPGRADE
+            and self.model_registry is not None
+            and self.model_registry.active_version is not None
+            and self.model_registry.active_version
+            in self.model_registry.tainted_by(consumer_id, week_index)
+        ):
+            # Normally unreachable: event-time finalization keeps
+            # revisable weeks out of training.  But if lineage ever
+            # names a now-convicted week (e.g. grace settings changed
+            # across a restore), the tainted model must not keep
+            # scoring — excise it through the standard path.
+            self.excise_week(consumer_id, week_index)
         return revision
 
     # ------------------------------------------------------------------
@@ -1216,6 +1557,8 @@ class TheftMonitoringService:
             "quarantined_weeks": set(
                 self._quarantined_weeks.get(consumer_id, ())
             ),
+            "suspect_weeks": set(self._suspect_weeks.get(consumer_id, ())),
+            "canary_reference": self._canary_reference.get(consumer_id),
             "framework_trained": framework is not None,
             "triage_quantiles": (
                 framework.triage_quantiles if framework is not None else None
@@ -1249,6 +1592,8 @@ class TheftMonitoringService:
         if self._breakers is not None:
             self._breakers.breakers.pop(consumer_id, None)
         self._quarantined_weeks.pop(consumer_id, None)
+        self._suspect_weeks.pop(consumer_id, None)
+        self._canary_reference.pop(consumer_id, None)
         if self._framework is not None:
             self._framework._detectors.pop(consumer_id, None)
             self._framework._mean_distributions.pop(consumer_id, None)
@@ -1295,6 +1640,14 @@ class TheftMonitoringService:
         quarantined = set(packet.get("quarantined_weeks", ()))
         if quarantined:
             self._quarantined_weeks[consumer_id] = quarantined
+        suspect = set(packet.get("suspect_weeks", ()))
+        if suspect:
+            self._suspect_weeks[consumer_id] = suspect
+        reference = packet.get("canary_reference")
+        if reference is not None:
+            self._canary_reference[consumer_id] = np.array(
+                reference, dtype=float
+            )
         if packet.get("framework_trained") and self._framework is None:
             # A shard created after the fleet first trained must enter
             # the *assess* path at its next boundary, not the train
@@ -1381,6 +1734,20 @@ class TheftMonitoringService:
                 cid: set(weeks)
                 for cid, weeks in self._quarantined_weeks.items()
             },
+            "suspect_weeks": {
+                cid: set(weeks)
+                for cid, weeks in self._suspect_weeks.items()
+            },
+            "training_window_weeks": self.training_window_weeks,
+            "canary_reference": {
+                cid: np.array(week, dtype=float)
+                for cid, week in self._canary_reference.items()
+            },
+            "integrity": self.integrity,
+            # The registry pickles wholesale (stored framework states
+            # are plain detector/distribution objects, no factories),
+            # so model lineage and restore points survive recovery.
+            "model_registry": self.model_registry,
             "population": self._population,
             "roster": self._roster,
             "reports": list(self.reports),
@@ -1426,7 +1793,19 @@ class TheftMonitoringService:
             firewall=state.get("firewall"),
             loadcontrol=state.get("loadcontrol"),
             eventtime=state.get("eventtime"),
+            integrity=state.get("integrity"),
+            training_window_weeks=state.get("training_window_weeks"),
         )
+        if state.get("model_registry") is not None:
+            service.model_registry = state["model_registry"]
+        service._suspect_weeks = {
+            cid: set(weeks)
+            for cid, weeks in state.get("suspect_weeks", {}).items()
+        }
+        service._canary_reference = {
+            cid: np.array(week, dtype=float)
+            for cid, week in state.get("canary_reference", {}).items()
+        }
         if state.get("revisions") is not None:
             service.revisions = state["revisions"]
         for week, fw_state in state.get("scoring_frameworks", {}).items():

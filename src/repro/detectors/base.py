@@ -45,6 +45,15 @@ class DetectionResult:
     threshold: float
     detail: str = ""
 
+    def __post_init__(self) -> None:
+        # Detectors compute these with numpy, which yields np.bool_ /
+        # np.float64 scalars; normalise so results compare and
+        # serialise identically regardless of which detector (or which
+        # numpy version) produced them.
+        object.__setattr__(self, "flagged", bool(self.flagged))
+        object.__setattr__(self, "score", float(self.score))
+        object.__setattr__(self, "threshold", float(self.threshold))
+
 
 class WeeklyDetector(ABC):
     """A detector trained per consumer on a ``(weeks, 336)`` matrix.
@@ -115,6 +124,33 @@ class WeeklyDetector(ABC):
     def flags(self, week: np.ndarray) -> bool:
         """Convenience: whether the week is flagged anomalous."""
         return self.score_week(week).flagged
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the detector's fitted state.
+
+        Two detectors with the same fingerprint score identically; the
+        model registry uses this to prove that a rolled-back version is
+        bit-identical to the version originally promoted, and the
+        round-trip tests use it to prove checkpoint save/restore is
+        lossless.  Hashing pickled ``__dict__`` items in sorted key
+        order keeps the digest independent of attribute insertion
+        order; the extra dump/load round trip canonicalises the byte
+        stream (a live object can hold array views or memo-sharing
+        patterns that pickle differently from their freshly-restored
+        equals, even though the restored object scores identically).
+        """
+        import hashlib
+        import pickle
+
+        payload = [(key, self.__dict__[key]) for key in sorted(self.__dict__)]
+        canonical = pickle.loads(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        digest = hashlib.sha256(type(self).__name__.encode("utf-8"))
+        digest.update(
+            pickle.dumps(canonical, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        return digest.hexdigest()
 
     def score_partial_week(self, week: np.ndarray) -> DetectionResult:
         """Score a week that may contain NaN gaps (degraded mode).

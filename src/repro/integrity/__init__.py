@@ -1,0 +1,53 @@
+"""Training-integrity defenses: the poisoned-baseline counter-measures.
+
+F-DETA learns "honest consumption" from history the attacker controls;
+a slow theft ramp (``repro.attacks.injection.ramp``) poisons that
+history so the detector converges on the attack.  This package is the
+defense in depth:
+
+* :class:`DriftSentinel` — PSI/CUSUM screening that excludes suspect
+  weeks *before* they train (robust fitting via
+  :func:`winsorize_matrix`);
+* :class:`CanaryGate` — every retrained candidate must still detect
+  synthetic attacks from the existing taxonomy at a configured floor
+  before promotion;
+* :class:`ModelRegistry` — versioned models with training lineage,
+  explicit promotion, one-command rollback, and
+  :class:`ExcisionReport`-producing retroactive excision when a
+  verdict revision convicts a week already consumed into training.
+
+Wired into :class:`~repro.core.online.TheftMonitoringService` via an
+:class:`IntegrityConfig`; everything rides checkpoints and the monitor
+CLI's ``--integrity`` family of flags.
+"""
+
+from repro.integrity.canary import CanaryGate, CanaryReport
+from repro.integrity.config import IntegrityConfig
+from repro.integrity.registry import (
+    ExcisionReport,
+    ModelRegistry,
+    ModelVersion,
+    RegistryEvent,
+    state_fingerprint,
+)
+from repro.integrity.sentinel import (
+    DriftSentinel,
+    ScreenResult,
+    WeekVerdict,
+    winsorize_matrix,
+)
+
+__all__ = [
+    "CanaryGate",
+    "CanaryReport",
+    "DriftSentinel",
+    "ExcisionReport",
+    "IntegrityConfig",
+    "ModelRegistry",
+    "ModelVersion",
+    "RegistryEvent",
+    "ScreenResult",
+    "WeekVerdict",
+    "state_fingerprint",
+    "winsorize_matrix",
+]

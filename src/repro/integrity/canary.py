@@ -1,0 +1,144 @@
+"""Canary gate: a candidate model must still catch known attacks.
+
+The final line of the poisoned-baseline defense.  Even if a ramp slips
+past the drift sentinels, a model trained on poisoned weeks has a tell:
+it has *unlearned* the attacks the clean model catches.  Before any
+retrained candidate is promoted, the gate throws synthetic injections
+from the existing attack taxonomy (zero-report and scaling, the
+Section VIII-B baselines) at each canary consumer's earliest clean
+training week and requires the candidate to detect a configured floor
+of them.  A candidate that fails is recorded and never promoted — the
+previously promoted model keeps scoring.
+
+Determinism: the canary consumers are a sorted prefix of the roster,
+the attacks are deterministic transforms, and the rng handed to the
+injectors is keyed by the candidate version, so the same candidate
+always receives the same verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.attacks.injection import (
+    AttackInjector,
+    InjectionContext,
+    ScalingAttack,
+    ZeroReportAttack,
+)
+from repro.integrity.config import IntegrityConfig
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.framework import FDetaFramework
+
+__all__ = ["CanaryGate", "CanaryReport"]
+
+
+@dataclass(frozen=True)
+class CanaryReport:
+    """One candidate's canary-gate verdict and the evidence behind it."""
+
+    total: int
+    detected: int
+    floor: float
+    #: Injections the candidate failed to flag, as (consumer, attack).
+    misses: tuple[tuple[str, str], ...]
+    #: Consumers whose *clean* anchored reference week the candidate
+    #: flagged as anomalous.  A drift-poisoned baseline has migrated to
+    #: the attacker's level, so honest consumption now looks abnormal —
+    #: the single sharpest tell of a poisoned model.
+    clean_failures: tuple[str, ...] = ()
+
+    @property
+    def rate(self) -> float:
+        return self.detected / self.total if self.total else 1.0
+
+    @property
+    def passed(self) -> bool:
+        return self.rate >= self.floor and not self.clean_failures
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "detected": self.detected,
+            "rate": self.rate,
+            "floor": self.floor,
+            "passed": self.passed,
+            "misses": [list(miss) for miss in self.misses],
+            "clean_failures": list(self.clean_failures),
+        }
+
+
+class CanaryGate:
+    """Evaluates candidate models against the synthetic attack suite."""
+
+    def __init__(self, config: IntegrityConfig) -> None:
+        self.config = config
+        self._injectors: tuple[AttackInjector, ...] = tuple(
+            ZeroReportAttack() if factor == 0.0 else ScalingAttack(factor)
+            for factor in config.canary_factors
+        )
+
+    def evaluate(
+        self,
+        framework: "FDetaFramework",
+        reference_weeks: Mapping[str, np.ndarray],
+        seed: int = 0,
+    ) -> CanaryReport:
+        """Gate one candidate.
+
+        ``reference_weeks`` maps each consumer to an *anchored* honest
+        week — captured at the consumer's first training and never
+        replaced, so it cannot drift with a poisoned window.  The gate
+        runs two checks against it:
+
+        * every synthetic attack thrown at the honest week must be
+          detected at the configured floor (a poisoned model has
+          *unlearned* moderate under-reporting of honest consumption);
+        * the honest week itself must **not** flag — a baseline that
+          has converged on a theft ramp calls honest consumption
+          anomalous, which is the sharpest single tell of poisoning.
+        """
+        consumers = sorted(reference_weeks)[: self.config.canary_sample]
+        rng = np.random.default_rng((0xCA7A27, seed))
+        total = 0
+        detected = 0
+        misses: list[tuple[str, str]] = []
+        clean_failures: list[str] = []
+        for cid in consumers:
+            if not framework.has_detector(cid):
+                continue
+            week = np.asarray(reference_weeks[cid], dtype=float)
+            detector = framework.detector_for(cid)
+            clean = detector.score_week(week)
+            # Margined, not a bare `flagged`: once the anchor ages out
+            # of a sliding training window an honest week trips the raw
+            # threshold at the detector's false-positive rate, which
+            # must not veto legitimate promotions.  Poisoned baselines
+            # score honest weeks at many multiples of threshold.
+            margin = self.config.canary_clean_margin
+            if clean.score > margin * clean.threshold and clean.flagged:
+                clean_failures.append(cid)
+            context = InjectionContext(
+                train_matrix=week[None, :],
+                actual_week=week,
+                band_lower=week,
+                band_upper=week,
+            )
+            for injector in self._injectors:
+                vector = injector.inject(context, rng)
+                total += 1
+                if detector.score_week(vector.reported).flagged:
+                    detected += 1
+                else:
+                    misses.append((cid, injector.name))
+        return CanaryReport(
+            total=total,
+            detected=detected,
+            floor=self.config.canary_floor,
+            misses=tuple(misses),
+            clean_failures=tuple(clean_failures),
+        )

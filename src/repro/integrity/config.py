@@ -1,0 +1,149 @@
+"""Configuration for the training-integrity defenses.
+
+One frozen dataclass carries every knob of the poisoned-baseline
+defense so a single object can ride checkpoints and shard-migration
+packets: the drift-sentinel thresholds (PSI + two-sided CUSUM), the
+winsorization applied to training matrices, and the canary gate's
+attack suite and detection floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["IntegrityConfig"]
+
+
+@dataclass(frozen=True)
+class IntegrityConfig:
+    """Knobs for drift screening, robust fitting, and canary promotion.
+
+    Parameters
+    ----------
+    psi_threshold:
+        Population-stability-index alarm level between a candidate
+        training week's *shape* (its mean-normalised slot distribution)
+        and the consumer's reference shape.  Normalising by the weekly
+        mean makes PSI blind to benign level wobble (weather weeks) and
+        sharp on load-profile rewrites — time-shifted or selectively
+        shaved consumption.  The classic operating points are 0.1
+        (watch) and 0.25 (act); weeks above the threshold are declared
+        suspect.
+    cusum_k, cusum_h:
+        Slack and decision interval of the two-sided CUSUM over
+        standardized weekly means — the *level* sentinel.  ``k``
+        absorbs benign week-to-week wobble; a cumulative drift beyond
+        ``h`` standard deviations marks the week (and the accumulating
+        tail of the ramp behind it) suspect.
+    sigma_floor_frac:
+        Lower bound on the CUSUM standardisation scale, as a fraction
+        of the reference mean.  A handful of unusually calm reference
+        weeks would otherwise yield a tiny sample std and turn benign
+        wobble into huge z-scores; the floor encodes "week-to-week
+        level variation below this fraction is never suspicious".
+    reference_weeks:
+        Earliest clean weeks of each consumer's training history that
+        anchor the sentinel's reference distribution.  The reference is
+        re-derived from the *kept* prefix at every retraining, so a
+        week convicted later never contaminates it.
+    winsorize:
+        ``(low, high)`` pooled-quantile clipping applied to every
+        training matrix before fitting, or ``None`` to fit raw.  Bounds
+        the leverage any single poisoned reading has over histogram
+        edges and thresholds.
+    canary_floor:
+        Minimum fraction of synthetic canary injections the candidate
+        model must still detect to be promoted.
+    canary_factors:
+        Scaling factors of the synthetic attacks thrown at each canary
+        consumer's clean reference week (0.0 is the zero-report
+        attack).  A baseline that has converged on a theft ramp stops
+        flagging moderate under-reporting of *honest* consumption —
+        exactly what these factors probe.
+    canary_sample:
+        Number of consumers (sorted order, deterministic) canaried per
+        candidate; bounds gate latency on large rosters.
+    canary_clean_margin:
+        A candidate fails the clean-reference check when its score for
+        a consumer's anchored honest week exceeds ``margin x threshold``.
+        The margin absorbs the benign case of an honest week that sits
+        just past the empirical threshold (expected at roughly the
+        detector's false-positive rate once the anchor leaves the
+        training window); a drift-poisoned baseline scores honest
+        consumption at many multiples of its threshold.
+    """
+
+    psi_threshold: float = 0.25
+    cusum_k: float = 0.5
+    cusum_h: float = 6.0
+    sigma_floor_frac: float = 0.08
+    reference_weeks: int = 8
+    winsorize: tuple[float, float] | None = (0.01, 0.99)
+    psi_bins: int = 10
+    canary_floor: float = 0.7
+    canary_factors: tuple[float, ...] = (0.0, 0.5, 1.5)
+    canary_sample: int = 8
+    canary_clean_margin: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.psi_threshold <= 0:
+            raise ConfigurationError(
+                f"psi_threshold must be > 0, got {self.psi_threshold}"
+            )
+        if self.cusum_k < 0:
+            raise ConfigurationError(
+                f"cusum_k must be >= 0, got {self.cusum_k}"
+            )
+        if self.cusum_h <= 0:
+            raise ConfigurationError(
+                f"cusum_h must be > 0, got {self.cusum_h}"
+            )
+        if not 0.0 < self.sigma_floor_frac < 1.0:
+            raise ConfigurationError(
+                "sigma_floor_frac must be in (0, 1), got "
+                f"{self.sigma_floor_frac}"
+            )
+        if self.reference_weeks < 2:
+            raise ConfigurationError(
+                f"reference_weeks must be >= 2, got {self.reference_weeks}"
+            )
+        if self.psi_bins < 2:
+            raise ConfigurationError(
+                f"psi_bins must be >= 2, got {self.psi_bins}"
+            )
+        if self.winsorize is not None:
+            low, high = self.winsorize
+            if not 0.0 <= low < high <= 1.0:
+                raise ConfigurationError(
+                    "winsorize quantiles must satisfy "
+                    f"0 <= low < high <= 1, got {self.winsorize}"
+                )
+            object.__setattr__(self, "winsorize", (float(low), float(high)))
+        if not 0.0 <= self.canary_floor <= 1.0:
+            raise ConfigurationError(
+                f"canary_floor must be in [0, 1], got {self.canary_floor}"
+            )
+        if not self.canary_factors:
+            raise ConfigurationError("canary_factors must not be empty")
+        for factor in self.canary_factors:
+            if factor < 0 or factor == 1.0:
+                raise ConfigurationError(
+                    "canary_factors must be >= 0 and != 1.0 "
+                    f"(1.0 is not an attack), got {factor}"
+                )
+        object.__setattr__(
+            self,
+            "canary_factors",
+            tuple(float(f) for f in self.canary_factors),
+        )
+        if self.canary_sample < 1:
+            raise ConfigurationError(
+                f"canary_sample must be >= 1, got {self.canary_sample}"
+            )
+        if self.canary_clean_margin < 1.0:
+            raise ConfigurationError(
+                "canary_clean_margin must be >= 1.0, got "
+                f"{self.canary_clean_margin}"
+            )

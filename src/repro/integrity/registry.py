@@ -1,0 +1,347 @@
+"""Versioned model registry: lineage, canary-gated promotion, rollback.
+
+Every retraining round produces a *candidate* model version, never a
+silent in-place swap.  Each version records its **lineage** — exactly
+which (consumer, week) pairs fed its fit — plus its parent version and
+its canary verdict.  Promotion is explicit; rollback restores any
+previously promoted version from its stored state; and when a verdict
+revision later convicts a training week, :meth:`ModelRegistry.tainted_by`
+walks the lineage to name every version that consumed it.
+
+The registry pickles wholesale (detector objects and all), so it rides
+service checkpoints: a recovered service resumes with its full model
+history, not just the active weights.  Stored states are deep-copied on
+the way in *and* on the way out — a rolled-back framework shares no
+arrays with anything the live service may later mutate, which is what
+makes the bit-identical rollback proofs hold.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.errors import ConfigurationError, DataError
+from repro.integrity.canary import CanaryReport
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.framework import FDetaFramework
+    from repro.detectors.base import WeeklyDetector
+
+__all__ = [
+    "ExcisionReport",
+    "ModelRegistry",
+    "ModelVersion",
+    "RegistryEvent",
+    "state_fingerprint",
+]
+
+
+@dataclass(frozen=True)
+class ExcisionReport:
+    """Outcome of retroactively excising one convicted training week."""
+
+    consumer_id: str
+    week_index: int
+    #: Versions whose lineage consumed the convicted week.
+    tainted_versions: tuple[int, ...]
+    #: Whether a clean-prefix retrain was triggered (active was tainted).
+    retrained: bool
+    #: Version promoted after the excision (new candidate or restore
+    #: point), or ``None`` when the active model was never tainted.
+    active_after: int | None
+    #: Version rolled back to when the clean retrain failed its canary.
+    rolled_back_to: int | None = None
+
+
+def _framework_state(framework: "FDetaFramework") -> dict:
+    return {
+        "triage_quantiles": framework.triage_quantiles,
+        "detectors": copy.deepcopy(dict(framework._detectors)),
+        "mean_distributions": copy.deepcopy(
+            dict(framework._mean_distributions)
+        ),
+    }
+
+
+def state_fingerprint(state: Mapping) -> str:
+    """Stable content hash of a framework state (for identity proofs)."""
+    canonical = {
+        "triage_quantiles": tuple(state["triage_quantiles"]),
+        "detectors": {
+            cid: state["detectors"][cid] for cid in sorted(state["detectors"])
+        },
+        "mean_distributions": {
+            cid: state["mean_distributions"][cid]
+            for cid in sorted(state["mean_distributions"])
+        },
+    }
+    return hashlib.sha256(
+        pickle.dumps(canonical, protocol=pickle.HIGHEST_PROTOCOL)
+    ).hexdigest()
+
+
+@dataclass
+class ModelVersion:
+    """One trained model: weights, lineage, and promotion history."""
+
+    version: int
+    parent: int | None
+    week: int
+    cycle: int
+    status: str  # "candidate" | "promoted" | "rejected" | "superseded" | "rolled_back"
+    lineage: dict[str, tuple[int, ...]]
+    state: dict = field(repr=False)
+    canary: CanaryReport | None = None
+    #: Whether this version ever held the active slot — the rollback
+    #: eligibility bit (a rejected candidate is not a restore point).
+    ever_promoted: bool = False
+
+    def trained_on(self, consumer_id: str, week_index: int) -> bool:
+        return week_index in self.lineage.get(consumer_id, ())
+
+    @property
+    def fingerprint(self) -> str:
+        return state_fingerprint(self.state)
+
+    def summary(self) -> dict:
+        """JSON-able lineage record (weights omitted)."""
+        return {
+            "version": self.version,
+            "parent": self.parent,
+            "week": self.week,
+            "cycle": self.cycle,
+            "status": self.status,
+            "ever_promoted": self.ever_promoted,
+            "fingerprint": self.fingerprint,
+            "consumers": len(self.lineage),
+            "lineage": {
+                cid: list(weeks)
+                for cid, weeks in sorted(self.lineage.items())
+            },
+            "canary": self.canary.to_dict() if self.canary else None,
+        }
+
+
+@dataclass(frozen=True)
+class RegistryEvent:
+    """One promotion-lifecycle event, newest last."""
+
+    kind: str  # "submitted" | "promoted" | "rejected" | "rolled_back"
+    version: int
+    week: int
+    cycle: int
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "version": self.version,
+            "week": self.week,
+            "cycle": self.cycle,
+            "detail": self.detail,
+        }
+
+
+class ModelRegistry:
+    """Append-only version store with an explicit active pointer."""
+
+    def __init__(self) -> None:
+        self._versions: dict[int, ModelVersion] = {}
+        self._next_version = 1
+        self._active: int | None = None
+        self.events: list[RegistryEvent] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def active_version(self) -> int | None:
+        return self._active
+
+    @property
+    def active(self) -> ModelVersion | None:
+        return self._versions.get(self._active) if self._active else None
+
+    @property
+    def last_event(self) -> RegistryEvent | None:
+        return self.events[-1] if self.events else None
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def version(self, number: int) -> ModelVersion:
+        try:
+            return self._versions[number]
+        except KeyError:
+            raise DataError(f"no model version {number}") from None
+
+    def versions(self) -> tuple[ModelVersion, ...]:
+        return tuple(
+            self._versions[n] for n in sorted(self._versions)
+        )
+
+    def tainted_by(self, consumer_id: str, week_index: int) -> tuple[int, ...]:
+        """Every version whose training lineage includes this week."""
+        return tuple(
+            mv.version
+            for mv in self.versions()
+            if mv.trained_on(consumer_id, week_index)
+        )
+
+    def newest_clean_restore_point(
+        self, tainted: tuple[int, ...] | set[int]
+    ) -> int | None:
+        """Newest ever-promoted version outside ``tainted`` (if any)."""
+        tainted_set = set(tainted)
+        for mv in reversed(self.versions()):
+            if mv.ever_promoted and mv.version not in tainted_set:
+                return mv.version
+        return None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        framework: "FDetaFramework",
+        lineage: Mapping[str, tuple[int, ...]],
+        week: int,
+        cycle: int,
+    ) -> ModelVersion:
+        """Record a retrained framework as a candidate version."""
+        candidate = ModelVersion(
+            version=self._next_version,
+            parent=self._active,
+            week=int(week),
+            cycle=int(cycle),
+            status="candidate",
+            lineage={
+                cid: tuple(int(w) for w in weeks)
+                for cid, weeks in lineage.items()
+            },
+            state=_framework_state(framework),
+        )
+        self._next_version += 1
+        self._versions[candidate.version] = candidate
+        self._record("submitted", candidate, f"parent v{candidate.parent}")
+        return candidate
+
+    def promote(self, number: int, canary: CanaryReport | None = None) -> ModelVersion:
+        """Make a candidate the active version (its parent is superseded)."""
+        target = self.version(number)
+        if target.status not in ("candidate", "promoted"):
+            raise ConfigurationError(
+                f"cannot promote v{number}: status is {target.status!r} "
+                "(use rollback to restore a retired version)"
+            )
+        if canary is not None:
+            target.canary = canary
+        previous = self.active
+        if previous is not None and previous.version != number:
+            previous.status = "superseded"
+        target.status = "promoted"
+        target.ever_promoted = True
+        self._active = number
+        self._record(
+            "promoted",
+            target,
+            f"canary {target.canary.detected}/{target.canary.total}"
+            if target.canary
+            else "",
+        )
+        return target
+
+    def reject(self, number: int, canary: CanaryReport) -> ModelVersion:
+        """Record a canary-failed candidate; the active model is untouched."""
+        target = self.version(number)
+        if target.status != "candidate":
+            raise ConfigurationError(
+                f"cannot reject v{number}: status is {target.status!r}"
+            )
+        target.canary = canary
+        target.status = "rejected"
+        self._record(
+            "rejected",
+            target,
+            f"canary {canary.detected}/{canary.total} below "
+            f"floor {canary.floor:g}",
+        )
+        return target
+
+    def rollback(self, number: int, week: int, cycle: int) -> ModelVersion:
+        """Restore a previously promoted version as active."""
+        target = self.version(number)
+        if not target.ever_promoted:
+            raise ConfigurationError(
+                f"cannot roll back to v{number}: it was never promoted "
+                f"(status {target.status!r})"
+            )
+        previous = self.active
+        if previous is not None and previous.version != number:
+            previous.status = "rolled_back"
+        target.status = "promoted"
+        self._active = number
+        self.events.append(
+            RegistryEvent(
+                kind="rolled_back",
+                version=number,
+                week=int(week),
+                cycle=int(cycle),
+                detail=(
+                    f"from v{previous.version}" if previous is not None else ""
+                ),
+            )
+        )
+        return target
+
+    def build_framework(
+        self, number: int, detector_factory: Callable[[], "WeeklyDetector"]
+    ) -> "FDetaFramework":
+        """Materialise one stored version as an independent framework."""
+        from repro.core.framework import FDetaFramework
+
+        target = self.version(number)
+        framework = FDetaFramework(
+            detector_factory=detector_factory,
+            triage_quantiles=target.state["triage_quantiles"],
+        )
+        framework._detectors = copy.deepcopy(dict(target.state["detectors"]))
+        framework._mean_distributions = copy.deepcopy(
+            dict(target.state["mean_distributions"])
+        )
+        return framework
+
+    def _record(self, kind: str, mv: ModelVersion, detail: str) -> None:
+        self.events.append(
+            RegistryEvent(
+                kind=kind,
+                version=mv.version,
+                week=mv.week,
+                cycle=mv.cycle,
+                detail=detail,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def report(self) -> dict:
+        """The full lineage artefact (JSON-able, weights omitted)."""
+        return {
+            "active_version": self._active,
+            "versions": [mv.summary() for mv in self.versions()],
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def write_report(self, path: str | os.PathLike) -> None:
+        from repro.storage.io import atomic_write_json
+
+        atomic_write_json(path, self.report(), site="export.lineage")

@@ -1,0 +1,266 @@
+"""Drift sentinels: flag suspect training weeks before they train.
+
+The boiling-frog ramp (``repro.attacks.injection.ramp``) defeats the
+weekly KLD detector because each poisoned week is *individually*
+unremarkable — the poison is only visible as a persistent drift of the
+training-window distribution.  The sentinel therefore watches exactly
+that: for each consumer it anchors a reference distribution on the
+earliest kept weeks and screens every later candidate week with two
+complementary alarms:
+
+* a **shape sentinel** — PSI (population stability index) between the
+  week's *mean-normalised* slot histogram and the reference shape.
+  Normalising by the weekly mean makes PSI deliberately blind to
+  benign level wobble (a cold week raises every slot together) and
+  sharp on load-profile rewrites: time-shifted reporting, selective
+  peak shaving, duplicated flatlines.
+* a **level sentinel** — two-sided CUSUM over standardized weekly
+  means, the classic small-persistent-shift detector.  Week-to-week
+  level noise stays below the slack ``k``; a theft ramp's *persistent*
+  downward drift accumulates past the decision interval ``h`` long
+  before any single week looks anomalous on its own.
+
+The split matters: a pure-scaling ramp changes level but not shape
+(PSI stays silent — by design), while a shape attack at constant mean
+evades any mean-based alarm (CUSUM stays silent — by design).  Each
+alarm covers the other's blind spot.
+
+Suspect weeks are excluded from training (the service records them as
+coverage-counted quarantined training gaps); everything here is pure
+deterministic numpy so scrambled-delivery and recovered runs screen
+identically.
+
+:func:`winsorize_matrix` is the companion robust-fitting step: pooled
+quantile clipping bounds the leverage of any single poisoned reading on
+histogram edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.integrity.config import IntegrityConfig
+
+__all__ = [
+    "DriftSentinel",
+    "ScreenResult",
+    "WeekVerdict",
+    "winsorize_matrix",
+]
+
+#: Smoothing mass added per histogram bin so PSI stays finite when a
+#: bin is empty on one side (standard practice for PSI on small samples).
+_PSI_EPSILON = 1e-4
+
+
+def winsorize_matrix(
+    matrix: np.ndarray, quantiles: tuple[float, float]
+) -> np.ndarray:
+    """Clip a (weeks, slots) matrix at its pooled value quantiles.
+
+    Clipping is pooled across the whole matrix rather than per slot:
+    per-slot quantiles over a handful of weeks degenerate to min/max
+    and clip nothing, while pooled quantiles over ``weeks * slots``
+    samples give the robust envelope the fit should see.
+    """
+    values = np.asarray(matrix, dtype=float)
+    low, high = np.quantile(values, quantiles)
+    return np.clip(values, low, high)
+
+
+@dataclass(frozen=True)
+class WeekVerdict:
+    """One screened week's drift evidence."""
+
+    week: int
+    psi: float
+    cusum_low: float  # downward drift (theft ramp)
+    cusum_high: float  # upward drift (victim inflation)
+    suspect: bool
+    reasons: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ScreenResult:
+    """Outcome of screening one consumer's training rows."""
+
+    kept_weeks: tuple[int, ...]
+    verdicts: tuple[WeekVerdict, ...]
+
+    @property
+    def suspects(self) -> tuple[WeekVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.suspect)
+
+
+class DriftSentinel:
+    """Screens one consumer's candidate training weeks for drift.
+
+    Stateless across calls: each screening re-anchors the reference on
+    the earliest kept rows, so the verdict for a fixed input matrix is
+    a pure function — scrambled-delivery and crash-recovered retrains
+    reach identical exclusions.
+    """
+
+    def __init__(self, config: IntegrityConfig) -> None:
+        self.config = config
+
+    def screen(
+        self, matrix: np.ndarray, week_indices: Sequence[int]
+    ) -> ScreenResult:
+        """Screen ``matrix`` rows (one per week in ``week_indices``).
+
+        Rows must be ordered by week.  The first ``reference_weeks``
+        rows form the reference and are always kept — they are the
+        consumer's earliest vetted history, the "clean prefix" every
+        later exclusion is measured against.
+        """
+        values = np.asarray(matrix, dtype=float)
+        weeks = [int(w) for w in week_indices]
+        if values.shape[0] != len(weeks):
+            raise ValueError(
+                f"matrix has {values.shape[0]} rows but "
+                f"{len(weeks)} week indices were given"
+            )
+        n_ref = min(self.config.reference_weeks, values.shape[0])
+        if values.shape[0] <= n_ref:
+            return ScreenResult(kept_weeks=tuple(weeks), verdicts=())
+        means = values.mean(axis=1)
+        shapes = self._normalise_rows(values, means)
+        # Shape reference: pool the mean-normalised reference weeks so
+        # PSI compares load *profiles*, not consumption levels.
+        ref_pool = shapes[:n_ref].ravel()
+        edges = self._reference_edges(ref_pool)
+        ref_hist = self._histogram(ref_pool, edges)
+        ref_means = means[:n_ref]
+        mu = float(ref_means.mean())
+        # Guard the scale: a handful of unusually calm reference weeks
+        # would yield a tiny sample std and turn benign wobble into
+        # huge z-scores; the configured floor bounds the sensitivity.
+        sigma = max(
+            float(ref_means.std(ddof=1)) if n_ref > 1 else 0.0,
+            self.config.sigma_floor_frac * abs(mu),
+            1e-9,
+        )
+        kept = list(weeks[:n_ref])
+        verdicts: list[WeekVerdict] = []
+        cusum_low = cusum_high = 0.0
+        psi_values = self._psi_rows(shapes[n_ref:], ref_hist, edges)
+        z_values = (mu - means[n_ref:]) / sigma
+        for index, week in enumerate(weeks[n_ref:]):
+            psi = psi_values[index]
+            z = float(z_values[index])
+            cusum_low = max(0.0, cusum_low + z - self.config.cusum_k)
+            cusum_high = max(0.0, cusum_high - z - self.config.cusum_k)
+            reasons: list[str] = []
+            if psi > self.config.psi_threshold:
+                reasons.append(
+                    f"PSI {psi:.3f} exceeds {self.config.psi_threshold:g}"
+                )
+            if cusum_low > self.config.cusum_h:
+                reasons.append(
+                    f"downward-drift CUSUM {cusum_low:.2f} exceeds "
+                    f"{self.config.cusum_h:g} (theft-ramp signature)"
+                )
+            if cusum_high > self.config.cusum_h:
+                reasons.append(
+                    f"upward-drift CUSUM {cusum_high:.2f} exceeds "
+                    f"{self.config.cusum_h:g} (inflation signature)"
+                )
+            suspect = bool(reasons)
+            verdicts.append(
+                WeekVerdict(
+                    week=week,
+                    psi=float(psi),
+                    cusum_low=float(cusum_low),
+                    cusum_high=float(cusum_high),
+                    suspect=suspect,
+                    reasons=tuple(reasons),
+                )
+            )
+            if not suspect:
+                kept.append(week)
+            # A suspect week is *not* folded into the reference and the
+            # CUSUM deliberately keeps accumulating: once a ramp crosses
+            # the decision interval, every later ramp week stays caught.
+        return ScreenResult(kept_weeks=tuple(kept), verdicts=tuple(verdicts))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _normalise_rows(values: np.ndarray, means: np.ndarray) -> np.ndarray:
+        """Each week's shape: its slot values divided by its mean.
+
+        An all-zero (or degenerate) week has no shape; it is passed
+        through as-is and left to the level sentinel, which sees a zero
+        mean as a maximal downward shift.
+        """
+        positive = means > 0.0
+        return np.where(
+            positive[:, None],
+            values / np.where(positive, means, 1.0)[:, None],
+            values,
+        )
+
+    def _reference_edges(self, pool: np.ndarray) -> np.ndarray:
+        low = float(pool.min())
+        high = float(pool.max())
+        if high <= low:
+            high = low + 1.0
+        # Open outer bins: mass drifting outside the reference range
+        # (the hallmark of a ramp) must land in a counted bin, not
+        # vanish off the histogram.
+        inner = np.linspace(low, high, self.config.psi_bins - 1)
+        return np.concatenate(([-np.inf], inner, [np.inf]))
+
+    @staticmethod
+    def _bin_indices(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+        """Bin index of each value under the ``±inf``-bounded edges.
+
+        The interior edges are uniform (built by ``linspace``), so the
+        index is plain arithmetic instead of a ``searchsorted`` — the
+        screen runs on every consumer at every retraining, and this
+        binning is its inner loop.  Values below the first interior
+        edge land in the open low bin 0, values past the last interior
+        edge in the open high bin; interior values at ``inner[j]`` fall
+        into bin ``j + 1``, matching ``np.histogram``'s half-open rule.
+        """
+        inner = edges[1:-1]
+        if inner.shape[0] == 1:  # psi_bins == 2: one edge, two open bins
+            return (values >= inner[0]).astype(int)
+        low = inner[0]
+        step = (inner[-1] - low) / (inner.shape[0] - 1)
+        raw = np.floor((values - low) / step).astype(int) + 1
+        return np.clip(raw, 0, inner.shape[0])
+
+    @classmethod
+    def _histogram(cls, values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+        flat = np.asarray(values, dtype=float).ravel()
+        counts = np.bincount(
+            cls._bin_indices(flat, edges), minlength=edges.shape[0] - 1
+        )
+        total = counts.sum()
+        if total == 0:
+            return np.full(counts.shape, 1.0 / counts.shape[0])
+        return counts / total
+
+    @classmethod
+    def _psi_rows(
+        cls, shapes: np.ndarray, ref_hist: np.ndarray, edges: np.ndarray
+    ) -> np.ndarray:
+        """PSI of every (already mean-normalised) row, vectorised."""
+        n_bins = edges.shape[0] - 1
+        indices = cls._bin_indices(shapes, edges)
+        counts = np.stack(
+            [np.bincount(row, minlength=n_bins) for row in indices]
+        ).astype(float)
+        observed = counts / counts.sum(axis=1, keepdims=True)
+        e = ref_hist + _PSI_EPSILON
+        e = e / e.sum()
+        o = observed + _PSI_EPSILON
+        o = o / o.sum(axis=1, keepdims=True)
+        return np.sum((o - e[None, :]) * np.log(o / e[None, :]), axis=1)

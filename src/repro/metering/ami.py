@@ -4,6 +4,15 @@ Ties the metering layer to the grid topology: each consumer leaf carries a
 :class:`~repro.metering.meter.SmartMeter`; each polling period the utility
 head-end collects every meter's report and records it, together with the
 trusted root balance-meter measurement, for downstream detection.
+
+Trust-boundary note: the head-end's reading firewall screens *form* —
+NaN, negative, out-of-range, duplicate, clock-skewed readings.  It
+cannot screen *distribution*: a boiling-frog theft ramp sends readings
+that are individually well-formed and only collectively poisonous.
+That second screen lives downstream in ``repro.integrity`` (drift
+sentinels over the training window, canary-gated model promotion);
+everything the head-end admits here is still subject to it before any
+reading is allowed to train a detector.
 """
 
 from __future__ import annotations

@@ -61,6 +61,12 @@ class ShardHealth:
     #: over the wire (``None`` when the endpoint holds no lease, e.g.
     #: a plain in-process fleet that never leased).
     lease_holder: str | None = None
+    #: Active model version from the shard's integrity registry
+    #: (``None`` outside integrity mode or before the first promotion).
+    model_version: int | None = None
+    #: Last model promotion/rollback/rejection on this shard, rendered
+    #: as ``"<kind> v<version> @w<week>"`` for the status dashboard.
+    model_event: str | None = None
 
 
 @dataclass(frozen=True)
@@ -102,6 +108,27 @@ class HealthReport:
         from repro.storage.io import atomic_write_json
 
         atomic_write_json(path, self.to_dict(), site="export.health")
+
+
+def _model_evidence(monitor) -> tuple[int | None, str | None]:
+    """Active model version + last lifecycle event from a shard monitor.
+
+    Walks ``monitor.service.model_registry`` defensively: the monitor
+    may be dead, the shard may run outside integrity mode, or the
+    registry may predate any promotion — all of which yield
+    ``(None, None)`` rather than an exception in a health probe.
+    """
+    service = getattr(monitor, "service", None)
+    registry = getattr(service, "model_registry", None)
+    if registry is None:
+        return None, None
+    event = registry.last_event
+    rendered = (
+        f"{event.kind} v{event.version} @w{event.week}"
+        if event is not None
+        else None
+    )
+    return registry.active_version, rendered
 
 
 def _wal_bytes(wal_dir: str) -> int:
@@ -199,6 +226,7 @@ class FleetHealthPlane:
             and lag <= self.ready_lag_cycles
             and not degraded
         )
+        model_version, model_event = _model_evidence(worker.monitor)
         return ShardHealth(
             name=worker.name,
             state=state,
@@ -215,6 +243,8 @@ class FleetHealthPlane:
             storage_degraded=degraded,
             unreachable=unreachable,
             lease_holder=lease_holder,
+            model_version=model_version,
+            model_event=model_event,
         )
 
     def report(self) -> HealthReport:
@@ -271,6 +301,12 @@ class FleetHealthPlane:
             "1 while the shard's transport link is severed.",
             labels=("shard",),
         )
+        model = metrics.gauge(
+            "fdeta_fleet_shard_model_version",
+            "Active integrity-registry model version per shard "
+            "(0 outside integrity mode or before the first promotion).",
+            labels=("shard",),
+        )
         for shard in report.shards:
             ready.set(1.0 if shard.ready else 0.0, shard=shard.name)
             backlog.set(float(shard.pending_cycles), shard=shard.name)
@@ -281,6 +317,7 @@ class FleetHealthPlane:
             unreachable.set(
                 1.0 if shard.unreachable else 0.0, shard=shard.name
             )
+            model.set(float(shard.model_version or 0), shard=shard.name)
         metrics.gauge(
             "fdeta_fleet_ready",
             "1 when every shard in the fleet is ready.",

@@ -83,6 +83,7 @@ def _render_health(health: Mapping) -> list[str]:
     ]
     rows = []
     for shard in health.get("shards", ()):
+        version = shard.get("model_version")
         rows.append(
             (
                 shard.get("name", "?"),
@@ -94,6 +95,7 @@ def _render_health(health: Mapping) -> list[str]:
                 shard.get("restarts", "?"),
                 shard.get("epoch", "?"),
                 shard.get("consumers", "?"),
+                f"v{version}" if version is not None else "-",
                 "; ".join(shard.get("reasons", ())) or "-",
             )
         )
@@ -110,12 +112,24 @@ def _render_health(health: Mapping) -> list[str]:
                     "RESTARTS",
                     "EPOCH",
                     "CONSUMERS",
+                    "MODEL",
                     "REASONS",
                 ),
                 rows,
             )
         )
     )
+    events = [
+        (shard.get("name", "?"), shard["model_event"])
+        for shard in health.get("shards", ())
+        if shard.get("model_event")
+    ]
+    if events:
+        # The promotion/rollback trail is operator-critical evidence
+        # (a shard quietly rolling back is a poisoning indicator), so
+        # it gets its own lines rather than crowding the REASONS cell.
+        lines.append("  model events:")
+        lines.extend(f"    {name}: {event}" for name, event in events)
     return lines
 
 

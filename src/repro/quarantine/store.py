@@ -36,6 +36,11 @@ class QuarantineReason(enum.Enum):
     #: Late arrival past the event-time grace window: the slot's week is
     #: already finalized, so the reading can no longer be reconciled.
     TOO_LATE = "too_late"
+    #: A whole training week excluded by the integrity drift sentinels:
+    #: its distribution drifted from the consumer's clean reference
+    #: (PSI/CUSUM alarm — the poisoned-baseline ramp signature).  The
+    #: week still scores and bills; it is only barred from training.
+    POISON_SUSPECT = "poison_suspect"
 
 
 @dataclass(frozen=True)

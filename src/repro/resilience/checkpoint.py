@@ -57,7 +57,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: ``shed``).
 #: v5 added event-time state (EventTimeConfig, the revision log, and
 #: the per-week pinned scoring frameworks).
-CHECKPOINT_VERSION = 5
+#: v6 added training-integrity state (IntegrityConfig, the versioned
+#: model registry with lineage and restore points, and the sentinel's
+#: suspect-week exclusions).
+CHECKPOINT_VERSION = 6
 
 _MAGIC = "fdeta-checkpoint"
 

@@ -1,0 +1,82 @@
+"""Shared builders for the training-integrity suite.
+
+Every test here runs on the same deterministic load shape: a smooth
+daily profile with mild multiplicative slot noise.  The poisoning
+scenarios layer a boiling-frog ramp on top of it; the parameters below
+(start week 8, 12%/week decay to a 0.7 floor, first training at week
+16) are the pinned demonstration regime — the ramp reaches its floor
+*before* the first training, so floor-level theft is in-distribution
+for the poisoned model, which is exactly the cold-start poisoning the
+defense exists to stop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+#: Pinned ramp regime (validated across seeds: the drift sentinel's
+#: suspects are deterministic, honest consumers never trip it).
+RAMP_START = 8
+RAMP_DECAY = 0.88
+RAMP_FLOOR = 0.7
+TRAIN_AT = 16
+TOTAL_WEEKS = 24
+
+#: Weeks the level sentinel convicts in this regime: the CUSUM crosses
+#: its decision interval two weeks into the ramp and, by design, never
+#: resets, so every later ramp week stays caught.
+EXPECTED_SUSPECTS = list(range(10, 16))
+
+#: The post-training weeks, all at the theft floor.
+FLOOR_WEEKS = list(range(TRAIN_AT, TOTAL_WEEKS))
+
+
+def honest_week(rng: np.random.Generator) -> np.ndarray:
+    """One 336-slot week: smooth daily profile, 5% slot noise."""
+    profile = 0.4 * (
+        1.0 + 0.5 * np.sin(np.linspace(0.0, 2.0 * np.pi, SLOTS_PER_WEEK)) ** 2
+    )
+    return np.clip(profile * rng.normal(1.0, 0.05, SLOTS_PER_WEEK), 0.0, None)
+
+
+def ramp_factor(week: int) -> float:
+    if week < RAMP_START:
+        return 1.0
+    return max(RAMP_FLOOR, RAMP_DECAY ** (week - RAMP_START))
+
+
+def honest_weeks(seed, n_weeks: int = TOTAL_WEEKS) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [honest_week(rng) for _ in range(n_weeks)]
+
+
+def rampled_weeks(seed, n_weeks: int = TOTAL_WEEKS) -> list[np.ndarray]:
+    """An attacker's weeks: honest consumption times the ramp factor."""
+    return [w * ramp_factor(k) for k, w in enumerate(honest_weeks(seed, n_weeks))]
+
+
+def build_population(
+    seed: int, n_consumers: int = 4, n_weeks: int = TOTAL_WEEKS
+) -> dict[str, np.ndarray]:
+    """Per-consumer concatenated series; consumer ``c00`` runs the ramp."""
+    series: dict[str, np.ndarray] = {}
+    for i in range(n_consumers):
+        weeks = honest_weeks((seed, i), n_weeks)
+        if i == 0:
+            weeks = [w * ramp_factor(k) for k, w in enumerate(weeks)]
+        series[f"c{i:02d}"] = np.concatenate(weeks)
+    return series
+
+
+def feed_week(service, series: dict[str, np.ndarray], week: int):
+    """Feed one week of slot cycles; returns the boundary report."""
+    report = None
+    for slot in range(SLOTS_PER_WEEK):
+        cycle = {
+            cid: float(values[week * SLOTS_PER_WEEK + slot])
+            for cid, values in series.items()
+        }
+        report = service.ingest_cycle(cycle)
+    return report

@@ -1,0 +1,103 @@
+"""Direct tests of the canary promotion gate."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import FDetaFramework
+from repro.core.kld import KLDDetector
+from repro.integrity import CanaryGate, IntegrityConfig
+
+from tests.integrity.conftest import honest_weeks
+
+CFG = IntegrityConfig(sigma_floor_frac=0.03)
+
+
+def _framework(train_weeks_by_cid):
+    framework = FDetaFramework(
+        detector_factory=lambda: KLDDetector(significance=0.05)
+    )
+    framework.train(
+        {cid: np.stack(weeks) for cid, weeks in train_weeks_by_cid.items()}
+    )
+    return framework
+
+
+@pytest.fixture(scope="module")
+def honest_by_cid():
+    return {f"c{i:02d}": honest_weeks((71, i), 12) for i in range(3)}
+
+
+@pytest.fixture(scope="module")
+def anchors(honest_by_cid):
+    return {cid: weeks[0] for cid, weeks in honest_by_cid.items()}
+
+
+class TestVerdicts:
+    def test_honest_model_passes(self, honest_by_cid, anchors):
+        report = CanaryGate(CFG).evaluate(_framework(honest_by_cid), anchors)
+        assert report.passed
+        assert report.rate == 1.0
+        assert report.misses == ()
+        assert report.clean_failures == ()
+        assert report.total == len(anchors) * len(CFG.canary_factors)
+
+    def test_drift_poisoned_model_fails_the_clean_reference_check(
+        self, honest_by_cid, anchors
+    ):
+        # A baseline that converged on a deep theft ramp: trained on
+        # 0.4x consumption.  The anchored honest week now looks like a
+        # 2.5x inflation — scored at many multiples of threshold.
+        poisoned = _framework(
+            {
+                cid: [week * 0.4 for week in weeks]
+                for cid, weeks in honest_by_cid.items()
+            }
+        )
+        report = CanaryGate(CFG).evaluate(poisoned, anchors)
+        assert not report.passed
+        assert set(report.clean_failures) == set(anchors)
+
+    def test_floor_arithmetic(self, honest_by_cid, anchors):
+        gate = CanaryGate(
+            IntegrityConfig(sigma_floor_frac=0.03, canary_floor=1.0)
+        )
+        report = gate.evaluate(_framework(honest_by_cid), anchors)
+        assert report.passed is (report.detected == report.total)
+
+    def test_report_is_json_able(self, honest_by_cid, anchors):
+        import json
+
+        report = CanaryGate(CFG).evaluate(_framework(honest_by_cid), anchors)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["passed"] is True
+        assert payload["total"] == report.total
+
+
+class TestMechanics:
+    def test_evaluation_is_deterministic(self, honest_by_cid, anchors):
+        framework = _framework(honest_by_cid)
+        a = CanaryGate(CFG).evaluate(framework, anchors, seed=3)
+        b = CanaryGate(CFG).evaluate(framework, anchors, seed=3)
+        assert a == b
+
+    def test_canary_sample_bounds_the_roster(self, honest_by_cid, anchors):
+        gate = CanaryGate(
+            IntegrityConfig(sigma_floor_frac=0.03, canary_sample=2)
+        )
+        report = gate.evaluate(_framework(honest_by_cid), anchors)
+        assert report.total == 2 * len(CFG.canary_factors)
+
+    def test_consumers_without_detectors_are_skipped(
+        self, honest_by_cid, anchors
+    ):
+        framework = _framework(honest_by_cid)
+        extended = dict(anchors)
+        extended["ghost"] = anchors["c00"]
+        report = CanaryGate(CFG).evaluate(framework, extended)
+        assert report.total == len(anchors) * len(CFG.canary_factors)
+
+    def test_empty_roster_passes_vacuously(self, honest_by_cid):
+        report = CanaryGate(CFG).evaluate(_framework(honest_by_cid), {})
+        assert report.total == 0
+        assert report.rate == 1.0
+        assert report.passed

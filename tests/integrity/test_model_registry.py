@@ -1,0 +1,181 @@
+"""Unit tests for the versioned model registry."""
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.framework import FDetaFramework
+from repro.core.kld import KLDDetector
+from repro.errors import ConfigurationError, DataError
+from repro.integrity import CanaryReport, ModelRegistry
+from repro.integrity.registry import _framework_state, state_fingerprint
+
+from tests.integrity.conftest import honest_weeks
+
+
+def _factory():
+    return KLDDetector(significance=0.05)
+
+
+def _framework(seed=71, n=2, weeks=10):
+    framework = FDetaFramework(detector_factory=_factory)
+    framework.train(
+        {
+            f"c{i:02d}": np.stack(honest_weeks((seed, i), weeks))
+            for i in range(n)
+        }
+    )
+    return framework
+
+
+def _passing_canary():
+    return CanaryReport(total=4, detected=4, floor=0.7, misses=())
+
+
+def _failing_canary():
+    return CanaryReport(
+        total=4, detected=1, floor=0.7, misses=(("c00", "x"),) * 3
+    )
+
+
+LINEAGE = {"c00": (0, 1, 2, 3), "c01": (0, 1, 3, 4)}
+
+
+class TestLifecycle:
+    def test_submit_promote_supersede(self):
+        registry = ModelRegistry()
+        v1 = registry.submit(_framework(1), LINEAGE, week=8, cycle=100)
+        assert v1.version == 1
+        assert v1.status == "candidate"
+        assert v1.parent is None
+        assert registry.active_version is None
+        registry.promote(1, _passing_canary())
+        assert registry.active_version == 1
+        v2 = registry.submit(_framework(2), LINEAGE, week=12, cycle=200)
+        assert v2.parent == 1
+        registry.promote(2, _passing_canary())
+        assert registry.version(1).status == "superseded"
+        assert registry.version(1).ever_promoted
+        assert registry.active_version == 2
+
+    def test_reject_leaves_active_untouched(self):
+        registry = ModelRegistry()
+        registry.submit(_framework(1), LINEAGE, week=8, cycle=100)
+        registry.promote(1, _passing_canary())
+        registry.submit(_framework(2), LINEAGE, week=12, cycle=200)
+        registry.reject(2, _failing_canary())
+        assert registry.active_version == 1
+        assert registry.version(2).status == "rejected"
+        assert not registry.version(2).ever_promoted
+
+    def test_rejected_candidate_is_not_a_restore_point(self):
+        registry = ModelRegistry()
+        registry.submit(_framework(1), LINEAGE, week=8, cycle=100)
+        registry.reject(1, _failing_canary())
+        with pytest.raises(ConfigurationError):
+            registry.rollback(1, week=9, cycle=110)
+
+    def test_promote_rejected_raises(self):
+        registry = ModelRegistry()
+        registry.submit(_framework(1), LINEAGE, week=8, cycle=100)
+        registry.reject(1, _failing_canary())
+        with pytest.raises(ConfigurationError):
+            registry.promote(1)
+
+    def test_unknown_version_raises(self):
+        with pytest.raises(DataError):
+            ModelRegistry().version(7)
+
+    def test_rollback_restores_and_records(self):
+        registry = ModelRegistry()
+        for seed, week in ((1, 8), (2, 12)):
+            registry.submit(_framework(seed), LINEAGE, week=week, cycle=week)
+            registry.promote(registry.versions()[-1].version)
+        registry.rollback(1, week=13, cycle=300)
+        assert registry.active_version == 1
+        assert registry.version(2).status == "rolled_back"
+        assert registry.last_event.kind == "rolled_back"
+        assert registry.last_event.detail == "from v2"
+
+
+class TestLineage:
+    def test_tainted_by_walks_every_consuming_version(self):
+        registry = ModelRegistry()
+        registry.submit(_framework(1), LINEAGE, week=8, cycle=100)
+        registry.submit(
+            _framework(2), {"c00": (0, 1, 2), "c01": (0, 1)}, week=12, cycle=200
+        )
+        assert registry.tainted_by("c00", 3) == (1,)
+        assert registry.tainted_by("c00", 1) == (1, 2)
+        assert registry.tainted_by("c01", 4) == (1,)
+        assert registry.tainted_by("c00", 99) == ()
+        assert registry.tainted_by("ghost", 0) == ()
+
+    def test_newest_clean_restore_point(self):
+        registry = ModelRegistry()
+        for seed in (1, 2, 3):
+            registry.submit(_framework(seed), LINEAGE, week=seed, cycle=seed)
+            registry.promote(registry.versions()[-1].version)
+        assert registry.newest_clean_restore_point({3}) == 2
+        assert registry.newest_clean_restore_point({2, 3}) == 1
+        assert registry.newest_clean_restore_point({1, 2, 3}) is None
+
+
+class TestStateIdentity:
+    def test_fingerprint_is_stable_and_content_sensitive(self):
+        framework = _framework(5)
+        state = _framework_state(framework)
+        assert state_fingerprint(state) == state_fingerprint(
+            _framework_state(framework)
+        )
+        other = _framework_state(_framework(6))
+        assert state_fingerprint(state) != state_fingerprint(other)
+
+    def test_build_framework_is_independent_of_the_stored_state(self):
+        registry = ModelRegistry()
+        registry.submit(_framework(5), LINEAGE, week=8, cycle=100)
+        registry.promote(1)
+        before = registry.version(1).fingerprint
+        built = registry.build_framework(1, _factory)
+        # Mutating the materialised copy must not disturb the registry.
+        built._detectors.clear()
+        built._mean_distributions.clear()
+        assert registry.version(1).fingerprint == before
+        rebuilt = registry.build_framework(1, _factory)
+        assert state_fingerprint(_framework_state(rebuilt)) == before
+
+    def test_submit_deep_copies_the_framework(self):
+        framework = _framework(5)
+        registry = ModelRegistry()
+        registry.submit(framework, LINEAGE, week=8, cycle=100)
+        before = registry.version(1).fingerprint
+        framework._detectors.clear()
+        assert registry.version(1).fingerprint == before
+
+
+class TestExport:
+    def test_report_is_json_able_and_omits_weights(self):
+        registry = ModelRegistry()
+        registry.submit(_framework(1), LINEAGE, week=8, cycle=100)
+        registry.promote(1, _passing_canary())
+        payload = json.loads(json.dumps(registry.report()))
+        assert payload["active_version"] == 1
+        (version,) = payload["versions"]
+        assert version["lineage"] == {
+            cid: list(weeks) for cid, weeks in LINEAGE.items()
+        }
+        assert version["canary"]["passed"] is True
+        assert "state" not in version
+        assert [e["kind"] for e in payload["events"]] == [
+            "submitted",
+            "promoted",
+        ]
+
+    def test_write_report(self, tmp_path):
+        registry = ModelRegistry()
+        registry.submit(_framework(1), LINEAGE, week=8, cycle=100)
+        path = tmp_path / "lineage.json"
+        registry.write_report(path)
+        assert json.loads(path.read_text())["versions"]

@@ -1,0 +1,83 @@
+"""The cold-start poisoned-baseline demonstration, framework level.
+
+The end-to-end claim behind ``repro.integrity``, proven on pinned data:
+
+1. a boiling-frog ramp that reaches its theft floor *before* the first
+   training leaves floor-level consumption in-distribution — the
+   resulting (poisoned) detector partially unlearns the theft;
+2. the drift sentinel convicts exactly the ramp's tail, so a detector
+   fitted on the screened prefix keeps catching every floor week;
+3. the sentinel stays silent on every honest consumer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kld import KLDDetector
+from repro.integrity import DriftSentinel, IntegrityConfig
+
+from tests.integrity.conftest import (
+    EXPECTED_SUSPECTS,
+    FLOOR_WEEKS,
+    TRAIN_AT,
+    honest_weeks,
+    rampled_weeks,
+)
+
+CFG = IntegrityConfig(sigma_floor_frac=0.03)
+
+
+def _fit(weeks, indices):
+    detector = KLDDetector(significance=0.05)
+    detector.fit(np.stack([weeks[i] for i in indices]))
+    return detector
+
+
+@pytest.mark.parametrize("seed", [11, 23])
+class TestColdStartPoisoning:
+    def test_sentinel_convicts_exactly_the_ramp_tail(self, seed):
+        weeks = rampled_weeks(seed)
+        result = DriftSentinel(CFG).screen(
+            np.stack(weeks[:TRAIN_AT]), range(TRAIN_AT)
+        )
+        assert [v.week for v in result.suspects] == EXPECTED_SUSPECTS
+        assert result.kept_weeks == tuple(
+            w for w in range(TRAIN_AT) if w not in EXPECTED_SUSPECTS
+        )
+
+    def test_sentinel_is_silent_on_honest_consumers(self, seed):
+        weeks = honest_weeks((seed, 1000))
+        result = DriftSentinel(CFG).screen(np.stack(weeks), range(len(weeks)))
+        assert result.suspects == ()
+
+    def test_poisoned_model_partially_unlearns_the_theft(self, seed):
+        weeks = rampled_weeks(seed)
+        poisoned = _fit(weeks, range(TRAIN_AT))
+        flagged = [
+            w for w in FLOOR_WEEKS if poisoned.score_week(weeks[w]).flagged
+        ]
+        # The floor level entered the training distribution, so the
+        # poisoned detector misses a material share of pure theft weeks.
+        assert len(FLOOR_WEEKS) - len(flagged) >= 3
+
+    def test_screened_model_catches_every_floor_week(self, seed):
+        weeks = rampled_weeks(seed)
+        kept = DriftSentinel(CFG).screen(
+            np.stack(weeks[:TRAIN_AT]), range(TRAIN_AT)
+        ).kept_weeks
+        screened = _fit(weeks, kept)
+        for week in FLOOR_WEEKS:
+            assert screened.score_week(weeks[week]).flagged
+
+    def test_poisoning_inflates_the_threshold(self, seed):
+        weeks = rampled_weeks(seed)
+        poisoned = _fit(weeks, range(TRAIN_AT))
+        kept = DriftSentinel(CFG).screen(
+            np.stack(weeks[:TRAIN_AT]), range(TRAIN_AT)
+        ).kept_weeks
+        screened = _fit(weeks, kept)
+        probe = weeks[FLOOR_WEEKS[0]]
+        assert (
+            poisoned.score_week(probe).threshold
+            > screened.score_week(probe).threshold
+        )

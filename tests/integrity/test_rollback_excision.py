@@ -1,0 +1,209 @@
+"""Rollback bit-identity, retroactive excision, and checkpoint proofs.
+
+The headline proof: after a poisoned version is promoted and then
+rolled back, every subsequent verdict — scores, thresholds, the next
+retraining's weights — is bit-identical to a twin service into which
+the poisoned version was never promoted at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import FDetaFramework
+from repro.core.kld import KLDDetector
+from repro.core.online import TheftMonitoringService
+from repro.errors import ConfigurationError, DataError
+from repro.integrity import IntegrityConfig
+from repro.integrity.registry import _framework_state, state_fingerprint
+from repro.resilience.checkpoint import load_checkpoint, save_checkpoint
+from repro.timeseries.seasonal import SLOTS_PER_WEEK
+
+from tests.integrity.conftest import build_population, feed_week
+
+CFG = IntegrityConfig(sigma_floor_frac=0.03)
+
+
+def _factory():
+    return KLDDetector(significance=0.05)
+
+
+def _service(**kwargs):
+    defaults = dict(
+        detector_factory=_factory,
+        min_training_weeks=8,
+        retrain_every_weeks=4,
+        integrity=CFG,
+    )
+    defaults.update(kwargs)
+    return TheftMonitoringService(**defaults)
+
+
+def _poisoned_framework(series):
+    framework = FDetaFramework(detector_factory=_factory)
+    framework.train(
+        {
+            cid: np.stack(
+                [
+                    values[k * SLOTS_PER_WEEK : (k + 1) * SLOTS_PER_WEEK] * 0.5
+                    for k in range(8)
+                ]
+            )
+            for cid, values in series.items()
+        }
+    )
+    return framework
+
+
+def _verdicts(report):
+    return [
+        (a.week_index, a.consumer_id, a.score, a.threshold, a.nature)
+        for a in report.alerts
+    ]
+
+
+def _fingerprint(service):
+    return state_fingerprint(_framework_state(service._framework))
+
+
+class TestRollbackBitIdentity:
+    def test_rollback_equals_never_promoted(self):
+        series = build_population(7, n_consumers=3, n_weeks=18)
+        tampered, pristine = _service(), _service()
+        for week in range(12):
+            feed_week(tampered, series, week)
+            feed_week(pristine, series, week)
+        assert tampered.model_version() == pristine.model_version() == 2
+
+        # Promote a poisoned framework into the tampered service...
+        bad = _poisoned_framework(series)
+        candidate = tampered.model_registry.submit(
+            bad,
+            {cid: tuple(range(8)) for cid in series},
+            week=12,
+            cycle=tampered._slot_count,
+        )
+        tampered.model_registry.promote(candidate.version)
+        tampered._framework = bad
+        assert tampered.model_version() == 3
+        assert _fingerprint(tampered) != _fingerprint(pristine)
+
+        # ...then roll it back with one command.
+        restored = tampered.rollback_model(2)
+        assert restored.version == 2
+        assert tampered.model_version() == 2
+        assert _fingerprint(tampered) == _fingerprint(pristine)
+
+        # Every subsequent verdict is bit-identical to the twin that
+        # never saw the poisoned promotion — through the next
+        # retraining included.
+        for week in range(12, 18):
+            report_t = feed_week(tampered, series, week)
+            report_p = feed_week(pristine, series, week)
+            assert _verdicts(report_t) == _verdicts(report_p)
+        assert _fingerprint(tampered) == _fingerprint(pristine)
+        assert (
+            tampered.metrics.counter(
+                "fdeta_model_rollbacks_total", ""
+            ).value()
+            == 1
+        )
+
+    def test_rollback_requires_integrity_mode(self):
+        service = TheftMonitoringService(_factory, min_training_weeks=8)
+        with pytest.raises(ConfigurationError):
+            service.rollback_model(1)
+
+    def test_rollback_to_unpromoted_version_raises(self):
+        series = build_population(7, n_consumers=3, n_weeks=12)
+        service = _service()
+        for week in range(8):
+            feed_week(service, series, week)
+        with pytest.raises(DataError):
+            service.rollback_model(99)
+
+
+class TestExcision:
+    def test_conviction_retrains_from_the_clean_prefix(self):
+        series = build_population(7, n_consumers=3, n_weeks=18)
+        service = _service()
+        for week in range(12):
+            feed_week(service, series, week)
+        active = service.model_version()
+        lineage = service.model_registry.version(active).lineage["c01"]
+        convicted = lineage[2]
+
+        report = service.excise_week("c01", convicted)
+        assert convicted in {
+            week
+            for week in service._quarantined_weeks.get("c01", ())
+        }
+        assert active in report.tainted_versions
+        assert report.retrained
+        assert report.active_after == service.model_version()
+        assert report.active_after not in report.tainted_versions
+        new_lineage = service.model_registry.version(
+            report.active_after
+        ).lineage["c01"]
+        assert convicted not in new_lineage
+        assert (
+            service.metrics.counter(
+                "fdeta_integrity_excisions_total", ""
+            ).value()
+            == 1
+        )
+
+    def test_excising_an_untrained_week_skips_the_retrain(self):
+        series = build_population(7, n_consumers=3, n_weeks=12)
+        service = _service()
+        for week in range(8):
+            feed_week(service, series, week)
+        report = service.excise_week("c01", 500)
+        assert report.tainted_versions == ()
+        assert not report.retrained
+
+    def test_unknown_consumer_raises(self):
+        series = build_population(7, n_consumers=3, n_weeks=12)
+        service = _service()
+        for week in range(8):
+            feed_week(service, series, week)
+        with pytest.raises(DataError):
+            service.excise_week("ghost", 2)
+
+
+class TestCheckpointRoundTrip:
+    def test_registry_and_integrity_state_survive_restore(self, tmp_path):
+        series = build_population(7, n_consumers=3, n_weeks=12)
+        service = _service(training_window_weeks=10)
+        for week in range(10):
+            feed_week(service, series, week)
+        path = tmp_path / "ckpt.bin"
+        save_checkpoint(service, path)
+        restored = load_checkpoint(path, _factory)
+
+        assert restored.model_version() == service.model_version()
+        assert restored.training_window_weeks == 10
+        assert restored.integrity == service.integrity
+        assert sorted(restored._canary_reference) == sorted(
+            service._canary_reference
+        )
+        for cid, anchor in service._canary_reference.items():
+            assert np.array_equal(restored._canary_reference[cid], anchor)
+        assert restored._suspect_weeks == service._suspect_weeks
+        assert (
+            restored.model_registry.report() == service.model_registry.report()
+        )
+        assert _fingerprint(restored) == _fingerprint(service)
+
+        # The restored service keeps scoring bit-identically.
+        report_r = feed_week(restored, series, 10)
+        report_s = feed_week(service, series, 10)
+        assert _verdicts(report_r) == _verdicts(report_s)
+
+    def test_training_window_is_enforced_after_restore(self, tmp_path):
+        series = build_population(7, n_consumers=3, n_weeks=14)
+        service = _service(training_window_weeks=8)
+        for week in range(12):
+            feed_week(service, series, week)
+        active = service.model_registry.version(service.model_version())
+        for lineage in active.lineage.values():
+            assert len(lineage) <= 8

@@ -1,0 +1,174 @@
+"""Unit tests for the drift sentinels and robust-fitting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.integrity import DriftSentinel, IntegrityConfig, winsorize_matrix
+
+from tests.integrity.conftest import honest_week, honest_weeks
+
+CFG = IntegrityConfig(sigma_floor_frac=0.03)
+
+
+def _screen(weeks, config=CFG):
+    return DriftSentinel(config).screen(np.stack(weeks), range(len(weeks)))
+
+
+class TestCleanData:
+    @pytest.mark.parametrize("seed", [3, 17, 91])
+    def test_stationary_weeks_are_never_suspect(self, seed):
+        result = _screen(honest_weeks(seed, 24))
+        assert result.suspects == ()
+        assert result.kept_weeks == tuple(range(24))
+
+    def test_benign_level_wobble_stays_quiet(self):
+        # Weather weeks: +-10% whole-week multipliers, no persistence.
+        rng = np.random.default_rng(7)
+        weeks = [
+            honest_week(rng) * rng.uniform(0.9, 1.1) for _ in range(20)
+        ]
+        assert _screen(weeks).suspects == ()
+
+    def test_short_history_is_kept_wholesale(self):
+        weeks = honest_weeks(1, CFG.reference_weeks)
+        result = _screen(weeks)
+        assert result.kept_weeks == tuple(range(len(weeks)))
+        assert result.verdicts == ()
+
+
+class TestLevelSentinel:
+    def test_downward_ramp_is_caught_with_monotone_tail(self):
+        rng = np.random.default_rng(5)
+        weeks = [honest_week(rng) for _ in range(10)]
+        weeks += [honest_week(rng) * max(0.7, 0.88**k) for k in range(1, 11)]
+        result = _screen(weeks)
+        suspect_weeks = [v.week for v in result.suspects]
+        assert suspect_weeks, "a persistent downward ramp must be caught"
+        # Once the CUSUM crosses its decision interval it never resets:
+        # the suspect set is a contiguous tail of the ramp.
+        first = suspect_weeks[0]
+        assert suspect_weeks == list(range(first, 20))
+        assert first < 15, "the ramp must be caught while still ramping"
+        assert any(
+            "downward-drift" in reason
+            for v in result.suspects
+            for reason in v.reasons
+        )
+
+    def test_upward_inflation_is_caught(self):
+        rng = np.random.default_rng(9)
+        weeks = [honest_week(rng) for _ in range(10)]
+        weeks += [honest_week(rng) * 1.12**k for k in range(1, 9)]
+        result = _screen(weeks)
+        assert result.suspects
+        assert any(
+            "upward-drift" in reason
+            for v in result.suspects
+            for reason in v.reasons
+        )
+
+    def test_all_zero_week_is_suspect(self):
+        weeks = honest_weeks(11, 12)
+        weeks.append(np.zeros_like(weeks[0]))
+        result = _screen(weeks)
+        assert 12 in [v.week for v in result.suspects]
+
+
+class TestShapeSentinel:
+    def test_profile_rewrite_at_constant_mean_is_caught(self):
+        # A load-profile rewrite that preserves the weekly mean exactly:
+        # a flatline reporting the week's average in every slot.  Total
+        # consumption is untouched (the level sentinel is blind by
+        # design), but the slot distribution collapses onto one bin.
+        weeks = honest_weeks(13, 16)
+        original_mean = float(weeks[12].mean())
+        weeks[12] = np.full_like(weeks[12], original_mean)
+        result = _screen(weeks)
+        verdict = {v.week: v for v in result.verdicts}[12]
+        assert verdict.suspect
+        assert any("PSI" in reason for reason in verdict.reasons)
+        assert float(weeks[12].mean()) == pytest.approx(original_mean)
+
+    def test_psi_is_blind_to_pure_scaling(self):
+        # Mean-normalisation makes the shape sentinel deliberately
+        # ignore level changes; only the CUSUM should see a scaled week.
+        weeks = honest_weeks(19, 16)
+        weeks[12] = weeks[12] * 0.8
+        result = _screen(weeks, IntegrityConfig(cusum_h=1e9))
+        verdict = {v.week: v for v in result.verdicts}[12]
+        assert verdict.psi < CFG.psi_threshold
+
+
+class TestMechanics:
+    def test_screen_is_deterministic(self):
+        weeks = honest_weeks(23, 20)
+        weeks[14] = weeks[14] * 0.6
+        a = _screen(weeks)
+        b = _screen(weeks)
+        assert a == b
+
+    def test_reference_prefix_is_always_kept(self):
+        # Even a matrix that drifts immediately keeps its anchor rows.
+        rng = np.random.default_rng(29)
+        weeks = [honest_week(rng) * max(0.5, 0.9**k) for k in range(20)]
+        result = _screen(weeks)
+        for week in range(CFG.reference_weeks):
+            assert week in result.kept_weeks
+
+    def test_row_count_mismatch_raises(self):
+        weeks = honest_weeks(31, 10)
+        with pytest.raises(ValueError):
+            DriftSentinel(CFG).screen(np.stack(weeks), range(9))
+
+    def test_suspects_excluded_from_kept(self):
+        weeks = honest_weeks(37, 20)
+        weeks += [w * 0.6 for w in honest_weeks(38, 4)]
+        result = _screen(weeks)
+        for verdict in result.suspects:
+            assert verdict.week not in result.kept_weeks
+
+
+class TestWinsorize:
+    def test_clips_to_pooled_quantiles(self):
+        rng = np.random.default_rng(41)
+        matrix = rng.lognormal(0.0, 0.5, size=(8, 336))
+        matrix[3, 17] = 1e6  # one poisoned spike
+        clipped = winsorize_matrix(matrix, (0.01, 0.99))
+        low, high = np.quantile(matrix, (0.01, 0.99))
+        assert clipped.shape == matrix.shape
+        assert clipped.max() <= high
+        assert clipped.min() >= low
+        assert clipped[3, 17] == pytest.approx(high)
+
+    def test_identity_inside_the_envelope(self):
+        matrix = np.full((4, 336), 2.0)
+        assert np.array_equal(winsorize_matrix(matrix, (0.01, 0.99)), matrix)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"psi_threshold": 0.0},
+            {"cusum_k": -0.1},
+            {"cusum_h": 0.0},
+            {"sigma_floor_frac": 0.0},
+            {"sigma_floor_frac": 1.0},
+            {"reference_weeks": 1},
+            {"psi_bins": 1},
+            {"winsorize": (0.5, 0.4)},
+            {"canary_floor": 1.5},
+            {"canary_factors": ()},
+            {"canary_factors": (1.0,)},
+            {"canary_factors": (-0.5,)},
+            {"canary_sample": 0},
+            {"canary_clean_margin": 0.5},
+        ],
+    )
+    def test_bad_knobs_raise(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            IntegrityConfig(**kwargs)
+
+    def test_defaults_are_valid(self):
+        IntegrityConfig()

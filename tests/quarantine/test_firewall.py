@@ -125,10 +125,14 @@ class TestInstrumentation:
         )
         counter = registry.counter(QUARANTINE_METRIC, labels=("reason",))
         for reason in QuarantineReason:
-            if reason is QuarantineReason.TOO_LATE:
-                # too_late is routed by the event-time ingestor, not by
-                # the per-cycle screen (a screened cycle is on time by
-                # construction).
+            if reason in (
+                QuarantineReason.TOO_LATE,
+                QuarantineReason.POISON_SUSPECT,
+            ):
+                # too_late is routed by the event-time ingestor and
+                # poison_suspect by the drift sentinel, not by the
+                # per-cycle screen (a screened cycle is on time and a
+                # single cycle carries no drift evidence).
                 assert counter.value(reason=reason.value) == 0.0
                 continue
             assert counter.value(reason=reason.value) == 1.0
